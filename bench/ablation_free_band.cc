@@ -1,0 +1,87 @@
+// Ablation — the [minFreeLockMemory, maxFreeLockMemory] dead band (§3.3).
+//
+// The paper keeps 50-60 % of the lock memory free: the 50 % floor absorbs a
+// 100 % burst without synchronous allocation, and the 10-point spread
+// avoids constant resizing. This sweep runs a fluctuating OLTP load under
+// different bands and reports resize churn, synchronous growth events, and
+// memory overhead.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+using namespace locktune;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation", "minFree/maxFree dead band sweep",
+      "Heavy OLTP load (3000-lock transactions) oscillating 15 <-> 40 "
+      "clients every 2 min for 10 min; 512 MB database.");
+
+  struct Band {
+    double min_free;
+    double max_free;
+    const char* note;
+  };
+  const Band bands[] = {
+      {0.50, 0.60, "paper"},
+      {0.50, 0.52, "narrow spread"},
+      {0.20, 0.30, "little headroom"},
+      {0.70, 0.80, "excess headroom"},
+      {0.30, 0.70, "wide spread"},
+  };
+
+  std::printf("%8s %8s %14s %18s %18s %14s  %s\n", "minFree", "maxFree",
+              "resizes", "sync_grow_blocks", "mean_alloc_MB",
+              "mean_used_MB", "note");
+  for (const Band& band : bands) {
+    DatabaseOptions o;
+    o.params.database_memory = 512 * kMiB;
+    o.params.min_free_fraction = band.min_free;
+    o.params.max_free_fraction = band.max_free;
+    o.params.min_structures_per_app = 0;  // isolate the band's effect
+    std::unique_ptr<Database> db = Database::Open(o).value();
+    OltpOptions heavy;
+    heavy.mean_locks_per_txn = 3000;
+    heavy.locks_per_tick = 150;
+    OltpWorkload oltp(db->catalog(), heavy);
+    ClientTimeline tl;
+    tl.workload = &oltp;
+    tl.steps = {{0, 15}};
+    for (int cycle = 1; cycle <= 4; ++cycle) {
+      tl.steps.push_back({cycle * 2 * kMinute, cycle % 2 == 1 ? 40 : 15});
+    }
+    ScenarioOptions so;
+    so.duration = 10 * kMinute;
+    ScenarioRunner runner(db.get(), {tl}, so);
+    runner.Run();
+
+    // Resize churn: count tuning passes whose action changed the size.
+    int resizes = 0;
+    for (const StmmIntervalRecord& rec : db->stmm()->history()) {
+      if (rec.action == LockTunerAction::kGrow ||
+          rec.action == LockTunerAction::kShrink ||
+          rec.action == LockTunerAction::kDouble) {
+        ++resizes;
+      }
+    }
+    const TimeSeries& alloc =
+        runner.series().Get(ScenarioRunner::kLockAllocatedMb);
+    const TimeSeries& used =
+        runner.series().Get(ScenarioRunner::kLockUsedMb);
+    std::printf("%7.0f%% %7.0f%% %14d %18lld %18.2f %14.2f  %s\n",
+                band.min_free * 100, band.max_free * 100, resizes,
+                static_cast<long long>(
+                    db->locks().stats().sync_growth_blocks),
+                bench::MeanOver(alloc, 0, alloc.size()),
+                bench::MeanOver(used, 0, used.size()), band.note);
+  }
+  std::printf(
+      "\nreading: a narrow spread resizes constantly; little headroom "
+      "forces synchronous growth during surges; excess headroom wastes "
+      "memory. The paper's 50-60%% band balances all three.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Ablation — industrial lock-management policies side by side (§2.3, §5.3).
+//
+// The same mixed OLTP + DSS workload runs under:
+//   * DB2 9 self-tuning (this paper's algorithm),
+//   * pre-STMM DB2 (static LOCKLIST, fixed MAXLOCKS 10 %),
+//   * SQL Server 2005-style rules (grow-only, 5000-lock escalation,
+//     40 %-of-memory escalation),
+// and an Oracle-style on-page ITL model is driven with the equivalent
+// update stream to surface its distinct failure modes (ITL waits on free
+// rows, queue jumping, permanent page-space growth, deferred cleanouts).
+#include <cstdio>
+#include <memory>
+
+#include "baseline/oracle_driver.h"
+#include "baseline/oracle_itl.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "workload/dss_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+using namespace locktune;
+
+namespace {
+
+// A handful of writers updating rows of the same table the reporting query
+// scans — but in a row range the scan never touches. Under row locking they
+// never conflict with the report; a policy that escalates the scan to a
+// table S lock starves them anyway. This is the paper's core argument that
+// "lock escalation is an extremely poor alternative to lock memory tuning".
+class LineitemWriter : public Workload {
+ public:
+  explicit LineitemWriter(const Catalog& catalog) {
+    const TableInfo* t = catalog.FindByName("tpch_lineitem");
+    table_ = t->id;
+    rows_ = t->row_count;
+  }
+  TransactionProfile NextTransaction(Rng&) override {
+    TransactionProfile p;
+    p.total_locks = 20;
+    p.locks_per_tick = 10;
+    p.think_time = 200;
+    return p;
+  }
+  RowAccess NextAccess(Rng& rng) override {
+    // Upper half of the table; the scan reads only the first 200 k rows.
+    const int64_t half = rows_ / 2;
+    return {table_,
+            half + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(half))),
+            LockMode::kX};
+  }
+
+ private:
+  TableId table_ = 0;
+  int64_t rows_ = 0;
+};
+
+struct PolicyResult {
+  const char* name;
+  int64_t commits;
+  int64_t writer_commits;
+  int64_t escalations;
+  int64_t exclusive;
+  int64_t oom;
+  double peak_lock_mb;
+  double final_lock_mb;
+};
+
+PolicyResult RunMode(const char* name, TuningMode mode) {
+  DatabaseOptions o;
+  o.params.database_memory = 512 * kMiB;
+  o.mode = mode;
+  o.static_locklist_pages = 2048;  // 8 MB: generous, isolates the policy
+  o.static_maxlocks_percent = 10.0;
+  std::unique_ptr<Database> db = Database::Open(o).value();
+  OltpWorkload oltp(db->catalog(), OltpOptions{});
+  DssOptions dss_opts;
+  dss_opts.scan_locks = 200'000;
+  dss_opts.locks_per_tick = 2000;
+  dss_opts.hold_time = 2 * kMinute;
+  DssWorkload dss(db->catalog(), dss_opts);
+  LineitemWriter writers(db->catalog());
+  ClientTimeline oltp_tl, dss_tl, writer_tl;
+  oltp_tl.workload = &oltp;
+  oltp_tl.steps = {{0, 60}};
+  dss_tl.workload = &dss;
+  dss_tl.steps = {{kMinute, 1}};
+  writer_tl.workload = &writers;
+  writer_tl.steps = {{0, 10}};
+  ScenarioOptions so;
+  so.duration = 5 * kMinute;
+  ScenarioRunner runner(db.get(), {oltp_tl, dss_tl, writer_tl}, so);
+  runner.Run();
+  int64_t writer_commits = 0;
+  for (size_t i = 61; i < runner.applications().size(); ++i) {
+    writer_commits += runner.applications()[i]->stats().commits;
+  }
+  return {name,
+          runner.total_commits(),
+          writer_commits,
+          db->locks().stats().escalations,
+          db->locks().stats().exclusive_escalations,
+          runner.total_oom_aborts(),
+          runner.series().Get(ScenarioRunner::kLockAllocatedMb).MaxValue(),
+          runner.series().Get(ScenarioRunner::kLockAllocatedMb).Last()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation", "Lock management policy comparison (§2.3)",
+      "60 OLTP clients + a 200k-lock reporting scan at t=60 s; 512 MB "
+      "database; 5 virtual minutes.");
+
+  const PolicyResult results[] = {
+      RunMode("DB2 9 self-tuning", TuningMode::kSelfTuning),
+      RunMode("static LOCKLIST + MAXLOCKS 10%", TuningMode::kStatic),
+      RunMode("SQL Server 2005-style", TuningMode::kSqlServer),
+  };
+  std::printf("%-32s %9s %15s %12s %6s %13s %14s\n", "policy", "commits",
+              "writer_commits", "escalations", "oom", "peak_lock_MB",
+              "final_lock_MB");
+  for (const PolicyResult& r : results) {
+    std::printf("%-32s %9lld %15lld %12lld %6lld %13.2f %14.2f\n", r.name,
+                static_cast<long long>(r.commits),
+                static_cast<long long>(r.writer_commits),
+                static_cast<long long>(r.escalations),
+                static_cast<long long>(r.oom), r.peak_lock_mb,
+                r.final_lock_mb);
+  }
+
+  // Oracle-style ITL model, driven by an equivalent population of 60
+  // writers (the ITL model locks rows only for writes; reads go through
+  // undo).
+  OracleItlSimulator itl(OracleItlOptions{});
+  OracleClientOptions oracle_clients;
+  oracle_clients.table_rows = 40'000;  // hot pages: heavy slot contention
+  OracleScenarioRunner oracle(&itl, /*clients=*/60, oracle_clients,
+                              /*seed=*/7);
+  oracle.Run(5 * kMinute);
+  std::printf("\nOracle-style on-page ITL model (60 writers, 5 min):\n");
+  const OracleItlStats& s = itl.stats();
+  std::printf("  commits=%lld grants=%lld row_waits=%lld itl_waits=%lld "
+              "queue_jumps=%lld cleanouts=%lld\n",
+              static_cast<long long>(oracle.stats().commits),
+              static_cast<long long>(s.grants),
+              static_cast<long long>(s.row_waits),
+              static_cast<long long>(s.itl_waits),
+              static_cast<long long>(s.queue_jumps),
+              static_cast<long long>(s.cleanouts));
+  std::printf("  sleep-wake-check retries=%lld aborts=%lld, permanent ITL "
+              "page space=%lld bytes (never reclaimed without reorg)\n",
+              static_cast<long long>(oracle.stats().retries),
+              static_cast<long long>(oracle.stats().aborts),
+              static_cast<long long>(itl.ExtraItlBytes()));
+
+  std::printf(
+      "\nreading: self-tuning is the only policy that runs the reporting "
+      "scan without a single escalation; the fixed-MAXLOCKS and SQL Server "
+      "rules escalate it (the counterfactual of 5.3), and the escalated "
+      "table S lock starves writers on rows the scan never touched "
+      "(writer_commits). The ITL model never escalates but pays with "
+      "page-level blocking on free rows, queue jumps, deferred-cleanout "
+      "work, and permanent page space.\n");
+  return 0;
+}

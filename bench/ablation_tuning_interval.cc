@@ -1,0 +1,99 @@
+// Ablation — the STMM tuning interval (§2.1: STMM determines "the tuning
+// interval (time between adjustments)"; §3.2: generally 0.5-10 min).
+//
+// The interval trades responsiveness for control overhead: a long interval
+// leaves a surge to synchronous growth (and, under constrained overflow,
+// escalations) for longer; a short interval reacts fast but runs many more
+// passes. The adaptive mode shortens while resizing and relaxes when quiet.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+using namespace locktune;
+
+namespace {
+
+struct Row {
+  const char* label;
+  int passes;
+  int resize_passes;
+  int64_t sync_blocks;
+  TimeMs settle_after_surge;
+};
+
+Row RunWith(const char* label, DurationMs interval, bool adaptive) {
+  DatabaseOptions o;
+  o.params.database_memory = 512 * kMiB;
+  o.params.tuning_interval = interval;
+  o.params.adaptive_interval = adaptive;
+  o.params.tuning_interval_min = 30 * kSecond;
+  o.params.tuning_interval_max = 10 * kMinute;
+  std::unique_ptr<Database> db = Database::Open(o).value();
+  OltpWorkload oltp(db->catalog(), OltpOptions{});
+  ClientTimeline tl;
+  tl.workload = &oltp;
+  tl.steps = {{0, 30}, {8 * kMinute, 130}};  // surge after a long quiet phase
+  ScenarioOptions so;
+  so.duration = 16 * kMinute;
+  ScenarioRunner runner(db.get(), {tl}, so);
+  runner.Run();
+
+  Row row;
+  row.label = label;
+  row.passes = static_cast<int>(db->stmm()->history().size());
+  row.resize_passes = 0;
+  for (const StmmIntervalRecord& rec : db->stmm()->history()) {
+    if (rec.action != LockTunerAction::kNone) ++row.resize_passes;
+  }
+  row.sync_blocks = db->locks().stats().sync_growth_blocks;
+  // Settle: first sample after the surge at ≥95 % of the final allocation.
+  const TimeSeries& alloc =
+      runner.series().Get(ScenarioRunner::kLockAllocatedMb);
+  const double final_alloc = alloc.Last();
+  row.settle_after_surge = -1;
+  for (const auto& pt : alloc.points()) {
+    if (pt.time_ms >= 8 * kMinute && pt.value >= 0.95 * final_alloc) {
+      row.settle_after_surge = pt.time_ms - 8 * kMinute;
+      break;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation", "STMM tuning interval sweep",
+      "30 OLTP clients quiet for 8 min, then a surge to 130; 512 MB "
+      "database; fixed intervals vs the adaptive 0.5-10 min mode.");
+
+  std::printf("%-22s %8s %14s %13s %18s\n", "interval", "passes",
+              "resize_passes", "sync_blocks", "surge_settle_s");
+  for (const auto& cfg :
+       {std::pair<const char*, DurationMs>{"fixed 30 s", 30 * kSecond},
+        {"fixed 2 min", 2 * kMinute},
+        {"fixed 10 min", 10 * kMinute}}) {
+    const Row r = RunWith(cfg.first, cfg.second, /*adaptive=*/false);
+    std::printf("%-22s %8d %14d %13lld %18lld\n", r.label, r.passes,
+                r.resize_passes, static_cast<long long>(r.sync_blocks),
+                static_cast<long long>(r.settle_after_surge / 1000));
+  }
+  const Row adaptive = RunWith("adaptive 0.5-10 min", 30 * kSecond, true);
+  std::printf("%-22s %8d %14d %13lld %18lld\n", adaptive.label,
+              adaptive.passes, adaptive.resize_passes,
+              static_cast<long long>(adaptive.sync_blocks),
+              static_cast<long long>(adaptive.settle_after_surge / 1000));
+
+  std::printf(
+      "\nreading: a 10-minute interval leaves the surge to synchronous "
+      "block-at-a-time growth for minutes (high sync_blocks, slow settle); "
+      "30 s settles within one interval but runs ~30x the passes. The "
+      "adaptive mode idles at long intervals through the quiet phase and "
+      "snaps back to 30 s when the surge arrives.\n");
+  return 0;
+}

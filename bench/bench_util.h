@@ -1,0 +1,42 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it prints
+// a header describing the experiment, the sampled series as CSV (so the
+// figure can be re-plotted), and a PAPER vs MEASURED summary of the claims
+// the figure supports.
+#ifndef LOCKTUNE_BENCH_BENCH_UTIL_H_
+#define LOCKTUNE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_series.h"
+#include "engine/database.h"
+#include "workload/scenario.h"
+
+namespace locktune {
+namespace bench {
+
+// Prints the experiment banner.
+void PrintHeader(const std::string& id, const std::string& title,
+                 const std::string& setup);
+
+// Prints aligned CSV for the named series, keeping every `stride`-th sample.
+void PrintSeries(const TimeSeriesSet& series,
+                 const std::vector<std::string>& names, size_t stride = 1);
+
+// Prints one "claim" row of the PAPER vs MEASURED summary.
+void PrintClaim(const std::string& claim, const std::string& paper,
+                const std::string& measured);
+
+// Formats helpers.
+std::string Mb(double mb);
+std::string Ratio(double r);
+
+// Mean of a series over the sample index range [from, to).
+double MeanOver(const TimeSeries& s, size_t from, size_t to);
+
+}  // namespace bench
+}  // namespace locktune
+
+#endif  // LOCKTUNE_BENCH_BENCH_UTIL_H_

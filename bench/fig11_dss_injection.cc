@@ -1,0 +1,99 @@
+// Figure 11 — lock memory adaptation when a DSS reporting query with
+// massive row-locking requirements is injected into a steady OLTP system.
+//
+// 60 OLTP clients run in steady state (lock memory settles at the 2 MB
+// minimum — 0.2 % of database memory, analogous to the paper's 8 MB =
+// 0.15 %). At t=330 s a single reporting query begins scanning
+// tpch_lineitem with S row locks. Lock memory grows by an order of tens
+// within ~30 s, peaking around 10 % of database memory, with no exclusive
+// escalations: the adaptive lockPercentPerApplication lets the single
+// reader dominate lock memory because total consumption stays far from
+// maxLockMemory.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/dss_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+using namespace locktune;
+
+int main() {
+  constexpr TimeMs kInjectAt = 330 * kSecond;  // 5.5 minutes, as the paper
+  bench::PrintHeader(
+      "Figure 11",
+      "Lock memory adaptation for OLTP with sudden injection of DSS",
+      "60 OLTP clients steady for 5.5 min; a reporting query scanning "
+      "800 k rows (S locks, 30 000/s) injected at t=330 s; 1 GB database.");
+
+  DatabaseOptions o;
+  o.params.database_memory = 1 * kGiB;
+  std::unique_ptr<Database> db = Database::Open(o).value();
+  OltpWorkload oltp(db->catalog(), OltpOptions{});
+  DssOptions dss_opts;
+  // Peak allocation ≈ 10 % of database memory: the minFree objective
+  // allocates 2× the usage, so an 800 k-lock scan (51 MB used) settles the
+  // allocation around 102 MB.
+  dss_opts.scan_locks = 800'000;
+  dss_opts.locks_per_tick = 3000;
+  dss_opts.hold_time = 10 * kMinute;  // the report keeps running
+  DssWorkload dss(db->catalog(), dss_opts);
+
+  ClientTimeline oltp_tl, dss_tl;
+  oltp_tl.workload = &oltp;
+  oltp_tl.steps = {{0, 60}};
+  dss_tl.workload = &dss;
+  dss_tl.steps = {{kInjectAt, 1}};
+  ScenarioOptions so;
+  so.duration = 12 * kMinute;
+  ScenarioRunner runner(db.get(), {oltp_tl, dss_tl}, so);
+  runner.Run();
+
+  std::printf("\nseries:\n");
+  bench::PrintSeries(runner.series(),
+                     {ScenarioRunner::kLockAllocatedMb,
+                      ScenarioRunner::kLockUsedMb,
+                      ScenarioRunner::kThroughputTps,
+                      ScenarioRunner::kMaxlocksPercent},
+                     /*stride=*/15);
+
+  const TimeSeries& alloc =
+      runner.series().Get(ScenarioRunner::kLockAllocatedMb);
+  const size_t inject_idx = static_cast<size_t>(kInjectAt / kSecond) - 1;
+  const double steady = bench::MeanOver(alloc, inject_idx - 60, inject_idx);
+  const double peak = alloc.MaxValue();
+  const double dbmem_mb =
+      static_cast<double>(o.params.database_memory) / (1024.0 * 1024.0);
+  const TimeMs grew = alloc.FirstTimeAtLeast(steady * 20.0);
+
+  std::printf("\nsummary:\n");
+  bench::PrintClaim("steady-state lock memory before injection",
+                    "8 MB = 0.15% of memory",
+                    bench::Mb(steady) + " = " +
+                        std::to_string(100.0 * steady / dbmem_mb) + "%");
+  bench::PrintClaim("lock memory growth factor", "~60x",
+                    bench::Ratio(peak / steady));
+  bench::PrintClaim("peak as share of database memory", "~10%",
+                    std::to_string(100.0 * peak / dbmem_mb) + "%");
+  bench::PrintClaim(
+      "growth speed", "60x within ~25 s",
+      grew < 0 ? "n/a"
+               : std::to_string((grew - kInjectAt) / 1000) +
+                     " s to 20x after injection");
+  bench::PrintClaim("exclusive lock escalations", "none",
+                    std::to_string(db->locks().stats().exclusive_escalations));
+  bench::PrintClaim(
+      "OLTP keeps running through the report", "reduced but alive",
+      std::to_string(bench::MeanOver(
+          runner.series().Get(ScenarioRunner::kThroughputTps),
+          alloc.size() - 120, alloc.size())) +
+          " tx/s at the end");
+  bench::PrintClaim(
+      "single reader dominates lock memory",
+      "allowed while far from max",
+      std::to_string(db->locks().HeldStructures(61)) + " structures held "
+      "by the DSS application");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks — cost of the primitive operations on the request path.
+//
+// The paper's synchronous growth and the MAXLOCKS refresh period (0x80)
+// both exist because lock-request-path work must stay cheap; these
+// benchmarks quantify the primitives: grant/release cycles, block list
+// alloc/free, curve evaluation, tuner decisions, escalation, and deadlock
+// detection.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lock_memory_tuner.h"
+#include "lock/lock_manager.h"
+#include "lock/maxlocks_curve.h"
+#include "memory/block_list.h"
+
+namespace locktune {
+namespace {
+
+std::unique_ptr<LockManager> MakeManager(EscalationPolicy* policy,
+                                         int64_t blocks = 64) {
+  LockManagerOptions o;
+  o.initial_blocks = blocks;
+  o.max_lock_memory = kGiB / 5;
+  o.database_memory = kGiB;
+  o.policy = policy;
+  return std::make_unique<LockManager>(std::move(o));
+}
+
+void BM_BlockListAllocFree(benchmark::State& state) {
+  BlockList list;
+  for (int i = 0; i < 8; ++i) list.AddBlock();
+  for (auto _ : state) {
+    Result<LockBlock*> slot = list.AllocateSlot();
+    benchmark::DoNotOptimize(slot);
+    list.FreeSlot(slot.value());
+  }
+}
+BENCHMARK(BM_BlockListAllocFree);
+
+void BM_RowLockGrantRelease(benchmark::State& state) {
+  FixedMaxlocksPolicy policy(98.0);
+  auto lm = MakeManager(&policy);
+  int64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lm->Lock(1, RowResource(1, row), LockMode::kX));
+    (void)lm->Release(1, RowResource(1, row));
+    ++row;
+  }
+}
+BENCHMARK(BM_RowLockGrantRelease);
+
+void BM_RowLockSharedByManyApps(benchmark::State& state) {
+  // Cost of joining an existing granted group of `range(0)` share holders.
+  FixedMaxlocksPolicy policy(98.0);
+  auto lm = MakeManager(&policy);
+  const int holders = static_cast<int>(state.range(0));
+  for (AppId app = 2; app < 2 + holders; ++app) {
+    (void)lm->Lock(app, RowResource(1, 7), LockMode::kS);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm->Lock(1, RowResource(1, 7), LockMode::kS));
+    (void)lm->Release(1, RowResource(1, 7));
+  }
+}
+BENCHMARK(BM_RowLockSharedByManyApps)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ReleaseAllPerLock(benchmark::State& state) {
+  // Amortized per-lock cost of commit-time bulk release.
+  FixedMaxlocksPolicy policy(98.0);
+  auto lm = MakeManager(&policy);
+  const int64_t locks = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int64_t r = 0; r < locks; ++r) {
+      (void)lm->Lock(1, RowResource(1, r), LockMode::kS);
+    }
+    state.ResumeTiming();
+    lm->ReleaseAll(1);
+  }
+  state.SetItemsProcessed(state.iterations() * locks);
+}
+BENCHMARK(BM_ReleaseAllPerLock)->Arg(100)->Arg(10'000);
+
+// Policy with an externally settable per-application limit, so the bench
+// can arm an escalation precisely.
+class SettableLimitPolicy : public EscalationPolicy {
+ public:
+  int64_t MaxStructuresPerApp(const LockMemoryState&) override {
+    return limit_;
+  }
+  double CurrentPercent(const LockMemoryState&) override { return 100.0; }
+  void set_limit(int64_t limit) { limit_ = limit; }
+
+ private:
+  int64_t limit_ = INT64_MAX;
+};
+
+void BM_Escalation(benchmark::State& state) {
+  // Converting `range(0)` row locks into one table lock.
+  const int64_t rows = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SettableLimitPolicy policy;
+    auto lm = MakeManager(&policy, /*blocks=*/rows / kLocksPerBlock + 2);
+    for (int64_t r = 0; r < rows; ++r) {
+      (void)lm->Lock(1, RowResource(1, r), LockMode::kS);
+    }
+    policy.set_limit(1);  // the next request must escalate
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lm->Lock(1, RowResource(1, rows), LockMode::kS));
+    state.PauseTiming();
+    lm.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Escalation)->Arg(1000)->Arg(50'000);
+
+void BM_MaxlocksCurveEvaluate(benchmark::State& state) {
+  MaxlocksCurve curve;
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Evaluate(x));
+    x += 0.1;
+    if (x > 100.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_MaxlocksCurveEvaluate);
+
+void BM_TunerDecision(benchmark::State& state) {
+  TuningParams params;
+  LockMemoryTuner tuner(params);
+  LockTunerInputs in;
+  in.allocated = 64 * kMiB;
+  in.used = 20 * kMiB;
+  in.num_applications = 130;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.Tune(in));
+  }
+}
+BENCHMARK(BM_TunerDecision);
+
+void BM_DeadlockDetection(benchmark::State& state) {
+  // Waits-for analysis with range(0) blocked applications (no cycle).
+  FixedMaxlocksPolicy policy(98.0);
+  auto lm = MakeManager(&policy);
+  const int waiters = static_cast<int>(state.range(0));
+  (void)lm->Lock(1, RowResource(1, 1), LockMode::kX);
+  for (AppId app = 2; app < 2 + waiters; ++app) {
+    (void)lm->Lock(app, RowResource(1, 1), LockMode::kX);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm->DetectDeadlocks());
+  }
+}
+BENCHMARK(BM_DeadlockDetection)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace locktune
+
+BENCHMARK_MAIN();

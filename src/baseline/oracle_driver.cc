@@ -1,0 +1,103 @@
+#include "baseline/oracle_driver.h"
+
+#include <cassert>
+
+namespace locktune {
+
+const char OracleScenarioRunner::kThroughputTps[] = "throughput_tps";
+const char OracleScenarioRunner::kRetries[] = "retries";
+const char OracleScenarioRunner::kItlWaits[] = "itl_waits";
+const char OracleScenarioRunner::kQueueJumps[] = "queue_jumps";
+const char OracleScenarioRunner::kItlBytes[] = "itl_bytes";
+
+OracleScenarioRunner::OracleScenarioRunner(OracleItlSimulator* itl,
+                                           int clients,
+                                           const OracleClientOptions& options,
+                                           uint64_t seed, DurationMs tick)
+    : itl_(itl),
+      options_(options),
+      tick_(tick),
+      row_picker_(static_cast<uint64_t>(options.table_rows),
+                  options.row_zipf_theta) {
+  assert(itl != nullptr);
+  assert(clients > 0);
+  assert(options.updates_per_txn > 0 && options.updates_per_tick > 0);
+  Rng seeder(seed);
+  clients_.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) clients_.emplace_back(seeder.Next());
+  for (Client& c : clients_) {
+    c.txn = next_txn_++;
+    c.think_left = c.rng.NextInRange(0, options.think_time);
+  }
+}
+
+void OracleScenarioRunner::Run(DurationMs duration) {
+  const TimeMs until = clock_.now() + duration;
+  TimeMs next_sample = clock_.now() + kSecond;
+  int64_t last_commits = 0;
+  while (clock_.now() < until) {
+    for (Client& client : clients_) TickClient(client);
+    clock_.Advance(tick_);
+    if (clock_.now() >= next_sample) {
+      next_sample += kSecond;
+      series_.Record(kThroughputTps, clock_.now(),
+                     static_cast<double>(stats_.commits - last_commits));
+      last_commits = stats_.commits;
+      series_.Record(kRetries, clock_.now(),
+                     static_cast<double>(stats_.retries));
+      series_.Record(kItlWaits, clock_.now(),
+                     static_cast<double>(itl_->stats().itl_waits));
+      series_.Record(kQueueJumps, clock_.now(),
+                     static_cast<double>(itl_->stats().queue_jumps));
+      series_.Record(kItlBytes, clock_.now(),
+                     static_cast<double>(itl_->ExtraItlBytes()));
+    }
+  }
+}
+
+void OracleScenarioRunner::TickClient(Client& client) {
+  if (client.think_left > 0) {
+    client.think_left -= tick_;
+    return;
+  }
+  for (int i = 0; i < options_.updates_per_tick; ++i) {
+    // Sleep-wake-check: a blocked client re-checks the same row; otherwise
+    // pick the next row of the transaction.
+    const int64_t row = client.blocked_row >= 0
+                            ? client.blocked_row
+                            : static_cast<int64_t>(
+                                  row_picker_.Next(client.rng));
+    const auto outcome = itl_->LockRow(client.txn, /*table=*/0, row);
+    if (outcome == OracleItlSimulator::RowLockOutcome::kGranted) {
+      client.blocked_row = -1;
+      client.wakeups = 0;
+      if (++client.updates_done >= options_.updates_per_txn) {
+        itl_->Commit(client.txn);
+        ++stats_.commits;
+        client.txn = next_txn_++;
+        client.updates_done = 0;
+        client.think_left = options_.think_time;
+        return;
+      }
+    } else {
+      // Back to sleep until the next tick; remember the row so the wake-up
+      // checks it again (and may find someone else jumped the queue).
+      ++stats_.retries;
+      client.blocked_row = row;
+      if (++client.wakeups >= options_.max_wakeups) {
+        // Oracle's deadlock detection would kill one session's statement;
+        // roll this transaction back and retry after thinking.
+        itl_->Commit(client.txn);  // releases its slots; bytes stay stale
+        ++stats_.aborts;
+        client.txn = next_txn_++;
+        client.updates_done = 0;
+        client.blocked_row = -1;
+        client.wakeups = 0;
+        client.think_left = options_.think_time;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace locktune

@@ -1,0 +1,94 @@
+// Client driver for the Oracle-style ITL model — the counterpart of
+// workload/Application for the on-page locking baseline, so §2.3
+// comparisons can use equivalent client populations and report comparable
+// time series.
+//
+// Clients follow the sleep-wake-check discipline the paper criticizes: a
+// blocked client retries its row on every tick instead of queueing, so a
+// later arrival can grab the row first (queue jumping).
+#ifndef LOCKTUNE_BASELINE_ORACLE_DRIVER_H_
+#define LOCKTUNE_BASELINE_ORACLE_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/oracle_itl.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/time_series.h"
+
+namespace locktune {
+
+struct OracleClientOptions {
+  // Row updates per transaction.
+  int updates_per_txn = 20;
+  // Update attempts per simulation tick.
+  int updates_per_tick = 10;
+  DurationMs think_time = 200;
+  // Rows in the updated table and the Zipf skew of row selection.
+  int64_t table_rows = 100'000;
+  double row_zipf_theta = 0.2;
+  // Wakeups on the same busy row before the transaction is rolled back —
+  // the stand-in for Oracle's deadlock detection (the polled model can
+  // otherwise livelock).
+  int max_wakeups = 50;
+};
+
+// Aggregate counters across all clients.
+struct OracleDriverStats {
+  int64_t commits = 0;
+  int64_t retries = 0;  // sleep-wake-check wakeups that found the row busy
+  int64_t aborts = 0;   // transactions killed after too many wakeups
+};
+
+class OracleScenarioRunner {
+ public:
+  // Drives `clients` concurrent writers against `itl` (borrowed). One
+  // transaction id per (client, transaction) pair.
+  OracleScenarioRunner(OracleItlSimulator* itl, int clients,
+                       const OracleClientOptions& options, uint64_t seed,
+                       DurationMs tick = 100);
+
+  OracleScenarioRunner(const OracleScenarioRunner&) = delete;
+  OracleScenarioRunner& operator=(const OracleScenarioRunner&) = delete;
+
+  // Runs for `duration` of virtual time, sampling each second.
+  void Run(DurationMs duration);
+
+  const OracleDriverStats& stats() const { return stats_; }
+  const TimeSeriesSet& series() const { return series_; }
+
+  static const char kThroughputTps[];
+  static const char kRetries[];
+  static const char kItlWaits[];
+  static const char kQueueJumps[];
+  static const char kItlBytes[];
+
+ private:
+  struct Client {
+    Rng rng;
+    TxnId txn = 0;
+    int updates_done = 0;
+    DurationMs think_left = 0;
+    // Row the client is currently sleeping on (-1 when none).
+    int64_t blocked_row = -1;
+    int wakeups = 0;  // consecutive failed re-checks
+    explicit Client(uint64_t seed) : rng(seed) {}
+  };
+
+  void TickClient(Client& client);
+
+  OracleItlSimulator* itl_;
+  OracleClientOptions options_;
+  DurationMs tick_;
+  SimClock clock_;
+  ZipfGenerator row_picker_;
+  std::vector<Client> clients_;
+  TxnId next_txn_ = 1;
+  OracleDriverStats stats_;
+  TimeSeriesSet series_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_BASELINE_ORACLE_DRIVER_H_

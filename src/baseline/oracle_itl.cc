@@ -1,0 +1,118 @@
+#include "baseline/oracle_itl.h"
+
+#include <cassert>
+
+namespace locktune {
+
+OracleItlSimulator::OracleItlSimulator(const OracleItlOptions& options)
+    : options_(options) {
+  assert(options.rows_per_page > 0);
+  assert(options.initial_itl_slots > 0);
+  assert(options.max_itl_slots >= options.initial_itl_slots);
+}
+
+OracleItlSimulator::RowLockOutcome OracleItlSimulator::LockRow(TxnId txn,
+                                                               TableId table,
+                                                               int64_t row) {
+  txn_active_[txn] = true;
+  const int64_t page_no = row / options_.rows_per_page;
+  const int row_in_page = static_cast<int>(row % options_.rows_per_page);
+  PageState& page = GetPage(table, page_no);
+
+  // Check the lock byte.
+  const auto lb = page.lock_bytes.find(row_in_page);
+  if (lb != page.lock_bytes.end()) {
+    const TxnId owner = page.slots[static_cast<size_t>(lb->second)].txn;
+    if (owner == txn) return RowLockOutcome::kGranted;  // re-lock, no-op
+    if (TxnActive(owner)) {
+      // Row busy: the caller goes into sleep-wake-check. Remember the first
+      // waiter so later grants can be recognized as queue jumps.
+      page.first_waiter.emplace(row_in_page, txn);
+      ++stats_.row_waits;
+      return RowLockOutcome::kWaitRow;
+    }
+    // Stale lock byte from a committed transaction: the visitor pays the
+    // cleanout, then takes the row.
+    ++stats_.cleanouts;
+    page.lock_bytes.erase(lb);
+  }
+
+  const int slot = AcquireSlot(page, txn);
+  if (slot < 0) {
+    // ITL exhausted: page-level blocking even though the row is free.
+    page.first_waiter.emplace(row_in_page, txn);
+    ++stats_.itl_waits;
+    return RowLockOutcome::kWaitItl;
+  }
+
+  // Queue jump: some other transaction started waiting on this row first
+  // and is still asleep, but we grab it now.
+  const auto fw = page.first_waiter.find(row_in_page);
+  if (fw != page.first_waiter.end()) {
+    if (fw->second != txn) ++stats_.queue_jumps;
+    page.first_waiter.erase(fw);
+  }
+
+  page.lock_bytes[row_in_page] = slot;
+  ++stats_.grants;
+  return RowLockOutcome::kGranted;
+}
+
+void OracleItlSimulator::Commit(TxnId txn) {
+  // Lock bytes stay set (deferred cleanout); marking the transaction
+  // inactive makes its ITL slots reusable and its lock bytes stale.
+  txn_active_[txn] = false;
+}
+
+Bytes OracleItlSimulator::ExtraItlBytes() const {
+  return extra_slots_ * options_.itl_entry_bytes;
+}
+
+OracleItlSimulator::PageState& OracleItlSimulator::GetPage(TableId table,
+                                                           int64_t page) {
+  PageState& state = pages_[PageKey{table, page}];
+  if (state.slots.empty()) {
+    state.slots.resize(static_cast<size_t>(options_.initial_itl_slots));
+  }
+  return state;
+}
+
+bool OracleItlSimulator::TxnActive(TxnId txn) const {
+  const auto it = txn_active_.find(txn);
+  return it != txn_active_.end() && it->second;
+}
+
+int OracleItlSimulator::AcquireSlot(PageState& page, TxnId txn) {
+  int reusable = -1;
+  for (size_t i = 0; i < page.slots.size(); ++i) {
+    if (page.slots[i].txn == txn) return static_cast<int>(i);
+    if (reusable < 0 && !TxnActive(page.slots[i].txn)) {
+      reusable = static_cast<int>(i);
+    }
+  }
+  if (reusable >= 0) {
+    // Reusing a committed transaction's slot. Lock bytes still pointing at
+    // it are stale (their owner committed); clear them now — this is the
+    // cleanout work Oracle defers to whichever transaction reuses the slot.
+    for (auto it = page.lock_bytes.begin(); it != page.lock_bytes.end();) {
+      if (it->second == reusable) {
+        ++stats_.cleanouts;
+        it = page.lock_bytes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    page.slots[static_cast<size_t>(reusable)].txn = txn;
+    return reusable;
+  }
+  if (static_cast<int>(page.slots.size()) < options_.max_itl_slots) {
+    // ITL growth consumes page space permanently.
+    page.slots.push_back({txn});
+    ++extra_slots_;
+    ++stats_.itl_slots_added;
+    return static_cast<int>(page.slots.size()) - 1;
+  }
+  return -1;
+}
+
+}  // namespace locktune

@@ -1,0 +1,116 @@
+// Oracle-style on-page lock management (paper §2.3, Figure 4).
+//
+// Instead of a central lock memory, each data page stores a lock byte per
+// row and an Interested Transaction List (ITL). A transaction that updates a
+// row must own an ITL slot on the row's page; slots are added on demand but
+// the space they consume is permanent until the table is reorganized. The
+// model reproduces the paper's three criticisms:
+//
+//  * when a page's ITL cannot grow, new writers wait for a slot even if
+//    their target row is unlocked (page-level blocking);
+//  * waiters poll (sleep-wake-check) instead of queueing, so a later
+//    transaction can "jump the queue";
+//  * commits do not clear lock bytes — the next visitor pays a cleanout.
+//
+// Readers take no locks (Oracle reads through undo), so only exclusive row
+// access goes through the simulator.
+#ifndef LOCKTUNE_BASELINE_ORACLE_ITL_H_
+#define LOCKTUNE_BASELINE_ORACLE_ITL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "lock/resource.h"
+
+namespace locktune {
+
+using TxnId = int64_t;
+
+struct OracleItlOptions {
+  int rows_per_page = 100;
+  int initial_itl_slots = 2;
+  // Page space bounds ITL growth; past this, slot requests wait.
+  int max_itl_slots = 24;
+  Bytes itl_entry_bytes = 24;
+};
+
+struct OracleItlStats {
+  int64_t grants = 0;
+  int64_t row_waits = 0;      // row locked by an active transaction
+  int64_t itl_waits = 0;      // page ITL exhausted (row itself was free)
+  int64_t cleanouts = 0;      // stale lock bytes cleared by later visitors
+  int64_t itl_slots_added = 0;
+  int64_t queue_jumps = 0;    // a grant that overtook an earlier waiter
+};
+
+class OracleItlSimulator {
+ public:
+  enum class RowLockOutcome {
+    kGranted,
+    kWaitRow,  // the row is locked by an active transaction
+    kWaitItl,  // no ITL slot available on the page
+  };
+
+  explicit OracleItlSimulator(const OracleItlOptions& options);
+
+  // Attempts an exclusive row lock for `txn`. Callers retry on kWait*
+  // (the sleep-wake-check cycle); there is no queue, so the simulator
+  // counts a queue jump when a grant overtakes a transaction that started
+  // waiting on the same row earlier.
+  RowLockOutcome LockRow(TxnId txn, TableId table, int64_t row);
+
+  // Commits `txn`. Its lock bytes are NOT cleared — they stay until a later
+  // visitor cleans them out — but its ITL slots become reusable.
+  void Commit(TxnId txn);
+
+  // Permanent page space consumed by ITL entries beyond the initial
+  // allocation (never shrinks; Oracle reclaims it only on reorg).
+  Bytes ExtraItlBytes() const;
+
+  const OracleItlStats& stats() const { return stats_; }
+  const OracleItlOptions& options() const { return options_; }
+
+ private:
+  struct ItlEntry {
+    TxnId txn = 0;
+  };
+
+  struct PageState {
+    std::vector<ItlEntry> slots;
+    // row-in-page → index into slots: the "lock byte" pointing at the ITL.
+    std::unordered_map<int, int> lock_bytes;
+    // Earliest still-waiting transaction per row (for queue-jump counting).
+    std::unordered_map<int, TxnId> first_waiter;
+  };
+
+  struct PageKey {
+    TableId table;
+    int64_t page;
+    friend bool operator==(const PageKey& a, const PageKey& b) {
+      return a.table == b.table && a.page == b.page;
+    }
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return ResourceIdHash()(RowResource(k.table, k.page));
+    }
+  };
+
+  PageState& GetPage(TableId table, int64_t page);
+  bool TxnActive(TxnId txn) const;
+  // Finds txn's slot on the page, or a reusable/new one; -1 when the ITL is
+  // exhausted.
+  int AcquireSlot(PageState& page, TxnId txn);
+
+  OracleItlOptions options_;
+  std::unordered_map<PageKey, PageState, PageKeyHash> pages_;
+  std::unordered_map<TxnId, bool> txn_active_;
+  OracleItlStats stats_;
+  int64_t extra_slots_ = 0;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_BASELINE_ORACLE_ITL_H_

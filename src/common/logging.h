@@ -1,0 +1,64 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (kWarning); scenario drivers can raise the
+// level to trace tuning decisions. Logging writes to stderr so bench series
+// output on stdout stays machine-readable.
+#ifndef LOCKTUNE_COMMON_LOGGING_H_
+#define LOCKTUNE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace locktune {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Stream collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Null sink used when the level is disabled; swallows the stream cheaply.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define LOCKTUNE_LOG(level)                                          \
+  if (::locktune::LogLevel::level < ::locktune::GetLogLevel()) {     \
+  } else                                                             \
+    ::locktune::internal_logging::LogMessage(                        \
+        ::locktune::LogLevel::level, __FILE__, __LINE__)             \
+        .stream()
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+// Virtual time for deterministic simulation.
+//
+// The paper's experiments run for minutes to hours of wall-clock time with a
+// 30-second STMM tuning interval. locktune replaces wall-clock time with a
+// virtual millisecond counter so that the same feedback dynamics replay in
+// milliseconds of real time, deterministically.
+#ifndef LOCKTUNE_COMMON_SIM_CLOCK_H_
+#define LOCKTUNE_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace locktune {
+
+// Virtual durations and instants, in milliseconds.
+using DurationMs = int64_t;
+using TimeMs = int64_t;
+
+inline constexpr DurationMs kMillisecond = 1;
+inline constexpr DurationMs kSecond = 1000 * kMillisecond;
+inline constexpr DurationMs kMinute = 60 * kSecond;
+
+// A monotonically advancing virtual clock. Components that need the current
+// time hold a `const SimClock*`; only the simulation driver advances it.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(TimeMs start) : now_(start) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  TimeMs now() const { return now_; }
+
+  // Advances the clock by `delta` (must be non-negative).
+  void Advance(DurationMs delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+ private:
+  TimeMs now_ = 0;
+};
+
+// Fires at a fixed period against a SimClock. Used for the STMM tuning
+// interval: the controller polls DuePeriods() once per simulation tick and
+// runs one tuning pass per elapsed period.
+class PeriodicTimer {
+ public:
+  // `period` must be positive. The first firing is at `start + period`.
+  PeriodicTimer(const SimClock* clock, DurationMs period)
+      : clock_(clock), period_(period), last_fire_(clock->now()) {}
+
+  DurationMs period() const { return period_; }
+
+  // Changes the period; the next firing is measured from the last one.
+  void set_period(DurationMs period) { period_ = period; }
+
+  // Returns the number of whole periods elapsed since the last call that
+  // reported any, and consumes them.
+  int DuePeriods() {
+    if (period_ <= 0) return 0;
+    const TimeMs now = clock_->now();
+    const int due = static_cast<int>((now - last_fire_) / period_);
+    last_fire_ += static_cast<DurationMs>(due) * period_;
+    return due;
+  }
+
+ private:
+  const SimClock* clock_;
+  DurationMs period_;
+  TimeMs last_fire_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_COMMON_SIM_CLOCK_H_

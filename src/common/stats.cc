@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace locktune {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int64_t next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : lo * 2.0 + 1.0;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+}  // namespace locktune

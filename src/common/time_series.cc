@@ -1,0 +1,73 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locktune {
+
+double TimeSeries::MinValue() const {
+  double m = points_.empty() ? 0.0 : points_[0].value;
+  for (const Point& p : points_) m = std::min(m, p.value);
+  return m;
+}
+
+double TimeSeries::MaxValue() const {
+  double m = points_.empty() ? 0.0 : points_[0].value;
+  for (const Point& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+double TimeSeries::Last() const {
+  return points_.empty() ? 0.0 : points_.back().value;
+}
+
+TimeMs TimeSeries::FirstTimeAtLeast(double threshold) const {
+  for (const Point& p : points_) {
+    if (p.value >= threshold) return p.time_ms;
+  }
+  return -1;
+}
+
+void TimeSeriesSet::Record(const std::string& name, TimeMs t, double v) {
+  series_[name].Add(t, v);
+}
+
+bool TimeSeriesSet::Has(const std::string& name) const {
+  return series_.count(name) > 0;
+}
+
+const TimeSeries& TimeSeriesSet::Get(const std::string& name) const {
+  const auto it = series_.find(name);
+  assert(it != series_.end() && "unknown series");
+  return it->second;
+}
+
+std::vector<std::string> TimeSeriesSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+void TimeSeriesSet::WriteCsv(std::ostream& os,
+                             const std::vector<std::string>& names) const {
+  os << "time_s";
+  for (const auto& name : names) os << "," << name;
+  os << "\n";
+  if (names.empty()) return;
+  const size_t n = Get(names[0]).size();
+  for (const auto& name : names) {
+    const bool aligned = Get(name).size() == n;
+    assert(aligned && "series must be equally sampled");
+    (void)aligned;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    os << static_cast<double>(Get(names[0]).points()[i].time_ms) / 1000.0;
+    for (const auto& name : names) {
+      os << "," << Get(name).points()[i].value;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace locktune

@@ -1,0 +1,66 @@
+// Named time-series collection for experiment output.
+//
+// Scenario runners sample metrics (lock memory allocated/used, throughput,
+// escalations, ...) into a TimeSeriesSet; benches print them as aligned CSV
+// so each figure's series can be regenerated and plotted.
+#ifndef LOCKTUNE_COMMON_TIME_SERIES_H_
+#define LOCKTUNE_COMMON_TIME_SERIES_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace locktune {
+
+// One (time, value) series.
+class TimeSeries {
+ public:
+  struct Point {
+    TimeMs time_ms;
+    double value;
+  };
+
+  void Add(TimeMs t, double v) { points_.push_back({t, v}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  double MinValue() const;
+  double MaxValue() const;
+  // Value of the last point (0 if empty).
+  double Last() const;
+  // First point whose value is >= threshold; returns -1 if none.
+  TimeMs FirstTimeAtLeast(double threshold) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// A set of equally-sampled series keyed by name. Series are created lazily on
+// first Record().
+class TimeSeriesSet {
+ public:
+  void Record(const std::string& name, TimeMs t, double v);
+
+  bool Has(const std::string& name) const;
+  const TimeSeries& Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  // Writes CSV with a time_s column followed by one column per requested
+  // series name, aligned on sample index. All requested series must exist
+  // and have equal length.
+  void WriteCsv(std::ostream& os,
+                const std::vector<std::string>& names) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_COMMON_TIME_SERIES_H_

@@ -1,0 +1,57 @@
+// Memory unit conventions shared across locktune.
+//
+// DB2 sizes lock memory (LOCKLIST) in 4 KB pages and allocates it in 128 KB
+// blocks — one allocation per 32 pages — where each block stores
+// approximately 2000 lock structures (paper §2.2). We fix the lock structure
+// at 64 bytes, giving exactly 2048 locks per block.
+#ifndef LOCKTUNE_COMMON_UNITS_H_
+#define LOCKTUNE_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace locktune {
+
+// Quantities of memory are plain byte counts. They are accounting values;
+// the library never allocates backing store for them.
+using Bytes = int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// DB2 configuration page (LOCKLIST is expressed in these).
+inline constexpr Bytes kPageSize = 4 * kKiB;
+// Lock memory allocation unit: 32 pages.
+inline constexpr Bytes kLockBlockSize = 128 * kKiB;
+inline constexpr int kPagesPerBlock =
+    static_cast<int>(kLockBlockSize / kPageSize);
+// Size of one lock structure; 128 KiB / 64 B = 2048 ≈ the paper's "~2000".
+inline constexpr Bytes kLockStructSize = 64;
+inline constexpr int kLocksPerBlock =
+    static_cast<int>(kLockBlockSize / kLockStructSize);
+
+// Converts between the units used by the paper.
+constexpr Bytes PagesToBytes(int64_t pages) { return pages * kPageSize; }
+constexpr int64_t BytesToPages(Bytes bytes) { return bytes / kPageSize; }
+constexpr int64_t BytesToBlocks(Bytes bytes) { return bytes / kLockBlockSize; }
+constexpr Bytes BlocksToBytes(int64_t blocks) {
+  return blocks * kLockBlockSize;
+}
+
+// Rounds `bytes` to the nearest whole number of 128 KB lock blocks
+// (paper §3.2: "all increments and decrements to the lock memory will be
+// performed in integral units of lock memory blocks").
+constexpr Bytes RoundToBlocks(Bytes bytes) {
+  const Bytes half = kLockBlockSize / 2;
+  return ((bytes + half) / kLockBlockSize) * kLockBlockSize;
+}
+
+// Rounds up to a whole number of blocks (used for growth, which must cover
+// the requested demand).
+constexpr Bytes RoundUpToBlocks(Bytes bytes) {
+  return ((bytes + kLockBlockSize - 1) / kLockBlockSize) * kLockBlockSize;
+}
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_COMMON_UNITS_H_

@@ -1,0 +1,79 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+namespace locktune {
+
+Bytes TuningParams::MinLockMemory(int num_applications) const {
+  const Bytes per_app = min_structures_per_app * kLockStructSize *
+                        static_cast<Bytes>(std::max(num_applications, 0));
+  return RoundUpToBlocks(std::max(min_lock_memory_floor, per_app));
+}
+
+Status TuningParams::Validate() const {
+  if (database_memory <= 0) {
+    return Status::InvalidArgument("database_memory must be positive");
+  }
+  if (overflow_goal_fraction < 0.0 || overflow_goal_fraction >= 1.0) {
+    return Status::InvalidArgument("overflow_goal_fraction outside [0,1)");
+  }
+  if (tuning_interval <= 0) {
+    return Status::InvalidArgument("tuning_interval must be positive");
+  }
+  if (tuning_interval_min <= 0 || tuning_interval_max < tuning_interval_min) {
+    return Status::InvalidArgument("invalid adaptive tuning interval bounds");
+  }
+  if (adaptive_interval && (tuning_interval < tuning_interval_min ||
+                            tuning_interval > tuning_interval_max)) {
+    return Status::InvalidArgument(
+        "tuning_interval outside [tuning_interval_min, tuning_interval_max]");
+  }
+  if (quiet_passes_to_lengthen <= 0) {
+    return Status::InvalidArgument(
+        "quiet_passes_to_lengthen must be positive");
+  }
+  if (max_lock_memory_fraction <= 0.0 || max_lock_memory_fraction > 1.0) {
+    return Status::InvalidArgument("max_lock_memory_fraction outside (0,1]");
+  }
+  if (compiler_view_fraction <= 0.0 || compiler_view_fraction > 1.0) {
+    return Status::InvalidArgument("compiler_view_fraction outside (0,1]");
+  }
+  if (overflow_cap_c1 <= 0.0 || overflow_cap_c1 > 1.0) {
+    return Status::InvalidArgument("overflow_cap_c1 outside (0,1]");
+  }
+  if (min_free_fraction <= 0.0 || min_free_fraction >= 1.0) {
+    return Status::InvalidArgument("min_free_fraction outside (0,1)");
+  }
+  if (max_free_fraction <= min_free_fraction || max_free_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "max_free_fraction must lie in (min_free_fraction, 1)");
+  }
+  if (delta_reduce <= 0.0 || delta_reduce >= 1.0) {
+    return Status::InvalidArgument("delta_reduce outside (0,1)");
+  }
+  if (min_lock_memory_floor < kLockBlockSize) {
+    return Status::InvalidArgument(
+        "min_lock_memory_floor below one lock block");
+  }
+  if (min_structures_per_app < 0) {
+    return Status::InvalidArgument("min_structures_per_app negative");
+  }
+  if (maxlocks_p <= 0.0 || maxlocks_p > 100.0) {
+    return Status::InvalidArgument("maxlocks_p outside (0,100]");
+  }
+  if (maxlocks_exponent <= 0.0) {
+    return Status::InvalidArgument("maxlocks_exponent must be positive");
+  }
+  if (maxlocks_refresh_period <= 0) {
+    return Status::InvalidArgument("maxlocks_refresh_period must be positive");
+  }
+  if (initial_locklist_pages <= 0) {
+    return Status::InvalidArgument("initial_locklist_pages must be positive");
+  }
+  if (MaxLockMemory() < MinLockMemory(0)) {
+    return Status::InvalidArgument("maxLockMemory below minLockMemory floor");
+  }
+  return Status::Ok();
+}
+
+}  // namespace locktune

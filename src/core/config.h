@@ -1,0 +1,94 @@
+// Tuning parameters — the paper's Table 1 plus simulation-level knobs.
+#ifndef LOCKTUNE_CORE_CONFIG_H_
+#define LOCKTUNE_CORE_CONFIG_H_
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace locktune {
+
+struct TuningParams {
+  // Total shared memory allocated to the database (databaseMemory).
+  // The paper's testbed used 5.11 GB; the default here is scaled down so
+  // experiments stay laptop-sized — every threshold below is a ratio, so
+  // behaviour is scale-free (see DESIGN.md).
+  Bytes database_memory = 512 * kMiB;
+
+  // Share of databaseMemory STMM keeps unowned as the on-demand overflow
+  // reserve (the worked example of §4 uses 10 %).
+  double overflow_goal_fraction = 0.10;
+
+  // Time between asynchronous tuning passes; "generally between 0.5 min and
+  // 10 min", fixed at 30 s for all the paper's experiments (§5).
+  DurationMs tuning_interval = 30 * kSecond;
+
+  // STMM also "determines the tuning interval" (§2.1): with
+  // adaptive_interval on, the controller halves the interval (down to
+  // tuning_interval_min) whenever a pass resized the lock memory and
+  // doubles it (up to tuning_interval_max) after several quiet passes.
+  bool adaptive_interval = false;
+  DurationMs tuning_interval_min = 30 * kSecond;
+  DurationMs tuning_interval_max = 10 * kMinute;
+  int quiet_passes_to_lengthen = 3;
+
+  // maxLockMemory = max_lock_memory_fraction · databaseMemory (Table 1).
+  double max_lock_memory_fraction = 0.20;
+
+  // sqlCompilerLockMem = compiler_view_fraction · databaseMemory (§3.6).
+  double compiler_view_fraction = 0.10;
+
+  // C1: lock memory may take at most this share of the overflow area
+  // (LMOmax, §3.2).
+  double overflow_cap_c1 = 0.65;
+
+  // minFreeLockMemory / maxFreeLockMemory: the free-fraction dead band
+  // (§3.3). Growth restores min_free; shrinking stops at max_free.
+  double min_free_fraction = 0.50;
+  double max_free_fraction = 0.60;
+
+  // δ_reduce: asynchronous shrink rate per tuning interval (§3.4).
+  double delta_reduce = 0.05;
+
+  // minLockMemory = MAX(floor, per_app · locksize · num_applications).
+  Bytes min_lock_memory_floor = 2 * kMiB;
+  int64_t min_structures_per_app = 500;
+
+  // lockPercentPerApplication curve: P·(1−(x/100)^e), refreshed every
+  // `maxlocks_refresh_period` lock requests (Table 1: 98, 3, 0x80).
+  double maxlocks_p = 98.0;
+  double maxlocks_exponent = 3.0;
+  int maxlocks_refresh_period = 0x80;
+
+  // Initial LOCKLIST configuration, in 4 KB pages (the starting point the
+  // tuner converges away from).
+  int64_t initial_locklist_pages = 128;
+
+  // ---- derived values ----
+  Bytes MaxLockMemory() const {
+    return RoundToBlocks(static_cast<Bytes>(
+        max_lock_memory_fraction * static_cast<double>(database_memory)));
+  }
+  Bytes CompilerLockMemory() const {
+    return static_cast<Bytes>(compiler_view_fraction *
+                              static_cast<double>(database_memory));
+  }
+  Bytes OverflowGoal() const {
+    return static_cast<Bytes>(overflow_goal_fraction *
+                              static_cast<double>(database_memory));
+  }
+  // minLockMemory for `num_applications` connections (§3.2), block-rounded
+  // upward so the floor is reachable by block-unit resizing.
+  Bytes MinLockMemory(int num_applications) const;
+  Bytes InitialLockMemory() const {
+    return RoundUpToBlocks(PagesToBytes(initial_locklist_pages));
+  }
+
+  // Rejects non-sensical combinations (fractions outside (0,1], inverted
+  // free band, non-positive sizes...).
+  Status Validate() const;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_CORE_CONFIG_H_

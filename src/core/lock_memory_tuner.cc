@@ -1,0 +1,76 @@
+#include "core/lock_memory_tuner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locktune {
+
+LockMemoryTuner::LockMemoryTuner(const TuningParams& params)
+    : params_(params), previous_target_(params.InitialLockMemory()) {
+  assert(params.Validate().ok());
+}
+
+LockTunerDecision LockMemoryTuner::Tune(const LockTunerInputs& inputs) {
+  const Bytes allocated = std::max<Bytes>(inputs.allocated, kLockBlockSize);
+  const Bytes used = std::clamp<Bytes>(inputs.used, 0, allocated);
+  const double free_frac =
+      static_cast<double>(allocated - used) / static_cast<double>(allocated);
+
+  LockTunerDecision decision;
+  if (inputs.escalations_in_interval > 0 && inputs.growth_was_constrained) {
+    // §3.3: while escalations continue under constrained overflow, double
+    // each interval, trending toward a well-tuned allocation despite the
+    // temporary escalations.
+    decision.target = RoundUpToBlocks(2 * allocated);
+    decision.action = LockTunerAction::kDouble;
+  } else if (free_frac < params_.min_free_fraction) {
+    // Restore the minFree objective: used should be (1 − minFree) of the
+    // new size.
+    decision.target = RoundUpToBlocks(static_cast<Bytes>(
+        static_cast<double>(used) / (1.0 - params_.min_free_fraction)));
+    decision.action = LockTunerAction::kGrow;
+  } else if (free_frac > params_.max_free_fraction) {
+    // δ_reduce decay: 5 % of the current size, rounded to blocks, at least
+    // one block — but never past the point where maxFree would be free.
+    const Bytes step = std::max<Bytes>(
+        RoundToBlocks(static_cast<Bytes>(params_.delta_reduce *
+                                         static_cast<double>(allocated))),
+        kLockBlockSize);
+    const Bytes floor_at_max_free = RoundUpToBlocks(static_cast<Bytes>(
+        static_cast<double>(used) / (1.0 - params_.max_free_fraction)));
+    decision.target = std::max(allocated - step, floor_at_max_free);
+    decision.action = LockTunerAction::kShrink;
+  } else {
+    // Dead band: "no change will be made in the lock memory allocation
+    // levels" (§3.3). The current allocation becomes the target — NOT the
+    // remembered previous target, which can be stale when synchronous
+    // growth expanded the allocation between tuning passes.
+    decision.target = allocated;
+    decision.action = LockTunerAction::kNone;
+  }
+
+  bool clamped = false;
+  decision.target = Clamp(decision.target, inputs.num_applications, &clamped);
+  if (clamped && decision.action == LockTunerAction::kNone) {
+    decision.action = LockTunerAction::kClamp;
+  }
+  // Shrink/grow decisions that the clamp cancelled degrade to no-ops.
+  if (decision.target == allocated &&
+      decision.action != LockTunerAction::kNone) {
+    decision.action = LockTunerAction::kNone;
+  }
+
+  previous_target_ = decision.target;
+  return decision;
+}
+
+Bytes LockMemoryTuner::Clamp(Bytes target, int num_applications,
+                             bool* clamped) const {
+  const Bytes lo = params_.MinLockMemory(num_applications);
+  const Bytes hi = std::max(params_.MaxLockMemory(), lo);
+  const Bytes out = std::clamp(target, lo, hi);
+  *clamped = out != target;
+  return out;
+}
+
+}  // namespace locktune

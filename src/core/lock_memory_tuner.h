@@ -1,0 +1,81 @@
+// The asynchronous lock memory tuning decision (paper §3.2–§3.4).
+//
+// At each STMM tuning interval the tuner looks at the lock memory allocation
+// and usage and decides the new target size (which also becomes the on-disk
+// configured value, LMOC):
+//
+//  * escalations occurred while overflow was constrained → double the lock
+//    memory ("lock memory will double each tuning interval while
+//    escalations are continuing", §3.3);
+//  * free fraction below minFreeLockMemory (50 %) → grow so that minFree of
+//    the new size is free;
+//  * free fraction above maxFreeLockMemory (60 %) → shrink by δ_reduce
+//    (5 % of current size, block-rounded) per interval, but never past the
+//    size at which maxFree would be free;
+//  * otherwise → keep the previous target (the dead band that avoids
+//    constant resizing).
+//
+// Every decision is clamped to [minLockMemory(num_applications),
+// maxLockMemory] and rounded to whole 128 KB blocks.
+//
+// The tuner is a pure decision object: the StmmController executes the
+// decision against DatabaseMemory and the LockManager.
+#ifndef LOCKTUNE_CORE_LOCK_MEMORY_TUNER_H_
+#define LOCKTUNE_CORE_LOCK_MEMORY_TUNER_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "core/config.h"
+
+namespace locktune {
+
+struct LockTunerInputs {
+  Bytes allocated = 0;  // lock memory currently owned (block multiple)
+  Bytes used = 0;       // lock structures in use × 64 B
+  int64_t escalations_in_interval = 0;
+  // Escalations only drive doubling when growth was actually constrained
+  // (database overflow exhausted / LMOmax hit) — a quota escalation under
+  // ample memory must not inflate the heap.
+  bool growth_was_constrained = false;
+  int num_applications = 0;
+};
+
+enum class LockTunerAction {
+  kNone,    // inside the dead band
+  kGrow,    // restore the minFree objective
+  kShrink,  // δ_reduce decay toward the maxFree objective
+  kDouble,  // escalations under constrained overflow
+  kClamp,   // only the min/max bound moved the target
+};
+
+struct LockTunerDecision {
+  Bytes target = 0;  // desired allocated size, block multiple
+  LockTunerAction action = LockTunerAction::kNone;
+};
+
+class LockMemoryTuner {
+ public:
+  explicit LockMemoryTuner(const TuningParams& params);
+
+  // Computes the new target; also updates the remembered previous target
+  // (the paper's LMOC follows it).
+  LockTunerDecision Tune(const LockTunerInputs& inputs);
+
+  // The remembered target from the last Tune() (initially the configured
+  // initial LOCKLIST).
+  Bytes previous_target() const { return previous_target_; }
+  void set_previous_target(Bytes target) { previous_target_ = target; }
+
+  const TuningParams& params() const { return params_; }
+
+ private:
+  Bytes Clamp(Bytes target, int num_applications, bool* clamped) const;
+
+  TuningParams params_;
+  Bytes previous_target_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_CORE_LOCK_MEMORY_TUNER_H_

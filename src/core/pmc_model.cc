@@ -1,0 +1,67 @@
+#include "core/pmc_model.h"
+
+#include <cassert>
+#include <limits>
+
+namespace locktune {
+
+void PmcModel::AddConsumer(MemoryHeap* heap, double benefit_constant) {
+  assert(heap != nullptr);
+  assert(heap->consumer_class() == ConsumerClass::kPerformance);
+  consumers_.push_back({heap, benefit_constant});
+}
+
+double PmcModel::Marginal(const Consumer& c) {
+  const double size = static_cast<double>(c.heap->size()) + 1.0;
+  return c.benefit_constant / (size * size);
+}
+
+double PmcModel::MarginalBenefit(const MemoryHeap* heap) const {
+  for (const Consumer& c : consumers_) {
+    if (c.heap == heap) return Marginal(c);
+  }
+  return 0.0;
+}
+
+Bytes PmcModel::TakeFrom(DatabaseMemory& memory, Bytes amount) {
+  Bytes taken = 0;
+  while (taken < amount) {
+    // Donor: smallest marginal benefit among heaps that can still shrink.
+    Consumer* donor = nullptr;
+    double donor_benefit = std::numeric_limits<double>::infinity();
+    for (Consumer& c : consumers_) {
+      if (c.heap->size() - kChunk < c.heap->min_size()) continue;
+      const double b = Marginal(c);
+      if (b < donor_benefit) {
+        donor_benefit = b;
+        donor = &c;
+      }
+    }
+    if (donor == nullptr) break;
+    if (!memory.ShrinkHeap(donor->heap, kChunk).ok()) break;
+    taken += kChunk;
+  }
+  return taken;
+}
+
+Bytes PmcModel::GiveTo(DatabaseMemory& memory, Bytes amount) {
+  Bytes given = 0;
+  while (given + kChunk <= amount) {
+    Consumer* recipient = nullptr;
+    double best = -1.0;
+    for (Consumer& c : consumers_) {
+      if (c.heap->size() + kChunk > c.heap->max_size()) continue;
+      const double b = Marginal(c);
+      if (b > best) {
+        best = b;
+        recipient = &c;
+      }
+    }
+    if (recipient == nullptr) break;
+    if (!memory.GrowHeap(recipient->heap, kChunk).ok()) break;
+    given += kChunk;
+  }
+  return given;
+}
+
+}  // namespace locktune

@@ -1,0 +1,63 @@
+// Performance memory consumers (paper §2.1).
+//
+// STMM tunes PMCs (buffer pools, sort, package cache ...) by cost-benefit:
+// each consumer reports the marginal benefit of its next byte, and memory
+// flows from the least- to the most-beneficial consumer. locktune models
+// each PMC with a synthetic diminishing-returns curve
+//
+//     benefit'(size) = benefit_constant / size²
+//
+// (the derivative of a 1/size miss-rate curve), which is enough to give the
+// controller realistic donors ("the least needy consumer", §4 T2) and
+// recipients ("the most beneficial heaps", §4 T6) without simulating page
+// caches. The lock memory heap is deliberately NOT part of this model: it is
+// a functional consumer tuned deterministically by LockMemoryTuner.
+#ifndef LOCKTUNE_CORE_PMC_MODEL_H_
+#define LOCKTUNE_CORE_PMC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "memory/database_memory.h"
+
+namespace locktune {
+
+class PmcModel {
+ public:
+  // Chunk size for greedy redistribution; one lock block keeps the
+  // granularities aligned.
+  static constexpr Bytes kChunk = kLockBlockSize;
+
+  // Registers a PMC heap. `benefit_constant` scales its marginal-benefit
+  // curve; a larger constant makes the heap needier at equal size.
+  void AddConsumer(MemoryHeap* heap, double benefit_constant);
+
+  // Shrinks PMC heaps (least marginal benefit first) until `amount` bytes
+  // have been released to overflow or no heap can shrink further. Returns
+  // the bytes actually released.
+  Bytes TakeFrom(DatabaseMemory& memory, Bytes amount);
+
+  // Grows PMC heaps (most marginal benefit first) by up to `amount` bytes
+  // from overflow. Returns the bytes actually consumed.
+  Bytes GiveTo(DatabaseMemory& memory, Bytes amount);
+
+  // Marginal benefit of `heap`'s next chunk (for tests/metrics).
+  double MarginalBenefit(const MemoryHeap* heap) const;
+
+  int consumer_count() const { return static_cast<int>(consumers_.size()); }
+
+ private:
+  struct Consumer {
+    MemoryHeap* heap;
+    double benefit_constant;
+  };
+
+  static double Marginal(const Consumer& c);
+
+  std::vector<Consumer> consumers_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_CORE_PMC_MODEL_H_

@@ -1,0 +1,177 @@
+#include "core/stmm_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace locktune {
+
+StmmController::StmmController(const TuningParams& params,
+                               const SimClock* clock, DatabaseMemory* memory,
+                               MemoryHeap* lock_heap, LockManager* locks,
+                               PmcModel* pmcs,
+                               std::function<int()> num_applications)
+    : params_(params),
+      clock_(clock),
+      memory_(memory),
+      lock_heap_(lock_heap),
+      locks_(locks),
+      pmcs_(pmcs),
+      num_applications_(std::move(num_applications)),
+      tuner_(params),
+      timer_(clock, params.tuning_interval),
+      lmoc_(params.InitialLockMemory()) {
+  assert(params.Validate().ok());
+  tuner_.set_previous_target(lock_heap_->size());
+  lmoc_ = lock_heap_->size();
+}
+
+void StmmController::Poll() {
+  const int due = timer_.DuePeriods();
+  for (int i = 0; i < due; ++i) RunTuningPass();
+}
+
+bool StmmController::GrantSynchronousGrowth(int64_t blocks) {
+  const Bytes delta = BlocksToBytes(blocks);
+  if (lock_heap_->size() + delta > params_.MaxLockMemory()) {
+    growth_constrained_ = true;
+    return false;
+  }
+  // LMOmax = C1 · (database overflow memory including LMO), §3.2.
+  const Bytes lmo_max = static_cast<Bytes>(
+      params_.overflow_cap_c1 *
+      static_cast<double>(memory_->overflow_bytes() + lmo_));
+  if (lmo_ + delta > lmo_max) {
+    growth_constrained_ = true;
+    return false;
+  }
+  if (!memory_->GrowHeap(lock_heap_, delta).ok()) {
+    growth_constrained_ = true;
+    return false;
+  }
+  lmo_ += delta;
+  return true;
+}
+
+void StmmController::RunTuningPass() {
+  const int napps = num_applications_();
+
+  // §3.2: the minimum is re-evaluated at each tuning interval.
+  const Bytes min_lock = params_.MinLockMemory(napps);
+  lock_heap_->set_min_size(std::min(min_lock, lock_heap_->size()));
+
+  const LockManagerStats& stats = locks_->stats();
+  const int64_t esc_delta = stats.escalations - last_escalations_;
+  last_escalations_ = stats.escalations;
+
+  LockTunerInputs inputs;
+  inputs.allocated = locks_->allocated_bytes();
+  inputs.used = locks_->used_bytes();
+  inputs.escalations_in_interval = esc_delta;
+  inputs.growth_was_constrained = growth_constrained_;
+  inputs.num_applications = napps;
+  assert(inputs.allocated == lock_heap_->size());
+
+  const LockTunerDecision decision = tuner_.Tune(inputs);
+
+  if (decision.target > inputs.allocated) {
+    GrowLockMemory(decision.target - inputs.allocated);
+  } else if (decision.target < inputs.allocated) {
+    ShrinkLockMemory(inputs.allocated - decision.target);
+  }
+
+  RestoreOverflowGoal();
+
+  // Externalize the new configuration; memory borrowed synchronously is
+  // regularized into the configured size.
+  lmoc_ = decision.target;
+  lmo_ = std::max<Bytes>(0, lock_heap_->size() - lmoc_);
+  growth_constrained_ = false;
+
+  AdaptInterval(decision.action);
+
+  StmmIntervalRecord rec;
+  rec.time = clock_->now();
+  rec.lock_allocated = lock_heap_->size();
+  rec.lock_used = locks_->used_bytes();
+  rec.lmoc = lmoc_;
+  rec.overflow = memory_->overflow_bytes();
+  rec.maxlocks_percent = locks_->CurrentMaxlocksPercent();
+  rec.escalations_delta = esc_delta;
+  rec.action = decision.action;
+  rec.next_interval = timer_.period();
+  history_.push_back(rec);
+}
+
+void StmmController::AdaptInterval(LockTunerAction action) {
+  if (!params_.adaptive_interval) return;
+  if (action == LockTunerAction::kNone) {
+    if (++quiet_passes_ >= params_.quiet_passes_to_lengthen) {
+      quiet_passes_ = 0;
+      timer_.set_period(
+          std::min(params_.tuning_interval_max, timer_.period() * 2));
+    }
+  } else {
+    quiet_passes_ = 0;
+    timer_.set_period(
+        std::max(params_.tuning_interval_min, timer_.period() / 2));
+  }
+}
+
+Bytes StmmController::GrowLockMemory(Bytes want) {
+  assert(want % kLockBlockSize == 0);
+  // The lock memory objective outranks PMC comfort: shrink PMCs when
+  // overflow cannot cover the growth (§4 T2: "making decreases in sort
+  // memory (the least needy consumer)").
+  if (memory_->overflow_bytes() < want) {
+    pmcs_->TakeFrom(*memory_, want - memory_->overflow_bytes());
+  }
+  Bytes grow = std::min(want, memory_->overflow_bytes());
+  grow -= grow % kLockBlockSize;
+  // Never beyond maxLockMemory (heap max also enforces this).
+  grow = std::min(grow, params_.MaxLockMemory() - lock_heap_->size());
+  if (grow <= 0) return 0;
+  const Status s = memory_->GrowHeap(lock_heap_, grow);
+  if (!s.ok()) {
+    LOCKTUNE_LOG(kWarning) << "async lock growth failed: " << s.ToString();
+    return 0;
+  }
+  locks_->AddBlocks(BytesToBlocks(grow));
+  return grow;
+}
+
+Bytes StmmController::ShrinkLockMemory(Bytes want) {
+  assert(want % kLockBlockSize == 0);
+  int64_t blocks = BytesToBlocks(want);
+  // DB2's shrink request is all-or-nothing against the block list; if the
+  // full request is not satisfiable the controller settles for the largest
+  // request that is (the tuner will continue next interval).
+  if (!locks_->TryRemoveBlocks(blocks).ok()) {
+    blocks = std::min(blocks, locks_->entirely_free_blocks());
+    if (blocks <= 0 || !locks_->TryRemoveBlocks(blocks).ok()) return 0;
+  }
+  const Bytes freed = BlocksToBytes(blocks);
+  const Status s = memory_->ShrinkHeap(lock_heap_, freed);
+  if (!s.ok()) {
+    // Respect the heap minimum: put the blocks back.
+    locks_->AddBlocks(blocks);
+    return 0;
+  }
+  return freed;
+}
+
+void StmmController::RestoreOverflowGoal() {
+  const Bytes goal = params_.OverflowGoal();
+  const Bytes overflow = memory_->overflow_bytes();
+  if (overflow < goal) {
+    // Heaps grew into the reserve during the interval; rebuild it from the
+    // least needy consumers.
+    pmcs_->TakeFrom(*memory_, goal - overflow);
+  } else if (overflow > goal) {
+    // Surplus (e.g. freed lock memory) goes to the most beneficial heaps.
+    pmcs_->GiveTo(*memory_, overflow - goal);
+  }
+}
+
+}  // namespace locktune

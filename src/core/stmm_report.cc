@@ -1,0 +1,102 @@
+#include "core/stmm_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace locktune {
+
+namespace {
+constexpr double kMb = 1024.0 * 1024.0;
+}
+
+std::string_view TunerActionName(LockTunerAction action) {
+  switch (action) {
+    case LockTunerAction::kNone:
+      return "NONE";
+    case LockTunerAction::kGrow:
+      return "GROW";
+    case LockTunerAction::kShrink:
+      return "SHRINK";
+    case LockTunerAction::kDouble:
+      return "DOUBLE";
+    case LockTunerAction::kClamp:
+      return "CLAMP";
+  }
+  return "?";
+}
+
+StmmReportSummary Summarize(const std::vector<StmmIntervalRecord>& history) {
+  StmmReportSummary s;
+  s.total_passes = static_cast<int>(history.size());
+  for (const StmmIntervalRecord& rec : history) {
+    switch (rec.action) {
+      case LockTunerAction::kNone:
+        ++s.quiet_passes;
+        break;
+      case LockTunerAction::kGrow:
+        ++s.grow_passes;
+        break;
+      case LockTunerAction::kShrink:
+        ++s.shrink_passes;
+        break;
+      case LockTunerAction::kDouble:
+        ++s.double_passes;
+        break;
+      case LockTunerAction::kClamp:
+        ++s.clamp_passes;
+        break;
+    }
+    s.peak_allocated = std::max(s.peak_allocated, rec.lock_allocated);
+    s.total_escalations += rec.escalations_delta;
+  }
+  if (!history.empty()) s.final_allocated = history.back().lock_allocated;
+  return s;
+}
+
+std::string RenderHistoryTable(const std::vector<StmmIntervalRecord>& history,
+                               size_t max_rows) {
+  std::string out =
+      "time_s  action  alloc_MB  used_MB  free%  lmoc_MB  overflow_MB  esc\n";
+  size_t start = 0;
+  if (max_rows > 0 && history.size() > max_rows) {
+    start = history.size() - max_rows;
+    out += "... (" + std::to_string(start) + " earlier passes omitted)\n";
+  }
+  for (size_t i = start; i < history.size(); ++i) {
+    const StmmIntervalRecord& rec = history[i];
+    const double alloc_mb = static_cast<double>(rec.lock_allocated) / kMb;
+    const double used_mb = static_cast<double>(rec.lock_used) / kMb;
+    const double free_pct =
+        rec.lock_allocated > 0
+            ? 100.0 *
+                  static_cast<double>(rec.lock_allocated - rec.lock_used) /
+                  static_cast<double>(rec.lock_allocated)
+            : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%6.0f  %-6s %9.2f %8.2f %6.1f %8.2f %12.2f %4lld\n",
+                  static_cast<double>(rec.time) / 1000.0,
+                  std::string(TunerActionName(rec.action)).c_str(), alloc_mb,
+                  used_mb, free_pct,
+                  static_cast<double>(rec.lmoc) / kMb,
+                  static_cast<double>(rec.overflow) / kMb,
+                  static_cast<long long>(rec.escalations_delta));
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderSummary(const StmmReportSummary& s) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "passes=%d (grow=%d shrink=%d double=%d clamp=%d quiet=%d) "
+                "peak=%.2fMB final=%.2fMB escalations=%lld",
+                s.total_passes, s.grow_passes, s.shrink_passes,
+                s.double_passes, s.clamp_passes, s.quiet_passes,
+                static_cast<double>(s.peak_allocated) / kMb,
+                static_cast<double>(s.final_allocated) / kMb,
+                static_cast<long long>(s.total_escalations));
+  return line;
+}
+
+}  // namespace locktune

@@ -1,0 +1,46 @@
+// Rendering of the STMM controller's tuning history — the equivalent of
+// DB2's `db2pd -stmm` diagnostics. Benches and the CLI use it to show what
+// the controller did and why.
+#ifndef LOCKTUNE_CORE_STMM_REPORT_H_
+#define LOCKTUNE_CORE_STMM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/stmm_controller.h"
+
+namespace locktune {
+
+// Short name for a tuner action, e.g. "GROW".
+std::string_view TunerActionName(LockTunerAction action);
+
+// Aggregate view of a controller run.
+struct StmmReportSummary {
+  int total_passes = 0;
+  int grow_passes = 0;
+  int shrink_passes = 0;
+  int double_passes = 0;
+  int clamp_passes = 0;
+  int quiet_passes = 0;
+  Bytes peak_allocated = 0;
+  Bytes final_allocated = 0;
+  int64_t total_escalations = 0;
+};
+
+StmmReportSummary Summarize(const std::vector<StmmIntervalRecord>& history);
+
+// Renders the history as an aligned text table, one row per tuning pass:
+//
+//   time_s  action  alloc_MB  used_MB  free%  lmoc_MB  overflow_MB  esc
+//
+// `max_rows` caps the output (0 = all); when capped, the most recent rows
+// are kept.
+std::string RenderHistoryTable(const std::vector<StmmIntervalRecord>& history,
+                               size_t max_rows = 0);
+
+// One-line rendering of the summary.
+std::string RenderSummary(const StmmReportSummary& summary);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_CORE_STMM_REPORT_H_

@@ -1,0 +1,28 @@
+#include "engine/query_compiler.h"
+
+#include <cassert>
+
+namespace locktune {
+
+QueryCompiler::QueryCompiler(std::function<Bytes()> lock_memory_view,
+                             double safety_factor)
+    : lock_memory_view_(std::move(lock_memory_view)),
+      safety_factor_(safety_factor) {
+  assert(lock_memory_view_ != nullptr);
+  assert(safety_factor > 0.0 && safety_factor <= 1.0);
+}
+
+LockGranularity QueryCompiler::ChooseGranularity(
+    int64_t estimated_rows) const {
+  ++compiled_;
+  const Bytes needed = estimated_rows * kLockStructSize;
+  const Bytes budget = static_cast<Bytes>(
+      safety_factor_ * static_cast<double>(lock_memory_view_()));
+  if (needed > budget) {
+    ++table_plans_;
+    return LockGranularity::kTable;
+  }
+  return LockGranularity::kRow;
+}
+
+}  // namespace locktune

@@ -1,0 +1,57 @@
+// The SQL compiler's locking-granularity decision (paper §3.6).
+//
+// DB2's optimizer uses the available lock memory when choosing a query
+// execution plan: a statement expected to touch more rows than the lock
+// memory can hold is compiled with table-level locking baked into the plan.
+// With self-tuning, the instantaneous lock memory fluctuates — a statement
+// compiled during a dip would carry a coarse-locking plan that "pre-empts
+// the self-tuning lock memory from having an opportunity at runtime to
+// avoid escalation". The fix: expose a stable, reasonably large view,
+// sqlCompilerLockMem = 10 % of databaseMemory, instead of the live value.
+//
+// QueryCompiler implements the decision; the view is injected as a
+// function so both the stable view (StmmController::CompilerLockMemoryView)
+// and the hazardous instantaneous view can be plugged in (the
+// ablation_compiler_view bench contrasts them).
+#ifndef LOCKTUNE_ENGINE_QUERY_COMPILER_H_
+#define LOCKTUNE_ENGINE_QUERY_COMPILER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+
+namespace locktune {
+
+enum class LockGranularity {
+  kRow,    // one lock structure per row
+  kTable,  // the plan takes a table lock up front
+};
+
+class QueryCompiler {
+ public:
+  // `lock_memory_view` reports how much lock memory the compiler may assume
+  // a statement can use (bytes). `safety_factor` discounts the view — DB2
+  // plans conservatively because other statements share the memory.
+  explicit QueryCompiler(std::function<Bytes()> lock_memory_view,
+                         double safety_factor = 1.0);
+
+  // Chooses the plan's locking granularity for a statement estimated to
+  // touch `estimated_rows` rows: row locking iff the estimated lock
+  // structures fit in the (discounted) view.
+  LockGranularity ChooseGranularity(int64_t estimated_rows) const;
+
+  // Statements compiled so far, and how many got table-locking plans.
+  int64_t compiled_statements() const { return compiled_; }
+  int64_t table_lock_plans() const { return table_plans_; }
+
+ private:
+  std::function<Bytes()> lock_memory_view_;
+  double safety_factor_;
+  mutable int64_t compiled_ = 0;
+  mutable int64_t table_plans_ = 0;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_ENGINE_QUERY_COMPILER_H_

@@ -1,0 +1,65 @@
+#include "lock/escalation_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace locktune {
+
+AdaptiveMaxlocksPolicy::AdaptiveMaxlocksPolicy(MaxlocksCurve curve)
+    : curve_(curve) {}
+
+int64_t AdaptiveMaxlocksPolicy::MaxStructuresPerApp(
+    const LockMemoryState& state) {
+  const double percent = curve_.Current(state.used_percent_of_max());
+  // The adaptive limit is a share of the lock memory the system may grow to
+  // (maxLockMemory), not of the instantaneous allocation: §5.3 requires a
+  // single application to dominate consumption while total lock memory is
+  // far from the allowable maximum, even though synchronous growth keeps the
+  // instantaneous allocation close to what is in use.
+  const auto max_slots = state.max_lock_memory / kLockStructSize;
+  const auto limit =
+      static_cast<int64_t>(percent / 100.0 * static_cast<double>(max_slots));
+  return std::max<int64_t>(limit, 1);
+}
+
+double AdaptiveMaxlocksPolicy::CurrentPercent(const LockMemoryState& state) {
+  return curve_.Current(state.used_percent_of_max());
+}
+
+void AdaptiveMaxlocksPolicy::OnLockRequest() { curve_.OnLockRequest(); }
+
+void AdaptiveMaxlocksPolicy::OnResize() { curve_.Invalidate(); }
+
+FixedMaxlocksPolicy::FixedMaxlocksPolicy(double percent) : percent_(percent) {
+  assert(percent > 0.0 && percent <= 100.0);
+}
+
+int64_t FixedMaxlocksPolicy::MaxStructuresPerApp(
+    const LockMemoryState& state) {
+  const auto limit = static_cast<int64_t>(
+      percent_ / 100.0 * static_cast<double>(state.capacity_slots));
+  return std::max<int64_t>(limit, 1);
+}
+
+double FixedMaxlocksPolicy::CurrentPercent(const LockMemoryState&) {
+  return percent_;
+}
+
+int64_t SqlServerLockPolicy::MaxStructuresPerApp(const LockMemoryState&) {
+  return kRowLockLimit;
+}
+
+double SqlServerLockPolicy::CurrentPercent(const LockMemoryState& state) {
+  if (state.capacity_slots <= 0) return 0.0;
+  return 100.0 * static_cast<double>(kRowLockLimit) /
+         static_cast<double>(state.capacity_slots);
+}
+
+bool SqlServerLockPolicy::ForcesMemoryEscalation(
+    const LockMemoryState& state) {
+  return static_cast<double>(state.used) >=
+         kMemoryEscalationFraction * static_cast<double>(state.database_memory);
+}
+
+}  // namespace locktune

@@ -1,0 +1,106 @@
+// Escalation policies: when must an application's row locks escalate?
+//
+// DB2 escalates when an application exceeds its share of the lock list
+// (MAXLOCKS) or when lock memory is exhausted and cannot grow. The policy
+// object answers "how many lock structures may one application hold right
+// now" and "does overall memory pressure force escalation", so the same
+// LockManager can run the paper's adaptive scheme, the pre-STMM fixed
+// percentage, or the SQL Server 2005-style rules (§2.3).
+#ifndef LOCKTUNE_LOCK_ESCALATION_POLICY_H_
+#define LOCKTUNE_LOCK_ESCALATION_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+#include "lock/maxlocks_curve.h"
+
+namespace locktune {
+
+// Snapshot of lock memory passed to policy decisions.
+struct LockMemoryState {
+  Bytes allocated = 0;         // lock memory owned (blocks × 128 KB)
+  Bytes used = 0;              // lock structures in use × 64 B
+  int64_t capacity_slots = 0;  // total lock structure slots
+  int64_t slots_in_use = 0;
+  Bytes max_lock_memory = 0;   // upper bound lock memory may ever reach
+  Bytes database_memory = 0;   // total database shared memory
+
+  double used_percent_of_max() const {
+    if (max_lock_memory <= 0) return 100.0;
+    return 100.0 * static_cast<double>(used) /
+           static_cast<double>(max_lock_memory);
+  }
+};
+
+class EscalationPolicy {
+ public:
+  virtual ~EscalationPolicy() = default;
+
+  // Maximum number of lock structures a single application may hold before
+  // it must escalate.
+  virtual int64_t MaxStructuresPerApp(const LockMemoryState& state) = 0;
+
+  // The externalized lockPercentPerApplication equivalent (for metrics).
+  virtual double CurrentPercent(const LockMemoryState& state) = 0;
+
+  // True when global memory pressure alone forces escalation (SQL Server's
+  // 40 %-of-engine-memory rule). DB2's policies return false: DB2 grows the
+  // lock memory instead and escalates only on allocation failure.
+  virtual bool ForcesMemoryEscalation(const LockMemoryState& state) {
+    (void)state;
+    return false;
+  }
+
+  // Bookkeeping hooks (refresh-period handling for the adaptive curve).
+  virtual void OnLockRequest() {}
+  virtual void OnResize() {}
+};
+
+// Paper §3.5: lockPercentPerApplication = 98·(1−(x/100)³), recomputed on
+// resize and every 0x80 lock requests.
+class AdaptiveMaxlocksPolicy : public EscalationPolicy {
+ public:
+  explicit AdaptiveMaxlocksPolicy(MaxlocksCurve curve = MaxlocksCurve());
+
+  int64_t MaxStructuresPerApp(const LockMemoryState& state) override;
+  double CurrentPercent(const LockMemoryState& state) override;
+  void OnLockRequest() override;
+  void OnResize() override;
+
+  const MaxlocksCurve& curve() const { return curve_; }
+
+ private:
+  MaxlocksCurve curve_;
+};
+
+// Pre-STMM DB2: a fixed MAXLOCKS percentage of the lock list (the previous
+// product default was 10 %).
+class FixedMaxlocksPolicy : public EscalationPolicy {
+ public:
+  explicit FixedMaxlocksPolicy(double percent);
+
+  int64_t MaxStructuresPerApp(const LockMemoryState& state) override;
+  double CurrentPercent(const LockMemoryState& state) override;
+
+ private:
+  double percent_;
+};
+
+// SQL Server 2005-style rules (paper §2.3): escalate any application that
+// acquires 5000 row locks regardless of available memory, and escalate when
+// lock memory reaches 40 % of total engine memory. Neither is configurable
+// in the original.
+class SqlServerLockPolicy : public EscalationPolicy {
+ public:
+  static constexpr int64_t kRowLockLimit = 5000;
+  static constexpr double kMemoryEscalationFraction = 0.40;
+
+  int64_t MaxStructuresPerApp(const LockMemoryState& state) override;
+  double CurrentPercent(const LockMemoryState& state) override;
+  bool ForcesMemoryEscalation(const LockMemoryState& state) override;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_ESCALATION_POLICY_H_

@@ -1,0 +1,89 @@
+#include "lock/lock_head.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locktune {
+
+const LockRequest* LockHead::FindHolder(AppId app) const {
+  for (const LockRequest& r : holders_) {
+    if (r.app == app) return &r;
+  }
+  return nullptr;
+}
+
+LockRequest* LockHead::FindHolder(AppId app) {
+  for (LockRequest& r : holders_) {
+    if (r.app == app) return &r;
+  }
+  return nullptr;
+}
+
+LockMode LockHead::GrantedGroupMode(AppId except) const {
+  LockMode group = LockMode::kNone;
+  for (const LockRequest& r : holders_) {
+    if (r.app == except) continue;
+    group = Supremum(group, r.mode);
+  }
+  return group;
+}
+
+bool LockHead::CanGrantNew(LockMode mode) const {
+  if (!waiters_.empty()) return false;
+  return Compatible(GrantedGroupMode(), mode);
+}
+
+bool LockHead::CanGrantConversion(AppId app, LockMode mode) const {
+  return Compatible(GrantedGroupMode(app), mode);
+}
+
+LockBlock* LockHead::RemoveHolder(AppId app) {
+  for (auto it = holders_.begin(); it != holders_.end(); ++it) {
+    if (it->app == app) {
+      LockBlock* slot = it->slot;
+      holders_.erase(it);
+      return slot;
+    }
+  }
+  return nullptr;
+}
+
+void LockHead::EnqueueConversion(const WaitingRequest& w) {
+  assert(w.is_conversion);
+  // After any already-queued conversions, ahead of all new requests.
+  auto it = waiters_.begin();
+  while (it != waiters_.end() && it->is_conversion) ++it;
+  waiters_.insert(it, w);
+}
+
+void LockHead::EnqueueNew(const WaitingRequest& w) {
+  assert(!w.is_conversion);
+  waiters_.push_back(w);
+}
+
+LockBlock* LockHead::RemoveWaiter(AppId app, bool* removed) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->app == app) {
+      LockBlock* slot = it->slot;
+      waiters_.erase(it);
+      if (removed != nullptr) *removed = true;
+      return slot;
+    }
+  }
+  if (removed != nullptr) *removed = false;
+  return nullptr;
+}
+
+bool LockHead::HasWaiter(AppId app) const {
+  return std::any_of(waiters_.begin(), waiters_.end(),
+                     [app](const WaitingRequest& w) { return w.app == app; });
+}
+
+WaitingRequest LockHead::PopFrontWaiter() {
+  assert(!waiters_.empty());
+  WaitingRequest w = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  return w;
+}
+
+}  // namespace locktune

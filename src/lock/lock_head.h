@@ -1,0 +1,100 @@
+// Per-resource lock state (Figure 3 of the paper).
+//
+// Compatible requests share the granted group; incompatible requests form a
+// FIFO chain behind it, serviced in arrival order when holders release
+// ("post" discipline — requesters are serviced in the order in which they
+// request locks, unlike Oracle's sleep-wake-check polling which can jump the
+// queue, §2.3). Conversion requests from an existing holder queue ahead of
+// new requests, the standard treatment that avoids conversion starvation.
+#ifndef LOCKTUNE_LOCK_LOCK_HEAD_H_
+#define LOCKTUNE_LOCK_LOCK_HEAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lock/lock_mode.h"
+#include "lock/resource.h"
+
+namespace locktune {
+
+// Application (connection) identifier; the unit the paper's per-application
+// lock limit applies to.
+using AppId = int32_t;
+
+class LockBlock;
+
+// One lock structure: an application's granted or waiting interest in a
+// resource. Consumes one 64 B slot of lock memory while it exists.
+struct LockRequest {
+  AppId app = 0;
+  LockMode mode = LockMode::kNone;        // granted mode
+  LockMode convert_to = LockMode::kNone;  // pending conversion target
+  LockBlock* slot = nullptr;              // lock memory slot backing this
+};
+
+// Waiting (not yet granted) request.
+struct WaitingRequest {
+  AppId app = 0;
+  LockMode mode = LockMode::kNone;
+  bool is_conversion = false;  // app already holds this resource
+  LockBlock* slot = nullptr;   // only for new requests (conversions reuse)
+};
+
+class LockHead {
+ public:
+  // --- granted group ---
+  const std::vector<LockRequest>& holders() const { return holders_; }
+  std::vector<LockRequest>& holders() { return holders_; }
+
+  // Granted request of `app`, or nullptr.
+  const LockRequest* FindHolder(AppId app) const;
+  LockRequest* FindHolder(AppId app);
+
+  // Supremum of granted modes, optionally ignoring `except` (used to test
+  // whether a conversion by `except` is compatible with everyone else).
+  LockMode GrantedGroupMode(AppId except = -1) const;
+
+  // True when a *new* request in `mode` can be granted now: it must be
+  // compatible with the granted group AND no incompatible waiter may be
+  // queued ahead (FIFO fairness — a compatible newcomer must not overtake).
+  bool CanGrantNew(LockMode mode) const;
+
+  // True when `app`'s conversion to `mode` is compatible with all other
+  // holders (conversions do not queue behind new waiters).
+  bool CanGrantConversion(AppId app, LockMode mode) const;
+
+  // Appends a granted request.
+  void AddHolder(const LockRequest& request) { holders_.push_back(request); }
+
+  // Removes `app`'s granted request, returning its lock memory slot
+  // (nullptr if the app held nothing here).
+  LockBlock* RemoveHolder(AppId app);
+
+  // --- wait queue ---
+  const std::vector<WaitingRequest>& waiters() const { return waiters_; }
+
+  // Conversions enter at the front (after other conversions); new requests
+  // at the back.
+  void EnqueueConversion(const WaitingRequest& w);
+  void EnqueueNew(const WaitingRequest& w);
+
+  // Removes app's waiting entry if present, returning its slot (nullptr if
+  // it was a conversion or absent). Used when a waiter aborts.
+  LockBlock* RemoveWaiter(AppId app, bool* removed);
+
+  bool HasWaiter(AppId app) const;
+
+  bool empty() const { return holders_.empty() && waiters_.empty(); }
+
+  // Pops the front waiter. Precondition: !waiters().empty().
+  WaitingRequest PopFrontWaiter();
+  const WaitingRequest& FrontWaiter() const { return waiters_.front(); }
+
+ private:
+  std::vector<LockRequest> holders_;
+  std::vector<WaitingRequest> waiters_;  // front = next to service
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_LOCK_HEAD_H_

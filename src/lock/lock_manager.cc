@@ -1,0 +1,807 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace locktune {
+
+LockManager::LockManager(LockManagerOptions options)
+    : options_(std::move(options)), max_lock_memory_(options_.max_lock_memory) {
+  assert(options_.policy != nullptr && "an escalation policy is required");
+  for (int64_t i = 0; i < options_.initial_blocks; ++i) blocks_.AddBlock();
+}
+
+LockResult LockManager::Lock(AppId app, const ResourceId& resource,
+                             LockMode mode) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++stats_.lock_requests;
+  options_.policy->OnLockRequest();
+  assert(!GetApp(app).waiting &&
+         "application issued a request while blocked");
+
+  bool escalated = false;
+  const AcquireOutcome outcome = TryAcquire(app, resource, mode, &escalated);
+  DrainWorkList();
+
+  LockResult result;
+  result.escalated = escalated;
+  switch (outcome) {
+    case AcquireOutcome::kDone:
+      result.outcome = LockOutcome::kGranted;
+      break;
+    case AcquireOutcome::kBlocked:
+      result.outcome = LockOutcome::kWaiting;
+      break;
+    case AcquireOutcome::kNoMemory:
+      result.outcome = LockOutcome::kOutOfMemory;
+      ++stats_.out_of_memory_failures;
+      Emit(LockEventKind::kOutOfLockMemory, app, resource, mode, 0);
+      break;
+  }
+  return result;
+}
+
+LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
+                                                    const ResourceId& resource,
+                                                    LockMode mode,
+                                                    bool* escalated) {
+  if (resource.kind == ResourceKind::kRow) {
+    // A table lock covering the row mode makes the row lock unnecessary —
+    // this is what keeps an escalated application from re-consuming lock
+    // memory on the same table.
+    const LockMode table_mode =
+        HeldModeLockedInternal(app, TableResource(resource.table));
+    if (Covers(table_mode, mode)) {
+      ++stats_.grants;
+      return AcquireOutcome::kDone;
+    }
+    // Multigranularity: intent lock on the table first.
+    const LockMode intent = IntentModeFor(mode);
+    if (!Covers(table_mode, intent)) {
+      const AcquireOutcome io =
+          AcquireOne(app, TableResource(resource.table), intent, escalated);
+      if (io == AcquireOutcome::kBlocked) {
+        // Resume the full row request once the intent (or escalation)
+        // wait is granted.
+        GetApp(app).continuation = Continuation{resource, mode};
+        return io;
+      }
+      if (io == AcquireOutcome::kNoMemory) return io;
+      // The intent acquisition may itself have escalated this table to
+      // S or X; re-check coverage before taking the row lock.
+      if (Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
+                 mode)) {
+        ++stats_.grants;
+        return AcquireOutcome::kDone;
+      }
+    }
+  }
+  const AcquireOutcome out = AcquireOne(app, resource, mode, escalated);
+  if (out == AcquireOutcome::kBlocked) {
+    AppState& state = GetApp(app);
+    if (state.wait_is_escalation) {
+      // Blocked on an escalation conversion, not on the request itself:
+      // re-run the request after the escalation completes.
+      state.continuation = Continuation{resource, mode};
+    }
+  }
+  return out;
+}
+
+LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
+                                                    const ResourceId& resource,
+                                                    LockMode mode,
+                                                    bool* escalated) {
+  AppState& state = GetApp(app);
+  // Do not create the head until a holder or waiter is actually added:
+  // early-return paths below must not leave empty heads behind.
+  if (LockHead* head = FindHead(resource); head != nullptr) {
+    if (LockRequest* holder = head->FindHolder(app); holder != nullptr) {
+      if (Covers(holder->mode, mode)) {
+        ++stats_.grants;
+        return AcquireOutcome::kDone;
+      }
+      const LockMode target = Supremum(holder->mode, mode);
+      if (head->CanGrantConversion(app, target)) {
+        holder->mode = target;
+        ++stats_.grants;
+        return AcquireOutcome::kDone;
+      }
+      WaitingRequest w;
+      w.app = app;
+      w.mode = target;
+      w.is_conversion = true;
+      head->EnqueueConversion(w);
+      state.waiting = true;
+      state.wait_resource = resource;
+      state.wait_mode = target;
+      state.wait_is_conversion = true;
+      state.wait_is_escalation = false;
+      MarkWaitStart(app, state);
+      ++stats_.lock_waits;
+      return AcquireOutcome::kBlocked;
+    }
+  }
+
+  // New request: enforce the per-application quota before consuming another
+  // lock structure (paper §3.5). Escalation replaces row locks with one
+  // table lock; afterwards the request proceeds.
+  const LockMemoryState mem = MemoryStateLocked();
+  const int64_t limit = options_.policy->MaxStructuresPerApp(mem);
+  const bool over_quota = state.held_structures + 1 > limit;
+  const bool memory_forced = options_.policy->ForcesMemoryEscalation(mem);
+  if (over_quota || memory_forced) {
+    const AcquireOutcome esc = EscalateApp(app);
+    if (esc == AcquireOutcome::kDone) *escalated = true;
+    if (esc == AcquireOutcome::kBlocked) {
+      *escalated = true;
+      return AcquireOutcome::kBlocked;  // caller sets the continuation
+    }
+    // kNoMemory: nothing to escalate (no row locks); proceed regardless —
+    // the hard memory limit below still applies.
+    // The escalation may have covered the requested resource entirely.
+    if (resource.kind == ResourceKind::kRow &&
+        Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
+               mode)) {
+      ++stats_.grants;
+      return AcquireOutcome::kDone;
+    }
+    // The escalation released this app's row locks; if `resource` was one
+    // of them the holder is gone, which is consistent: re-acquire below.
+  }
+
+  const AllocResult alloc = AllocateStructure(app, escalated);
+  if (alloc.blocked) return AcquireOutcome::kBlocked;
+  if (alloc.slot == nullptr) {
+    // Escalation of some application may have covered the request.
+    if (resource.kind == ResourceKind::kRow &&
+        Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
+               mode)) {
+      ++stats_.grants;
+      return AcquireOutcome::kDone;
+    }
+    return AcquireOutcome::kNoMemory;
+  }
+  ++state.held_structures;
+
+  // The head is created here, when a holder or waiter is guaranteed to be
+  // added. (AllocateStructure may have escalated another application, which
+  // can erase row heads — resolving late also side-steps that.)
+  LockHead& head2 = table_[resource];
+  if (head2.CanGrantNew(mode)) {
+    LockRequest r;
+    r.app = app;
+    r.mode = mode;
+    r.slot = alloc.slot;
+    head2.AddHolder(r);
+    state.held.push_back(resource);
+    if (resource.kind == ResourceKind::kRow) {
+      ++state.row_locks_per_table[resource.table];
+    }
+    ++stats_.grants;
+    return AcquireOutcome::kDone;
+  }
+
+  WaitingRequest w;
+  w.app = app;
+  w.mode = mode;
+  w.is_conversion = false;
+  w.slot = alloc.slot;
+  head2.EnqueueNew(w);
+  state.waiting = true;
+  state.wait_resource = resource;
+  state.wait_mode = mode;
+  state.wait_is_conversion = false;
+  state.wait_is_escalation = false;
+  MarkWaitStart(app, state);
+  ++stats_.lock_waits;
+  return AcquireOutcome::kBlocked;
+}
+
+LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
+                                                        bool* escalated) {
+  AllocResult out;
+  Result<LockBlock*> slot = blocks_.AllocateSlot();
+  if (slot.ok()) {
+    out.slot = slot.value();
+    return out;
+  }
+
+  // §6.1 selective escalation: applications that prefer escalation over
+  // growth trade their own row locks for a table lock before any new
+  // memory is consumed.
+  if (escalation_preferred_.count(requester) > 0) {
+    const AcquireOutcome esc = EscalateApp(requester);
+    if (esc == AcquireOutcome::kDone) {
+      *escalated = true;
+      ++stats_.preferred_escalations;
+      slot = blocks_.AllocateSlot();
+      if (slot.ok()) {
+        out.slot = slot.value();
+        return out;
+      }
+    } else if (esc == AcquireOutcome::kBlocked) {
+      *escalated = true;
+      ++stats_.preferred_escalations;
+      out.blocked = true;
+      return out;
+    }
+    // kNoMemory: nothing to escalate; fall through to normal growth.
+  }
+
+  // Synchronous growth from database overflow memory (paper §3.3).
+  if (options_.grow_callback && options_.grow_callback(1)) {
+    blocks_.AddBlock();
+    ++stats_.sync_growth_blocks;
+    options_.policy->OnResize();
+    Emit(LockEventKind::kSynchronousGrowth, requester, ResourceId{},
+         LockMode::kNone, 1);
+    slot = blocks_.AllocateSlot();
+    assert(slot.ok());
+    out.slot = slot.value();
+    return out;
+  }
+
+  // Growth denied: escalate the heaviest row-lock holders until a structure
+  // frees up. Applications other than the requester are only escalated when
+  // the table conversion can be granted immediately — we cannot block an
+  // application that is not inside a lock request.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    AppId victim = -1;
+    int64_t victim_rows = 0;
+    for (const auto& [id, st] : apps_) {
+      if (st.waiting || id == requester) continue;
+      int64_t rows = 0;
+      for (const auto& [tbl, n] : st.row_locks_per_table) rows += n;
+      if (rows > victim_rows) {
+        victim_rows = rows;
+        victim = id;
+      }
+    }
+    if (victim < 0) break;
+    if (EscalateApp(victim, /*only_if_immediate=*/true) !=
+        AcquireOutcome::kDone) {
+      break;  // conflicting table traffic; fall through to self-escalation
+    }
+    *escalated = true;
+    slot = blocks_.AllocateSlot();
+    if (slot.ok()) {
+      out.slot = slot.value();
+      return out;
+    }
+  }
+
+  // Last resort: the requester escalates its own row locks, waiting for the
+  // table lock if it must. This blocking escalation is what devastates
+  // concurrency under an undersized static LOCKLIST (Figure 8).
+  switch (EscalateApp(requester)) {
+    case AcquireOutcome::kDone: {
+      *escalated = true;
+      slot = blocks_.AllocateSlot();
+      if (slot.ok()) out.slot = slot.value();
+      return out;
+    }
+    case AcquireOutcome::kBlocked:
+      *escalated = true;
+      out.blocked = true;
+      return out;
+    case AcquireOutcome::kNoMemory:
+      return out;  // nothing anywhere to escalate: hard failure
+  }
+  return out;
+}
+
+LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
+                                                     bool only_if_immediate) {
+  ++stats_.escalation_attempts;
+  AppState& state = GetApp(app);
+
+  // Pick the table with the most row locks held by this application.
+  TableId victim_table = -1;
+  int64_t most_rows = 0;
+  for (const auto& [tbl, n] : state.row_locks_per_table) {
+    if (n > most_rows) {
+      most_rows = n;
+      victim_table = tbl;
+    }
+  }
+  if (victim_table < 0) return AcquireOutcome::kNoMemory;
+
+  // Escalate to X when any row lock is U or X, otherwise S.
+  LockMode target = LockMode::kS;
+  for (const ResourceId& res : state.held) {
+    if (res.kind != ResourceKind::kRow || res.table != victim_table) continue;
+    const LockHead* h = FindHead(res);
+    assert(h != nullptr);
+    const LockRequest* r = h->FindHolder(app);
+    assert(r != nullptr);
+    if (r->mode == LockMode::kU || r->mode == LockMode::kX) {
+      target = LockMode::kX;
+      break;
+    }
+  }
+
+  const ResourceId table_res = TableResource(victim_table);
+  LockHead& head = table_[table_res];
+  LockRequest* holder = head.FindHolder(app);
+  assert(holder != nullptr && "row locks imply an intent table lock");
+  const LockMode new_mode = Supremum(holder->mode, target);
+
+  if (Covers(holder->mode, new_mode) ||
+      head.CanGrantConversion(app, new_mode)) {
+    holder->mode = new_mode;
+    ++stats_.escalations;
+    if (target == LockMode::kX) ++stats_.exclusive_escalations;
+    ReleaseRowLocksOnTable(app, victim_table);
+    Emit(LockEventKind::kEscalation, app, table_res, new_mode, most_rows);
+    return AcquireOutcome::kDone;
+  }
+  if (only_if_immediate) return AcquireOutcome::kNoMemory;
+
+  WaitingRequest w;
+  w.app = app;
+  w.mode = new_mode;
+  w.is_conversion = true;
+  head.EnqueueConversion(w);
+  state.waiting = true;
+  state.wait_resource = table_res;
+  state.wait_mode = new_mode;
+  state.wait_is_conversion = true;
+  state.wait_is_escalation = true;
+  MarkWaitStart(app, state);
+  ++stats_.lock_waits;
+  return AcquireOutcome::kBlocked;
+}
+
+void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
+  AppState& state = GetApp(app);
+  std::vector<ResourceId> keep;
+  keep.reserve(state.held.size());
+  for (const ResourceId& res : state.held) {
+    if (res.kind == ResourceKind::kRow && res.table == table) {
+      LockHead* head = FindHead(res);
+      assert(head != nullptr);
+      LockBlock* slot = head->RemoveHolder(app);
+      assert(slot != nullptr);
+      blocks_.FreeSlot(slot);
+      --state.held_structures;
+      work_list_.push_back(res);
+    } else {
+      keep.push_back(res);
+    }
+  }
+  state.held.swap(keep);
+  state.row_locks_per_table.erase(table);
+}
+
+void LockManager::ReleaseAll(AppId app) {
+  std::lock_guard<std::mutex> guard(mu_);
+  AppState& state = GetApp(app);
+
+  if (state.waiting) {
+    if (LockHead* head = FindHead(state.wait_resource); head != nullptr) {
+      bool removed = false;
+      LockBlock* slot = head->RemoveWaiter(app, &removed);
+      if (removed) {
+        if (slot != nullptr) {
+          blocks_.FreeSlot(slot);
+          --state.held_structures;
+        }
+        // Removing a waiter can unblock those queued behind it.
+        work_list_.push_back(state.wait_resource);
+      }
+    }
+    state.waiting = false;
+    state.wait_is_conversion = false;
+    state.wait_is_escalation = false;
+  }
+  state.continuation.reset();
+
+  std::vector<ResourceId> held;
+  held.swap(state.held);
+  for (const ResourceId& res : held) {
+    LockHead* head = FindHead(res);
+    assert(head != nullptr);
+    LockBlock* slot = head->RemoveHolder(app);
+    assert(slot != nullptr);
+    blocks_.FreeSlot(slot);
+    --state.held_structures;
+    work_list_.push_back(res);
+  }
+  state.row_locks_per_table.clear();
+  assert(state.held_structures == 0);
+
+  DrainWorkList();
+}
+
+Status LockManager::Release(AppId app, const ResourceId& resource) {
+  std::lock_guard<std::mutex> guard(mu_);
+  AppState& state = GetApp(app);
+  LockHead* head = FindHead(resource);
+  if (head == nullptr || head->FindHolder(app) == nullptr) {
+    return Status::NotFound("application does not hold " +
+                            resource.ToString());
+  }
+  LockBlock* slot = head->RemoveHolder(app);
+  blocks_.FreeSlot(slot);
+  --state.held_structures;
+  EraseHeldEntry(state, resource);
+  if (resource.kind == ResourceKind::kRow) {
+    auto it = state.row_locks_per_table.find(resource.table);
+    if (it != state.row_locks_per_table.end() && --it->second == 0) {
+      state.row_locks_per_table.erase(it);
+    }
+  }
+  work_list_.push_back(resource);
+  DrainWorkList();
+  return Status::Ok();
+}
+
+bool LockManager::IsBlocked(AppId app) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = apps_.find(app);
+  return it != apps_.end() && it->second.waiting;
+}
+
+void LockManager::ProcessQueue(const ResourceId& resource) {
+  auto it = table_.find(resource);
+  if (it == table_.end()) return;
+  LockHead& head = it->second;
+
+  while (!head.waiters().empty()) {
+    const WaitingRequest& w = head.FrontWaiter();
+    if (w.is_conversion) {
+      LockRequest* holder = head.FindHolder(w.app);
+      assert(holder != nullptr);
+      if (!head.CanGrantConversion(w.app, w.mode)) break;
+      const WaitingRequest granted = head.PopFrontWaiter();
+      holder->mode = granted.mode;
+      ++stats_.grants;
+      OnWaitGranted(granted.app, resource);
+    } else {
+      if (!Compatible(head.GrantedGroupMode(), w.mode)) break;
+      const WaitingRequest granted = head.PopFrontWaiter();
+      LockRequest r;
+      r.app = granted.app;
+      r.mode = granted.mode;
+      r.slot = granted.slot;
+      head.AddHolder(r);
+      AppState& state = GetApp(granted.app);
+      state.held.push_back(resource);
+      if (resource.kind == ResourceKind::kRow) {
+        ++state.row_locks_per_table[resource.table];
+      }
+      ++stats_.grants;
+      OnWaitGranted(granted.app, resource);
+    }
+  }
+
+  // The head reference stays valid across OnWaitGranted (unordered_map
+  // preserves references on insert); re-find before erasing in case the
+  // cascade already erased it.
+  auto again = table_.find(resource);
+  if (again != table_.end() && again->second.empty()) table_.erase(again);
+}
+
+void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
+  AppState& state = GetApp(app);
+  assert(state.waiting);
+  const bool was_escalation = state.wait_is_escalation;
+  const LockMode granted_mode = state.wait_mode;
+  if (options_.clock != nullptr) {
+    wait_times_.Add(
+        static_cast<double>(options_.clock->now() - state.wait_since));
+  }
+  Emit(LockEventKind::kWaitEnd, app, resource, granted_mode,
+       options_.clock != nullptr ? options_.clock->now() - state.wait_since
+                                 : 0);
+  state.waiting = false;
+  state.wait_is_conversion = false;
+  state.wait_is_escalation = false;
+
+  if (was_escalation) {
+    ++stats_.escalations;
+    if (granted_mode == LockMode::kX) ++stats_.exclusive_escalations;
+    assert(resource.kind == ResourceKind::kTable);
+    const int64_t rows_before =
+        state.row_locks_per_table.count(resource.table) > 0
+            ? state.row_locks_per_table[resource.table]
+            : 0;
+    ReleaseRowLocksOnTable(app, resource.table);
+    Emit(LockEventKind::kEscalation, app, resource, granted_mode,
+         rows_before);
+  }
+
+  if (state.continuation.has_value()) {
+    const Continuation c = *state.continuation;
+    state.continuation.reset();
+    bool escalated = false;
+    const AcquireOutcome out = TryAcquire(app, c.resource, c.mode, &escalated);
+    if (out == AcquireOutcome::kNoMemory) {
+      // The resumed request could not get a lock structure. The application
+      // is unblocked; the failure is visible in the counters (engines treat
+      // it like a statement error).
+      ++stats_.out_of_memory_failures;
+    }
+  }
+}
+
+std::vector<AppId> LockManager::DetectDeadlocks() {
+  std::lock_guard<std::mutex> guard(mu_);
+
+  // Build the waits-for graph. A conversion waits for every *other* holder
+  // whose granted mode conflicts with the target. A new request waits for
+  // conflicting holders and for every waiter queued ahead of it (strict
+  // FIFO: it cannot overtake).
+  std::unordered_map<AppId, std::vector<AppId>> edges;
+  for (const auto& [app, state] : apps_) {
+    if (!state.waiting) continue;
+    const LockHead* head = FindHead(state.wait_resource);
+    if (head == nullptr) continue;
+    std::vector<AppId>& out = edges[app];
+    if (state.wait_is_conversion) {
+      for (const LockRequest& h : head->holders()) {
+        if (h.app != app && !Compatible(h.mode, state.wait_mode)) {
+          out.push_back(h.app);
+        }
+      }
+    } else {
+      for (const LockRequest& h : head->holders()) {
+        if (h.app != app && !Compatible(h.mode, state.wait_mode)) {
+          out.push_back(h.app);
+        }
+      }
+      for (const WaitingRequest& w : head->waiters()) {
+        if (w.app == app) break;
+        out.push_back(w.app);
+      }
+    }
+  }
+
+  // Iterative DFS cycle detection with victim selection per cycle.
+  std::vector<AppId> victims;
+  std::unordered_map<AppId, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<AppId> stack;
+  for (const auto& [start, unused] : edges) {
+    if (color[start] != 0) continue;
+    // Path-tracking DFS.
+    std::vector<std::pair<AppId, size_t>> frames;
+    frames.push_back({start, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      const auto eit = edges.find(node);
+      const std::vector<AppId>* adj =
+          eit == edges.end() ? nullptr : &eit->second;
+      if (adj != nullptr && next < adj->size()) {
+        const AppId succ = (*adj)[next++];
+        if (color[succ] == 1) {
+          // Cycle found: victim = member with fewest held structures.
+          AppId victim = succ;
+          int64_t fewest = GetApp(succ).held_structures;
+          for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+            const int64_t held = GetApp(*rit).held_structures;
+            if (held < fewest) {
+              fewest = held;
+              victim = *rit;
+            }
+            if (*rit == succ) break;
+          }
+          if (std::find(victims.begin(), victims.end(), victim) ==
+              victims.end()) {
+            victims.push_back(victim);
+          }
+        } else if (color[succ] == 0) {
+          color[succ] = 1;
+          stack.push_back(succ);
+          frames.push_back({succ, 0});
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  stats_.deadlock_victims += static_cast<int64_t>(victims.size());
+  for (AppId victim : victims) {
+    const AppState& state = GetApp(victim);
+    Emit(LockEventKind::kDeadlockVictim, victim, state.wait_resource,
+         state.wait_mode, state.held_structures);
+  }
+  return victims;
+}
+
+void LockManager::AddBlocks(int64_t count) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (int64_t i = 0; i < count; ++i) blocks_.AddBlock();
+  if (count > 0) options_.policy->OnResize();
+}
+
+Status LockManager::TryRemoveBlocks(int64_t count) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Status s = blocks_.TryRemoveBlocks(count);
+  if (s.ok() && count > 0) options_.policy->OnResize();
+  return s;
+}
+
+void LockManager::set_max_lock_memory(Bytes bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
+  max_lock_memory_ = bytes;
+  options_.policy->OnResize();
+}
+
+LockMemoryState LockManager::MemoryState() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return MemoryStateLocked();
+}
+
+Bytes LockManager::allocated_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return blocks_.allocated_bytes();
+}
+
+Bytes LockManager::used_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return blocks_.used_bytes();
+}
+
+int64_t LockManager::block_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return blocks_.block_count();
+}
+
+int64_t LockManager::entirely_free_blocks() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return blocks_.entirely_free_blocks();
+}
+
+double LockManager::CurrentMaxlocksPercent() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return options_.policy->CurrentPercent(MemoryStateLocked());
+}
+
+int64_t LockManager::HeldStructures(AppId app) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.held_structures;
+}
+
+LockMode LockManager::HeldMode(AppId app, const ResourceId& resource) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return HeldModeLockedInternal(app, resource);
+}
+
+int64_t LockManager::waiting_app_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  int64_t n = 0;
+  for (const auto& [app, state] : apps_) {
+    if (state.waiting) ++n;
+  }
+  return n;
+}
+
+Status LockManager::CheckConsistency() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (Status s = blocks_.CheckConsistency(); !s.ok()) return s;
+  int64_t slots = 0;
+  for (const auto& [app, state] : apps_) {
+    slots += state.held_structures;
+    for (const ResourceId& res : state.held) {
+      const auto it = table_.find(res);
+      if (it == table_.end() || it->second.FindHolder(app) == nullptr) {
+        return Status::Internal("held list references a missing grant");
+      }
+    }
+  }
+  if (slots != blocks_.slots_in_use()) {
+    return Status::Internal("per-app structure counts do not sum to slots");
+  }
+  for (const auto& [res, head] : table_) {
+    if (head.empty()) return Status::Internal("empty lock head retained");
+  }
+  return Status::Ok();
+}
+
+std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<AppId> expired;
+  if (options_.clock == nullptr || options_.lock_timeout < 0) return expired;
+  const TimeMs now = options_.clock->now();
+  for (const auto& [app, state] : apps_) {
+    if (state.waiting && now - state.wait_since >= options_.lock_timeout) {
+      expired.push_back(app);
+      Emit(LockEventKind::kTimeout, app, state.wait_resource,
+           state.wait_mode, now - state.wait_since);
+    }
+  }
+  stats_.lock_timeouts += static_cast<int64_t>(expired.size());
+  return expired;
+}
+
+void LockManager::SetEscalationPreferred(AppId app, bool preferred) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (preferred) {
+    escalation_preferred_.insert(app);
+  } else {
+    escalation_preferred_.erase(app);
+  }
+}
+
+bool LockManager::IsEscalationPreferred(AppId app) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return escalation_preferred_.count(app) > 0;
+}
+
+void LockManager::MarkWaitStart(AppId app, AppState& state) {
+  state.wait_since = options_.clock != nullptr ? options_.clock->now() : 0;
+  Emit(LockEventKind::kWaitBegin, app, state.wait_resource, state.wait_mode,
+       0);
+}
+
+void LockManager::Emit(LockEventKind kind, AppId app,
+                       const ResourceId& resource, LockMode mode,
+                       int64_t value) {
+  if (options_.monitor == nullptr) return;
+  LockEvent event;
+  event.kind = kind;
+  event.time = options_.clock != nullptr ? options_.clock->now() : 0;
+  event.app = app;
+  event.resource = resource;
+  event.mode = mode;
+  event.value = value;
+  options_.monitor->OnLockEvent(event);
+}
+
+LockManager::AppState& LockManager::GetApp(AppId app) { return apps_[app]; }
+
+LockHead* LockManager::FindHead(const ResourceId& resource) {
+  const auto it = table_.find(resource);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const LockHead* LockManager::FindHead(const ResourceId& resource) const {
+  const auto it = table_.find(resource);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+LockMode LockManager::HeldModeLockedInternal(AppId app,
+                                             const ResourceId& resource)
+    const {
+  const LockHead* head = FindHead(resource);
+  if (head == nullptr) return LockMode::kNone;
+  const LockRequest* r = head->FindHolder(app);
+  return r == nullptr ? LockMode::kNone : r->mode;
+}
+
+LockMemoryState LockManager::MemoryStateLocked() const {
+  LockMemoryState s;
+  s.allocated = blocks_.allocated_bytes();
+  s.used = blocks_.used_bytes();
+  s.capacity_slots = blocks_.capacity_slots();
+  s.slots_in_use = blocks_.slots_in_use();
+  s.max_lock_memory = max_lock_memory_;
+  s.database_memory = options_.database_memory;
+  return s;
+}
+
+void LockManager::DrainWorkList() {
+  if (draining_) return;  // the outer drain loop will pick new entries up
+  draining_ = true;
+  while (!work_list_.empty()) {
+    const ResourceId res = work_list_.front();
+    work_list_.pop_front();
+    ProcessQueue(res);
+  }
+  draining_ = false;
+}
+
+void LockManager::EraseHeldEntry(AppState& state, const ResourceId& resource) {
+  const auto it = std::find(state.held.begin(), state.held.end(), resource);
+  if (it != state.held.end()) state.held.erase(it);
+}
+
+}  // namespace locktune

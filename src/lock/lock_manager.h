@@ -1,0 +1,276 @@
+// The lock manager: multigranularity locking with escalation and
+// memory-aware growth (paper §2.2, §3.3, §3.5).
+//
+// Responsibilities:
+//  * grant/queue table and row locks with the System R compatibility rules,
+//    taking the required intent table lock before any row lock;
+//  * account every granted or waiting request as one 64 B lock structure
+//    allocated from the 128 KB block list;
+//  * when the block list is exhausted, grow synchronously through a caller-
+//    supplied callback (wired to database overflow memory by the engine);
+//  * when an application exceeds its policy quota, or memory cannot grow,
+//    escalate: convert the application's intent table lock on its most
+//    row-locked table to S or X and release those row locks;
+//  * maintain a FIFO "post" wait discipline (Figure 3) and detect deadlocks
+//    through the waits-for graph.
+//
+// Thread safety: all public methods are guarded by an internal mutex.
+#ifndef LOCKTUNE_LOCK_LOCK_MANAGER_H_
+#define LOCKTUNE_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "lock/escalation_policy.h"
+#include "lock/lock_event_monitor.h"
+#include "lock/lock_head.h"
+#include "lock/lock_mode.h"
+#include "lock/resource.h"
+#include "memory/block_list.h"
+
+namespace locktune {
+
+// Outcome of a Lock() call, from the requesting application's viewpoint.
+enum class LockOutcome {
+  kGranted,      // the request (and any implied intent lock) is granted
+  kWaiting,      // the application is blocked; poll IsBlocked()
+  kOutOfMemory,  // no lock structure available and escalation freed nothing
+};
+
+struct LockResult {
+  LockOutcome outcome = LockOutcome::kGranted;
+  // True when this request triggered a lock escalation (completed or
+  // initiated) somewhere in the system.
+  bool escalated = false;
+};
+
+// Monotonic counters, readable at any time.
+struct LockManagerStats {
+  int64_t lock_requests = 0;
+  int64_t grants = 0;
+  int64_t lock_waits = 0;             // requests that blocked
+  int64_t escalations = 0;            // completed escalations
+  int64_t exclusive_escalations = 0;  // escalated to an X table lock
+  int64_t escalation_attempts = 0;
+  int64_t deadlock_victims = 0;
+  int64_t lock_timeouts = 0;  // waiters expired by ExpireTimedOutWaiters
+  int64_t out_of_memory_failures = 0;
+  int64_t sync_growth_blocks = 0;  // blocks added on the request path
+  // Escalations taken because the application prefers escalation over lock
+  // memory growth (§6.1 selective escalation).
+  int64_t preferred_escalations = 0;
+};
+
+struct LockManagerOptions {
+  // Initial lock memory (the LOCKLIST configuration), in 128 KB blocks.
+  int64_t initial_blocks = 16;
+  // Upper bound the lock memory may ever reach (maxLockMemory). The tuner
+  // may update it later via set_max_lock_memory().
+  Bytes max_lock_memory = 0;
+  // Total database memory (used by SQL Server-style policies).
+  Bytes database_memory = 0;
+  // Synchronous growth: invoked with a block count when the lock list is
+  // exhausted. Must return true and account the memory (e.g. take it from
+  // database overflow) to permit growth. Null means no growth (static
+  // configuration).
+  std::function<bool(int64_t blocks)> grow_callback;
+  // Escalation policy. Not owned; must outlive the manager. Required.
+  EscalationPolicy* policy = nullptr;
+  // Virtual clock for lock-wait timing. Optional; without it, timeouts and
+  // the wait-time histogram are disabled.
+  const SimClock* clock = nullptr;
+  // DB2 LOCKTIMEOUT: how long a request may wait before the caller is told
+  // to roll back. Negative = wait forever (the DB2 default).
+  DurationMs lock_timeout = -1;
+  // Optional lock event monitor (waits, escalations, timeouts, ...).
+  // Borrowed; invoked under the manager's mutex — must be fast and must
+  // not call back into the manager.
+  LockEventMonitor* monitor = nullptr;
+};
+
+class LockManager {
+ public:
+  explicit LockManager(LockManagerOptions options);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Requests `mode` on `resource` for `app`. Row requests implicitly take
+  // the intent table lock first. Re-requests by a holder are no-ops or
+  // conversions. An application must not issue requests while blocked.
+  LockResult Lock(AppId app, const ResourceId& resource, LockMode mode);
+
+  // Releases everything `app` holds or waits for (commit/abort under strict
+  // two-phase locking), granting unblocked waiters.
+  void ReleaseAll(AppId app);
+
+  // Releases one granted resource (used by tests and internal escalation).
+  Status Release(AppId app, const ResourceId& resource);
+
+  // True while `app` has a waiting request (possibly an escalation
+  // conversion) that has not been granted.
+  bool IsBlocked(AppId app) const;
+
+  // Runs waits-for cycle detection; for each cycle picks the application
+  // holding the fewest lock structures as victim. Victims are *reported*,
+  // not aborted: the caller must ReleaseAll() each (and roll back its
+  // transaction). Repeated calls without intervening ReleaseAll return the
+  // same victims.
+  std::vector<AppId> DetectDeadlocks();
+
+  // Reports applications whose wait has exceeded the configured
+  // lock_timeout (DB2's SQL0911N RC 68). Like deadlock victims they are
+  // only reported; the caller rolls them back with ReleaseAll(). Requires
+  // a clock and a non-negative lock_timeout; returns empty otherwise.
+  std::vector<AppId> ExpireTimedOutWaiters();
+
+  // §6.1 selective escalation: applications marked escalation-preferred
+  // escalate instead of growing lock memory when the lock list is full,
+  // conserving memory for caching and sorting.
+  void SetEscalationPreferred(AppId app, bool preferred);
+  bool IsEscalationPreferred(AppId app) const;
+
+  // --- tuning interface (used by the STMM lock memory tuner) ---
+
+  // Adds `count` blocks of lock memory. The caller is responsible for the
+  // memory accounting.
+  void AddBlocks(int64_t count);
+
+  // Removes `count` entirely-free blocks from the end of the list;
+  // all-or-nothing (paper §2.2). FAILED_PRECONDITION when fewer than
+  // `count` blocks are freeable.
+  Status TryRemoveBlocks(int64_t count);
+
+  void set_max_lock_memory(Bytes bytes);
+  Bytes max_lock_memory() const { return max_lock_memory_; }
+
+  // --- introspection ---
+  LockMemoryState MemoryState() const;
+  const LockManagerStats& stats() const { return stats_; }
+  Bytes allocated_bytes() const;
+  Bytes used_bytes() const;
+  int64_t block_count() const;
+  int64_t entirely_free_blocks() const;
+  // Current lockPercentPerApplication as externalized by the policy.
+  double CurrentMaxlocksPercent() const;
+  // Lock structures held (granted + waiting) by `app`.
+  int64_t HeldStructures(AppId app) const;
+  // Granted mode of `app` on `resource` (kNone when not held).
+  LockMode HeldMode(AppId app, const ResourceId& resource) const;
+  int64_t waiting_app_count() const;
+  // Distribution of completed lock-wait durations (ms). Only populated
+  // when a clock was supplied.
+  const Histogram& wait_time_histogram() const { return wait_times_; }
+  // Verifies block list and per-app accounting invariants (for tests).
+  Status CheckConsistency() const;
+
+ private:
+  struct Continuation {
+    ResourceId resource;
+    LockMode mode;
+  };
+
+  struct AppState {
+    std::vector<ResourceId> held;  // granted resources, unique
+    int64_t held_structures = 0;   // granted + waiting slots
+    std::unordered_map<TableId, int64_t> row_locks_per_table;
+    bool waiting = false;
+    ResourceId wait_resource;
+    LockMode wait_mode = LockMode::kNone;
+    bool wait_is_conversion = false;
+    bool wait_is_escalation = false;  // complete escalation when granted
+    TimeMs wait_since = 0;
+    std::optional<Continuation> continuation;
+  };
+
+  enum class AcquireOutcome { kDone, kBlocked, kNoMemory };
+
+  struct AllocResult {
+    LockBlock* slot = nullptr;
+    // The requester is waiting on its own escalation conversion; the
+    // request resumes as a continuation when it completes.
+    bool blocked = false;
+  };
+
+  // Full acquisition chain for one request; may recurse for intent locks
+  // and set wait state. `escalated` reports any escalation triggered.
+  AcquireOutcome TryAcquire(AppId app, const ResourceId& resource,
+                            LockMode mode, bool* escalated);
+
+  // Acquires `mode` on a single resource (no intent-chain handling).
+  AcquireOutcome AcquireOne(AppId app, const ResourceId& resource,
+                            LockMode mode, bool* escalated);
+
+  // Allocates one lock structure: from the block list, else by synchronous
+  // growth, else by escalating the heaviest row-lock holders (immediately
+  // when possible, otherwise by blocking the requester on its own
+  // escalation).
+  AllocResult AllocateStructure(AppId requester, bool* escalated);
+
+  // Escalates `app`: converts its intent lock on the most row-locked table
+  // to S or X and releases those row locks. Returns kDone when completed,
+  // kBlocked when the conversion had to wait, kNoMemory when the app has no
+  // row locks to escalate. With `only_if_immediate`, never blocks: returns
+  // kNoMemory instead (used for victims other than the requester).
+  AcquireOutcome EscalateApp(AppId app, bool only_if_immediate = false);
+
+  // Releases all of `app`'s row locks on `table` (escalation completion).
+  void ReleaseRowLocksOnTable(AppId app, TableId table);
+
+  // Grants eligible waiters on `resource` (and on any resources unlocked as
+  // a consequence), processing the cascade to fixpoint.
+  void ProcessQueue(const ResourceId& resource);
+
+  // Called when `app`'s waiting request was granted: clears wait state,
+  // completes escalation, and issues any continuation.
+  void OnWaitGranted(AppId app, const ResourceId& resource);
+
+  void EraseHeldEntry(AppState& state, const ResourceId& resource);
+
+  AppState& GetApp(AppId app);
+
+  LockHead* FindHead(const ResourceId& resource);
+  const LockHead* FindHead(const ResourceId& resource) const;
+
+  // Granted mode of `app` on `resource` (kNone when not held); assumes the
+  // mutex is held.
+  LockMode HeldModeLockedInternal(AppId app, const ResourceId& resource) const;
+
+  LockMemoryState MemoryStateLocked() const;
+
+  void DrainWorkList();
+
+  LockManagerOptions options_;
+  Bytes max_lock_memory_;
+
+  // Stamps wait-state entry, records it with the monitor.
+  void MarkWaitStart(AppId app, AppState& state);
+
+  // Delivers an event to the configured monitor (no-op without one).
+  void Emit(LockEventKind kind, AppId app, const ResourceId& resource,
+            LockMode mode, int64_t value);
+
+  mutable std::mutex mu_;
+  BlockList blocks_;
+  std::unordered_map<ResourceId, LockHead, ResourceIdHash> table_;
+  std::unordered_map<AppId, AppState> apps_;
+  std::unordered_set<AppId> escalation_preferred_;
+  std::deque<ResourceId> work_list_;
+  bool draining_ = false;
+  LockManagerStats stats_;
+  Histogram wait_times_{{1, 10, 100, 1000, 10'000, 100'000}};
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,82 @@
+#include "lock/lock_mode.h"
+
+#include <cassert>
+
+namespace locktune {
+
+namespace {
+
+constexpr int Idx(LockMode m) { return static_cast<int>(m); }
+
+// Rows/columns ordered: kNone, kIS, kIX, kS, kSIX, kU, kX.
+// U is compatible with S and IS but not with another U, which gives update
+// locks their lost-update protection.
+constexpr bool kCompatible[kNumLockModes][kNumLockModes] = {
+    //           None   IS     IX     S      SIX    U      X
+    /* None */ {true,  true,  true,  true,  true,  true,  true},
+    /* IS  */  {true,  true,  true,  true,  true,  true,  false},
+    /* IX  */  {true,  true,  true,  false, false, false, false},
+    /* S   */  {true,  true,  false, true,  false, true,  false},
+    /* SIX */  {true,  true,  false, false, false, false, false},
+    /* U   */  {true,  true,  false, true,  false, false, false},
+    /* X   */  {true,  false, false, false, false, false, false},
+};
+
+// Conversion lattice (least upper bound). Symmetric by construction.
+constexpr LockMode kSup[kNumLockModes][kNumLockModes] = {
+    //          None           IS             IX             S              SIX            U              X
+    /* None */ {LockMode::kNone, LockMode::kIS, LockMode::kIX, LockMode::kS, LockMode::kSIX, LockMode::kU, LockMode::kX},
+    /* IS  */  {LockMode::kIS,  LockMode::kIS,  LockMode::kIX,  LockMode::kS,   LockMode::kSIX, LockMode::kU,   LockMode::kX},
+    /* IX  */  {LockMode::kIX,  LockMode::kIX,  LockMode::kIX,  LockMode::kSIX, LockMode::kSIX, LockMode::kX,   LockMode::kX},
+    /* S   */  {LockMode::kS,   LockMode::kS,   LockMode::kSIX, LockMode::kS,   LockMode::kSIX, LockMode::kU,   LockMode::kX},
+    /* SIX */  {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kX},
+    /* U   */  {LockMode::kU,   LockMode::kU,   LockMode::kX,   LockMode::kU,   LockMode::kSIX, LockMode::kU,   LockMode::kX},
+    /* X   */  {LockMode::kX,   LockMode::kX,   LockMode::kX,   LockMode::kX,   LockMode::kX,   LockMode::kX,   LockMode::kX},
+};
+
+}  // namespace
+
+bool Compatible(LockMode a, LockMode b) {
+  return kCompatible[Idx(a)][Idx(b)];
+}
+
+LockMode Supremum(LockMode a, LockMode b) { return kSup[Idx(a)][Idx(b)]; }
+
+bool Covers(LockMode held, LockMode wanted) {
+  return Supremum(held, wanted) == held;
+}
+
+LockMode IntentModeFor(LockMode row_mode) {
+  switch (row_mode) {
+    case LockMode::kS:
+      return LockMode::kIS;
+    case LockMode::kU:
+    case LockMode::kX:
+      return LockMode::kIX;
+    default:
+      assert(false && "row locks must be S, U or X");
+      return LockMode::kIS;
+  }
+}
+
+std::string_view ModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNone:
+      return "NONE";
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kU:
+      return "U";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+}  // namespace locktune

@@ -1,0 +1,49 @@
+// Lock modes, compatibility, and the conversion lattice.
+//
+// locktune implements the standard System R / DB2 multigranularity modes:
+// intent share (IS), intent exclusive (IX), share (S), share with intent
+// exclusive (SIX), update (U) and exclusive (X). Row locks use S/U/X; table
+// locks use the full set. Escalation converts an application's intent table
+// lock to S or X and releases its row locks (paper §1, §2.2).
+#ifndef LOCKTUNE_LOCK_LOCK_MODE_H_
+#define LOCKTUNE_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace locktune {
+
+enum class LockMode : uint8_t {
+  kNone = 0,
+  kIS = 1,
+  kIX = 2,
+  kS = 3,
+  kSIX = 4,
+  kU = 5,
+  kX = 6,
+};
+
+inline constexpr int kNumLockModes = 7;
+
+// True when a resource may be held in `a` and `b` by different applications
+// simultaneously. kNone is compatible with everything.
+bool Compatible(LockMode a, LockMode b);
+
+// Least upper bound in the conversion lattice: the weakest single mode that
+// grants both `a` and `b` (e.g. sup(S, IX) = SIX, sup(U, IX) = X).
+LockMode Supremum(LockMode a, LockMode b);
+
+// True when holding `held` already confers all privileges of `wanted`
+// (i.e. Supremum(held, wanted) == held).
+bool Covers(LockMode held, LockMode wanted);
+
+// The intent mode a table must be held in before taking a row lock in
+// `row_mode`: IS for S, IX for U and X.
+LockMode IntentModeFor(LockMode row_mode);
+
+// Stable short name, e.g. "SIX".
+std::string_view ModeName(LockMode mode);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_LOCK_MODE_H_

@@ -1,0 +1,41 @@
+#include "lock/maxlocks_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace locktune {
+
+MaxlocksCurve::MaxlocksCurve(double p_max, double exponent,
+                             int refresh_period)
+    : p_max_(p_max), exponent_(exponent), refresh_period_(refresh_period) {
+  assert(p_max > 0.0 && p_max <= 100.0);
+  assert(exponent > 0.0);
+  assert(refresh_period > 0);
+}
+
+double MaxlocksCurve::Evaluate(double used_percent_of_max) const {
+  const double x = std::clamp(used_percent_of_max, 0.0, 100.0);
+  const double value = p_max_ * (1.0 - std::pow(x / 100.0, exponent_));
+  // The paper drops lockPercentPerApplication "down to 1 when lock memory is
+  // 100% of its maximum size": 1 % is the floor.
+  return std::clamp(value, 1.0, p_max_);
+}
+
+bool MaxlocksCurve::OnLockRequest() {
+  if (++requests_since_refresh_ >= refresh_period_) {
+    requests_since_refresh_ = 0;
+    dirty_ = true;
+  }
+  return dirty_;
+}
+
+double MaxlocksCurve::Current(double used_percent_of_max) {
+  if (dirty_) {
+    cached_percent_ = Evaluate(used_percent_of_max);
+    dirty_ = false;
+  }
+  return cached_percent_;
+}
+
+}  // namespace locktune

@@ -1,0 +1,12 @@
+#include "lock/resource.h"
+
+namespace locktune {
+
+std::string ResourceId::ToString() const {
+  if (kind == ResourceKind::kTable) {
+    return "tab(" + std::to_string(table) + ")";
+  }
+  return "row(" + std::to_string(table) + "," + std::to_string(row) + ")";
+}
+
+}  // namespace locktune

@@ -1,0 +1,58 @@
+// Lockable resource identifiers.
+//
+// locktune locks at two granularities: tables and rows (DB2 LUW does not use
+// page locks for data). A row resource is (table, row) so escalation can
+// find all of an application's row locks on one table.
+#ifndef LOCKTUNE_LOCK_RESOURCE_H_
+#define LOCKTUNE_LOCK_RESOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace locktune {
+
+using TableId = int32_t;
+
+enum class ResourceKind : uint8_t {
+  kTable = 0,
+  kRow = 1,
+};
+
+struct ResourceId {
+  ResourceKind kind = ResourceKind::kTable;
+  TableId table = 0;
+  int64_t row = 0;  // 0 for table resources
+
+  friend bool operator==(const ResourceId& a, const ResourceId& b) {
+    return a.kind == b.kind && a.table == b.table && a.row == b.row;
+  }
+
+  // Debug form, e.g. "tab(3)" / "row(3,17)".
+  std::string ToString() const;
+};
+
+inline ResourceId TableResource(TableId table) {
+  return ResourceId{ResourceKind::kTable, table, 0};
+}
+
+inline ResourceId RowResource(TableId table, int64_t row) {
+  return ResourceId{ResourceKind::kRow, table, row};
+}
+
+struct ResourceIdHash {
+  size_t operator()(const ResourceId& r) const {
+    // 64-bit mix of (kind, table, row); splitmix-style finalizer.
+    uint64_t h = static_cast<uint64_t>(r.row) * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(r.table)) << 1) |
+         static_cast<uint64_t>(r.kind);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_RESOURCE_H_

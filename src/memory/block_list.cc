@@ -1,0 +1,96 @@
+#include "memory/block_list.h"
+
+#include <cassert>
+#include <vector>
+
+namespace locktune {
+
+LockBlock* BlockList::AddBlock() {
+  active_.push_back(std::make_unique<LockBlock>(next_block_id_++));
+  return active_.back().get();
+}
+
+Result<LockBlock*> BlockList::AllocateSlot() {
+  if (active_.empty()) {
+    return Status::ResourceExhausted("no free lock structures");
+  }
+  LockBlock* head = active_.front().get();
+  head->TakeSlot();
+  ++slots_in_use_;
+  if (head->full()) {
+    // The head block is exhausted; park it until one of its locks frees.
+    exhausted_.splice(exhausted_.end(), active_, active_.begin());
+  }
+  return head;
+}
+
+void BlockList::FreeSlot(LockBlock* block) {
+  assert(block != nullptr);
+  const bool was_exhausted = block->full();
+  block->ReturnSlot();
+  --slots_in_use_;
+  if (was_exhausted) {
+    // Returns to the head of the active list so the next request is
+    // satisfied from this block again (paper §2.2).
+    auto it = Find(exhausted_, block);
+    active_.splice(active_.begin(), exhausted_, it);
+  }
+}
+
+Status BlockList::TryRemoveBlocks(int64_t count) {
+  if (count <= 0) return Status::Ok();
+  // Scan from the end of the active list, setting aside entirely free
+  // blocks. (Exhausted blocks are by definition not freeable.)
+  std::vector<std::list<BlockPtr>::iterator> set_aside;
+  for (auto it = active_.end(); it != active_.begin();) {
+    --it;
+    if ((*it)->empty()) {
+      set_aside.push_back(it);
+      if (static_cast<int64_t>(set_aside.size()) == count) break;
+    }
+  }
+  if (static_cast<int64_t>(set_aside.size()) < count) {
+    // Not enough freeable blocks: reintegrate (a no-op here, since blocks
+    // were only marked) and fail the request, as DB2 does.
+    return Status::FailedPrecondition("not enough freeable lock blocks");
+  }
+  for (auto it : set_aside) active_.erase(it);
+  return Status::Ok();
+}
+
+int64_t BlockList::entirely_free_blocks() const {
+  int64_t n = 0;
+  for (const auto& b : active_) {
+    if (b->empty()) ++n;
+  }
+  return n;
+}
+
+Status BlockList::CheckConsistency() const {
+  int64_t in_use = 0;
+  for (const auto& b : active_) {
+    if (b->full()) return Status::Internal("full block on active list");
+    in_use += b->in_use();
+  }
+  for (const auto& b : exhausted_) {
+    if (!b->full()) {
+      return Status::Internal("non-full block on exhausted list");
+    }
+    in_use += b->in_use();
+  }
+  if (in_use != slots_in_use_) {
+    return Status::Internal("slots_in_use_ does not match per-block sums");
+  }
+  return Status::Ok();
+}
+
+std::list<BlockList::BlockPtr>::iterator BlockList::Find(
+    std::list<BlockPtr>& from, const LockBlock* block) {
+  for (auto it = from.begin(); it != from.end(); ++it) {
+    if (it->get() == block) return it;
+  }
+  assert(false && "block not found on expected list");
+  return from.end();
+}
+
+}  // namespace locktune

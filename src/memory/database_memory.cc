@@ -1,0 +1,96 @@
+#include "memory/database_memory.h"
+
+#include <cassert>
+
+namespace locktune {
+
+DatabaseMemory::DatabaseMemory(Bytes total, Bytes overflow_goal)
+    : total_(total), overflow_goal_(overflow_goal) {
+  assert(total > 0);
+  assert(overflow_goal >= 0 && overflow_goal <= total);
+}
+
+Result<MemoryHeap*> DatabaseMemory::RegisterHeap(const std::string& name,
+                                                 ConsumerClass consumer_class,
+                                                 Bytes initial, Bytes min_size,
+                                                 Bytes max_size) {
+  if (initial < 0 || min_size < 0 || max_size < min_size) {
+    return Status::InvalidArgument("invalid heap bounds for " + name);
+  }
+  if (initial < min_size || initial > max_size) {
+    return Status::InvalidArgument("initial size outside bounds for " + name);
+  }
+  if (FindHeap(name) != nullptr) {
+    return Status::AlreadyExists("heap " + name + " already registered");
+  }
+  if (initial > overflow_bytes()) {
+    return Status::ResourceExhausted("not enough free database memory for " +
+                                     name);
+  }
+  heaps_.emplace_back(new MemoryHeap(name, consumer_class, initial, min_size,
+                                     max_size));
+  return heaps_.back().get();
+}
+
+Status DatabaseMemory::GrowHeap(MemoryHeap* heap, Bytes delta) {
+  if (Status s = CheckOwned(heap); !s.ok()) return s;
+  if (delta < 0) return Status::InvalidArgument("negative growth");
+  if (delta == 0) return Status::Ok();
+  if (heap->size_ + delta > heap->max_size_) {
+    return Status::OutOfRange("heap " + heap->name_ + " would exceed max");
+  }
+  if (delta > overflow_bytes()) {
+    return Status::ResourceExhausted("overflow memory exhausted");
+  }
+  heap->size_ += delta;
+  return Status::Ok();
+}
+
+Status DatabaseMemory::ShrinkHeap(MemoryHeap* heap, Bytes delta) {
+  if (Status s = CheckOwned(heap); !s.ok()) return s;
+  if (delta < 0) return Status::InvalidArgument("negative shrink");
+  if (delta == 0) return Status::Ok();
+  if (heap->size_ - delta < heap->min_size_ || heap->size_ - delta < 0) {
+    return Status::OutOfRange("heap " + heap->name_ +
+                              " would fall below min");
+  }
+  heap->size_ -= delta;
+  return Status::Ok();
+}
+
+Status DatabaseMemory::Transfer(MemoryHeap* from, MemoryHeap* to,
+                                Bytes delta) {
+  if (Status s = ShrinkHeap(from, delta); !s.ok()) return s;
+  if (Status s = GrowHeap(to, delta); !s.ok()) {
+    // Roll back the shrink so the call is atomic.
+    Status undo = GrowHeap(from, delta);
+    assert(undo.ok());
+    (void)undo;
+    return s;
+  }
+  return Status::Ok();
+}
+
+MemoryHeap* DatabaseMemory::FindHeap(const std::string& name) const {
+  for (const auto& h : heaps_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+Bytes DatabaseMemory::overflow_bytes() const { return total_ - heap_bytes(); }
+
+Bytes DatabaseMemory::heap_bytes() const {
+  Bytes sum = 0;
+  for (const auto& h : heaps_) sum += h->size();
+  return sum;
+}
+
+Status DatabaseMemory::CheckOwned(const MemoryHeap* heap) const {
+  for (const auto& h : heaps_) {
+    if (h.get() == heap) return Status::Ok();
+  }
+  return Status::InvalidArgument("heap not owned by this DatabaseMemory");
+}
+
+}  // namespace locktune

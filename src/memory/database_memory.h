@@ -1,0 +1,74 @@
+// The database shared memory set with overflow memory (paper §2.1).
+//
+// `databaseMemory` is a fixed total. Registered heaps partition part of it;
+// whatever is not owned by a heap is the *overflow* area — "memory allocated
+// to the database but not yet in use by a memory consumer". Heaps grow into
+// overflow on demand, first come first served; STMM steers overflow back
+// toward its goal at each tuning interval by shrinking other heaps.
+#ifndef LOCKTUNE_MEMORY_DATABASE_MEMORY_H_
+#define LOCKTUNE_MEMORY_DATABASE_MEMORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "memory/memory_heap.h"
+
+namespace locktune {
+
+class DatabaseMemory {
+ public:
+  // `total` is databaseMemory; `overflow_goal` is the amount STMM tries to
+  // keep unowned as the on-demand reserve.
+  DatabaseMemory(Bytes total, Bytes overflow_goal);
+
+  DatabaseMemory(const DatabaseMemory&) = delete;
+  DatabaseMemory& operator=(const DatabaseMemory&) = delete;
+
+  // Creates a heap carved out of overflow memory. Fails if `initial` exceeds
+  // the available overflow or violates the bounds. The returned pointer is
+  // owned by DatabaseMemory and valid for its lifetime.
+  Result<MemoryHeap*> RegisterHeap(const std::string& name,
+                                   ConsumerClass consumer_class,
+                                   Bytes initial, Bytes min_size,
+                                   Bytes max_size);
+
+  // Grows `heap` by `delta` bytes taken from overflow. Fails with
+  // RESOURCE_EXHAUSTED when overflow is insufficient, OUT_OF_RANGE when the
+  // heap's max would be exceeded.
+  Status GrowHeap(MemoryHeap* heap, Bytes delta);
+
+  // Shrinks `heap` by `delta` bytes, returning them to overflow. Fails with
+  // OUT_OF_RANGE when the heap would fall below its min or below zero.
+  Status ShrinkHeap(MemoryHeap* heap, Bytes delta);
+
+  // Moves `delta` bytes directly from one heap to another (STMM heap-to-heap
+  // redistribution that bypasses the overflow goal).
+  Status Transfer(MemoryHeap* from, MemoryHeap* to, Bytes delta);
+
+  MemoryHeap* FindHeap(const std::string& name) const;
+
+  Bytes total() const { return total_; }
+  Bytes overflow_goal() const { return overflow_goal_; }
+  // Memory not owned by any heap: the on-demand reserve.
+  Bytes overflow_bytes() const;
+  // Sum of all heap sizes.
+  Bytes heap_bytes() const;
+
+  const std::vector<std::unique_ptr<MemoryHeap>>& heaps() const {
+    return heaps_;
+  }
+
+ private:
+  Status CheckOwned(const MemoryHeap* heap) const;
+
+  Bytes total_;
+  Bytes overflow_goal_;
+  std::vector<std::unique_ptr<MemoryHeap>> heaps_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_MEMORY_DATABASE_MEMORY_H_

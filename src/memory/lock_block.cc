@@ -1,0 +1,17 @@
+#include "memory/lock_block.h"
+
+#include <cassert>
+
+namespace locktune {
+
+void LockBlock::TakeSlot() {
+  assert(!full());
+  ++in_use_;
+}
+
+void LockBlock::ReturnSlot() {
+  assert(in_use_ > 0);
+  --in_use_;
+}
+
+}  // namespace locktune

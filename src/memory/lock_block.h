@@ -1,0 +1,41 @@
+// A single 128 KB lock memory block (paper §2.2).
+//
+// Blocks are accounting objects: each tracks how many of its 2048 lock
+// structure slots are in use. The lock manager allocates lock structures
+// from blocks through BlockList, which implements DB2's list discipline.
+#ifndef LOCKTUNE_MEMORY_LOCK_BLOCK_H_
+#define LOCKTUNE_MEMORY_LOCK_BLOCK_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace locktune {
+
+class LockBlock {
+ public:
+  explicit LockBlock(int64_t id) : id_(id) {}
+
+  LockBlock(const LockBlock&) = delete;
+  LockBlock& operator=(const LockBlock&) = delete;
+
+  int64_t id() const { return id_; }
+  int capacity() const { return kLocksPerBlock; }
+  int in_use() const { return in_use_; }
+  int free_slots() const { return kLocksPerBlock - in_use_; }
+  bool full() const { return in_use_ == kLocksPerBlock; }
+  bool empty() const { return in_use_ == 0; }
+
+  // Takes one lock structure slot. Precondition: !full().
+  void TakeSlot();
+  // Returns one lock structure slot. Precondition: in_use() > 0.
+  void ReturnSlot();
+
+ private:
+  int64_t id_;
+  int in_use_ = 0;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_MEMORY_LOCK_BLOCK_H_

@@ -1,0 +1,58 @@
+// Database memory heaps (paper §2.1).
+//
+// STMM divides memory consumers into performance-related consumers (PMCs:
+// buffer pools, sort, hash join, package cache — more memory means faster)
+// and functional consumers (FMCs: memory without which operations fail).
+// Lock memory is modelled as an FMC because lock escalation behaves like a
+// denial of service.
+#ifndef LOCKTUNE_MEMORY_MEMORY_HEAP_H_
+#define LOCKTUNE_MEMORY_MEMORY_HEAP_H_
+
+#include <string>
+
+#include "common/units.h"
+
+namespace locktune {
+
+enum class ConsumerClass {
+  kPerformance,  // PMC: tuned by cost-benefit
+  kFunctional,   // FMC: tuned deterministically (lock memory)
+};
+
+// Size accounting for one heap inside the database shared memory set.
+// Heaps are created and resized only through DatabaseMemory, which enforces
+// the total-memory and overflow invariants.
+class MemoryHeap {
+ public:
+  const std::string& name() const { return name_; }
+  ConsumerClass consumer_class() const { return consumer_class_; }
+  Bytes size() const { return size_; }
+  Bytes min_size() const { return min_size_; }
+  Bytes max_size() const { return max_size_; }
+
+  // Updates the bounds; `size()` is not clamped retroactively — the next
+  // resize through DatabaseMemory enforces them.
+  void set_min_size(Bytes min_size) { min_size_ = min_size; }
+  void set_max_size(Bytes max_size) { max_size_ = max_size; }
+
+ private:
+  friend class DatabaseMemory;
+
+  MemoryHeap(std::string name, ConsumerClass consumer_class, Bytes size,
+             Bytes min_size, Bytes max_size)
+      : name_(std::move(name)),
+        consumer_class_(consumer_class),
+        size_(size),
+        min_size_(min_size),
+        max_size_(max_size) {}
+
+  std::string name_;
+  ConsumerClass consumer_class_;
+  Bytes size_;
+  Bytes min_size_;
+  Bytes max_size_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_MEMORY_MEMORY_HEAP_H_

@@ -1,0 +1,140 @@
+#include "workload/application.h"
+
+#include <cassert>
+
+namespace locktune {
+
+Application::Application(AppId id, Database* db, Workload* workload,
+                         uint64_t seed, DurationMs tick)
+    : id_(id),
+      db_(db),
+      workload_(workload),
+      rng_(seed),
+      tick_(tick) {
+  assert(db != nullptr && workload != nullptr);
+  assert(tick > 0);
+}
+
+void Application::Connect() {
+  if (phase_ != AppPhase::kDisconnected) return;
+  phase_ = AppPhase::kThinking;
+  // Small random offset so simultaneous connects don't lockstep.
+  timer_ = rng_.NextInRange(0, 100);
+}
+
+void Application::Disconnect() {
+  if (phase_ == AppPhase::kDisconnected) return;
+  db_->locks().ReleaseAll(id_);
+  phase_ = AppPhase::kDisconnected;
+  acquired_ = 0;
+}
+
+void Application::AbortForDeadlock() {
+  assert(phase_ == AppPhase::kBlocked);
+  ++stats_.deadlock_aborts;
+  AbortToThinking();
+}
+
+void Application::AbortForTimeout() {
+  assert(phase_ == AppPhase::kBlocked);
+  ++stats_.timeout_aborts;
+  AbortToThinking();
+}
+
+void Application::Tick() {
+  switch (phase_) {
+    case AppPhase::kDisconnected:
+      return;
+    case AppPhase::kBlocked:
+      if (db_->locks().IsBlocked(id_)) {
+        ++stats_.blocked_ticks;
+        return;
+      }
+      // The queued request was granted while we slept.
+      ++acquired_;
+      ++stats_.locks_acquired;
+      phase_ = AppPhase::kRunning;
+      RunAcquisition();
+      return;
+    case AppPhase::kThinking:
+      timer_ -= tick_;
+      if (timer_ > 0) return;
+      StartTransaction();
+      return;
+    case AppPhase::kRunning:
+      RunAcquisition();
+      return;
+    case AppPhase::kHolding:
+      timer_ -= tick_;
+      if (timer_ <= 0) Commit();
+      return;
+  }
+}
+
+void Application::StartTransaction() {
+  profile_ = workload_->NextTransaction(rng_);
+  assert(profile_.total_locks > 0 && profile_.locks_per_tick > 0);
+  acquired_ = 0;
+  table_plan_ =
+      compiler_ != nullptr &&
+      compiler_->ChooseGranularity(profile_.total_locks) ==
+          LockGranularity::kTable;
+  if (table_plan_) ++stats_.table_plan_txns;
+  phase_ = AppPhase::kRunning;
+}
+
+void Application::RunAcquisition() {
+  for (int i = 0; i < profile_.locks_per_tick; ++i) {
+    if (acquired_ >= profile_.total_locks) break;
+    const RowAccess access = workload_->NextAccess(rng_);
+    // A table-locking plan (§3.6) fixes the coarse granularity at compile
+    // time: the self-tuning lock memory never gets a chance to avoid it.
+    const ResourceId resource =
+        table_plan_ ? TableResource(access.table)
+                    : RowResource(access.table, access.row);
+    const LockMode mode =
+        table_plan_ && access.mode != LockMode::kS ? LockMode::kX
+                                                   : access.mode;
+    const LockResult result = db_->locks().Lock(id_, resource, mode);
+    switch (result.outcome) {
+      case LockOutcome::kGranted:
+        ++acquired_;
+        ++stats_.locks_acquired;
+        break;
+      case LockOutcome::kWaiting:
+        phase_ = AppPhase::kBlocked;
+        return;
+      case LockOutcome::kOutOfMemory:
+        // The statement failed (DB2 would return SQL0912N); abort the
+        // transaction and retry after thinking.
+        ++stats_.oom_aborts;
+        AbortToThinking();
+        return;
+    }
+  }
+  if (acquired_ >= profile_.total_locks) {
+    if (profile_.hold_time > 0) {
+      phase_ = AppPhase::kHolding;
+      timer_ = profile_.hold_time;
+    } else {
+      Commit();
+    }
+  }
+}
+
+void Application::Commit() {
+  db_->locks().ReleaseAll(id_);
+  ++stats_.commits;
+  acquired_ = 0;
+  phase_ = AppPhase::kThinking;
+  timer_ = profile_.think_time > 0 ? profile_.think_time : tick_;
+}
+
+void Application::AbortToThinking() {
+  db_->locks().ReleaseAll(id_);
+  acquired_ = 0;
+  phase_ = AppPhase::kThinking;
+  timer_ = profile_.think_time > 0 ? profile_.think_time : tick_;
+}
+
+}  // namespace locktune

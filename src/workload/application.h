@@ -1,0 +1,96 @@
+// Client application state machine.
+//
+// Each Application models one database connection running transactions from
+// a Workload: think → acquire row locks at the workload's rate → (optionally
+// hold) → commit, blocking whenever the lock manager queues a request and
+// aborting/retrying when chosen as a deadlock victim. Strict two-phase
+// locking: all locks release at commit or abort.
+#ifndef LOCKTUNE_WORKLOAD_APPLICATION_H_
+#define LOCKTUNE_WORKLOAD_APPLICATION_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/query_compiler.h"
+#include "workload/workload.h"
+
+namespace locktune {
+
+enum class AppPhase {
+  kDisconnected,
+  kThinking,
+  kRunning,
+  kHolding,  // scan finished, locks retained until the hold timer expires
+  kBlocked,
+};
+
+struct ApplicationStats {
+  int64_t commits = 0;
+  int64_t table_plan_txns = 0;  // transactions compiled to table locking
+  int64_t deadlock_aborts = 0;
+  int64_t timeout_aborts = 0;  // lock waits past LOCKTIMEOUT
+  int64_t oom_aborts = 0;  // transactions failed for lack of lock memory
+  int64_t locks_acquired = 0;
+  int64_t blocked_ticks = 0;
+};
+
+class Application {
+ public:
+  // `db` and `workload` are borrowed and must outlive the application.
+  // `tick` is the simulation tick length the runner drives with.
+  Application(AppId id, Database* db, Workload* workload, uint64_t seed,
+              DurationMs tick);
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  // Advances one simulation tick.
+  void Tick();
+
+  // Connection management (used by scenario timelines). Disconnecting
+  // mid-transaction aborts it and releases all locks.
+  void Connect();
+  void Disconnect();
+  bool connected() const { return phase_ != AppPhase::kDisconnected; }
+
+  // Deadlock victim treatment: abort the transaction and retry after the
+  // workload's think time.
+  void AbortForDeadlock();
+
+  // Lock-timeout treatment (DB2 SQL0911N RC 68): same rollback-and-retry.
+  void AbortForTimeout();
+
+  // Optional SQL compiler (§3.6): when set, each transaction's locking
+  // granularity is chosen at start from the compiler's lock memory view; a
+  // table-locking plan locks whole tables instead of rows.
+  void set_compiler(const QueryCompiler* compiler) { compiler_ = compiler; }
+
+  AppId id() const { return id_; }
+  AppPhase phase() const { return phase_; }
+  const ApplicationStats& stats() const { return stats_; }
+
+ private:
+  void StartTransaction();
+  void RunAcquisition();
+  void Commit();
+  void AbortToThinking();
+
+  AppId id_;
+  Database* db_;
+  Workload* workload_;
+  Rng rng_;
+  DurationMs tick_;
+
+  AppPhase phase_ = AppPhase::kDisconnected;
+  const QueryCompiler* compiler_ = nullptr;
+  bool table_plan_ = false;  // current transaction uses table locking
+  TransactionProfile profile_;
+  int64_t acquired_ = 0;
+  DurationMs timer_ = 0;  // think or hold countdown
+  ApplicationStats stats_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_WORKLOAD_APPLICATION_H_

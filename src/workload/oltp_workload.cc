@@ -1,0 +1,47 @@
+#include "workload/oltp_workload.h"
+
+#include <cassert>
+
+namespace locktune {
+
+OltpWorkload::OltpWorkload(const Catalog& catalog, const OltpOptions& options)
+    : options_(options) {
+  assert(options.mean_locks_per_txn > 0);
+  assert(options.locks_per_tick > 0);
+  assert(options.write_fraction >= 0.0 && options.write_fraction <= 1.0);
+  tables_ = catalog.TablesWithPrefix("tpcc_");
+  assert(!tables_.empty());
+  for (TableId t : tables_) {
+    const int64_t rows = catalog.Get(t).row_count;
+    row_counts_.push_back(rows);
+    row_pickers_.emplace_back(static_cast<uint64_t>(rows),
+                              options.row_zipf_theta);
+    total_rows_ += rows;
+    cumulative_rows_.push_back(total_rows_);
+  }
+}
+
+TransactionProfile OltpWorkload::NextTransaction(Rng& rng) {
+  TransactionProfile p;
+  const int64_t mean = options_.mean_locks_per_txn;
+  p.total_locks = rng.NextInRange(mean - mean / 2, mean + mean / 2);
+  p.locks_per_tick = options_.locks_per_tick;
+  p.hold_time = 0;
+  p.think_time = options_.think_time;
+  return p;
+}
+
+RowAccess OltpWorkload::NextAccess(Rng& rng) {
+  // Weighted by table size: most row locks land on the big tables.
+  const int64_t pick =
+      rng.NextInRange(0, total_rows_ - 1);
+  size_t i = 0;
+  while (cumulative_rows_[i] <= pick) ++i;
+  RowAccess a;
+  a.table = tables_[i];
+  a.row = static_cast<int64_t>(row_pickers_[i].Next(rng));
+  a.mode = rng.NextBool(options_.write_fraction) ? LockMode::kX : LockMode::kS;
+  return a;
+}
+
+}  // namespace locktune

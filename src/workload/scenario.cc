@@ -1,0 +1,177 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locktune {
+
+const char ScenarioRunner::kLockAllocatedMb[] = "lock_allocated_mb";
+const char ScenarioRunner::kLockUsedMb[] = "lock_used_mb";
+const char ScenarioRunner::kLmocMb[] = "lmoc_mb";
+const char ScenarioRunner::kThroughputTps[] = "throughput_tps";
+const char ScenarioRunner::kEscalations[] = "escalations";
+const char ScenarioRunner::kExclusiveEscalations[] = "exclusive_escalations";
+const char ScenarioRunner::kLockWaits[] = "lock_waits";
+const char ScenarioRunner::kMaxlocksPercent[] = "maxlocks_percent";
+const char ScenarioRunner::kOverflowMb[] = "overflow_mb";
+const char ScenarioRunner::kClients[] = "clients";
+const char ScenarioRunner::kBlockedApps[] = "blocked_apps";
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}
+
+int ClientTimeline::ActiveAt(TimeMs t) const {
+  int active = 0;
+  for (const auto& [from, count] : steps) {
+    if (from > t) break;
+    active = count;
+  }
+  return active;
+}
+
+int ClientTimeline::MaxClients() const {
+  int max_clients = 0;
+  for (const auto& [from, count] : steps) {
+    max_clients = std::max(max_clients, count);
+  }
+  return max_clients;
+}
+
+ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
+                               const ScenarioOptions& options)
+    : db_(db), groups_(std::move(groups)), options_(options) {
+  assert(db != nullptr);
+  assert(options.tick > 0);
+  // First sample lands one full period in, so every sample window covers
+  // the same span.
+  next_sample_ = db->clock().now() + options_.sample_period;
+  AppId next_id = 1;
+  Rng seeder(options_.seed);
+  for (const ClientTimeline& g : groups_) {
+    assert(g.workload != nullptr);
+    group_start_.push_back(apps_.size());
+    for (int i = 0; i < g.MaxClients(); ++i) {
+      apps_.push_back(std::make_unique<Application>(
+          next_id++, db_, g.workload, seeder.Next(), options_.tick));
+    }
+  }
+  group_start_.push_back(apps_.size());
+}
+
+void ScenarioRunner::Run() { RunUntil(options_.duration); }
+
+void ScenarioRunner::RunUntil(TimeMs until) {
+  while (db_->clock().now() < until) {
+    const TimeMs now = db_->clock().now();
+    ApplyTimelines(now);
+
+    for (const auto& app : apps_) {
+      if (app->connected()) app->Tick();
+    }
+
+    // Advance virtual time; due STMM tuning passes run inside.
+    db_->Tick(options_.tick);
+
+    if (now >= next_deadlock_check_) {
+      next_deadlock_check_ = now + options_.deadlock_check_period;
+      for (AppId victim : db_->locks().DetectDeadlocks()) {
+        // Victim AppIds are 1-based application indices by construction.
+        const size_t idx = static_cast<size_t>(victim - 1);
+        assert(idx < apps_.size());
+        apps_[idx]->AbortForDeadlock();
+      }
+      for (AppId victim : db_->locks().ExpireTimedOutWaiters()) {
+        const size_t idx = static_cast<size_t>(victim - 1);
+        assert(idx < apps_.size());
+        apps_[idx]->AbortForTimeout();
+      }
+    }
+
+    if (db_->clock().now() >= next_sample_) {
+      next_sample_ += options_.sample_period;
+      Sample(db_->clock().now());
+    }
+  }
+}
+
+void ScenarioRunner::ApplyTimelines(TimeMs now) {
+  int total_active = 0;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const int want = groups_[g].ActiveAt(now);
+    total_active += want;
+    const size_t start = group_start_[g];
+    const size_t end = group_start_[g + 1];
+    assert(static_cast<size_t>(want) <= end - start);
+    for (size_t i = start; i < end; ++i) {
+      const bool should_connect = i - start < static_cast<size_t>(want);
+      if (should_connect && !apps_[i]->connected()) {
+        apps_[i]->Connect();
+      } else if (!should_connect && apps_[i]->connected()) {
+        apps_[i]->Disconnect();
+      }
+    }
+  }
+  db_->set_connected_applications(total_active);
+}
+
+void ScenarioRunner::Sample(TimeMs now) {
+  const LockManagerStats& stats = db_->locks().stats();
+  const double seconds =
+      static_cast<double>(options_.sample_period) / 1000.0;
+  const int64_t commits = total_commits();
+
+  series_.Record(kLockAllocatedMb, now,
+                 static_cast<double>(db_->locks().allocated_bytes()) /
+                     kBytesPerMb);
+  series_.Record(kLockUsedMb, now,
+                 static_cast<double>(db_->locks().used_bytes()) / kBytesPerMb);
+  series_.Record(kLmocMb, now,
+                 db_->stmm() != nullptr
+                     ? static_cast<double>(db_->stmm()->lmoc()) / kBytesPerMb
+                     : static_cast<double>(db_->locks().allocated_bytes()) /
+                           kBytesPerMb);
+  series_.Record(kThroughputTps, now,
+                 static_cast<double>(commits - last_sample_commits_) /
+                     seconds);
+  last_sample_commits_ = commits;
+  series_.Record(kEscalations, now, static_cast<double>(stats.escalations));
+  series_.Record(kExclusiveEscalations, now,
+                 static_cast<double>(stats.exclusive_escalations));
+  series_.Record(kLockWaits, now, static_cast<double>(stats.lock_waits));
+  series_.Record(kMaxlocksPercent, now,
+                 db_->locks().CurrentMaxlocksPercent());
+  series_.Record(kOverflowMb, now,
+                 static_cast<double>(db_->memory().overflow_bytes()) /
+                     kBytesPerMb);
+  series_.Record(kClients, now,
+                 static_cast<double>(db_->connected_applications()));
+  series_.Record(kBlockedApps, now,
+                 static_cast<double>(db_->locks().waiting_app_count()));
+}
+
+int64_t ScenarioRunner::total_commits() const {
+  int64_t sum = 0;
+  for (const auto& app : apps_) sum += app->stats().commits;
+  return sum;
+}
+
+int64_t ScenarioRunner::total_deadlock_aborts() const {
+  int64_t sum = 0;
+  for (const auto& app : apps_) sum += app->stats().deadlock_aborts;
+  return sum;
+}
+
+int64_t ScenarioRunner::total_timeout_aborts() const {
+  int64_t sum = 0;
+  for (const auto& app : apps_) sum += app->stats().timeout_aborts;
+  return sum;
+}
+
+int64_t ScenarioRunner::total_oom_aborts() const {
+  int64_t sum = 0;
+  for (const auto& app : apps_) sum += app->stats().oom_aborts;
+  return sum;
+}
+
+}  // namespace locktune

@@ -1,0 +1,102 @@
+// Scenario driver: scripted client timelines over a Database.
+//
+// A scenario is a set of client groups, each sharing a Workload and an
+// active-client step function over virtual time (ramp, surge, reduction,
+// injection). The runner advances the simulation tick by tick, drives every
+// connected application, runs deadlock detection, and samples the metric
+// series each experiment reports (lock memory allocated/used, throughput,
+// escalations, ...).
+#ifndef LOCKTUNE_WORKLOAD_SCENARIO_H_
+#define LOCKTUNE_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/time_series.h"
+#include "engine/database.h"
+#include "workload/application.h"
+#include "workload/workload.h"
+
+namespace locktune {
+
+// Step function of active clients: `steps` are (from_time, client_count)
+// pairs sorted by time; the count holds until the next step.
+struct ClientTimeline {
+  Workload* workload = nullptr;  // borrowed
+  std::vector<std::pair<TimeMs, int>> steps;
+
+  int ActiveAt(TimeMs t) const;
+  int MaxClients() const;
+};
+
+struct ScenarioOptions {
+  DurationMs tick = 100;
+  DurationMs sample_period = 1 * kSecond;
+  DurationMs deadlock_check_period = 1 * kSecond;
+  DurationMs duration = 1 * kMinute;
+  uint64_t seed = 42;
+};
+
+class ScenarioRunner {
+ public:
+  // `db` and the workloads inside `groups` are borrowed.
+  ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
+                 const ScenarioOptions& options);
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Runs the scenario to options().duration.
+  void Run();
+
+  // Runs until the given virtual time (callable repeatedly for phased
+  // assertions in tests).
+  void RunUntil(TimeMs until);
+
+  const TimeSeriesSet& series() const { return series_; }
+  const ScenarioOptions& options() const { return options_; }
+  Database* db() { return db_; }
+
+  // Aggregates over all applications.
+  int64_t total_commits() const;
+  int64_t total_deadlock_aborts() const;
+  int64_t total_timeout_aborts() const;
+  int64_t total_oom_aborts() const;
+
+  const std::vector<std::unique_ptr<Application>>& applications() const {
+    return apps_;
+  }
+
+  // Series names sampled each sample_period.
+  static const char kLockAllocatedMb[];
+  static const char kLockUsedMb[];
+  static const char kLmocMb[];
+  static const char kThroughputTps[];
+  static const char kEscalations[];
+  static const char kExclusiveEscalations[];
+  static const char kLockWaits[];
+  static const char kMaxlocksPercent[];
+  static const char kOverflowMb[];
+  static const char kClients[];
+  static const char kBlockedApps[];
+
+ private:
+  void ApplyTimelines(TimeMs now);
+  void Sample(TimeMs now);
+
+  Database* db_;
+  std::vector<ClientTimeline> groups_;
+  ScenarioOptions options_;
+  std::vector<std::unique_ptr<Application>> apps_;
+  // apps_ index range [group_start_[g], group_start_[g+1]) belongs to
+  // group g.
+  std::vector<size_t> group_start_;
+  TimeSeriesSet series_;
+  TimeMs next_sample_ = 0;
+  TimeMs next_deadlock_check_ = 0;
+  int64_t last_sample_commits_ = 0;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_WORKLOAD_SCENARIO_H_

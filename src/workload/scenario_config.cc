@@ -1,0 +1,262 @@
+#include "workload/scenario_config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace locktune {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status LineError(int line_no, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 message);
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<ScenarioSpec> ParseScenario(const std::string& text) {
+  ScenarioSpec spec;
+  spec.runner.duration = 60 * kSecond;
+  WorkloadSpec* section = nullptr;
+
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments.
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+
+    // Section headers.
+    if (tokens[0] == "[oltp]" || tokens[0] == "[dss]" ||
+        tokens[0] == "[batch]") {
+      if (tokens.size() != 1) return LineError(line_no, "trailing tokens");
+      spec.workloads.emplace_back();
+      section = &spec.workloads.back();
+      section->kind = tokens[0] == "[oltp]"  ? WorkloadSpec::Kind::kOltp
+                      : tokens[0] == "[dss]" ? WorkloadSpec::Kind::kDss
+                                             : WorkloadSpec::Kind::kBatch;
+      continue;
+    }
+    if (tokens[0].front() == '[') {
+      return LineError(line_no, "unknown section " + tokens[0]);
+    }
+
+    const std::string& key = tokens[0];
+    const auto need = [&](size_t n) { return tokens.size() == n + 1; };
+    int64_t iv = 0;
+    double dv = 0.0;
+
+    if (section == nullptr) {
+      // Global keys.
+      if (key == "database_memory_mb" && need(1) &&
+          ParseInt(tokens[1], &iv) && iv > 0) {
+        spec.database.params.database_memory = iv * kMiB;
+      } else if (key == "mode" && need(1)) {
+        if (tokens[1] == "selftuning") {
+          spec.database.mode = TuningMode::kSelfTuning;
+        } else if (tokens[1] == "static") {
+          spec.database.mode = TuningMode::kStatic;
+        } else if (tokens[1] == "sqlserver") {
+          spec.database.mode = TuningMode::kSqlServer;
+        } else {
+          return LineError(line_no, "unknown mode " + tokens[1]);
+        }
+      } else if (key == "static_locklist_pages" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        spec.database.static_locklist_pages = iv;
+      } else if (key == "static_maxlocks_percent" && need(1) &&
+                 ParseDouble(tokens[1], &dv) && dv > 0 && dv <= 100) {
+        spec.database.static_maxlocks_percent = dv;
+      } else if (key == "initial_locklist_pages" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        spec.database.params.initial_locklist_pages = iv;
+      } else if (key == "tuning_interval_s" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        spec.database.params.tuning_interval = iv * kSecond;
+      } else if (key == "adaptive_interval" && need(1)) {
+        spec.database.params.adaptive_interval = tokens[1] == "on";
+      } else if (key == "lock_timeout_ms" && need(1) &&
+                 ParseInt(tokens[1], &iv)) {
+        spec.database.lock_timeout = iv;
+      } else if (key == "duration_s" && need(1) && ParseInt(tokens[1], &iv) &&
+                 iv > 0) {
+        spec.runner.duration = iv * kSecond;
+      } else if (key == "sample_period_s" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        spec.runner.sample_period = iv * kSecond;
+      } else if (key == "seed" && need(1) && ParseInt(tokens[1], &iv)) {
+        spec.runner.seed = static_cast<uint64_t>(iv);
+      } else if (key == "delta_reduce_percent" && need(1) &&
+                 ParseDouble(tokens[1], &dv) && dv > 0 && dv < 100) {
+        spec.database.params.delta_reduce = dv / 100.0;
+      } else {
+        return LineError(line_no, "bad global setting: " + raw);
+      }
+      continue;
+    }
+
+    // Section keys.
+    if (key == "clients" && need(2)) {
+      int64_t at = 0, count = 0;
+      if (!ParseInt(tokens[1], &at) || !ParseInt(tokens[2], &count) ||
+          at < 0 || count < 0) {
+        return LineError(line_no, "clients wants: clients <at_s> <count>");
+      }
+      section->client_steps.push_back({at * kSecond, static_cast<int>(count)});
+    } else if (section->kind == WorkloadSpec::Kind::kOltp) {
+      if (key == "mean_locks_per_txn" && need(1) && ParseInt(tokens[1], &iv) &&
+          iv > 0) {
+        section->oltp.mean_locks_per_txn = iv;
+      } else if (key == "locks_per_tick" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        section->oltp.locks_per_tick = static_cast<int>(iv);
+      } else if (key == "write_fraction" && need(1) &&
+                 ParseDouble(tokens[1], &dv) && dv >= 0 && dv <= 1) {
+        section->oltp.write_fraction = dv;
+      } else if (key == "think_time_ms" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv >= 0) {
+        section->oltp.think_time = iv;
+      } else if (key == "zipf" && need(1) && ParseDouble(tokens[1], &dv) &&
+                 dv >= 0 && dv < 1) {
+        section->oltp.row_zipf_theta = dv;
+      } else {
+        return LineError(line_no, "bad [oltp] setting: " + raw);
+      }
+    } else if (section->kind == WorkloadSpec::Kind::kDss) {
+      if (key == "scan_locks" && need(1) && ParseInt(tokens[1], &iv) &&
+          iv > 0) {
+        section->dss.scan_locks = iv;
+      } else if (key == "locks_per_tick" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        section->dss.locks_per_tick = static_cast<int>(iv);
+      } else if (key == "hold_time_s" && need(1) && ParseInt(tokens[1], &iv) &&
+                 iv >= 0) {
+        section->dss.hold_time = iv * kSecond;
+      } else if (key == "think_time_s" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv >= 0) {
+        section->dss.think_time = iv * kSecond;
+      } else {
+        return LineError(line_no, "bad [dss] setting: " + raw);
+      }
+    } else {  // kBatch
+      if (key == "rows_per_batch" && need(1) && ParseInt(tokens[1], &iv) &&
+          iv > 0) {
+        section->batch.rows_per_batch = iv;
+      } else if (key == "locks_per_tick" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv > 0) {
+        section->batch.locks_per_tick = static_cast<int>(iv);
+      } else if (key == "hold_time_s" && need(1) && ParseInt(tokens[1], &iv) &&
+                 iv >= 0) {
+        section->batch.hold_time = iv * kSecond;
+      } else if (key == "think_time_s" && need(1) &&
+                 ParseInt(tokens[1], &iv) && iv >= 0) {
+        section->batch.think_time = iv * kSecond;
+      } else if (key == "table" && need(1)) {
+        section->batch_table = tokens[1];
+      } else if (key == "mode" && need(1)) {
+        if (tokens[1] == "X") {
+          section->batch.mode = LockMode::kX;
+        } else if (tokens[1] == "U") {
+          section->batch.mode = LockMode::kU;
+        } else if (tokens[1] == "S") {
+          section->batch.mode = LockMode::kS;
+        } else {
+          return LineError(line_no, "batch mode must be S, U or X");
+        }
+      } else {
+        return LineError(line_no, "bad [batch] setting: " + raw);
+      }
+    }
+  }
+
+  if (spec.workloads.empty()) {
+    return Status::InvalidArgument("no workload sections ([oltp] / [dss])");
+  }
+  for (size_t i = 0; i < spec.workloads.size(); ++i) {
+    WorkloadSpec& w = spec.workloads[i];
+    if (w.client_steps.empty()) {
+      return Status::InvalidArgument("workload section " +
+                                     std::to_string(i + 1) +
+                                     " has no clients lines");
+    }
+    std::sort(w.client_steps.begin(), w.client_steps.end());
+  }
+  if (Status s = spec.database.params.Validate(); !s.ok()) return s;
+  return spec;
+}
+
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenario(buffer.str());
+}
+
+Result<std::unique_ptr<LoadedScenario>> LoadedScenario::Create(
+    const ScenarioSpec& spec) {
+  std::unique_ptr<LoadedScenario> loaded(new LoadedScenario());
+  Result<std::unique_ptr<Database>> db = Database::Open(spec.database);
+  if (!db.ok()) return db.status();
+  loaded->database_ = std::move(db).value();
+
+  std::vector<ClientTimeline> timelines;
+  for (const WorkloadSpec& w : spec.workloads) {
+    std::unique_ptr<Workload> workload;
+    if (w.kind == WorkloadSpec::Kind::kOltp) {
+      workload = std::make_unique<OltpWorkload>(loaded->database_->catalog(),
+                                                w.oltp);
+    } else if (w.kind == WorkloadSpec::Kind::kDss) {
+      workload = std::make_unique<DssWorkload>(loaded->database_->catalog(),
+                                               w.dss);
+    } else {
+      if (loaded->database_->catalog().FindByName(w.batch_table) == nullptr) {
+        return Status::InvalidArgument("unknown batch table " +
+                                       w.batch_table);
+      }
+      workload = std::make_unique<BatchWorkload>(
+          loaded->database_->catalog(), w.batch_table, w.batch);
+    }
+    ClientTimeline tl;
+    tl.workload = workload.get();
+    tl.steps = w.client_steps;
+    timelines.push_back(tl);
+    loaded->workloads_.push_back(std::move(workload));
+  }
+  loaded->runner_ = std::make_unique<ScenarioRunner>(
+      loaded->database_.get(), std::move(timelines), spec.runner);
+  return loaded;
+}
+
+}  // namespace locktune

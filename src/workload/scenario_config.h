@@ -1,0 +1,85 @@
+// Text-file scenario descriptions for the locktune simulator CLI.
+//
+// A scenario file is line-based: global `key value` pairs first, then one
+// or more workload sections. Example:
+//
+//     # Figure 11, scaled
+//     database_memory_mb 1024
+//     mode selftuning
+//     duration_s 720
+//     lock_timeout_ms -1
+//
+//     [oltp]
+//     clients 0 60          # from t=0 s, 60 clients
+//     mean_locks_per_txn 400
+//     write_fraction 0.2
+//
+//     [dss]
+//     clients 330 1         # the reporting query arrives at t=330 s
+//     scan_locks 800000
+//     locks_per_tick 3000
+//     hold_time_s 600
+//
+// `#` starts a comment; blank lines are ignored. Parsing is strict: unknown
+// keys, malformed numbers, or out-of-range values produce an error naming
+// the line.
+#ifndef LOCKTUNE_WORKLOAD_SCENARIO_CONFIG_H_
+#define LOCKTUNE_WORKLOAD_SCENARIO_CONFIG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "workload/batch_workload.h"
+#include "workload/dss_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+namespace locktune {
+
+// One workload section from the file.
+struct WorkloadSpec {
+  enum class Kind { kOltp, kDss, kBatch } kind = Kind::kOltp;
+  OltpOptions oltp;
+  DssOptions dss;
+  BatchOptions batch;
+  std::string batch_table = "tpch_orders";
+  std::vector<std::pair<TimeMs, int>> client_steps;
+};
+
+// A fully parsed scenario: database options + workloads + runner options.
+struct ScenarioSpec {
+  DatabaseOptions database;
+  ScenarioOptions runner;
+  std::vector<WorkloadSpec> workloads;
+};
+
+// Parses scenario text. On error, names the offending line.
+Result<ScenarioSpec> ParseScenario(const std::string& text);
+
+// Convenience: parse + reads the file. NOT_FOUND if unreadable.
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+// Instantiated, runnable scenario (owns the database and workloads).
+class LoadedScenario {
+ public:
+  // Builds the database, workload objects, and runner from a spec.
+  static Result<std::unique_ptr<LoadedScenario>> Create(
+      const ScenarioSpec& spec);
+
+  Database& database() { return *database_; }
+  ScenarioRunner& runner() { return *runner_; }
+
+ private:
+  LoadedScenario() = default;
+
+  std::unique_ptr<Database> database_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::unique_ptr<ScenarioRunner> runner_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_WORKLOAD_SCENARIO_CONFIG_H_

@@ -1,0 +1,138 @@
+#include "baseline/oracle_itl.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+using RowLockOutcome = OracleItlSimulator::RowLockOutcome;
+
+OracleItlOptions SmallPages() {
+  OracleItlOptions o;
+  o.rows_per_page = 10;
+  o.initial_itl_slots = 2;
+  o.max_itl_slots = 3;
+  return o;
+}
+
+TEST(OracleItlTest, GrantsExclusiveRowLock) {
+  OracleItlSimulator sim(SmallPages());
+  EXPECT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.stats().grants, 1);
+}
+
+TEST(OracleItlTest, RelockByOwnerIsNoop) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.stats().grants, 1);  // no second grant recorded
+}
+
+TEST(OracleItlTest, ConflictOnActiveOwnerWaits) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kWaitRow);
+  EXPECT_EQ(sim.stats().row_waits, 1);
+}
+
+TEST(OracleItlTest, CommittedOwnerLeavesStaleLockByte) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  sim.Commit(1);
+  // The lock byte is still set; the next visitor pays the cleanout.
+  EXPECT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_GE(sim.stats().cleanouts, 1);
+}
+
+TEST(OracleItlTest, ItlExhaustionBlocksEvenFreeRows) {
+  // 3 max slots: transactions 1-3 occupy them; txn 4 must wait for an ITL
+  // slot even though its target row is completely unlocked.
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 0), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(2, 0, 1), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(3, 0, 2), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.LockRow(4, 0, 3), RowLockOutcome::kWaitItl);
+  EXPECT_EQ(sim.stats().itl_waits, 1);
+  // A commit frees a reusable slot.
+  sim.Commit(1);
+  EXPECT_EQ(sim.LockRow(4, 0, 3), RowLockOutcome::kGranted);
+}
+
+TEST(OracleItlTest, ItlGrowthConsumesPermanentPageSpace) {
+  OracleItlOptions o = SmallPages();
+  OracleItlSimulator sim(o);
+  ASSERT_EQ(sim.LockRow(1, 0, 0), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(2, 0, 1), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.ExtraItlBytes(), 0);
+  // Third transaction forces an ITL slot to be added (2 initial → 3).
+  ASSERT_EQ(sim.LockRow(3, 0, 2), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.ExtraItlBytes(), o.itl_entry_bytes);
+  EXPECT_EQ(sim.stats().itl_slots_added, 1);
+  // Commits do NOT reclaim the space (only a reorg would).
+  sim.Commit(1);
+  sim.Commit(2);
+  sim.Commit(3);
+  EXPECT_EQ(sim.ExtraItlBytes(), o.itl_entry_bytes);
+}
+
+TEST(OracleItlTest, QueueJumpingOnPolledWaits) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  // Txn 2 starts waiting (sleep-wake-check).
+  ASSERT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kWaitRow);
+  sim.Commit(1);
+  // Txn 3 arrives after txn 2 but grabs the row first: queue jump.
+  EXPECT_EQ(sim.LockRow(3, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.stats().queue_jumps, 1);
+  // Txn 2 wakes up, checks, and must keep waiting.
+  EXPECT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kWaitRow);
+}
+
+TEST(OracleItlTest, NoQueueJumpWhenFirstWaiterWins) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 5), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kWaitRow);
+  sim.Commit(1);
+  EXPECT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.stats().queue_jumps, 0);
+}
+
+TEST(OracleItlTest, RowsOnDifferentPagesIndependent) {
+  OracleItlOptions o = SmallPages();  // 10 rows per page
+  OracleItlSimulator sim(o);
+  // Rows 0..9 on page 0, rows 10..19 on page 1.
+  ASSERT_EQ(sim.LockRow(1, 0, 0), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(2, 0, 1), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(3, 0, 2), RowLockOutcome::kGranted);
+  // Page 0's ITL is full; page 1 is unaffected.
+  EXPECT_EQ(sim.LockRow(4, 0, 3), RowLockOutcome::kWaitItl);
+  EXPECT_EQ(sim.LockRow(4, 0, 15), RowLockOutcome::kGranted);
+}
+
+TEST(OracleItlTest, SlotReuseCleansStaleBytes) {
+  OracleItlSimulator sim(SmallPages());
+  ASSERT_EQ(sim.LockRow(1, 0, 0), RowLockOutcome::kGranted);
+  ASSERT_EQ(sim.LockRow(1, 0, 1), RowLockOutcome::kGranted);
+  sim.Commit(1);
+  // Txn 2 reuses txn 1's slot; txn 1's stale bytes are cleaned then.
+  ASSERT_EQ(sim.LockRow(2, 0, 5), RowLockOutcome::kGranted);
+  EXPECT_GE(sim.stats().cleanouts, 2);
+  // Rows 0 and 1 are lockable with no further cleanout cost.
+  const int64_t cleanouts = sim.stats().cleanouts;
+  EXPECT_EQ(sim.LockRow(2, 0, 0), RowLockOutcome::kGranted);
+  EXPECT_EQ(sim.stats().cleanouts, cleanouts);
+}
+
+TEST(OracleItlTest, ManyTablesManyPages) {
+  OracleItlSimulator sim(OracleItlOptions{});
+  for (TableId t = 0; t < 5; ++t) {
+    for (int64_t r = 0; r < 1000; ++r) {
+      ASSERT_EQ(sim.LockRow(t + 1, t, r), RowLockOutcome::kGranted);
+    }
+  }
+  EXPECT_EQ(sim.stats().grants, 5000);
+  EXPECT_EQ(sim.stats().itl_waits, 0);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,129 @@
+#include "common/random.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++seen[rng.NextBelow(10)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(9);
+  EXPECT_EQ(rng.NextInRange(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U(0,1) ≈ 0.5.
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(3);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(ZipfTest, OutputInRange) {
+  Rng rng(21);
+  ZipfGenerator zipf(1000, 0.8);
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  Rng rng(31);
+  ZipfGenerator zipf(10'000, 0.9);
+  int low = 0;
+  const int draws = 50'000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next(rng) < 100) ++low;
+  }
+  // Under uniform, ranks < 100 get 1 % of draws; theta = 0.9 gives far more.
+  EXPECT_GT(low, draws / 10);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  Rng rng_a(41), rng_b(41);
+  ZipfGenerator mild(10'000, 0.2), steep(10'000, 0.9);
+  int64_t mild_low = 0, steep_low = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (mild.Next(rng_a) < 10) ++mild_low;
+    if (steep.Next(rng_b) < 10) ++steep_low;
+  }
+  EXPECT_GT(steep_low, mild_low);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(51);
+  ZipfGenerator zipf(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,84 @@
+#include "common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClockTest, StartsAtGivenTime) {
+  SimClock clock(5000);
+  EXPECT_EQ(clock.now(), 5000);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(100);
+  clock.Advance(250);
+  EXPECT_EQ(clock.now(), 350);
+}
+
+TEST(SimClockTest, NonPositiveAdvanceIgnored) {
+  SimClock clock(10);
+  clock.Advance(0);
+  clock.Advance(-5);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(SimClockTest, DurationLiterals) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * 1000);
+}
+
+TEST(PeriodicTimerTest, NoFiringBeforePeriod) {
+  SimClock clock;
+  PeriodicTimer timer(&clock, 30 * kSecond);
+  clock.Advance(29 * kSecond);
+  EXPECT_EQ(timer.DuePeriods(), 0);
+}
+
+TEST(PeriodicTimerTest, FiresOncePerPeriod) {
+  SimClock clock;
+  PeriodicTimer timer(&clock, 30 * kSecond);
+  clock.Advance(30 * kSecond);
+  EXPECT_EQ(timer.DuePeriods(), 1);
+  EXPECT_EQ(timer.DuePeriods(), 0);  // consumed
+}
+
+TEST(PeriodicTimerTest, CatchesUpMultiplePeriods) {
+  SimClock clock;
+  PeriodicTimer timer(&clock, 10);
+  clock.Advance(35);
+  EXPECT_EQ(timer.DuePeriods(), 3);
+  clock.Advance(5);
+  EXPECT_EQ(timer.DuePeriods(), 1);  // remainder carried over
+}
+
+TEST(PeriodicTimerTest, SmallTicksAccumulate) {
+  SimClock clock;
+  PeriodicTimer timer(&clock, 1000);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    clock.Advance(100);
+    fired += timer.DuePeriods();
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(PeriodicTimerTest, PeriodChangeTakesEffect) {
+  SimClock clock;
+  PeriodicTimer timer(&clock, 100);
+  clock.Advance(100);
+  EXPECT_EQ(timer.DuePeriods(), 1);
+  timer.set_period(50);
+  clock.Advance(100);
+  EXPECT_EQ(timer.DuePeriods(), 2);
+  EXPECT_EQ(timer.period(), 50);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(SummaryStatsTest, EmptyDefaults) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, KnownSeries) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, NegativeValues) {
+  SummaryStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(0.5);    // bucket 0 (≤ 1)
+  h.Add(1.0);    // bucket 0 (lower_bound: 1.0 ≤ 1.0)
+  h.Add(5.0);    // bucket 1
+  h.Add(50.0);   // bucket 2
+  h.Add(500.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.counts()[2], 1);
+  EXPECT_EQ(h.counts()[3], 1);
+  EXPECT_EQ(h.total_count(), 5);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h({1, 2, 4, 8, 16, 32});
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<double>(i % 30));
+  const double p50 = h.Quantile(0.5);
+  const double p90 = h.Quantile(0.9);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p50, 0.0);
+}
+
+TEST(HistogramTest, QuantileClampsArgument) {
+  Histogram h({10.0});
+  h.Add(5.0);
+  EXPECT_GE(h.Quantile(-1.0), 0.0);
+  EXPECT_LE(h.Quantile(2.0), 10.0);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::ResourceExhausted("d"), StatusCode::kResourceExhausted},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::OutOfRange("f"), StatusCode::kOutOfRange},
+      {Status::Internal("g"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringContainsCodeNameAndMessage) {
+  const Status s = Status::ResourceExhausted("lock list full");
+  EXPECT_NE(s.ToString().find("RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(s.ToString().find("lock list full"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, MutableValueReference) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,81 @@
+#include "common/time_series.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(TimeSeriesTest, EmptyDefaults) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.Last(), 0.0);
+  EXPECT_EQ(s.MinValue(), 0.0);
+  EXPECT_EQ(s.MaxValue(), 0.0);
+  EXPECT_EQ(s.FirstTimeAtLeast(1.0), -1);
+}
+
+TEST(TimeSeriesTest, AddAndQuery) {
+  TimeSeries s;
+  s.Add(0, 1.0);
+  s.Add(1000, 5.0);
+  s.Add(2000, 3.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.MinValue(), 1.0);
+  EXPECT_EQ(s.MaxValue(), 5.0);
+  EXPECT_EQ(s.Last(), 3.0);
+}
+
+TEST(TimeSeriesTest, FirstTimeAtLeastFindsEarliest) {
+  TimeSeries s;
+  s.Add(0, 1.0);
+  s.Add(1000, 4.0);
+  s.Add(2000, 4.0);
+  EXPECT_EQ(s.FirstTimeAtLeast(4.0), 1000);
+  EXPECT_EQ(s.FirstTimeAtLeast(0.5), 0);
+  EXPECT_EQ(s.FirstTimeAtLeast(10.0), -1);
+}
+
+TEST(TimeSeriesSetTest, RecordCreatesSeriesLazily) {
+  TimeSeriesSet set;
+  EXPECT_FALSE(set.Has("x"));
+  set.Record("x", 0, 1.0);
+  EXPECT_TRUE(set.Has("x"));
+  EXPECT_EQ(set.Get("x").size(), 1u);
+}
+
+TEST(TimeSeriesSetTest, NamesSorted) {
+  TimeSeriesSet set;
+  set.Record("b", 0, 1.0);
+  set.Record("a", 0, 2.0);
+  const auto names = set.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(TimeSeriesSetTest, WriteCsvAlignedColumns) {
+  TimeSeriesSet set;
+  set.Record("alloc", 0, 1.5);
+  set.Record("used", 0, 0.5);
+  set.Record("alloc", 1000, 2.5);
+  set.Record("used", 1000, 1.0);
+  std::ostringstream os;
+  set.WriteCsv(os, {"alloc", "used"});
+  EXPECT_EQ(os.str(),
+            "time_s,alloc,used\n"
+            "0,1.5,0.5\n"
+            "1,2.5,1\n");
+}
+
+TEST(TimeSeriesSetTest, WriteCsvNoSeries) {
+  TimeSeriesSet set;
+  std::ostringstream os;
+  set.WriteCsv(os, {});
+  EXPECT_EQ(os.str(), "time_s\n");
+}
+
+}  // namespace
+}  // namespace locktune

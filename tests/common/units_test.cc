@@ -1,0 +1,51 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(UnitsTest, PaperConstants) {
+  // Paper §2.2: 4 KB pages, 128 KB blocks, one block per 32 pages,
+  // approximately 2000 locks per block.
+  EXPECT_EQ(kPageSize, 4096);
+  EXPECT_EQ(kLockBlockSize, 128 * 1024);
+  EXPECT_EQ(kPagesPerBlock, 32);
+  EXPECT_EQ(kLocksPerBlock, 2048);
+  EXPECT_EQ(kLockStructSize * kLocksPerBlock, kLockBlockSize);
+}
+
+TEST(UnitsTest, PageConversionsRoundTrip) {
+  EXPECT_EQ(PagesToBytes(32), kLockBlockSize);
+  EXPECT_EQ(BytesToPages(kLockBlockSize), 32);
+  EXPECT_EQ(BytesToPages(PagesToBytes(12345)), 12345);
+}
+
+TEST(UnitsTest, BlockConversionsRoundTrip) {
+  EXPECT_EQ(BlocksToBytes(3), 3 * kLockBlockSize);
+  EXPECT_EQ(BytesToBlocks(BlocksToBytes(17)), 17);
+}
+
+TEST(UnitsTest, RoundToBlocksNearest) {
+  EXPECT_EQ(RoundToBlocks(0), 0);
+  EXPECT_EQ(RoundToBlocks(kLockBlockSize), kLockBlockSize);
+  // Just below half a block rounds down; half and above rounds up.
+  EXPECT_EQ(RoundToBlocks(kLockBlockSize / 2 - 1), 0);
+  EXPECT_EQ(RoundToBlocks(kLockBlockSize / 2), kLockBlockSize);
+  EXPECT_EQ(RoundToBlocks(3 * kLockBlockSize + 10), 3 * kLockBlockSize);
+}
+
+TEST(UnitsTest, RoundUpToBlocks) {
+  EXPECT_EQ(RoundUpToBlocks(0), 0);
+  EXPECT_EQ(RoundUpToBlocks(1), kLockBlockSize);
+  EXPECT_EQ(RoundUpToBlocks(kLockBlockSize), kLockBlockSize);
+  EXPECT_EQ(RoundUpToBlocks(kLockBlockSize + 1), 2 * kLockBlockSize);
+}
+
+TEST(UnitsTest, SizeLiterals) {
+  EXPECT_EQ(kMiB, 1024 * kKiB);
+  EXPECT_EQ(kGiB, 1024 * kMiB);
+}
+
+}  // namespace
+}  // namespace locktune

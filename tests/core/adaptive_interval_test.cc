@@ -1,0 +1,85 @@
+// Adaptive tuning interval: STMM shortens the interval while the lock
+// memory is being resized and relaxes it when the system is quiet.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "workload/oltp_workload.h"
+#include "workload/scenario.h"
+
+namespace locktune {
+namespace {
+
+DatabaseOptions AdaptiveOptions() {
+  DatabaseOptions o;
+  o.params.database_memory = 256 * kMiB;
+  o.params.adaptive_interval = true;
+  o.params.tuning_interval = kMinute;
+  o.params.tuning_interval_min = 30 * kSecond;
+  o.params.tuning_interval_max = 4 * kMinute;
+  o.params.quiet_passes_to_lengthen = 2;
+  return o;
+}
+
+TEST(AdaptiveIntervalTest, OptionsValidated) {
+  DatabaseOptions o = AdaptiveOptions();
+  o.params.tuning_interval = 10 * kSecond;  // below the minimum
+  EXPECT_FALSE(Database::Open(o).ok());
+  o = AdaptiveOptions();
+  o.params.tuning_interval_max = 10 * kSecond;  // below the minimum
+  EXPECT_FALSE(Database::Open(o).ok());
+  o = AdaptiveOptions();
+  o.params.quiet_passes_to_lengthen = 0;
+  EXPECT_FALSE(Database::Open(o).ok());
+}
+
+TEST(AdaptiveIntervalTest, QuietSystemLengthensInterval) {
+  std::unique_ptr<Database> db = Database::Open(AdaptiveOptions()).value();
+  db->set_connected_applications(1);
+  // No lock traffic at all: every pass is a no-op (after the initial clamp
+  // settles) and the interval climbs to its maximum.
+  for (int i = 0; i < 40; ++i) db->Tick(kMinute);
+  EXPECT_EQ(db->stmm()->tuning_interval(), 4 * kMinute);
+}
+
+TEST(AdaptiveIntervalTest, ResizeShortensInterval) {
+  std::unique_ptr<Database> db = Database::Open(AdaptiveOptions()).value();
+  db->set_connected_applications(1);
+  // Demand that forces a growth pass.
+  for (int64_t r = 0; r < 6000; ++r) {
+    ASSERT_EQ(db->locks().Lock(1, RowResource(1, r), LockMode::kS).outcome,
+              LockOutcome::kGranted);
+  }
+  db->Tick(kMinute);  // a grow pass runs
+  EXPECT_LT(db->stmm()->tuning_interval(), kMinute);
+  EXPECT_GE(db->stmm()->tuning_interval(), 30 * kSecond);
+}
+
+TEST(AdaptiveIntervalTest, IntervalStaysInsideBounds) {
+  std::unique_ptr<Database> db = Database::Open(AdaptiveOptions()).value();
+  OltpWorkload oltp(db->catalog(), OltpOptions{});
+  ClientTimeline tl;
+  tl.workload = &oltp;
+  tl.steps = {{0, 10}, {2 * kMinute, 60}, {5 * kMinute, 5}};
+  ScenarioOptions so;
+  so.duration = 12 * kMinute;
+  ScenarioRunner runner(db.get(), {tl}, so);
+  runner.Run();
+  for (const StmmIntervalRecord& rec : db->stmm()->history()) {
+    EXPECT_GE(rec.next_interval, 30 * kSecond);
+    EXPECT_LE(rec.next_interval, 4 * kMinute);
+  }
+}
+
+TEST(AdaptiveIntervalTest, FixedIntervalByDefault) {
+  DatabaseOptions o;
+  o.params.database_memory = 256 * kMiB;
+  std::unique_ptr<Database> db = Database::Open(o).value();
+  db->set_connected_applications(1);
+  for (int i = 0; i < 20; ++i) db->Tick(kMinute);
+  EXPECT_EQ(db->stmm()->tuning_interval(), o.params.tuning_interval);
+}
+
+}  // namespace
+}  // namespace locktune

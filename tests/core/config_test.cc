@@ -1,0 +1,140 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(ConfigTest, DefaultsAreValid) {
+  TuningParams p;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ConfigTest, Table1Defaults) {
+  // The parameter values of Table 1.
+  TuningParams p;
+  EXPECT_DOUBLE_EQ(p.max_lock_memory_fraction, 0.20);
+  EXPECT_DOUBLE_EQ(p.compiler_view_fraction, 0.10);
+  EXPECT_DOUBLE_EQ(p.overflow_cap_c1, 0.65);
+  EXPECT_DOUBLE_EQ(p.min_free_fraction, 0.50);
+  EXPECT_DOUBLE_EQ(p.max_free_fraction, 0.60);
+  EXPECT_DOUBLE_EQ(p.delta_reduce, 0.05);
+  EXPECT_EQ(p.min_lock_memory_floor, 2 * kMiB);
+  EXPECT_EQ(p.min_structures_per_app, 500);
+  EXPECT_DOUBLE_EQ(p.maxlocks_p, 98.0);
+  EXPECT_DOUBLE_EQ(p.maxlocks_exponent, 3.0);
+  EXPECT_EQ(p.maxlocks_refresh_period, 0x80);
+  EXPECT_EQ(p.tuning_interval, 30 * kSecond);
+}
+
+TEST(ConfigTest, DerivedMaxLockMemory) {
+  TuningParams p;
+  p.database_memory = kGiB;
+  EXPECT_EQ(p.MaxLockMemory(), RoundToBlocks(kGiB / 5));
+}
+
+TEST(ConfigTest, DerivedCompilerView) {
+  // §3.6: sqlCompilerLockMem = 10 % of databaseMemory.
+  TuningParams p;
+  p.database_memory = kGiB;
+  EXPECT_EQ(p.CompilerLockMemory(), kGiB / 10);
+}
+
+TEST(ConfigTest, DerivedOverflowGoal) {
+  TuningParams p;
+  p.database_memory = kGiB;
+  p.overflow_goal_fraction = 0.10;
+  EXPECT_EQ(p.OverflowGoal(), kGiB / 10);
+}
+
+TEST(ConfigTest, MinLockMemoryFloorDominatesFewApps) {
+  // MAX(2 MB, 500 · locksize · num_applications): with few connections the
+  // 2 MB floor wins.
+  TuningParams p;
+  EXPECT_EQ(p.MinLockMemory(0), 2 * kMiB);
+  EXPECT_EQ(p.MinLockMemory(1), 2 * kMiB);
+  EXPECT_EQ(p.MinLockMemory(60), 2 * kMiB);  // 60·500·64 B = 1.83 MB < 2 MB
+}
+
+TEST(ConfigTest, MinLockMemoryScalesWithApps) {
+  TuningParams p;
+  // 130 apps: 130 · 500 · 64 B ≈ 3.97 MiB, block-rounded up to 4 MiB.
+  EXPECT_EQ(p.MinLockMemory(130), RoundUpToBlocks(130 * 500 * 64));
+  EXPECT_GT(p.MinLockMemory(130), 2 * kMiB);
+  // Monotone in the number of applications.
+  EXPECT_LE(p.MinLockMemory(130), p.MinLockMemory(200));
+}
+
+TEST(ConfigTest, InitialLockMemoryBlockRounded) {
+  TuningParams p;
+  p.initial_locklist_pages = 100;  // 0.4 MB → rounds up to 4 blocks
+  EXPECT_EQ(p.InitialLockMemory(), 4 * kLockBlockSize);
+  p.initial_locklist_pages = 128;  // exactly 4 blocks
+  EXPECT_EQ(p.InitialLockMemory(), 4 * kLockBlockSize);
+}
+
+TEST(ConfigTest, ValidateRejectsBadFractions) {
+  TuningParams p;
+  p.max_lock_memory_fraction = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.overflow_cap_c1 = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.overflow_goal_fraction = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsInvertedFreeBand) {
+  TuningParams p;
+  p.min_free_fraction = 0.60;
+  p.max_free_fraction = 0.50;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.max_free_fraction = p.min_free_fraction;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadSizes) {
+  TuningParams p;
+  p.database_memory = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.tuning_interval = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.initial_locklist_pages = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.min_lock_memory_floor = kLockBlockSize - 1;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadCurve) {
+  TuningParams p;
+  p.maxlocks_p = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.maxlocks_exponent = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TuningParams();
+  p.maxlocks_refresh_period = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadDeltaReduce) {
+  TuningParams p;
+  p.delta_reduce = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.delta_reduce = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsMaxBelowMinFloor) {
+  TuningParams p;
+  p.database_memory = 4 * kMiB;  // 20 % = 0.8 MB < 2 MB floor
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace locktune

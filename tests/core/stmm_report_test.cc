@@ -1,0 +1,96 @@
+#include "core/stmm_report.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+StmmIntervalRecord Rec(TimeMs t, LockTunerAction action, Bytes alloc,
+                       Bytes used, int64_t esc = 0) {
+  StmmIntervalRecord r;
+  r.time = t;
+  r.action = action;
+  r.lock_allocated = alloc;
+  r.lock_used = used;
+  r.lmoc = alloc;
+  r.overflow = 10 * kMiB;
+  r.escalations_delta = esc;
+  return r;
+}
+
+TEST(StmmReportTest, ActionNames) {
+  EXPECT_EQ(TunerActionName(LockTunerAction::kNone), "NONE");
+  EXPECT_EQ(TunerActionName(LockTunerAction::kGrow), "GROW");
+  EXPECT_EQ(TunerActionName(LockTunerAction::kShrink), "SHRINK");
+  EXPECT_EQ(TunerActionName(LockTunerAction::kDouble), "DOUBLE");
+  EXPECT_EQ(TunerActionName(LockTunerAction::kClamp), "CLAMP");
+}
+
+TEST(StmmReportTest, SummarizeEmpty) {
+  const StmmReportSummary s = Summarize({});
+  EXPECT_EQ(s.total_passes, 0);
+  EXPECT_EQ(s.peak_allocated, 0);
+  EXPECT_EQ(s.final_allocated, 0);
+}
+
+TEST(StmmReportTest, SummarizeCountsActions) {
+  std::vector<StmmIntervalRecord> h = {
+      Rec(30'000, LockTunerAction::kGrow, 4 * kMiB, 2 * kMiB),
+      Rec(60'000, LockTunerAction::kGrow, 8 * kMiB, 4 * kMiB),
+      Rec(90'000, LockTunerAction::kNone, 8 * kMiB, 4 * kMiB),
+      Rec(120'000, LockTunerAction::kDouble, 16 * kMiB, 8 * kMiB, 3),
+      Rec(150'000, LockTunerAction::kShrink, 14 * kMiB, 2 * kMiB),
+      Rec(180'000, LockTunerAction::kClamp, 12 * kMiB, 2 * kMiB),
+  };
+  const StmmReportSummary s = Summarize(h);
+  EXPECT_EQ(s.total_passes, 6);
+  EXPECT_EQ(s.grow_passes, 2);
+  EXPECT_EQ(s.shrink_passes, 1);
+  EXPECT_EQ(s.double_passes, 1);
+  EXPECT_EQ(s.clamp_passes, 1);
+  EXPECT_EQ(s.quiet_passes, 1);
+  EXPECT_EQ(s.peak_allocated, 16 * kMiB);
+  EXPECT_EQ(s.final_allocated, 12 * kMiB);
+  EXPECT_EQ(s.total_escalations, 3);
+}
+
+TEST(StmmReportTest, RenderTableContainsRows) {
+  std::vector<StmmIntervalRecord> h = {
+      Rec(30'000, LockTunerAction::kGrow, 4 * kMiB, 2 * kMiB),
+      Rec(60'000, LockTunerAction::kNone, 4 * kMiB, 2 * kMiB),
+  };
+  const std::string table = RenderHistoryTable(h);
+  EXPECT_NE(table.find("GROW"), std::string::npos);
+  EXPECT_NE(table.find("NONE"), std::string::npos);
+  EXPECT_NE(table.find("50.0"), std::string::npos);  // free %
+  EXPECT_NE(table.find("time_s"), std::string::npos);
+}
+
+TEST(StmmReportTest, RenderTableCapsRows) {
+  std::vector<StmmIntervalRecord> h;
+  for (int i = 0; i < 100; ++i) {
+    h.push_back(Rec(i * 30'000, LockTunerAction::kNone, kMiB, 0));
+  }
+  const std::string table = RenderHistoryTable(h, /*max_rows=*/5);
+  EXPECT_NE(table.find("95 earlier passes omitted"), std::string::npos);
+  // Header + omission line + 5 rows.
+  EXPECT_EQ(static_cast<int>(std::count(table.begin(), table.end(), '\n')),
+            7);
+}
+
+TEST(StmmReportTest, RenderSummaryLine) {
+  StmmReportSummary s;
+  s.total_passes = 7;
+  s.grow_passes = 2;
+  s.peak_allocated = 8 * kMiB;
+  s.final_allocated = 4 * kMiB;
+  s.total_escalations = 1;
+  const std::string line = RenderSummary(s);
+  EXPECT_NE(line.find("passes=7"), std::string::npos);
+  EXPECT_NE(line.find("grow=2"), std::string::npos);
+  EXPECT_NE(line.find("peak=8.00MB"), std::string::npos);
+  EXPECT_NE(line.find("escalations=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,136 @@
+// Control-theoretic properties of the lock memory tuner as a closed loop:
+// convergence from any initial state, monotone tracking of monotone demand,
+// and absence of limit cycles under constant demand. The loop simulated
+// here is the tuner alone (allocation follows the decision exactly), which
+// isolates the controller mathematics from the memory-availability effects
+// the StmmController tests cover.
+#include <gtest/gtest.h>
+
+#include "core/lock_memory_tuner.h"
+
+namespace locktune {
+namespace {
+
+TuningParams Params() {
+  TuningParams p;
+  p.database_memory = kGiB;  // max = 204.8 MB
+  return p;
+}
+
+LockTunerInputs In(Bytes allocated, Bytes used, int napps = 10) {
+  LockTunerInputs in;
+  in.allocated = allocated;
+  in.used = used;
+  in.num_applications = napps;
+  return in;
+}
+
+// Runs the closed loop with constant demand until the target stops moving;
+// returns (final_allocated, steps_taken).
+std::pair<Bytes, int> RunToFixpoint(LockMemoryTuner& tuner, Bytes demand,
+                                    Bytes start, int napps = 10,
+                                    int max_steps = 200) {
+  Bytes allocated = start;
+  for (int step = 0; step < max_steps; ++step) {
+    const Bytes target = tuner.Tune(In(allocated, demand, napps)).target;
+    if (target == allocated) return {allocated, step};
+    allocated = target;
+  }
+  return {allocated, max_steps};
+}
+
+class ConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvergenceTest, AnyStartConvergesToTheBand) {
+  const auto [start_mb, demand_mb] = GetParam();
+  TuningParams p = Params();
+  LockMemoryTuner tuner(p);
+  const Bytes demand = static_cast<Bytes>(demand_mb) * kMiB;
+  const auto [final_alloc, steps] =
+      RunToFixpoint(tuner, demand, static_cast<Bytes>(start_mb) * kMiB);
+  // Converged (no limit cycle) well before the step cap.
+  EXPECT_LT(steps, 200);
+  // The fixpoint keeps demand within bounds...
+  EXPECT_GE(final_alloc, p.MinLockMemory(10));
+  EXPECT_LE(final_alloc, p.MaxLockMemory());
+  // ...and, when the bounds are not binding, inside the free band
+  // (allowing one block of rounding slack).
+  if (final_alloc > p.MinLockMemory(10) && final_alloc < p.MaxLockMemory()) {
+    const double free_frac =
+        static_cast<double>(final_alloc - demand) /
+        static_cast<double>(final_alloc);
+    EXPECT_GE(free_frac, p.min_free_fraction -
+                             static_cast<double>(kLockBlockSize) /
+                                 static_cast<double>(final_alloc));
+    EXPECT_LE(free_frac, p.max_free_fraction +
+                             static_cast<double>(kLockBlockSize) /
+                                 static_cast<double>(final_alloc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvergenceTest,
+    ::testing::Combine(/*start_mb=*/::testing::Values(1, 2, 8, 64, 200),
+                       /*demand_mb=*/::testing::Values(0, 1, 5, 20, 60, 90)));
+
+TEST(TunerConvergenceTest, FixpointIsStableUnderRepetition) {
+  TuningParams p = Params();
+  LockMemoryTuner tuner(p);
+  const Bytes demand = 20 * kMiB;
+  auto [fixpoint, unused] = RunToFixpoint(tuner, demand, 4 * kMiB);
+  (void)unused;
+  // 50 more passes with identical inputs: the target never moves again.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(tuner.Tune(In(fixpoint, demand)).target, fixpoint);
+  }
+}
+
+TEST(TunerConvergenceTest, MonotoneDemandGivesMonotoneTargets) {
+  TuningParams p = Params();
+  LockMemoryTuner tuner(p);
+  Bytes allocated = 4 * kMiB;
+  Bytes prev_alloc = 0;
+  for (Bytes demand = kMiB; demand <= 80 * kMiB; demand += 4 * kMiB) {
+    allocated = RunToFixpoint(tuner, demand, allocated).first;
+    EXPECT_GE(allocated, prev_alloc) << "demand " << demand;
+    prev_alloc = allocated;
+  }
+}
+
+TEST(TunerConvergenceTest, GrowthIsOneShotShrinkIsGradual) {
+  // The asymmetry the paper designs for: growth to the minFree objective
+  // happens in a single pass; decay takes many.
+  TuningParams p = Params();
+  LockMemoryTuner tuner(p);
+  // Demand above the allocation is clamped per pass (a real system grows
+  // synchronously first), so the tuner doubles toward the goal: log2(20)
+  // passes, still far faster than the 5 %/pass decay.
+  const auto [grown, grow_steps] =
+      RunToFixpoint(tuner, 40 * kMiB, 4 * kMiB);
+  EXPECT_LE(grow_steps, 6);
+  EXPECT_GE(grown, 80 * kMiB - kLockBlockSize);
+  const auto [shrunk, shrink_steps] = RunToFixpoint(tuner, kMiB, grown);
+  EXPECT_GE(shrink_steps, 10);
+  EXPECT_LE(shrunk, 4 * kMiB);
+}
+
+TEST(TunerConvergenceTest, OscillatingDemandStaysBounded) {
+  // Demand flapping across the band edge must not ratchet the allocation
+  // upward or downward without bound.
+  TuningParams p = Params();
+  LockMemoryTuner tuner(p);
+  Bytes allocated = 16 * kMiB;
+  Bytes lo = allocated, hi = allocated;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes demand = (i % 2 == 0) ? 7 * kMiB : 9 * kMiB;
+    allocated = tuner.Tune(In(allocated, demand)).target;
+    lo = std::min(lo, allocated);
+    hi = std::max(hi, allocated);
+  }
+  EXPECT_GE(lo, 14 * kMiB);  // never collapses below the demand's needs
+  EXPECT_LE(hi, 24 * kMiB);  // never ratchets far above 2x the peak demand
+}
+
+}  // namespace
+}  // namespace locktune

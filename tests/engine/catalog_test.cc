@@ -1,0 +1,79 @@
+#include "engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(CatalogTest, AddTableAssignsSequentialIds) {
+  Catalog c;
+  Result<TableId> a = c.AddTable("a", 10);
+  Result<TableId> b = c.AddTable("b", 20);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(c.table_count(), 2);
+}
+
+TEST(CatalogTest, GetReturnsInfo) {
+  Catalog c;
+  const TableId id = c.AddTable("orders", 500).value();
+  const TableInfo& info = c.Get(id);
+  EXPECT_EQ(info.name, "orders");
+  EXPECT_EQ(info.row_count, 500);
+  EXPECT_EQ(info.id, id);
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("t", 1).ok());
+  const Result<TableId> dup = c.AddTable("t", 2);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsInvalidInputs) {
+  Catalog c;
+  EXPECT_FALSE(c.AddTable("", 10).ok());
+  EXPECT_FALSE(c.AddTable("x", 0).ok());
+  EXPECT_FALSE(c.AddTable("y", -5).ok());
+}
+
+TEST(CatalogTest, FindByName) {
+  Catalog c;
+  (void)c.AddTable("alpha", 1);
+  EXPECT_NE(c.FindByName("alpha"), nullptr);
+  EXPECT_EQ(c.FindByName("beta"), nullptr);
+}
+
+TEST(CatalogTest, TpccTpchHasBothSchemas) {
+  const Catalog c = Catalog::TpccTpch();
+  EXPECT_NE(c.FindByName("tpcc_order_line"), nullptr);
+  EXPECT_NE(c.FindByName("tpch_lineitem"), nullptr);
+  EXPECT_GE(c.TablesWithPrefix("tpcc_").size(), 8u);
+  EXPECT_GE(c.TablesWithPrefix("tpch_").size(), 7u);
+}
+
+TEST(CatalogTest, TpccTpchScaleShrinksRowCounts) {
+  const Catalog full = Catalog::TpccTpch(1.0);
+  const Catalog tiny = Catalog::TpccTpch(0.01);
+  const int64_t full_rows = full.FindByName("tpch_lineitem")->row_count;
+  const int64_t tiny_rows = tiny.FindByName("tpch_lineitem")->row_count;
+  EXPECT_EQ(tiny_rows, full_rows / 100);
+}
+
+TEST(CatalogTest, ScaleNeverProducesEmptyTables) {
+  const Catalog c = Catalog::TpccTpch(1e-9);
+  for (const TableInfo& t : c.tables()) EXPECT_GE(t.row_count, 1) << t.name;
+}
+
+TEST(CatalogTest, PrefixMatchingIsAnchored) {
+  Catalog c;
+  (void)c.AddTable("tpcc_x", 1);
+  (void)c.AddTable("not_tpcc_x", 1);
+  EXPECT_EQ(c.TablesWithPrefix("tpcc_").size(), 1u);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,149 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+DatabaseOptions SelfTuning() {
+  DatabaseOptions o;
+  o.params.database_memory = 256 * kMiB;
+  o.mode = TuningMode::kSelfTuning;
+  return o;
+}
+
+TEST(DatabaseTest, OpenSelfTuningWiresEverything) {
+  Result<std::unique_ptr<Database>> db = Database::Open(SelfTuning());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Database& d = *db.value();
+  EXPECT_NE(d.stmm(), nullptr);
+  EXPECT_NE(d.lock_heap(), nullptr);
+  EXPECT_NE(d.buffer_pool_heap(), nullptr);
+  EXPECT_EQ(d.lock_heap()->consumer_class(), ConsumerClass::kFunctional);
+  EXPECT_EQ(d.lock_heap()->size(), d.locks().allocated_bytes());
+  EXPECT_GE(d.catalog().table_count(), 15);
+}
+
+TEST(DatabaseTest, OpenRejectsInvalidParams) {
+  DatabaseOptions o = SelfTuning();
+  o.params.database_memory = -1;
+  EXPECT_FALSE(Database::Open(o).ok());
+  o = SelfTuning();
+  o.static_locklist_pages = 0;
+  EXPECT_FALSE(Database::Open(o).ok());
+  o = SelfTuning();
+  o.static_maxlocks_percent = 150.0;
+  EXPECT_FALSE(Database::Open(o).ok());
+}
+
+TEST(DatabaseTest, StaticModeHasNoStmmAndNoGrowth) {
+  DatabaseOptions o = SelfTuning();
+  o.mode = TuningMode::kStatic;
+  o.static_locklist_pages = 64;  // 2 blocks
+  Result<std::unique_ptr<Database>> db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  EXPECT_EQ(d.stmm(), nullptr);
+  EXPECT_EQ(d.locks().allocated_bytes(), 2 * kLockBlockSize);
+  // Fill the static lock list: no growth happens; escalation instead.
+  int64_t r = 0;
+  for (; r < 3 * kLocksPerBlock; ++r) {
+    const LockResult res =
+        d.locks().Lock(1, RowResource(0, r), LockMode::kS);
+    if (res.escalated) break;
+    ASSERT_EQ(res.outcome, LockOutcome::kGranted);
+  }
+  EXPECT_EQ(d.locks().allocated_bytes(), 2 * kLockBlockSize);  // unchanged
+  EXPECT_GE(d.locks().stats().escalations, 1);
+}
+
+TEST(DatabaseTest, SelfTuningGrowsOnDemand) {
+  Result<std::unique_ptr<Database>> db = Database::Open(SelfTuning());
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  const Bytes before = d.locks().allocated_bytes();
+  const int64_t capacity = BytesToBlocks(before) * kLocksPerBlock;
+  for (int64_t r = 0; r < capacity + 100; ++r) {
+    ASSERT_EQ(d.locks().Lock(1, RowResource(0, r), LockMode::kS).outcome,
+              LockOutcome::kGranted);
+  }
+  EXPECT_GT(d.locks().allocated_bytes(), before);
+  EXPECT_EQ(d.locks().stats().escalations, 0);
+  EXPECT_EQ(d.lock_heap()->size(), d.locks().allocated_bytes());
+}
+
+TEST(DatabaseTest, SqlServerModeEscalatesAt5000RowLocks) {
+  DatabaseOptions o = SelfTuning();
+  o.mode = TuningMode::kSqlServer;
+  Result<std::unique_ptr<Database>> db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  // Initial allocation: 2500 locks' worth (2 blocks).
+  EXPECT_EQ(d.locks().allocated_bytes(),
+            RoundUpToBlocks(2500 * kLockStructSize));
+  LockResult last;
+  int64_t r = 0;
+  for (; r < 10'000; ++r) {
+    last = d.locks().Lock(1, RowResource(0, r), LockMode::kS);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    if (last.escalated) break;
+  }
+  // 4999 row locks + intent = 5000 structures; the 5000th row triggers it.
+  EXPECT_TRUE(last.escalated);
+  EXPECT_EQ(r, 4999);
+}
+
+TEST(DatabaseTest, SqlServerModeGrowsButNeverShrinks) {
+  DatabaseOptions o = SelfTuning();
+  o.mode = TuningMode::kSqlServer;
+  Result<std::unique_ptr<Database>> db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  // Many apps under 5000 locks each force growth past the initial blocks.
+  for (AppId app = 1; app <= 4; ++app) {
+    for (int64_t r = 0; r < 3000; ++r) {
+      ASSERT_EQ(d.locks()
+                    .Lock(app, RowResource(app, r), LockMode::kS)
+                    .outcome,
+                LockOutcome::kGranted);
+    }
+  }
+  const Bytes grown = d.locks().allocated_bytes();
+  EXPECT_GT(grown, RoundUpToBlocks(2500 * kLockStructSize));
+  // Releasing everything does not return memory (grow-only, §2.3).
+  for (AppId app = 1; app <= 4; ++app) d.locks().ReleaseAll(app);
+  for (int i = 0; i < 10; ++i) d.Tick(kMinute);
+  EXPECT_EQ(d.locks().allocated_bytes(), grown);
+}
+
+TEST(DatabaseTest, TickAdvancesClockAndRunsStmm) {
+  Result<std::unique_ptr<Database>> db = Database::Open(SelfTuning());
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  d.set_connected_applications(5);
+  d.Tick(30 * kSecond);
+  EXPECT_EQ(d.clock().now(), 30 * kSecond);
+  EXPECT_EQ(d.stmm()->history().size(), 1u);
+}
+
+TEST(DatabaseTest, ConnectedApplicationsFeedMinimum) {
+  Result<std::unique_ptr<Database>> db = Database::Open(SelfTuning());
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  d.set_connected_applications(130);
+  d.Tick(30 * kSecond);
+  EXPECT_GE(d.locks().allocated_bytes(),
+            d.options().params.MinLockMemory(130));
+}
+
+TEST(DatabaseTest, MaxLockMemoryIsTwentyPercent) {
+  Result<std::unique_ptr<Database>> db = Database::Open(SelfTuning());
+  ASSERT_TRUE(db.ok());
+  Database& d = *db.value();
+  EXPECT_EQ(d.locks().MemoryState().max_lock_memory,
+            d.options().params.MaxLockMemory());
+  EXPECT_EQ(d.lock_heap()->max_size(), d.options().params.MaxLockMemory());
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,128 @@
+#include "lock/escalation_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace locktune {
+namespace {
+
+LockMemoryState MakeState(Bytes used, Bytes max_lock, Bytes db_mem,
+                          int64_t capacity_slots) {
+  LockMemoryState s;
+  s.used = used;
+  s.slots_in_use = used / kLockStructSize;
+  s.allocated = RoundUpToBlocks(used);
+  s.capacity_slots = capacity_slots;
+  s.max_lock_memory = max_lock;
+  s.database_memory = db_mem;
+  return s;
+}
+
+TEST(LockMemoryStateTest, UsedPercentOfMax) {
+  LockMemoryState s = MakeState(50 * kMiB, 100 * kMiB, kGiB, 1 << 20);
+  EXPECT_DOUBLE_EQ(s.used_percent_of_max(), 50.0);
+  s.max_lock_memory = 0;
+  EXPECT_DOUBLE_EQ(s.used_percent_of_max(), 100.0);  // degenerate: saturated
+}
+
+TEST(AdaptivePolicyTest, AmpleMemoryAllowsNearAllOfMax) {
+  AdaptiveMaxlocksPolicy policy;
+  const LockMemoryState s = MakeState(kMiB, 100 * kMiB, kGiB, 16 * 2048);
+  const int64_t max_slots = (100 * kMiB) / kLockStructSize;
+  // ~98 % of the slots maxLockMemory could hold.
+  EXPECT_NEAR(static_cast<double>(policy.MaxStructuresPerApp(s)),
+              0.98 * static_cast<double>(max_slots),
+              0.01 * static_cast<double>(max_slots));
+}
+
+TEST(AdaptivePolicyTest, ThrottlesNearMax) {
+  AdaptiveMaxlocksPolicy policy;
+  const Bytes max_lock = 100 * kMiB;
+  const LockMemoryState near_full =
+      MakeState(99 * kMiB, max_lock, kGiB, 1 << 20);
+  policy.OnResize();  // force recompute
+  const int64_t limit = policy.MaxStructuresPerApp(near_full);
+  const int64_t max_slots = max_lock / kLockStructSize;
+  // 98·(1−0.99³) ≈ 2.9 % of max at 99 % used.
+  EXPECT_LE(limit, max_slots * 3 / 100);
+  EXPECT_GE(limit, 1);
+  // At 100 % used the 1 % floor applies exactly.
+  const LockMemoryState full = MakeState(max_lock, max_lock, kGiB, 1 << 20);
+  policy.OnResize();
+  EXPECT_EQ(policy.MaxStructuresPerApp(full), max_slots / 100);
+}
+
+TEST(AdaptivePolicyTest, SingleConsumerMayDominateFarFromMax) {
+  // §5.3: one DSS query holding ~50 % of maxLockMemory must stay below the
+  // limit while total lock memory is far from the allowable maximum.
+  AdaptiveMaxlocksPolicy policy;
+  const Bytes max_lock = 100 * kMiB;
+  const LockMemoryState s = MakeState(50 * kMiB, max_lock, kGiB, 1 << 20);
+  policy.OnResize();
+  const int64_t held_by_dss = (50 * kMiB) / kLockStructSize;
+  EXPECT_GT(policy.MaxStructuresPerApp(s), held_by_dss);
+}
+
+TEST(AdaptivePolicyTest, RefreshPeriodDelaysRecompute) {
+  AdaptiveMaxlocksPolicy policy(MaxlocksCurve(98.0, 3.0, 8));
+  const LockMemoryState ample = MakeState(0, 100 * kMiB, kGiB, 2048);
+  EXPECT_NEAR(policy.CurrentPercent(ample), 98.0, 1e-9);
+  const LockMemoryState busy = MakeState(90 * kMiB, 100 * kMiB, kGiB, 2048);
+  // Value is cached until the refresh period elapses.
+  EXPECT_NEAR(policy.CurrentPercent(busy), 98.0, 1e-9);
+  for (int i = 0; i < 8; ++i) policy.OnLockRequest();
+  EXPECT_LT(policy.CurrentPercent(busy), 30.0);
+}
+
+TEST(AdaptivePolicyTest, ResizeForcesRecompute) {
+  AdaptiveMaxlocksPolicy policy;
+  const LockMemoryState ample = MakeState(0, 100 * kMiB, kGiB, 2048);
+  EXPECT_NEAR(policy.CurrentPercent(ample), 98.0, 1e-9);
+  const LockMemoryState busy = MakeState(90 * kMiB, 100 * kMiB, kGiB, 2048);
+  policy.OnResize();
+  EXPECT_LT(policy.CurrentPercent(busy), 30.0);
+}
+
+TEST(AdaptivePolicyTest, NeverForcesMemoryEscalation) {
+  AdaptiveMaxlocksPolicy policy;
+  const LockMemoryState s = MakeState(400 * kMiB, 500 * kMiB, kGiB, 1 << 20);
+  EXPECT_FALSE(policy.ForcesMemoryEscalation(s));
+}
+
+TEST(FixedPolicyTest, PercentOfLockList) {
+  FixedMaxlocksPolicy policy(10.0);
+  // 10 % of an 8192-slot lock list.
+  const LockMemoryState s = MakeState(0, 100 * kMiB, kGiB, 8192);
+  EXPECT_EQ(policy.MaxStructuresPerApp(s), 819);
+  EXPECT_DOUBLE_EQ(policy.CurrentPercent(s), 10.0);
+}
+
+TEST(FixedPolicyTest, LimitAtLeastOne) {
+  FixedMaxlocksPolicy policy(1.0);
+  const LockMemoryState s = MakeState(0, kMiB, kGiB, 10);
+  EXPECT_GE(policy.MaxStructuresPerApp(s), 1);
+}
+
+TEST(SqlServerPolicyTest, FlatRowLockLimit) {
+  SqlServerLockPolicy policy;
+  const LockMemoryState small = MakeState(0, kGiB, kGiB, 2048);
+  const LockMemoryState big = MakeState(0, kGiB, kGiB, 1 << 22);
+  // 5000 regardless of lock memory (the paper: "if a single application
+  // acquires 5000 row level locks an automatic lock escalation is
+  // triggered regardless of the amount of memory available").
+  EXPECT_EQ(policy.MaxStructuresPerApp(small), 5000);
+  EXPECT_EQ(policy.MaxStructuresPerApp(big), 5000);
+}
+
+TEST(SqlServerPolicyTest, MemoryEscalationAtFortyPercent) {
+  SqlServerLockPolicy policy;
+  const Bytes db = kGiB;
+  EXPECT_FALSE(policy.ForcesMemoryEscalation(
+      MakeState(db * 39 / 100, db, db, 1 << 22)));
+  EXPECT_TRUE(policy.ForcesMemoryEscalation(
+      MakeState(db * 41 / 100, db, db, 1 << 22)));
+}
+
+}  // namespace
+}  // namespace locktune

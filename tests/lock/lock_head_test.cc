@@ -1,0 +1,156 @@
+#include "lock/lock_head.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+LockRequest Granted(AppId app, LockMode mode) {
+  LockRequest r;
+  r.app = app;
+  r.mode = mode;
+  return r;
+}
+
+WaitingRequest Waiting(AppId app, LockMode mode, bool conversion = false) {
+  WaitingRequest w;
+  w.app = app;
+  w.mode = mode;
+  w.is_conversion = conversion;
+  return w;
+}
+
+TEST(LockHeadTest, EmptyHead) {
+  LockHead head;
+  EXPECT_TRUE(head.empty());
+  EXPECT_EQ(head.GrantedGroupMode(), LockMode::kNone);
+  EXPECT_TRUE(head.CanGrantNew(LockMode::kX));
+}
+
+TEST(LockHeadTest, FindHolder) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  EXPECT_NE(head.FindHolder(1), nullptr);
+  EXPECT_EQ(head.FindHolder(1)->mode, LockMode::kS);
+  EXPECT_EQ(head.FindHolder(2), nullptr);
+}
+
+TEST(LockHeadTest, GrantedGroupModeIsSupremum) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kIS));
+  head.AddHolder(Granted(2, LockMode::kIX));
+  EXPECT_EQ(head.GrantedGroupMode(), LockMode::kIX);
+  head.AddHolder(Granted(3, LockMode::kIS));
+  EXPECT_EQ(head.GrantedGroupMode(), LockMode::kIX);
+}
+
+TEST(LockHeadTest, GrantedGroupModeExcludesApp) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kIX));
+  head.AddHolder(Granted(2, LockMode::kIS));
+  EXPECT_EQ(head.GrantedGroupMode(1), LockMode::kIS);
+}
+
+// Figure 3 of the paper: two compatible share requests join the granted
+// group; an incompatible exclusive request chains behind them; a later
+// share request queues behind the exclusive (no overtaking).
+TEST(LockHeadTest, Figure3LockQueuing) {
+  LockHead head;
+  // app_1 reads the row: share lock granted.
+  ASSERT_TRUE(head.CanGrantNew(LockMode::kS));
+  head.AddHolder(Granted(1, LockMode::kS));
+  // app_2 asks for share: compatible, shares the lock object.
+  ASSERT_TRUE(head.CanGrantNew(LockMode::kS));
+  head.AddHolder(Granted(2, LockMode::kS));
+  // app_3 asks for exclusive: incompatible, chains.
+  ASSERT_FALSE(head.CanGrantNew(LockMode::kX));
+  head.EnqueueNew(Waiting(3, LockMode::kX));
+  // app_4 asks for share: compatible with the granted group but must queue
+  // up behind application 3 (FIFO post discipline).
+  EXPECT_FALSE(head.CanGrantNew(LockMode::kS));
+  head.EnqueueNew(Waiting(4, LockMode::kS));
+
+  // Both readers release: app_3 is serviced first, then app_4 behind it.
+  head.RemoveHolder(1);
+  head.RemoveHolder(2);
+  EXPECT_EQ(head.FrontWaiter().app, 3);
+  EXPECT_TRUE(Compatible(head.GrantedGroupMode(), LockMode::kX));
+}
+
+TEST(LockHeadTest, ConversionQueuesAheadOfNewRequests) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  head.AddHolder(Granted(2, LockMode::kS));
+  head.EnqueueNew(Waiting(3, LockMode::kX));
+  // App 2 converts S → X: must go ahead of app 3's new request.
+  head.EnqueueConversion(Waiting(2, LockMode::kX, /*conversion=*/true));
+  EXPECT_EQ(head.FrontWaiter().app, 2);
+  EXPECT_TRUE(head.FrontWaiter().is_conversion);
+}
+
+TEST(LockHeadTest, ConversionsKeepRelativeOrder) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  head.AddHolder(Granted(2, LockMode::kS));
+  head.AddHolder(Granted(3, LockMode::kS));
+  head.EnqueueConversion(Waiting(2, LockMode::kX, true));
+  head.EnqueueConversion(Waiting(3, LockMode::kX, true));
+  EXPECT_EQ(head.waiters()[0].app, 2);
+  EXPECT_EQ(head.waiters()[1].app, 3);
+}
+
+TEST(LockHeadTest, CanGrantConversionIgnoresSelf) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  // Sole holder can always strengthen its own lock.
+  EXPECT_TRUE(head.CanGrantConversion(1, LockMode::kX));
+  head.AddHolder(Granted(2, LockMode::kS));
+  // With another S holder, S→X must wait.
+  EXPECT_FALSE(head.CanGrantConversion(1, LockMode::kX));
+  // But S→U is compatible with the other S.
+  EXPECT_TRUE(head.CanGrantConversion(1, LockMode::kU));
+}
+
+TEST(LockHeadTest, RemoveHolderReturnsSlot) {
+  LockHead head;
+  auto* fake_slot = reinterpret_cast<LockBlock*>(0x1234);
+  LockRequest r = Granted(1, LockMode::kS);
+  r.slot = fake_slot;
+  head.AddHolder(r);
+  EXPECT_EQ(head.RemoveHolder(1), fake_slot);
+  EXPECT_EQ(head.RemoveHolder(1), nullptr);  // already gone
+  EXPECT_TRUE(head.empty());
+}
+
+TEST(LockHeadTest, RemoveWaiter) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kX));
+  head.EnqueueNew(Waiting(2, LockMode::kS));
+  head.EnqueueNew(Waiting(3, LockMode::kS));
+  bool removed = false;
+  head.RemoveWaiter(2, &removed);
+  EXPECT_TRUE(removed);
+  EXPECT_EQ(head.waiters().size(), 1u);
+  EXPECT_EQ(head.FrontWaiter().app, 3);
+  head.RemoveWaiter(9, &removed);
+  EXPECT_FALSE(removed);
+}
+
+TEST(LockHeadTest, HasWaiter) {
+  LockHead head;
+  head.EnqueueNew(Waiting(5, LockMode::kS));
+  EXPECT_TRUE(head.HasWaiter(5));
+  EXPECT_FALSE(head.HasWaiter(6));
+}
+
+TEST(LockHeadTest, PopFrontWaiterFifo) {
+  LockHead head;
+  head.EnqueueNew(Waiting(1, LockMode::kX));
+  head.EnqueueNew(Waiting(2, LockMode::kS));
+  EXPECT_EQ(head.PopFrontWaiter().app, 1);
+  EXPECT_EQ(head.PopFrontWaiter().app, 2);
+  EXPECT_TRUE(head.empty());
+}
+
+}  // namespace
+}  // namespace locktune

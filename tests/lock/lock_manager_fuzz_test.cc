@@ -1,0 +1,161 @@
+// Randomized operation fuzzing of the LockManager.
+//
+// A pool of applications performs random operations — row/table locks in
+// every mode, single releases, commits, deadlock sweeps, timeout sweeps,
+// block growth and shrink, quota changes — against managers configured with
+// each escalation policy. After every batch the full accounting invariants
+// must hold; at the end the system must drain to empty. This is the
+// adversarial counterpart to the scenario-level invariants_test.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "lock/lock_manager.h"
+
+namespace locktune {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int policy;  // 0 adaptive, 1 fixed 10 %, 2 fixed 90 %, 3 sql-server
+  bool allow_growth;
+  DurationMs timeout;  // -1 = none
+};
+
+class LockManagerFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+std::unique_ptr<EscalationPolicy> MakePolicy(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<AdaptiveMaxlocksPolicy>();
+    case 1:
+      return std::make_unique<FixedMaxlocksPolicy>(10.0);
+    case 2:
+      return std::make_unique<FixedMaxlocksPolicy>(90.0);
+    default:
+      return std::make_unique<SqlServerLockPolicy>();
+  }
+}
+
+TEST_P(LockManagerFuzzTest, RandomOperationsPreserveInvariants) {
+  const FuzzCase& c = GetParam();
+  SimClock clock;
+  std::unique_ptr<EscalationPolicy> policy = MakePolicy(c.policy);
+  LockManagerOptions opts;
+  opts.initial_blocks = 2;
+  opts.max_lock_memory = 8 * kMiB;
+  opts.database_memory = 64 * kMiB;
+  opts.policy = policy.get();
+  opts.clock = &clock;
+  opts.lock_timeout = c.timeout;
+  bool grow_enabled = c.allow_growth;
+  Bytes granted_growth = 0;
+  if (c.allow_growth) {
+    opts.grow_callback = [&](int64_t blocks) {
+      if (!grow_enabled) return false;
+      granted_growth += BlocksToBytes(blocks);
+      // Cap growth like an overflow area would.
+      return granted_growth <= 4 * kMiB;
+    };
+  }
+  LockManager lm(std::move(opts));
+
+  constexpr int kApps = 12;
+  constexpr int kTables = 4;
+  constexpr int64_t kRowsPerTable = 400;  // small: heavy contention
+  Rng rng(c.seed);
+  std::vector<std::vector<ResourceId>> held(kApps + 1);
+
+  for (int step = 0; step < 30'000; ++step) {
+    const AppId app = static_cast<AppId>(rng.NextInRange(1, kApps));
+    const int op = static_cast<int>(rng.NextBelow(100));
+    if (lm.IsBlocked(app)) {
+      // A blocked application can only be rolled back (or left waiting).
+      if (op < 30) {
+        lm.ReleaseAll(app);
+        held[app].clear();
+      }
+    } else if (op < 55) {
+      // Row lock in a random mode.
+      const TableId table = static_cast<TableId>(rng.NextBelow(kTables));
+      const int64_t row = rng.NextInRange(0, kRowsPerTable - 1);
+      static constexpr LockMode kRowModes[] = {LockMode::kS, LockMode::kU,
+                                               LockMode::kX};
+      const LockMode mode = kRowModes[rng.NextBelow(3)];
+      const LockResult res = lm.Lock(app, RowResource(table, row), mode);
+      if (res.outcome == LockOutcome::kGranted) {
+        held[app].push_back(RowResource(table, row));
+      }
+    } else if (op < 65) {
+      // Table lock in a random mode.
+      const TableId table = static_cast<TableId>(rng.NextBelow(kTables));
+      static constexpr LockMode kTableModes[] = {
+          LockMode::kIS, LockMode::kIX, LockMode::kS, LockMode::kSIX,
+          LockMode::kX};
+      (void)lm.Lock(app, TableResource(table), kTableModes[rng.NextBelow(5)]);
+    } else if (op < 72 && !held[app].empty()) {
+      // Release one (possibly already escalated-away) resource.
+      const size_t i = rng.NextBelow(held[app].size());
+      (void)lm.Release(app, held[app][i]);
+      held[app][i] = held[app].back();
+      held[app].pop_back();
+    } else if (op < 82) {
+      lm.ReleaseAll(app);
+      held[app].clear();
+    } else if (op < 88) {
+      // Deadlock sweep, rolling back every victim.
+      for (AppId victim : lm.DetectDeadlocks()) {
+        lm.ReleaseAll(victim);
+        held[static_cast<size_t>(victim)].clear();
+      }
+    } else if (op < 92) {
+      clock.Advance(rng.NextInRange(1, 2000));
+      for (AppId victim : lm.ExpireTimedOutWaiters()) {
+        lm.ReleaseAll(victim);
+        held[static_cast<size_t>(victim)].clear();
+      }
+    } else if (op < 95) {
+      lm.AddBlocks(1);
+    } else if (op < 98) {
+      (void)lm.TryRemoveBlocks(rng.NextInRange(1, 3));
+    } else {
+      lm.SetEscalationPreferred(app, rng.NextBool(0.5));
+    }
+
+    if (step % 2'000 == 0) {
+      ASSERT_TRUE(lm.CheckConsistency().ok()) << "step " << step;
+    }
+  }
+
+  ASSERT_TRUE(lm.CheckConsistency().ok());
+
+  // Drain: roll every application back; everything must return to zero.
+  for (AppId app = 1; app <= kApps; ++app) lm.ReleaseAll(app);
+  EXPECT_EQ(lm.used_bytes(), 0);
+  EXPECT_EQ(lm.waiting_app_count(), 0);
+  EXPECT_TRUE(lm.CheckConsistency().ok());
+  // Every allocated block is now entirely free and removable.
+  EXPECT_TRUE(lm.TryRemoveBlocks(lm.block_count()).ok());
+  EXPECT_EQ(lm.block_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, LockManagerFuzzTest,
+    ::testing::Values(FuzzCase{101, 0, true, -1},
+                      FuzzCase{102, 0, true, 500},
+                      FuzzCase{103, 0, false, -1},
+                      FuzzCase{104, 1, false, -1},
+                      FuzzCase{105, 1, true, 1000},
+                      FuzzCase{106, 2, true, -1},
+                      FuzzCase{107, 2, false, 200},
+                      FuzzCase{108, 3, true, -1},
+                      FuzzCase{109, 3, false, 500},
+                      FuzzCase{110, 0, true, 100},
+                      FuzzCase{111, 1, true, -1},
+                      FuzzCase{112, 3, true, 2000}));
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,129 @@
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+constexpr LockMode kAll[] = {LockMode::kNone, LockMode::kIS, LockMode::kIX,
+                             LockMode::kS,    LockMode::kSIX, LockMode::kU,
+                             LockMode::kX};
+
+TEST(LockModeTest, NoneCompatibleWithEverything) {
+  for (LockMode m : kAll) {
+    EXPECT_TRUE(Compatible(LockMode::kNone, m)) << ModeName(m);
+    EXPECT_TRUE(Compatible(m, LockMode::kNone)) << ModeName(m);
+  }
+}
+
+TEST(LockModeTest, XConflictsWithEverythingButNone) {
+  for (LockMode m : kAll) {
+    if (m == LockMode::kNone) continue;
+    EXPECT_FALSE(Compatible(LockMode::kX, m)) << ModeName(m);
+  }
+}
+
+TEST(LockModeTest, ClassicPairs) {
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kU));
+  EXPECT_TRUE(Compatible(LockMode::kSIX, LockMode::kIS));
+  EXPECT_FALSE(Compatible(LockMode::kS, LockMode::kIX));
+  EXPECT_FALSE(Compatible(LockMode::kU, LockMode::kU));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kIX));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kSIX));
+}
+
+// Compatibility must be symmetric: it describes co-existence of two holders.
+class ModePairTest
+    : public ::testing::TestWithParam<std::tuple<LockMode, LockMode>> {};
+
+TEST_P(ModePairTest, CompatibilityIsSymmetric) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+      << ModeName(a) << " vs " << ModeName(b);
+}
+
+TEST_P(ModePairTest, SupremumIsCommutative) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(Supremum(a, b), Supremum(b, a));
+}
+
+TEST_P(ModePairTest, SupremumIsUpperBound) {
+  const auto [a, b] = GetParam();
+  const LockMode sup = Supremum(a, b);
+  EXPECT_TRUE(Covers(sup, a))
+      << "sup(" << ModeName(a) << "," << ModeName(b) << ")=" << ModeName(sup);
+  EXPECT_TRUE(Covers(sup, b))
+      << "sup(" << ModeName(a) << "," << ModeName(b) << ")=" << ModeName(sup);
+}
+
+TEST_P(ModePairTest, SupremumIsNoMorePermissiveThanParts) {
+  // Anything compatible with both inputs' supremum must be compatible with
+  // each input (the supremum is at least as strong as each part).
+  const auto [a, b] = GetParam();
+  const LockMode sup = Supremum(a, b);
+  for (LockMode other : kAll) {
+    if (Compatible(sup, other)) {
+      EXPECT_TRUE(Compatible(a, other));
+      EXPECT_TRUE(Compatible(b, other));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ModePairTest,
+                         ::testing::Combine(::testing::ValuesIn(kAll),
+                                            ::testing::ValuesIn(kAll)));
+
+TEST(LockModeTest, SupremumIdempotent) {
+  for (LockMode m : kAll) EXPECT_EQ(Supremum(m, m), m);
+}
+
+TEST(LockModeTest, SupremumWithNoneIsIdentity) {
+  for (LockMode m : kAll) EXPECT_EQ(Supremum(LockMode::kNone, m), m);
+}
+
+TEST(LockModeTest, ClassicSuprema) {
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kS), LockMode::kS);
+  EXPECT_EQ(Supremum(LockMode::kU, LockMode::kIX), LockMode::kX);
+  EXPECT_EQ(Supremum(LockMode::kU, LockMode::kS), LockMode::kU);
+  EXPECT_EQ(Supremum(LockMode::kSIX, LockMode::kU), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kX, LockMode::kSIX), LockMode::kX);
+}
+
+TEST(LockModeTest, CoversReflexive) {
+  for (LockMode m : kAll) EXPECT_TRUE(Covers(m, m));
+}
+
+TEST(LockModeTest, CoversExamples) {
+  EXPECT_TRUE(Covers(LockMode::kX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kIX));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kU, LockMode::kS));
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kX));
+  EXPECT_FALSE(Covers(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kIX));
+}
+
+TEST(LockModeTest, IntentModeForRowModes) {
+  EXPECT_EQ(IntentModeFor(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(IntentModeFor(LockMode::kU), LockMode::kIX);
+  EXPECT_EQ(IntentModeFor(LockMode::kX), LockMode::kIX);
+}
+
+TEST(LockModeTest, ModeNames) {
+  EXPECT_EQ(ModeName(LockMode::kNone), "NONE");
+  EXPECT_EQ(ModeName(LockMode::kIS), "IS");
+  EXPECT_EQ(ModeName(LockMode::kIX), "IX");
+  EXPECT_EQ(ModeName(LockMode::kS), "S");
+  EXPECT_EQ(ModeName(LockMode::kSIX), "SIX");
+  EXPECT_EQ(ModeName(LockMode::kU), "U");
+  EXPECT_EQ(ModeName(LockMode::kX), "X");
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,252 @@
+// Protocol-level semantics of the lock manager: update (U) locks, SIX
+// interplay, mixed-mode escalations, queue processing during conversions,
+// and multigranularity corner cases.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "lock/lock_manager.h"
+
+namespace locktune {
+namespace {
+
+constexpr TableId kOrders = 1;
+constexpr TableId kStock = 2;
+
+class LockSemanticsTest : public ::testing::Test {
+ protected:
+  LockSemanticsTest() { Make(90.0); }
+
+  void Make(double maxlocks_percent) {
+    policy_ = std::make_unique<FixedMaxlocksPolicy>(maxlocks_percent);
+    LockManagerOptions opts;
+    opts.initial_blocks = 8;
+    opts.max_lock_memory = 64 * kMiB;
+    opts.database_memory = kGiB;
+    opts.policy = policy_.get();
+    lm_ = std::make_unique<LockManager>(std::move(opts));
+  }
+
+  LockResult Lock(AppId app, int64_t row, LockMode mode,
+                  TableId table = kOrders) {
+    return lm_->Lock(app, RowResource(table, row), mode);
+  }
+
+  std::unique_ptr<EscalationPolicy> policy_;
+  std::unique_ptr<LockManager> lm_;
+};
+
+// --- update (U) locks: the lost-update protocol ---
+
+TEST_F(LockSemanticsTest, ULockCoexistsWithReaders) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(Lock(2, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  // A later reader may still join.
+  EXPECT_EQ(Lock(3, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+}
+
+TEST_F(LockSemanticsTest, SecondULockWaits) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(Lock(2, 5, LockMode::kU).outcome, LockOutcome::kWaiting);
+}
+
+TEST_F(LockSemanticsTest, ULockTakesIXIntent) {
+  // U signals intent to update, so the table intent is IX, not IS.
+  ASSERT_EQ(Lock(1, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kOrders)), LockMode::kIX);
+}
+
+TEST_F(LockSemanticsTest, UUpgradesToXWaitingOutReaders) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+  // The updater decides to write: U → X must wait for the reader only.
+  EXPECT_EQ(Lock(1, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  lm_->ReleaseAll(2);
+  EXPECT_FALSE(lm_->IsBlocked(1));
+  EXPECT_EQ(lm_->HeldMode(1, RowResource(kOrders, 5)), LockMode::kX);
+}
+
+TEST_F(LockSemanticsTest, ULockPreventsUpgradeRace) {
+  // The classic deadlock U locks exist to prevent: two S holders upgrading
+  // to X deadlock; with U, the second updater is stopped at acquisition.
+  ASSERT_EQ(Lock(1, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kU).outcome, LockOutcome::kWaiting);
+  // App 1 upgrades and commits; no deadlock is possible.
+  EXPECT_EQ(Lock(1, 5, LockMode::kX).outcome, LockOutcome::kGranted);
+  EXPECT_TRUE(lm_->DetectDeadlocks().empty());
+  lm_->ReleaseAll(1);
+  EXPECT_FALSE(lm_->IsBlocked(2));
+  EXPECT_EQ(lm_->HeldMode(2, RowResource(kOrders, 5)), LockMode::kU);
+}
+
+// --- SIX and table-level interplay ---
+
+TEST_F(LockSemanticsTest, SIXFromTableSPlusRowWrite) {
+  // A table-scanning reader that updates selected rows: table S, then a
+  // row X forces the table to SIX (S + IX).
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kS).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(Lock(1, 5, LockMode::kX).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kOrders)), LockMode::kSIX);
+}
+
+TEST_F(LockSemanticsTest, SIXBlocksOtherReadersRows) {
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kS).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(Lock(1, 5, LockMode::kX).outcome, LockOutcome::kGranted);
+  // Another app's row S needs IS on the table: compatible with SIX.
+  EXPECT_EQ(Lock(2, 6, LockMode::kS).outcome, LockOutcome::kGranted);
+  // But a row write (IX intent) is not.
+  EXPECT_EQ(Lock(3, 7, LockMode::kX).outcome, LockOutcome::kWaiting);
+}
+
+TEST_F(LockSemanticsTest, TableSLockCoversRowReads) {
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kS).outcome,
+            LockOutcome::kGranted);
+  const int64_t before = lm_->HeldStructures(1);
+  for (int64_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(Lock(1, r, LockMode::kS).outcome, LockOutcome::kGranted);
+  }
+  EXPECT_EQ(lm_->HeldStructures(1), before);  // all covered
+}
+
+TEST_F(LockSemanticsTest, TableXCoversEverything) {
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  const int64_t before = lm_->HeldStructures(1);
+  ASSERT_EQ(Lock(1, 1, LockMode::kS).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(1, 2, LockMode::kU).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(1, 3, LockMode::kX).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(lm_->HeldStructures(1), before);
+}
+
+TEST_F(LockSemanticsTest, IntentLocksDoNotCoverRows) {
+  // IS on the table does not grant any row: a row lock is still required
+  // (and counted).
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kIS).outcome,
+            LockOutcome::kGranted);
+  const int64_t before = lm_->HeldStructures(1);
+  ASSERT_EQ(Lock(1, 1, LockMode::kS).outcome, LockOutcome::kGranted);
+  EXPECT_EQ(lm_->HeldStructures(1), before + 1);
+}
+
+// --- escalation with mixed modes ---
+
+TEST_F(LockSemanticsTest, MixedRowModesEscalateToX) {
+  Make(10.0);  // 8 blocks → limit = 1638 structures
+  // Mostly reads plus a single U lock: the escalated table lock must be X
+  // (U counts as a write intent).
+  ASSERT_EQ(Lock(1, 999'999, LockMode::kU).outcome, LockOutcome::kGranted);
+  LockResult last;
+  for (int64_t r = 0; r < 2000; ++r) {
+    last = Lock(1, r, LockMode::kS);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    if (last.escalated) break;
+  }
+  ASSERT_TRUE(last.escalated);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kOrders)), LockMode::kX);
+  EXPECT_EQ(lm_->stats().exclusive_escalations, 1);
+}
+
+TEST_F(LockSemanticsTest, EscalationLeavesOtherTablesIntact) {
+  Make(10.0);
+  for (int64_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(Lock(1, r, LockMode::kS, kStock).outcome,
+              LockOutcome::kGranted);
+  }
+  LockResult last;
+  for (int64_t r = 0; r < 3000; ++r) {
+    last = Lock(1, r, LockMode::kS, kOrders);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    if (last.escalated) break;
+  }
+  ASSERT_TRUE(last.escalated);
+  // kOrders escalated; kStock's row locks and IS intent are untouched.
+  EXPECT_EQ(lm_->HeldMode(1, RowResource(kStock, 0)), LockMode::kS);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kStock)), LockMode::kIS);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+TEST_F(LockSemanticsTest, RepeatEscalationMovesToNextTable) {
+  Make(10.0);
+  // Escalate kOrders first.
+  LockResult last;
+  for (int64_t r = 0; r < 3000; ++r) {
+    last = Lock(1, r, LockMode::kS, kOrders);
+    if (last.escalated) break;
+  }
+  ASSERT_TRUE(last.escalated);
+  // Continue on kStock until the quota bites again: the second escalation
+  // must pick kStock (kOrders has no row locks anymore).
+  for (int64_t r = 0; r < 3000; ++r) {
+    last = Lock(1, r, LockMode::kS, kStock);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    if (last.escalated) break;
+  }
+  ASSERT_TRUE(last.escalated);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kStock)), LockMode::kS);
+  EXPECT_EQ(lm_->stats().escalations, 2);
+}
+
+// --- queue processing corners ---
+
+TEST_F(LockSemanticsTest, ConversionGrantCascadesToCompatibleWaiters) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+  // App 1 wants U (compatible with app 2's S): immediate.
+  ASSERT_EQ(Lock(1, 5, LockMode::kU).outcome, LockOutcome::kGranted);
+  // App 3's S joins (S is compatible with S+U).
+  EXPECT_EQ(Lock(3, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+}
+
+TEST_F(LockSemanticsTest, AbortedWaiterUnblocksThoseBehindIt) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kS).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  ASSERT_EQ(Lock(3, 5, LockMode::kS).outcome, LockOutcome::kWaiting);
+  // App 2 (the X waiter at the head of the queue) rolls back: app 3's S is
+  // compatible with app 1's S and must be granted right away.
+  lm_->ReleaseAll(2);
+  EXPECT_FALSE(lm_->IsBlocked(3));
+  EXPECT_EQ(lm_->HeldMode(3, RowResource(kOrders, 5)), LockMode::kS);
+}
+
+TEST_F(LockSemanticsTest, WaiterChainDrainsInOrder) {
+  ASSERT_EQ(Lock(1, 5, LockMode::kX).outcome, LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  ASSERT_EQ(Lock(3, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  ASSERT_EQ(Lock(4, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  for (AppId app : {1, 2, 3}) {
+    lm_->ReleaseAll(app);
+    // Exactly the next waiter got the lock.
+    const AppId next = app + 1;
+    EXPECT_FALSE(lm_->IsBlocked(next));
+    EXPECT_EQ(lm_->HeldMode(next, RowResource(kOrders, 5)), LockMode::kX);
+    if (next < 4) {
+      EXPECT_TRUE(lm_->IsBlocked(next + 1));
+    }
+  }
+}
+
+TEST_F(LockSemanticsTest, IntentConversionContinuationAcquiresRow) {
+  // App 1 holds table S (blocking IX intents). App 2 requests a row X: its
+  // intent conversion waits; when app 1 releases, the whole chain (intent
+  // then row) completes without another call.
+  ASSERT_EQ(lm_->Lock(1, TableResource(kOrders), LockMode::kS).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(Lock(2, 5, LockMode::kX).outcome, LockOutcome::kWaiting);
+  lm_->ReleaseAll(1);
+  EXPECT_FALSE(lm_->IsBlocked(2));
+  EXPECT_EQ(lm_->HeldMode(2, TableResource(kOrders)), LockMode::kIX);
+  EXPECT_EQ(lm_->HeldMode(2, RowResource(kOrders, 5)), LockMode::kX);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+TEST_F(LockSemanticsTest, HeldModeOfUnknownResourceIsNone) {
+  EXPECT_EQ(lm_->HeldMode(1, RowResource(kOrders, 42)), LockMode::kNone);
+  EXPECT_EQ(lm_->HeldStructures(99), 0);
+  EXPECT_FALSE(lm_->IsBlocked(99));
+}
+
+}  // namespace
+}  // namespace locktune

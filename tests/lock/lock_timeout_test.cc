@@ -1,0 +1,209 @@
+// Lock wait timeouts (LOCKTIMEOUT), the wait-time histogram, and §6.1
+// selective escalation.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "lock/lock_manager.h"
+
+namespace locktune {
+namespace {
+
+constexpr TableId kT = 1;
+
+class LockTimeoutTest : public ::testing::Test {
+ protected:
+  void Make(DurationMs timeout, bool with_clock = true) {
+    policy_ = std::make_unique<FixedMaxlocksPolicy>(90.0);
+    LockManagerOptions opts;
+    opts.initial_blocks = 8;
+    opts.max_lock_memory = 64 * kMiB;
+    opts.database_memory = kGiB;
+    opts.policy = policy_.get();
+    opts.clock = with_clock ? &clock_ : nullptr;
+    opts.lock_timeout = timeout;
+    lm_ = std::make_unique<LockManager>(std::move(opts));
+  }
+
+  SimClock clock_;
+  std::unique_ptr<EscalationPolicy> policy_;
+  std::unique_ptr<LockManager> lm_;
+};
+
+TEST_F(LockTimeoutTest, NoTimeoutsBeforeDeadline) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(9 * kSecond);
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+}
+
+TEST_F(LockTimeoutTest, WaiterExpiresAtDeadline) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(10 * kSecond);
+  const std::vector<AppId> expired = lm_->ExpireTimedOutWaiters();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 2);
+  EXPECT_EQ(lm_->stats().lock_timeouts, 1);
+  // The caller rolls the victim back; afterwards nothing waits.
+  lm_->ReleaseAll(2);
+  EXPECT_EQ(lm_->waiting_app_count(), 0);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+TEST_F(LockTimeoutTest, InfiniteTimeoutNeverExpires) {
+  Make(-1);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(100 * kMinute);
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+}
+
+TEST_F(LockTimeoutTest, NoClockDisablesTimeouts) {
+  Make(kSecond, /*with_clock=*/false);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(kMinute);
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+}
+
+TEST_F(LockTimeoutTest, GrantedWaiterIsNotExpired) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(5 * kSecond);
+  lm_->ReleaseAll(1);  // grants app 2 within the deadline
+  clock_.Advance(20 * kSecond);
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+}
+
+TEST_F(LockTimeoutTest, SeparateWaitersExpireIndependently) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(6 * kSecond);
+  ASSERT_EQ(lm_->Lock(3, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(5 * kSecond);  // app 2 at 11 s, app 3 at 5 s
+  const std::vector<AppId> expired = lm_->ExpireTimedOutWaiters();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 2);
+}
+
+TEST_F(LockTimeoutTest, WaitHistogramRecordsDurations) {
+  Make(-1);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  clock_.Advance(700);
+  lm_->ReleaseAll(1);
+  EXPECT_EQ(lm_->wait_time_histogram().total_count(), 1);
+  // 700 ms lands in the (100, 1000] bucket (bounds 1,10,100,1000,...).
+  EXPECT_EQ(lm_->wait_time_histogram().counts()[3], 1);
+}
+
+TEST_F(LockTimeoutTest, WaitHistogramEmptyWithoutWaits) {
+  Make(-1);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kS).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(lm_->wait_time_histogram().total_count(), 0);
+}
+
+// --- §6.1 selective escalation ---
+
+class SelectiveEscalationTest : public ::testing::Test {
+ protected:
+  SelectiveEscalationTest() {
+    // Adaptive policy: the per-app limit tracks maxLockMemory (~1M
+    // structures), far above the single block's 2048 slots, so only the
+    // memory-exhaustion path can trigger escalation here.
+    policy_ = std::make_unique<AdaptiveMaxlocksPolicy>();
+    LockManagerOptions opts;
+    opts.initial_blocks = 1;  // 2048 slots
+    opts.max_lock_memory = 64 * kMiB;
+    opts.database_memory = kGiB;
+    opts.policy = policy_.get();
+    opts.grow_callback = [this](int64_t n) {
+      grow_calls_ += n;
+      return true;
+    };
+    lm_ = std::make_unique<LockManager>(std::move(opts));
+  }
+
+  std::unique_ptr<EscalationPolicy> policy_;
+  std::unique_ptr<LockManager> lm_;
+  int64_t grow_calls_ = 0;
+};
+
+TEST_F(SelectiveEscalationTest, PreferredAppEscalatesInsteadOfGrowing) {
+  lm_->SetEscalationPreferred(1, true);
+  EXPECT_TRUE(lm_->IsEscalationPreferred(1));
+  LockResult last;
+  for (int64_t r = 0; r < kLocksPerBlock + 100; ++r) {
+    last = lm_->Lock(1, RowResource(kT, r), LockMode::kS);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    if (last.escalated) break;
+  }
+  EXPECT_TRUE(last.escalated);
+  EXPECT_EQ(grow_calls_, 0);  // no memory was consumed
+  EXPECT_EQ(lm_->block_count(), 1);
+  EXPECT_EQ(lm_->stats().preferred_escalations, 1);
+  EXPECT_EQ(lm_->HeldMode(1, TableResource(kT)), LockMode::kS);
+}
+
+TEST_F(SelectiveEscalationTest, UnmarkedAppGrowsAsUsual) {
+  LockResult last;
+  for (int64_t r = 0; r < kLocksPerBlock + 100; ++r) {
+    last = lm_->Lock(1, RowResource(kT, r), LockMode::kS);
+    ASSERT_EQ(last.outcome, LockOutcome::kGranted);
+    ASSERT_FALSE(last.escalated);
+  }
+  EXPECT_GE(grow_calls_, 1);
+  EXPECT_EQ(lm_->stats().preferred_escalations, 0);
+}
+
+TEST_F(SelectiveEscalationTest, PreferenceCanBeCleared) {
+  lm_->SetEscalationPreferred(1, true);
+  lm_->SetEscalationPreferred(1, false);
+  EXPECT_FALSE(lm_->IsEscalationPreferred(1));
+  for (int64_t r = 0; r < kLocksPerBlock + 100; ++r) {
+    ASSERT_FALSE(lm_->Lock(1, RowResource(kT, r), LockMode::kS).escalated);
+  }
+  EXPECT_GE(grow_calls_, 1);
+}
+
+TEST_F(SelectiveEscalationTest, PreferenceOnlyAffectsMarkedApp) {
+  lm_->SetEscalationPreferred(1, true);
+  // App 2 (unmarked) exhausts the block; growth serves it even though the
+  // preferred app also holds locks.
+  for (int64_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(lm_->Lock(1, RowResource(kT, r), LockMode::kS).outcome,
+              LockOutcome::kGranted);
+  }
+  for (int64_t r = 0; r < kLocksPerBlock; ++r) {
+    ASSERT_EQ(lm_->Lock(2, RowResource(kT + 1, r), LockMode::kS).outcome,
+              LockOutcome::kGranted);
+  }
+  EXPECT_GE(grow_calls_, 1);
+  // App 1 kept its row locks (no preferred escalation fired for app 2).
+  EXPECT_EQ(lm_->HeldMode(1, RowResource(kT, 0)), LockMode::kS);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,108 @@
+#include "lock/maxlocks_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(MaxlocksCurveTest, PaperDefaults) {
+  MaxlocksCurve curve;
+  EXPECT_DOUBLE_EQ(curve.p_max(), 98.0);
+  EXPECT_DOUBLE_EQ(curve.exponent(), 3.0);
+  EXPECT_EQ(curve.refresh_period(), 0x80);
+}
+
+TEST(MaxlocksCurveTest, NearlyUnconstrainedWhenAmple) {
+  MaxlocksCurve curve;
+  EXPECT_DOUBLE_EQ(curve.Evaluate(0.0), 98.0);
+  // At 10 % used the attenuation is negligible: 98·(1−0.001) ≈ 97.9.
+  EXPECT_NEAR(curve.Evaluate(10.0), 97.9, 0.01);
+}
+
+TEST(MaxlocksCurveTest, Table1Formula) {
+  MaxlocksCurve curve;
+  // 98·(1−(x/100)³) at a few points.
+  EXPECT_NEAR(curve.Evaluate(50.0), 98.0 * (1 - 0.125), 1e-9);
+  EXPECT_NEAR(curve.Evaluate(75.0), 98.0 * (1 - 0.421875), 1e-9);
+  EXPECT_NEAR(curve.Evaluate(90.0), 98.0 * (1 - 0.729), 1e-9);
+}
+
+TEST(MaxlocksCurveTest, FloorOfOnePercentAtMax) {
+  MaxlocksCurve curve;
+  // "dropping down to 1 when lock memory is 100% of its maximum size".
+  EXPECT_DOUBLE_EQ(curve.Evaluate(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.Evaluate(99.9), 1.0);  // formula < 1 → clamped
+  EXPECT_DOUBLE_EQ(curve.Evaluate(150.0), 1.0);  // clamped input
+}
+
+TEST(MaxlocksCurveTest, NegativeInputClamped) {
+  MaxlocksCurve curve;
+  EXPECT_DOUBLE_EQ(curve.Evaluate(-5.0), 98.0);
+}
+
+TEST(MaxlocksCurveTest, MonotoneDecreasing) {
+  MaxlocksCurve curve;
+  double prev = curve.Evaluate(0.0);
+  for (double x = 1.0; x <= 100.0; x += 1.0) {
+    const double v = curve.Evaluate(x);
+    EXPECT_LE(v, prev) << "x=" << x;
+    prev = v;
+  }
+}
+
+TEST(MaxlocksCurveTest, AggressiveAttenuationPast75) {
+  // §3.5: "aggressive attenuation when lock memory is more than 75 % used".
+  MaxlocksCurve curve;
+  const double drop_before = curve.Evaluate(0.0) - curve.Evaluate(75.0);
+  const double drop_after = curve.Evaluate(75.0) - curve.Evaluate(100.0);
+  EXPECT_GT(drop_after, drop_before);
+}
+
+TEST(MaxlocksCurveTest, RefreshPeriodBatching) {
+  MaxlocksCurve curve(98.0, 3.0, 4);
+  // Initial read computes.
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);
+  // Usage changes but the cached value persists until 4 requests pass.
+  for (int i = 0; i < 3; ++i) {
+    curve.OnLockRequest();
+    EXPECT_DOUBLE_EQ(curve.Current(90.0), 98.0);
+  }
+  curve.OnLockRequest();  // 4th request: refresh due
+  EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(90.0), 1e-12);
+}
+
+TEST(MaxlocksCurveTest, InvalidateForcesRecompute) {
+  MaxlocksCurve curve;
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);
+  curve.Invalidate();  // what a lock memory resize does
+  EXPECT_NEAR(curve.Current(50.0), curve.Evaluate(50.0), 1e-12);
+}
+
+TEST(MaxlocksCurveTest, CustomExponentShapesCurve) {
+  MaxlocksCurve linear(98.0, 1.0, 0x80);
+  MaxlocksCurve cubic(98.0, 3.0, 0x80);
+  // A linear curve throttles earlier than the cubic at mid usage.
+  EXPECT_LT(linear.Evaluate(50.0), cubic.Evaluate(50.0));
+}
+
+// Property sweep over exponents: the curve stays inside [1, P] and is
+// monotone for any exponent.
+class CurveExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CurveExponentTest, BoundedAndMonotone) {
+  MaxlocksCurve curve(98.0, GetParam(), 0x80);
+  double prev = 1e9;
+  for (double x = 0.0; x <= 100.0; x += 0.5) {
+    const double v = curve.Evaluate(x);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 98.0);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, CurveExponentTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 6.0, 10.0));
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,203 @@
+// Tests for the DB2 §2.2 block list discipline: head allocation, exhausted-
+// block handling, return-to-head on free, and all-or-nothing tail shrink.
+#include "memory/block_list.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace locktune {
+namespace {
+
+class BlockListTest : public ::testing::Test {
+ protected:
+  // Allocates `n` slots, returning their blocks.
+  std::vector<LockBlock*> AllocN(int64_t n) {
+    std::vector<LockBlock*> slots;
+    for (int64_t i = 0; i < n; ++i) {
+      Result<LockBlock*> r = list_.AllocateSlot();
+      EXPECT_TRUE(r.ok());
+      slots.push_back(r.value());
+    }
+    return slots;
+  }
+
+  BlockList list_;
+};
+
+TEST_F(BlockListTest, EmptyListExhausted) {
+  Result<LockBlock*> r = list_.AllocateSlot();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BlockListTest, AddBlockGrowsAccounting) {
+  list_.AddBlock();
+  EXPECT_EQ(list_.block_count(), 1);
+  EXPECT_EQ(list_.allocated_bytes(), kLockBlockSize);
+  EXPECT_EQ(list_.capacity_slots(), kLocksPerBlock);
+  EXPECT_EQ(list_.free_slots(), kLocksPerBlock);
+  list_.AddBlock();
+  EXPECT_EQ(list_.block_count(), 2);
+}
+
+TEST_F(BlockListTest, AllocatesFromHeadBlockFirst) {
+  LockBlock* first = list_.AddBlock();
+  list_.AddBlock();
+  // Every allocation short of a full block must come from the head block.
+  for (int i = 0; i < kLocksPerBlock; ++i) {
+    Result<LockBlock*> r = list_.AllocateSlot();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), first);
+  }
+}
+
+TEST_F(BlockListTest, SecondBlockServesAfterFirstExhausted) {
+  LockBlock* first = list_.AddBlock();
+  LockBlock* second = list_.AddBlock();
+  AllocN(kLocksPerBlock);
+  Result<LockBlock*> r = list_.AllocateSlot();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value(), first);
+  EXPECT_EQ(r.value(), second);
+}
+
+TEST_F(BlockListTest, FreedExhaustedBlockReturnsToHead) {
+  LockBlock* first = list_.AddBlock();
+  list_.AddBlock();
+  AllocN(kLocksPerBlock);  // exhausts block A
+  AllocN(1);               // now serving from block B
+  // Free one lock from A: A returns to the head of the list, so the next
+  // request is satisfied from A again (paper §2.2).
+  list_.FreeSlot(first);
+  Result<LockBlock*> r = list_.AllocateSlot();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), first);
+}
+
+TEST_F(BlockListTest, ExhaustionAcrossAllBlocks) {
+  list_.AddBlock();
+  list_.AddBlock();
+  AllocN(2 * kLocksPerBlock);
+  EXPECT_EQ(list_.free_slots(), 0);
+  EXPECT_FALSE(list_.AllocateSlot().ok());
+}
+
+TEST_F(BlockListTest, TailBlocksStayFreeUnderPartialLoad) {
+  // With demand below half the allocation, blocks toward the end of the
+  // list are always entirely free — the property that makes decrease
+  // requests cheap (§2.2).
+  for (int i = 0; i < 4; ++i) list_.AddBlock();
+  std::vector<LockBlock*> slots = AllocN(kLocksPerBlock / 2);
+  // Churn: free and re-allocate repeatedly; usage must stay in the head.
+  for (int round = 0; round < 10; ++round) {
+    for (LockBlock* b : slots) list_.FreeSlot(b);
+    slots = AllocN(kLocksPerBlock / 2);
+  }
+  EXPECT_GE(list_.entirely_free_blocks(), 3);
+}
+
+TEST_F(BlockListTest, ShrinkRemovesFreeTailBlocks) {
+  for (int i = 0; i < 4; ++i) list_.AddBlock();
+  AllocN(10);
+  EXPECT_TRUE(list_.TryRemoveBlocks(3).ok());
+  EXPECT_EQ(list_.block_count(), 1);
+  EXPECT_EQ(list_.slots_in_use(), 10);
+}
+
+TEST_F(BlockListTest, ShrinkIsAllOrNothing) {
+  for (int i = 0; i < 3; ++i) list_.AddBlock();
+  AllocN(10);  // head block in use; 2 free blocks
+  const Status s = list_.TryRemoveBlocks(3);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Reintegrated: nothing was removed.
+  EXPECT_EQ(list_.block_count(), 3);
+  EXPECT_TRUE(list_.TryRemoveBlocks(2).ok());
+  EXPECT_EQ(list_.block_count(), 1);
+}
+
+TEST_F(BlockListTest, ShrinkZeroIsNoop) {
+  list_.AddBlock();
+  EXPECT_TRUE(list_.TryRemoveBlocks(0).ok());
+  EXPECT_EQ(list_.block_count(), 1);
+}
+
+TEST_F(BlockListTest, ShrinkSkipsUsedBlocksInMiddle) {
+  // Arrange a list where a used block sits between free blocks: the scan
+  // from the tail must set aside only the free ones.
+  LockBlock* a = list_.AddBlock();
+  list_.AddBlock();
+  list_.AddBlock();
+  std::vector<LockBlock*> first_block = AllocN(kLocksPerBlock);  // fill A
+  AllocN(1);                              // B gets one lock
+  list_.FreeSlot(a);                      // A back to head, partially used
+  // List: A (used), B (used 1), C (free) — plus allocation keeps landing in
+  // A. Only C is removable.
+  EXPECT_FALSE(list_.TryRemoveBlocks(2).ok());
+  EXPECT_TRUE(list_.TryRemoveBlocks(1).ok());
+  EXPECT_EQ(list_.block_count(), 2);
+  (void)first_block;
+}
+
+TEST_F(BlockListTest, UsedBytesTracksSlots) {
+  list_.AddBlock();
+  AllocN(5);
+  EXPECT_EQ(list_.used_bytes(), 5 * kLockStructSize);
+  EXPECT_EQ(list_.slots_in_use(), 5);
+}
+
+TEST_F(BlockListTest, ConsistencyAfterChurn) {
+  for (int i = 0; i < 3; ++i) list_.AddBlock();
+  std::vector<LockBlock*> slots = AllocN(2 * kLocksPerBlock + 100);
+  EXPECT_TRUE(list_.CheckConsistency().ok());
+  // Free every other slot.
+  for (size_t i = 0; i < slots.size(); i += 2) list_.FreeSlot(slots[i]);
+  EXPECT_TRUE(list_.CheckConsistency().ok());
+  EXPECT_EQ(list_.slots_in_use(),
+            static_cast<int64_t>(slots.size() - (slots.size() + 1) / 2));
+}
+
+TEST_F(BlockListTest, ReuseAfterFullDrain) {
+  list_.AddBlock();
+  std::vector<LockBlock*> slots = AllocN(kLocksPerBlock);
+  for (LockBlock* b : slots) list_.FreeSlot(b);
+  EXPECT_EQ(list_.slots_in_use(), 0);
+  EXPECT_EQ(list_.entirely_free_blocks(), 1);
+  EXPECT_TRUE(list_.AllocateSlot().ok());
+}
+
+// Property sweep: regardless of alloc/free pattern, accounting invariants
+// hold and the head-concentration property keeps tail blocks free.
+class BlockListPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockListPropertyTest, RandomChurnPreservesInvariants) {
+  BlockList list;
+  for (int i = 0; i < 8; ++i) list.AddBlock();
+  Rng rng(GetParam());
+  std::vector<LockBlock*> held;
+  for (int step = 0; step < 20'000; ++step) {
+    const bool alloc = held.empty() || rng.NextBool(0.55);
+    if (alloc) {
+      Result<LockBlock*> r = list.AllocateSlot();
+      if (r.ok()) held.push_back(r.value());
+    } else {
+      const size_t i = static_cast<size_t>(rng.NextBelow(held.size()));
+      list.FreeSlot(held[i]);
+      held[i] = held.back();
+      held.pop_back();
+    }
+  }
+  ASSERT_TRUE(list.CheckConsistency().ok());
+  EXPECT_EQ(list.slots_in_use(), static_cast<int64_t>(held.size()));
+  EXPECT_EQ(list.free_slots(),
+            list.capacity_slots() - static_cast<int64_t>(held.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockListPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace locktune

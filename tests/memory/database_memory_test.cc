@@ -1,0 +1,178 @@
+#include "memory/database_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace locktune {
+namespace {
+
+constexpr Bytes kTotal = 100 * kMiB;
+constexpr Bytes kGoal = 10 * kMiB;
+
+class DatabaseMemoryTest : public ::testing::Test {
+ protected:
+  DatabaseMemoryTest() : mem_(kTotal, kGoal) {}
+  DatabaseMemory mem_;
+};
+
+TEST_F(DatabaseMemoryTest, StartsAllOverflow) {
+  EXPECT_EQ(mem_.total(), kTotal);
+  EXPECT_EQ(mem_.overflow_goal(), kGoal);
+  EXPECT_EQ(mem_.overflow_bytes(), kTotal);
+  EXPECT_EQ(mem_.heap_bytes(), 0);
+}
+
+TEST_F(DatabaseMemoryTest, RegisterHeapCarvesFromOverflow) {
+  Result<MemoryHeap*> h = mem_.RegisterHeap(
+      "bp", ConsumerClass::kPerformance, 40 * kMiB, 10 * kMiB, 90 * kMiB);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value()->size(), 40 * kMiB);
+  EXPECT_EQ(mem_.overflow_bytes(), 60 * kMiB);
+  EXPECT_EQ(h.value()->name(), "bp");
+  EXPECT_EQ(h.value()->consumer_class(), ConsumerClass::kPerformance);
+}
+
+TEST_F(DatabaseMemoryTest, RegisterRejectsDuplicates) {
+  ASSERT_TRUE(mem_.RegisterHeap("a", ConsumerClass::kFunctional, kMiB, 0,
+                                kTotal)
+                  .ok());
+  Result<MemoryHeap*> dup =
+      mem_.RegisterHeap("a", ConsumerClass::kFunctional, kMiB, 0, kTotal);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatabaseMemoryTest, RegisterRejectsBadBounds) {
+  EXPECT_FALSE(mem_.RegisterHeap("x", ConsumerClass::kFunctional, 5, 10, 20)
+                   .ok());  // initial < min
+  EXPECT_FALSE(mem_.RegisterHeap("y", ConsumerClass::kFunctional, 30, 10, 20)
+                   .ok());  // initial > max
+  EXPECT_FALSE(mem_.RegisterHeap("z", ConsumerClass::kFunctional, 10, 20, 5)
+                   .ok());  // max < min
+}
+
+TEST_F(DatabaseMemoryTest, RegisterRejectsOversized) {
+  Result<MemoryHeap*> h = mem_.RegisterHeap(
+      "big", ConsumerClass::kPerformance, kTotal + kMiB, 0, 2 * kTotal);
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DatabaseMemoryTest, GrowTakesFromOverflow) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, kMiB, kTotal)
+                      .value();
+  ASSERT_TRUE(mem_.GrowHeap(h, 5 * kMiB).ok());
+  EXPECT_EQ(h->size(), 15 * kMiB);
+  EXPECT_EQ(mem_.overflow_bytes(), 85 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, GrowFailsPastMax) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, kMiB, 12 * kMiB)
+                      .value();
+  const Status s = mem_.GrowHeap(h, 5 * kMiB);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(h->size(), 10 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, GrowFailsWhenOverflowExhausted) {
+  MemoryHeap* a = mem_.RegisterHeap("a", ConsumerClass::kFunctional,
+                                    90 * kMiB, kMiB, kTotal)
+                      .value();
+  MemoryHeap* b = mem_.RegisterHeap("b", ConsumerClass::kFunctional,
+                                    5 * kMiB, kMiB, kTotal)
+                      .value();
+  (void)a;
+  const Status s = mem_.GrowHeap(b, 10 * kMiB);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DatabaseMemoryTest, ShrinkReturnsToOverflow) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, kMiB, kTotal)
+                      .value();
+  ASSERT_TRUE(mem_.ShrinkHeap(h, 4 * kMiB).ok());
+  EXPECT_EQ(h->size(), 6 * kMiB);
+  EXPECT_EQ(mem_.overflow_bytes(), 94 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, ShrinkFailsBelowMin) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, 8 * kMiB, kTotal)
+                      .value();
+  EXPECT_EQ(mem_.ShrinkHeap(h, 4 * kMiB).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(h->size(), 10 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, NegativeDeltasRejected) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, kMiB, kTotal)
+                      .value();
+  EXPECT_EQ(mem_.GrowHeap(h, -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mem_.ShrinkHeap(h, -1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseMemoryTest, ZeroDeltaIsNoop) {
+  MemoryHeap* h = mem_.RegisterHeap("h", ConsumerClass::kFunctional,
+                                    10 * kMiB, kMiB, kTotal)
+                      .value();
+  EXPECT_TRUE(mem_.GrowHeap(h, 0).ok());
+  EXPECT_TRUE(mem_.ShrinkHeap(h, 0).ok());
+  EXPECT_EQ(h->size(), 10 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, TransferMovesBetweenHeaps) {
+  MemoryHeap* a = mem_.RegisterHeap("a", ConsumerClass::kPerformance,
+                                    20 * kMiB, kMiB, kTotal)
+                      .value();
+  MemoryHeap* b = mem_.RegisterHeap("b", ConsumerClass::kPerformance,
+                                    10 * kMiB, kMiB, kTotal)
+                      .value();
+  const Bytes overflow_before = mem_.overflow_bytes();
+  ASSERT_TRUE(mem_.Transfer(a, b, 5 * kMiB).ok());
+  EXPECT_EQ(a->size(), 15 * kMiB);
+  EXPECT_EQ(b->size(), 15 * kMiB);
+  EXPECT_EQ(mem_.overflow_bytes(), overflow_before);
+}
+
+TEST_F(DatabaseMemoryTest, TransferRollsBackOnGrowFailure) {
+  MemoryHeap* a = mem_.RegisterHeap("a", ConsumerClass::kPerformance,
+                                    20 * kMiB, kMiB, kTotal)
+                      .value();
+  MemoryHeap* b = mem_.RegisterHeap("b", ConsumerClass::kPerformance,
+                                    10 * kMiB, kMiB, 12 * kMiB)
+                      .value();
+  EXPECT_FALSE(mem_.Transfer(a, b, 5 * kMiB).ok());
+  EXPECT_EQ(a->size(), 20 * kMiB);  // rolled back
+  EXPECT_EQ(b->size(), 10 * kMiB);
+}
+
+TEST_F(DatabaseMemoryTest, FindHeapByName) {
+  MemoryHeap* h = mem_.RegisterHeap("locklist", ConsumerClass::kFunctional,
+                                    kMiB, kMiB, kTotal)
+                      .value();
+  EXPECT_EQ(mem_.FindHeap("locklist"), h);
+  EXPECT_EQ(mem_.FindHeap("nope"), nullptr);
+}
+
+TEST_F(DatabaseMemoryTest, ForeignHeapRejected) {
+  DatabaseMemory other(kTotal, kGoal);
+  MemoryHeap* h = other.RegisterHeap("h", ConsumerClass::kFunctional, kMiB,
+                                     kMiB, kTotal)
+                      .value();
+  EXPECT_EQ(mem_.GrowHeap(h, kMiB).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseMemoryTest, HeapBytesSumsAll) {
+  (void)mem_.RegisterHeap("a", ConsumerClass::kFunctional, 3 * kMiB, 0,
+                          kTotal);
+  (void)mem_.RegisterHeap("b", ConsumerClass::kFunctional, 4 * kMiB, 0,
+                          kTotal);
+  EXPECT_EQ(mem_.heap_bytes(), 7 * kMiB);
+  EXPECT_EQ(mem_.overflow_bytes(), kTotal - 7 * kMiB);
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,45 @@
+#include "memory/lock_block.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(LockBlockTest, NewBlockIsEmpty) {
+  LockBlock b(7);
+  EXPECT_EQ(b.id(), 7);
+  EXPECT_EQ(b.capacity(), kLocksPerBlock);
+  EXPECT_EQ(b.in_use(), 0);
+  EXPECT_EQ(b.free_slots(), kLocksPerBlock);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.full());
+}
+
+TEST(LockBlockTest, TakeAndReturnSlot) {
+  LockBlock b(0);
+  b.TakeSlot();
+  EXPECT_EQ(b.in_use(), 1);
+  EXPECT_FALSE(b.empty());
+  b.ReturnSlot();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(LockBlockTest, FillToCapacity) {
+  LockBlock b(0);
+  for (int i = 0; i < kLocksPerBlock; ++i) {
+    EXPECT_FALSE(b.full());
+    b.TakeSlot();
+  }
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.free_slots(), 0);
+}
+
+TEST(LockBlockTest, DrainFromFull) {
+  LockBlock b(0);
+  for (int i = 0; i < kLocksPerBlock; ++i) b.TakeSlot();
+  for (int i = 0; i < kLocksPerBlock; ++i) b.ReturnSlot();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,230 @@
+#include "workload/scenario_config.h"
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+constexpr char kMinimal[] = R"(
+database_memory_mb 256
+[oltp]
+clients 0 10
+)";
+
+TEST(ScenarioConfigTest, MinimalParses) {
+  Result<ScenarioSpec> spec = ParseScenario(kMinimal);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().database.params.database_memory, 256 * kMiB);
+  ASSERT_EQ(spec.value().workloads.size(), 1u);
+  EXPECT_EQ(spec.value().workloads[0].kind, WorkloadSpec::Kind::kOltp);
+  ASSERT_EQ(spec.value().workloads[0].client_steps.size(), 1u);
+  EXPECT_EQ(spec.value().workloads[0].client_steps[0],
+            (std::pair<TimeMs, int>{0, 10}));
+}
+
+TEST(ScenarioConfigTest, FullGlobalSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+database_memory_mb 1024
+mode sqlserver
+static_locklist_pages 256
+static_maxlocks_percent 15
+initial_locklist_pages 64
+tuning_interval_s 60
+adaptive_interval on
+lock_timeout_ms 5000
+duration_s 300
+sample_period_s 5
+seed 99
+delta_reduce_percent 10
+[oltp]
+clients 0 5
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ScenarioSpec& s = spec.value();
+  EXPECT_EQ(s.database.mode, TuningMode::kSqlServer);
+  EXPECT_EQ(s.database.static_locklist_pages, 256);
+  EXPECT_DOUBLE_EQ(s.database.static_maxlocks_percent, 15.0);
+  EXPECT_EQ(s.database.params.initial_locklist_pages, 64);
+  EXPECT_EQ(s.database.params.tuning_interval, 60 * kSecond);
+  EXPECT_TRUE(s.database.params.adaptive_interval);
+  EXPECT_EQ(s.database.lock_timeout, 5000);
+  EXPECT_EQ(s.runner.duration, 300 * kSecond);
+  EXPECT_EQ(s.runner.sample_period, 5 * kSecond);
+  EXPECT_EQ(s.runner.seed, 99u);
+  EXPECT_DOUBLE_EQ(s.database.params.delta_reduce, 0.10);
+}
+
+TEST(ScenarioConfigTest, OltpSectionSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[oltp]
+clients 0 10
+mean_locks_per_txn 999
+locks_per_tick 77
+write_fraction 0.4
+think_time_ms 500
+zipf 0.7
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const OltpOptions& o = spec.value().workloads[0].oltp;
+  EXPECT_EQ(o.mean_locks_per_txn, 999);
+  EXPECT_EQ(o.locks_per_tick, 77);
+  EXPECT_DOUBLE_EQ(o.write_fraction, 0.4);
+  EXPECT_EQ(o.think_time, 500);
+  EXPECT_DOUBLE_EQ(o.row_zipf_theta, 0.7);
+}
+
+TEST(ScenarioConfigTest, DssSectionSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[dss]
+clients 60 1
+scan_locks 123456
+locks_per_tick 2500
+hold_time_s 90
+think_time_s 30
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const DssOptions& d = spec.value().workloads[0].dss;
+  EXPECT_EQ(d.scan_locks, 123456);
+  EXPECT_EQ(d.locks_per_tick, 2500);
+  EXPECT_EQ(d.hold_time, 90 * kSecond);
+  EXPECT_EQ(d.think_time, 30 * kSecond);
+}
+
+TEST(ScenarioConfigTest, BatchSectionSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[batch]
+clients 120 1
+table tpcc_history
+rows_per_batch 77000
+locks_per_tick 900
+hold_time_s 30
+think_time_s 120
+mode U
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const WorkloadSpec& w = spec.value().workloads[0];
+  EXPECT_EQ(w.kind, WorkloadSpec::Kind::kBatch);
+  EXPECT_EQ(w.batch_table, "tpcc_history");
+  EXPECT_EQ(w.batch.rows_per_batch, 77000);
+  EXPECT_EQ(w.batch.locks_per_tick, 900);
+  EXPECT_EQ(w.batch.hold_time, 30 * kSecond);
+  EXPECT_EQ(w.batch.think_time, 120 * kSecond);
+  EXPECT_EQ(w.batch.mode, LockMode::kU);
+}
+
+TEST(ScenarioConfigTest, BatchRejectsBadMode) {
+  EXPECT_FALSE(
+      ParseScenario("[batch]\nclients 0 1\nmode IX\n").ok());
+}
+
+TEST(LoadedScenarioTest, BatchWithUnknownTableFailsAtCreate) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[batch]
+clients 0 1
+table no_such_table
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(LoadedScenario::Create(spec.value()).ok());
+}
+
+TEST(ScenarioConfigTest, MultipleSectionsAndSortedSteps) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[oltp]
+clients 60 130
+clients 0 50
+[dss]
+clients 300 1
+)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec.value().workloads.size(), 2u);
+  // Steps sorted by time even when written out of order.
+  EXPECT_EQ(spec.value().workloads[0].client_steps[0].first, 0);
+  EXPECT_EQ(spec.value().workloads[0].client_steps[1].first, 60 * kSecond);
+}
+
+TEST(ScenarioConfigTest, CommentsAndBlanksIgnored) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+# a full-line comment
+
+database_memory_mb 256   # trailing comment
+[oltp]
+clients 0 10  # here too
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
+TEST(ScenarioConfigTest, ErrorsNameTheLine) {
+  const Result<ScenarioSpec> spec = ParseScenario(R"(
+database_memory_mb 256
+flux_capacitance 88
+)");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ScenarioConfigTest, RejectsUnknownSection) {
+  EXPECT_FALSE(ParseScenario("[tpch]\nclients 0 1\n").ok());
+}
+
+TEST(ScenarioConfigTest, RejectsUnknownSectionKey) {
+  EXPECT_FALSE(ParseScenario("[oltp]\nclients 0 1\nscan_locks 5\n").ok());
+  EXPECT_FALSE(ParseScenario("[dss]\nclients 0 1\nzipf 0.5\n").ok());
+}
+
+TEST(ScenarioConfigTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseScenario("database_memory_mb many\n[oltp]\nclients 0 1\n")
+                   .ok());
+  EXPECT_FALSE(ParseScenario("[oltp]\nclients zero 1\n").ok());
+  EXPECT_FALSE(ParseScenario("[oltp]\nclients 0 1\nwrite_fraction 1.5\n")
+                   .ok());
+}
+
+TEST(ScenarioConfigTest, RejectsEmptyScenario) {
+  EXPECT_FALSE(ParseScenario("database_memory_mb 256\n").ok());
+}
+
+TEST(ScenarioConfigTest, RejectsSectionWithoutClients) {
+  EXPECT_FALSE(ParseScenario("[oltp]\nmean_locks_per_txn 10\n").ok());
+}
+
+TEST(ScenarioConfigTest, RejectsInvalidDerivedParams) {
+  // 4 MB database: maxLockMemory (20 %) falls below the 2 MB floor.
+  EXPECT_FALSE(
+      ParseScenario("database_memory_mb 4\n[oltp]\nclients 0 1\n").ok());
+}
+
+TEST(ScenarioConfigTest, LoadFileNotFound) {
+  EXPECT_EQ(LoadScenarioFile("/nonexistent/path.conf").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LoadedScenarioTest, CreateAndRun) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+database_memory_mb 256
+duration_s 20
+[oltp]
+clients 0 5
+)");
+  ASSERT_TRUE(spec.ok());
+  Result<std::unique_ptr<LoadedScenario>> loaded =
+      LoadedScenario::Create(spec.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  LoadedScenario& scenario = *loaded.value();
+  scenario.runner().Run();
+  EXPECT_EQ(scenario.database().clock().now(), 20 * kSecond);
+  EXPECT_GT(scenario.runner().total_commits(), 0);
+}
+
+TEST(LoadedScenarioTest, ShippedScenarioFilesParse) {
+  for (const char* path :
+       {"/scenarios/fig9_ramp.conf", "/scenarios/fig11_dss.conf",
+        "/scenarios/static_escalation.conf",
+        "/scenarios/batch_rollout.conf"}) {
+    const Result<ScenarioSpec> spec =
+        LoadScenarioFile(std::string(LOCKTUNE_SOURCE_DIR) + path);
+    EXPECT_TRUE(spec.ok()) << path << ": " << spec.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace locktune

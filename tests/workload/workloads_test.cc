@@ -1,0 +1,166 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/catalog.h"
+#include "workload/batch_workload.h"
+#include "workload/dss_workload.h"
+#include "workload/oltp_workload.h"
+
+namespace locktune {
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  WorkloadsTest() : catalog_(Catalog::TpccTpch()) {}
+  Catalog catalog_;
+};
+
+TEST_F(WorkloadsTest, OltpProfileWithinBounds) {
+  OltpOptions opts;
+  opts.mean_locks_per_txn = 400;
+  OltpWorkload w(catalog_, opts);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const TransactionProfile p = w.NextTransaction(rng);
+    EXPECT_GE(p.total_locks, 200);
+    EXPECT_LE(p.total_locks, 600);
+    EXPECT_EQ(p.locks_per_tick, opts.locks_per_tick);
+    EXPECT_EQ(p.hold_time, 0);
+    EXPECT_EQ(p.think_time, opts.think_time);
+  }
+}
+
+TEST_F(WorkloadsTest, OltpAccessesOnlyTpccTables) {
+  OltpWorkload w(catalog_, OltpOptions{});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const RowAccess a = w.NextAccess(rng);
+    const TableInfo& t = catalog_.Get(a.table);
+    EXPECT_EQ(t.name.rfind("tpcc_", 0), 0u) << t.name;
+    EXPECT_GE(a.row, 0);
+    EXPECT_LT(a.row, t.row_count);
+    EXPECT_TRUE(a.mode == LockMode::kS || a.mode == LockMode::kX);
+  }
+}
+
+TEST_F(WorkloadsTest, OltpWriteFractionRespected) {
+  OltpOptions opts;
+  opts.write_fraction = 0.25;
+  OltpWorkload w(catalog_, opts);
+  Rng rng(3);
+  int writes = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (w.NextAccess(rng).mode == LockMode::kX) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.02);
+}
+
+TEST_F(WorkloadsTest, OltpTableChoiceWeightedBySize) {
+  OltpWorkload w(catalog_, OltpOptions{});
+  Rng rng(4);
+  int64_t order_line_hits = 0, warehouse_hits = 0;
+  const TableId order_line = catalog_.FindByName("tpcc_order_line")->id;
+  const TableId warehouse = catalog_.FindByName("tpcc_warehouse")->id;
+  for (int i = 0; i < 50'000; ++i) {
+    const RowAccess a = w.NextAccess(rng);
+    if (a.table == order_line) ++order_line_hits;
+    if (a.table == warehouse) ++warehouse_hits;
+  }
+  // order_line has 30000× the rows of warehouse; it must dominate.
+  EXPECT_GT(order_line_hits, 20'000);
+  EXPECT_LT(warehouse_hits, 100);
+}
+
+TEST_F(WorkloadsTest, OltpDeterministicPerSeed) {
+  OltpWorkload w1(catalog_, OltpOptions{});
+  OltpWorkload w2(catalog_, OltpOptions{});
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    const RowAccess x = w1.NextAccess(a);
+    const RowAccess y = w2.NextAccess(b);
+    EXPECT_EQ(x.table, y.table);
+    EXPECT_EQ(x.row, y.row);
+    EXPECT_EQ(x.mode, y.mode);
+  }
+}
+
+TEST_F(WorkloadsTest, DssProfileIsOneBigHeldScan) {
+  DssOptions opts;
+  opts.scan_locks = 123'456;
+  DssWorkload w(catalog_, opts);
+  Rng rng(5);
+  const TransactionProfile p = w.NextTransaction(rng);
+  EXPECT_EQ(p.total_locks, 123'456);
+  EXPECT_EQ(p.locks_per_tick, opts.locks_per_tick);
+  EXPECT_EQ(p.hold_time, opts.hold_time);
+}
+
+TEST_F(WorkloadsTest, DssScansLineitemSequentially) {
+  DssWorkload w(catalog_, DssOptions{});
+  Rng rng(6);
+  const TableId lineitem = catalog_.FindByName("tpch_lineitem")->id;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const RowAccess a = w.NextAccess(rng);
+    EXPECT_EQ(a.table, lineitem);
+    EXPECT_EQ(a.row, i);
+    EXPECT_EQ(a.mode, LockMode::kS);
+  }
+}
+
+TEST_F(WorkloadsTest, DssScanWrapsAroundTable) {
+  Catalog tiny = Catalog::TpccTpch(1e-6);  // lineitem gets few rows
+  const int64_t rows = tiny.FindByName("tpch_lineitem")->row_count;
+  DssWorkload w(tiny, DssOptions{});
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) (void)w.NextAccess(rng);
+  EXPECT_EQ(w.NextAccess(rng).row, 0);  // wrapped
+}
+
+TEST_F(WorkloadsTest, BatchProfileMatchesOptions) {
+  BatchOptions opts;
+  opts.rows_per_batch = 250'000;
+  opts.locks_per_tick = 1000;
+  opts.hold_time = 45 * kSecond;
+  opts.think_time = 3 * kMinute;
+  BatchWorkload w(catalog_, "tpch_orders", opts);
+  Rng rng(8);
+  const TransactionProfile p = w.NextTransaction(rng);
+  EXPECT_EQ(p.total_locks, 250'000);
+  EXPECT_EQ(p.locks_per_tick, 1000);
+  EXPECT_EQ(p.hold_time, 45 * kSecond);
+  EXPECT_EQ(p.think_time, 3 * kMinute);
+}
+
+TEST_F(WorkloadsTest, BatchUpdatesSequentiallyInX) {
+  BatchWorkload w(catalog_, "tpch_orders", BatchOptions{});
+  Rng rng(9);
+  const TableId orders = catalog_.FindByName("tpch_orders")->id;
+  for (int64_t i = 0; i < 100; ++i) {
+    const RowAccess a = w.NextAccess(rng);
+    EXPECT_EQ(a.table, orders);
+    EXPECT_EQ(a.row, i);
+    EXPECT_EQ(a.mode, LockMode::kX);
+  }
+}
+
+TEST_F(WorkloadsTest, BatchModeOverride) {
+  BatchOptions opts;
+  opts.mode = LockMode::kU;
+  BatchWorkload w(catalog_, "tpcc_customer", opts);
+  Rng rng(10);
+  EXPECT_EQ(w.NextAccess(rng).mode, LockMode::kU);
+}
+
+TEST_F(WorkloadsTest, BatchWrapsAtTableEnd) {
+  Catalog tiny = Catalog::TpccTpch(1e-6);
+  const int64_t rows = tiny.FindByName("tpch_orders")->row_count;
+  BatchWorkload w(tiny, "tpch_orders", BatchOptions{});
+  Rng rng(11);
+  for (int64_t i = 0; i < rows; ++i) (void)w.NextAccess(rng);
+  EXPECT_EQ(w.NextAccess(rng).row, 0);
+}
+
+}  // namespace
+}  // namespace locktune

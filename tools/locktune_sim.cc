@@ -1,0 +1,134 @@
+// locktune_sim — run a lock-memory-tuning scenario from a text file.
+//
+// Usage:
+//   locktune_sim <scenario-file> [--series name,name,...] [--stride N]
+//
+// Prints the sampled series as CSV, then a summary (commits, escalations,
+// lock memory, tuning passes). See src/workload/scenario_config.h for the
+// file format and scenarios/*.conf for ready-made examples.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/stmm_report.h"
+#include "engine/db_snapshot.h"
+#include "workload/scenario_config.h"
+
+using namespace locktune;
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "locktune_sim: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: locktune_sim <scenario-file> "
+                "[--series a,b,...] [--stride N]");
+  }
+  std::vector<std::string> series = {
+      ScenarioRunner::kLockAllocatedMb, ScenarioRunner::kLockUsedMb,
+      ScenarioRunner::kThroughputTps, ScenarioRunner::kEscalations};
+  size_t stride = 10;
+  bool stmm_report = false;
+  bool snapshot = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      series = SplitCsv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+      stride = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stmm-report") == 0) {
+      stmm_report = true;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      snapshot = true;
+    } else {
+      return Fail(std::string("unknown argument ") + argv[i]);
+    }
+  }
+
+  Result<ScenarioSpec> spec = LoadScenarioFile(argv[1]);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  Result<std::unique_ptr<LoadedScenario>> loaded =
+      LoadedScenario::Create(spec.value());
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+  LoadedScenario& scenario = *loaded.value();
+  scenario.runner().Run();
+
+  // CSV of the requested series.
+  for (const std::string& name : series) {
+    if (!scenario.runner().series().Has(name)) {
+      return Fail("unknown series " + name);
+    }
+  }
+  std::printf("time_s");
+  for (const std::string& name : series) std::printf(",%s", name.c_str());
+  std::printf("\n");
+  const TimeSeries& first = scenario.runner().series().Get(series[0]);
+  for (size_t i = 0; i < first.size(); i += stride < 1 ? 1 : stride) {
+    std::printf("%lld",
+                static_cast<long long>(first.points()[i].time_ms / 1000));
+    for (const std::string& name : series) {
+      std::printf(",%.3f",
+                  scenario.runner().series().Get(name).points()[i].value);
+    }
+    std::printf("\n");
+  }
+
+  const LockManagerStats& stats = scenario.database().locks().stats();
+  std::fprintf(stderr, "\ncommits=%lld escalations=%lld (exclusive=%lld) "
+               "timeouts=%lld deadlock_victims=%lld oom=%lld\n",
+               static_cast<long long>(scenario.runner().total_commits()),
+               static_cast<long long>(stats.escalations),
+               static_cast<long long>(stats.exclusive_escalations),
+               static_cast<long long>(stats.lock_timeouts),
+               static_cast<long long>(stats.deadlock_victims),
+               static_cast<long long>(stats.out_of_memory_failures));
+  std::fprintf(stderr, "lock_memory=%.2fMB used=%.2fMB",
+               static_cast<double>(
+                   scenario.database().locks().allocated_bytes()) /
+                   (1024.0 * 1024.0),
+               static_cast<double>(scenario.database().locks().used_bytes()) /
+                   (1024.0 * 1024.0));
+  if (scenario.database().stmm() != nullptr) {
+    std::fprintf(stderr, " lmoc=%.2fMB tuning_passes=%zu",
+                 static_cast<double>(scenario.database().stmm()->lmoc()) /
+                     (1024.0 * 1024.0),
+                 scenario.database().stmm()->history().size());
+  }
+  std::fprintf(stderr, "\n");
+  if (stmm_report && scenario.database().stmm() != nullptr) {
+    const auto& history = scenario.database().stmm()->history();
+    std::fprintf(stderr, "\nSTMM tuning history (last 40 passes):\n%s%s\n",
+                 RenderHistoryTable(history, 40).c_str(),
+                 RenderSummary(Summarize(history)).c_str());
+  }
+  if (snapshot) {
+    const int apps = static_cast<int>(
+        scenario.runner().applications().size());
+    std::fprintf(stderr, "\n%s",
+                 RenderSnapshot(
+                     CaptureSnapshot(scenario.database(), apps)).c_str());
+  }
+  return 0;
+}
