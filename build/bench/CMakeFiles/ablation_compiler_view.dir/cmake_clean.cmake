@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compiler_view.dir/ablation_compiler_view.cc.o"
+  "CMakeFiles/ablation_compiler_view.dir/ablation_compiler_view.cc.o.d"
+  "ablation_compiler_view"
+  "ablation_compiler_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compiler_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delta_reduce.dir/ablation_delta_reduce.cc.o"
+  "CMakeFiles/ablation_delta_reduce.dir/ablation_delta_reduce.cc.o.d"
+  "ablation_delta_reduce"
+  "ablation_delta_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_free_band.dir/ablation_free_band.cc.o"
+  "CMakeFiles/ablation_free_band.dir/ablation_free_band.cc.o.d"
+  "ablation_free_band"
+  "ablation_free_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_free_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maxlocks_curve.dir/ablation_maxlocks_curve.cc.o"
+  "CMakeFiles/ablation_maxlocks_curve.dir/ablation_maxlocks_curve.cc.o.d"
+  "ablation_maxlocks_curve"
+  "ablation_maxlocks_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxlocks_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overflow_cap.dir/ablation_overflow_cap.cc.o"
+  "CMakeFiles/ablation_overflow_cap.dir/ablation_overflow_cap.cc.o.d"
+  "ablation_overflow_cap"
+  "ablation_overflow_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overflow_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_comparison.dir/ablation_policy_comparison.cc.o"
+  "CMakeFiles/ablation_policy_comparison.dir/ablation_policy_comparison.cc.o.d"
+  "ablation_policy_comparison"
+  "ablation_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

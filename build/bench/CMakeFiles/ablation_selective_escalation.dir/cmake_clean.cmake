@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_escalation.dir/ablation_selective_escalation.cc.o"
+  "CMakeFiles/ablation_selective_escalation.dir/ablation_selective_escalation.cc.o.d"
+  "ablation_selective_escalation"
+  "ablation_selective_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tuning_interval.dir/ablation_tuning_interval.cc.o"
+  "CMakeFiles/ablation_tuning_interval.dir/ablation_tuning_interval.cc.o.d"
+  "ablation_tuning_interval"
+  "ablation_tuning_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tuning_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_surge.dir/fig10_surge.cc.o"
+  "CMakeFiles/fig10_surge.dir/fig10_surge.cc.o.d"
+  "fig10_surge"
+  "fig10_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

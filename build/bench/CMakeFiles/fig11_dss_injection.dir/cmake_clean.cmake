@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dss_injection.dir/fig11_dss_injection.cc.o"
+  "CMakeFiles/fig11_dss_injection.dir/fig11_dss_injection.cc.o.d"
+  "fig11_dss_injection"
+  "fig11_dss_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dss_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reduction.dir/fig12_reduction.cc.o"
+  "CMakeFiles/fig12_reduction.dir/fig12_reduction.cc.o.d"
+  "fig12_reduction"
+  "fig12_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

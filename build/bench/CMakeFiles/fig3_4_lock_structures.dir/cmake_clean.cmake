@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_lock_structures.dir/fig3_4_lock_structures.cc.o"
+  "CMakeFiles/fig3_4_lock_structures.dir/fig3_4_lock_structures.cc.o.d"
+  "fig3_4_lock_structures"
+  "fig3_4_lock_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_lock_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_8_escalation_impact.dir/fig7_8_escalation_impact.cc.o"
+  "CMakeFiles/fig7_8_escalation_impact.dir/fig7_8_escalation_impact.cc.o.d"
+  "fig7_8_escalation_impact"
+  "fig7_8_escalation_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_escalation_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ramp.dir/fig9_ramp.cc.o"
+  "CMakeFiles/fig9_ramp.dir/fig9_ramp.cc.o.d"
+  "fig9_ramp"
+  "fig9_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/locktune_bench_util.dir/bench_util.cc.o.d"
+  "liblocktune_bench_util.a"
+  "liblocktune_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lock_manager.dir/micro_lock_manager.cc.o"
+  "CMakeFiles/micro_lock_manager.dir/micro_lock_manager.cc.o.d"
+  "micro_lock_manager"
+  "micro_lock_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lock_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding.dir/embedding.cpp.o"
+  "CMakeFiles/embedding.dir/embedding.cpp.o.d"
+  "embedding"
+  "embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/oracle_driver.cc" "src/baseline/CMakeFiles/locktune_baseline.dir/oracle_driver.cc.o" "gcc" "src/baseline/CMakeFiles/locktune_baseline.dir/oracle_driver.cc.o.d"
+  "/root/repo/src/baseline/oracle_itl.cc" "src/baseline/CMakeFiles/locktune_baseline.dir/oracle_itl.cc.o" "gcc" "src/baseline/CMakeFiles/locktune_baseline.dir/oracle_itl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locktune_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

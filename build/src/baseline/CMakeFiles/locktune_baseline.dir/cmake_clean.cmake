@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_baseline.dir/oracle_driver.cc.o"
+  "CMakeFiles/locktune_baseline.dir/oracle_driver.cc.o.d"
+  "CMakeFiles/locktune_baseline.dir/oracle_itl.cc.o"
+  "CMakeFiles/locktune_baseline.dir/oracle_itl.cc.o.d"
+  "liblocktune_baseline.a"
+  "liblocktune_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_common.dir/logging.cc.o"
+  "CMakeFiles/locktune_common.dir/logging.cc.o.d"
+  "CMakeFiles/locktune_common.dir/random.cc.o"
+  "CMakeFiles/locktune_common.dir/random.cc.o.d"
+  "CMakeFiles/locktune_common.dir/stats.cc.o"
+  "CMakeFiles/locktune_common.dir/stats.cc.o.d"
+  "CMakeFiles/locktune_common.dir/status.cc.o"
+  "CMakeFiles/locktune_common.dir/status.cc.o.d"
+  "CMakeFiles/locktune_common.dir/time_series.cc.o"
+  "CMakeFiles/locktune_common.dir/time_series.cc.o.d"
+  "liblocktune_common.a"
+  "liblocktune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

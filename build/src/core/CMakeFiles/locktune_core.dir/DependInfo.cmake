@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/locktune_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/locktune_core.dir/config.cc.o.d"
+  "/root/repo/src/core/lock_memory_tuner.cc" "src/core/CMakeFiles/locktune_core.dir/lock_memory_tuner.cc.o" "gcc" "src/core/CMakeFiles/locktune_core.dir/lock_memory_tuner.cc.o.d"
+  "/root/repo/src/core/pmc_model.cc" "src/core/CMakeFiles/locktune_core.dir/pmc_model.cc.o" "gcc" "src/core/CMakeFiles/locktune_core.dir/pmc_model.cc.o.d"
+  "/root/repo/src/core/stmm_controller.cc" "src/core/CMakeFiles/locktune_core.dir/stmm_controller.cc.o" "gcc" "src/core/CMakeFiles/locktune_core.dir/stmm_controller.cc.o.d"
+  "/root/repo/src/core/stmm_report.cc" "src/core/CMakeFiles/locktune_core.dir/stmm_report.cc.o" "gcc" "src/core/CMakeFiles/locktune_core.dir/stmm_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locktune_lock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

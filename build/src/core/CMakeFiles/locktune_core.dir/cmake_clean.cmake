@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_core.dir/config.cc.o"
+  "CMakeFiles/locktune_core.dir/config.cc.o.d"
+  "CMakeFiles/locktune_core.dir/lock_memory_tuner.cc.o"
+  "CMakeFiles/locktune_core.dir/lock_memory_tuner.cc.o.d"
+  "CMakeFiles/locktune_core.dir/pmc_model.cc.o"
+  "CMakeFiles/locktune_core.dir/pmc_model.cc.o.d"
+  "CMakeFiles/locktune_core.dir/stmm_controller.cc.o"
+  "CMakeFiles/locktune_core.dir/stmm_controller.cc.o.d"
+  "CMakeFiles/locktune_core.dir/stmm_report.cc.o"
+  "CMakeFiles/locktune_core.dir/stmm_report.cc.o.d"
+  "liblocktune_core.a"
+  "liblocktune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/locktune_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/locktune_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/locktune_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/locktune_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/db_snapshot.cc" "src/engine/CMakeFiles/locktune_engine.dir/db_snapshot.cc.o" "gcc" "src/engine/CMakeFiles/locktune_engine.dir/db_snapshot.cc.o.d"
+  "/root/repo/src/engine/query_compiler.cc" "src/engine/CMakeFiles/locktune_engine.dir/query_compiler.cc.o" "gcc" "src/engine/CMakeFiles/locktune_engine.dir/query_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locktune_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/locktune_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

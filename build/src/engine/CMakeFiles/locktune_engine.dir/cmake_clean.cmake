@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_engine.dir/catalog.cc.o"
+  "CMakeFiles/locktune_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/locktune_engine.dir/database.cc.o"
+  "CMakeFiles/locktune_engine.dir/database.cc.o.d"
+  "CMakeFiles/locktune_engine.dir/db_snapshot.cc.o"
+  "CMakeFiles/locktune_engine.dir/db_snapshot.cc.o.d"
+  "CMakeFiles/locktune_engine.dir/query_compiler.cc.o"
+  "CMakeFiles/locktune_engine.dir/query_compiler.cc.o.d"
+  "liblocktune_engine.a"
+  "liblocktune_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

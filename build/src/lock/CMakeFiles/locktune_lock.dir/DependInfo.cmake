@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/escalation_policy.cc" "src/lock/CMakeFiles/locktune_lock.dir/escalation_policy.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/escalation_policy.cc.o.d"
+  "/root/repo/src/lock/lock_event_monitor.cc" "src/lock/CMakeFiles/locktune_lock.dir/lock_event_monitor.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/lock_event_monitor.cc.o.d"
+  "/root/repo/src/lock/lock_head.cc" "src/lock/CMakeFiles/locktune_lock.dir/lock_head.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/lock_head.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/locktune_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/lock_mode.cc" "src/lock/CMakeFiles/locktune_lock.dir/lock_mode.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/lock_mode.cc.o.d"
+  "/root/repo/src/lock/maxlocks_curve.cc" "src/lock/CMakeFiles/locktune_lock.dir/maxlocks_curve.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/maxlocks_curve.cc.o.d"
+  "/root/repo/src/lock/resource.cc" "src/lock/CMakeFiles/locktune_lock.dir/resource.cc.o" "gcc" "src/lock/CMakeFiles/locktune_lock.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

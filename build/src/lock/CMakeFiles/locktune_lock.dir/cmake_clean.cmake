@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_lock.dir/escalation_policy.cc.o"
+  "CMakeFiles/locktune_lock.dir/escalation_policy.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/lock_event_monitor.cc.o"
+  "CMakeFiles/locktune_lock.dir/lock_event_monitor.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/lock_head.cc.o"
+  "CMakeFiles/locktune_lock.dir/lock_head.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/locktune_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/lock_mode.cc.o"
+  "CMakeFiles/locktune_lock.dir/lock_mode.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/maxlocks_curve.cc.o"
+  "CMakeFiles/locktune_lock.dir/maxlocks_curve.cc.o.d"
+  "CMakeFiles/locktune_lock.dir/resource.cc.o"
+  "CMakeFiles/locktune_lock.dir/resource.cc.o.d"
+  "liblocktune_lock.a"
+  "liblocktune_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

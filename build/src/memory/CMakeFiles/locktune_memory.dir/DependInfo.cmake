@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/block_list.cc" "src/memory/CMakeFiles/locktune_memory.dir/block_list.cc.o" "gcc" "src/memory/CMakeFiles/locktune_memory.dir/block_list.cc.o.d"
+  "/root/repo/src/memory/database_memory.cc" "src/memory/CMakeFiles/locktune_memory.dir/database_memory.cc.o" "gcc" "src/memory/CMakeFiles/locktune_memory.dir/database_memory.cc.o.d"
+  "/root/repo/src/memory/lock_block.cc" "src/memory/CMakeFiles/locktune_memory.dir/lock_block.cc.o" "gcc" "src/memory/CMakeFiles/locktune_memory.dir/lock_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_memory.dir/block_list.cc.o"
+  "CMakeFiles/locktune_memory.dir/block_list.cc.o.d"
+  "CMakeFiles/locktune_memory.dir/database_memory.cc.o"
+  "CMakeFiles/locktune_memory.dir/database_memory.cc.o.d"
+  "CMakeFiles/locktune_memory.dir/lock_block.cc.o"
+  "CMakeFiles/locktune_memory.dir/lock_block.cc.o.d"
+  "liblocktune_memory.a"
+  "liblocktune_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cc" "src/workload/CMakeFiles/locktune_workload.dir/application.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/application.cc.o.d"
+  "/root/repo/src/workload/batch_workload.cc" "src/workload/CMakeFiles/locktune_workload.dir/batch_workload.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/batch_workload.cc.o.d"
+  "/root/repo/src/workload/dss_workload.cc" "src/workload/CMakeFiles/locktune_workload.dir/dss_workload.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/dss_workload.cc.o.d"
+  "/root/repo/src/workload/oltp_workload.cc" "src/workload/CMakeFiles/locktune_workload.dir/oltp_workload.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/oltp_workload.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/locktune_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/scenario_config.cc" "src/workload/CMakeFiles/locktune_workload.dir/scenario_config.cc.o" "gcc" "src/workload/CMakeFiles/locktune_workload.dir/scenario_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locktune_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/locktune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/locktune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

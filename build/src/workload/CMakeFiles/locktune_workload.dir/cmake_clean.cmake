@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_workload.dir/application.cc.o"
+  "CMakeFiles/locktune_workload.dir/application.cc.o.d"
+  "CMakeFiles/locktune_workload.dir/batch_workload.cc.o"
+  "CMakeFiles/locktune_workload.dir/batch_workload.cc.o.d"
+  "CMakeFiles/locktune_workload.dir/dss_workload.cc.o"
+  "CMakeFiles/locktune_workload.dir/dss_workload.cc.o.d"
+  "CMakeFiles/locktune_workload.dir/oltp_workload.cc.o"
+  "CMakeFiles/locktune_workload.dir/oltp_workload.cc.o.d"
+  "CMakeFiles/locktune_workload.dir/scenario.cc.o"
+  "CMakeFiles/locktune_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/locktune_workload.dir/scenario_config.cc.o"
+  "CMakeFiles/locktune_workload.dir/scenario_config.cc.o.d"
+  "liblocktune_workload.a"
+  "liblocktune_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

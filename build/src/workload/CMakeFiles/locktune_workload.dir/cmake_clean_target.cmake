@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblocktune_workload.a"
+)

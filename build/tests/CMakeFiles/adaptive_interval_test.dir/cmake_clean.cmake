@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_interval_test.dir/core/adaptive_interval_test.cc.o"
+  "CMakeFiles/adaptive_interval_test.dir/core/adaptive_interval_test.cc.o.d"
+  "adaptive_interval_test"
+  "adaptive_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_list_test.dir/memory/block_list_test.cc.o"
+  "CMakeFiles/block_list_test.dir/memory/block_list_test.cc.o.d"
+  "block_list_test"
+  "block_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/catalog_test.cc" "tests/CMakeFiles/catalog_test.dir/engine/catalog_test.cc.o" "gcc" "tests/CMakeFiles/catalog_test.dir/engine/catalog_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/locktune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/locktune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/locktune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/locktune_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locktune_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/locktune_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/locktune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

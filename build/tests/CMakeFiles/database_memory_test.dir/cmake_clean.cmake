@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_memory_test.dir/memory/database_memory_test.cc.o"
+  "CMakeFiles/database_memory_test.dir/memory/database_memory_test.cc.o.d"
+  "database_memory_test"
+  "database_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_snapshot_test.dir/engine/db_snapshot_test.cc.o"
+  "CMakeFiles/db_snapshot_test.dir/engine/db_snapshot_test.cc.o.d"
+  "db_snapshot_test"
+  "db_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escalation_policy_test.dir/lock/escalation_policy_test.cc.o"
+  "CMakeFiles/escalation_policy_test.dir/lock/escalation_policy_test.cc.o.d"
+  "escalation_policy_test"
+  "escalation_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escalation_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

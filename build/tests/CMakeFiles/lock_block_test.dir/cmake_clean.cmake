@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_block_test.dir/memory/lock_block_test.cc.o"
+  "CMakeFiles/lock_block_test.dir/memory/lock_block_test.cc.o.d"
+  "lock_block_test"
+  "lock_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_event_monitor_test.dir/lock/lock_event_monitor_test.cc.o"
+  "CMakeFiles/lock_event_monitor_test.dir/lock/lock_event_monitor_test.cc.o.d"
+  "lock_event_monitor_test"
+  "lock_event_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_event_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_head_test.dir/lock/lock_head_test.cc.o"
+  "CMakeFiles/lock_head_test.dir/lock/lock_head_test.cc.o.d"
+  "lock_head_test"
+  "lock_head_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_head_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

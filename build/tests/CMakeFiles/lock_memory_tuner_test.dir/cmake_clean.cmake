@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_memory_tuner_test.dir/core/lock_memory_tuner_test.cc.o"
+  "CMakeFiles/lock_memory_tuner_test.dir/core/lock_memory_tuner_test.cc.o.d"
+  "lock_memory_tuner_test"
+  "lock_memory_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_memory_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

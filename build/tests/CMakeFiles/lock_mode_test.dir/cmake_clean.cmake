@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_mode_test.dir/lock/lock_mode_test.cc.o"
+  "CMakeFiles/lock_mode_test.dir/lock/lock_mode_test.cc.o.d"
+  "lock_mode_test"
+  "lock_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_semantics_test.dir/lock/lock_semantics_test.cc.o"
+  "CMakeFiles/lock_semantics_test.dir/lock/lock_semantics_test.cc.o.d"
+  "lock_semantics_test"
+  "lock_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

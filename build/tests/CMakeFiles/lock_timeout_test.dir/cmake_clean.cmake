@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_timeout_test.dir/lock/lock_timeout_test.cc.o"
+  "CMakeFiles/lock_timeout_test.dir/lock/lock_timeout_test.cc.o.d"
+  "lock_timeout_test"
+  "lock_timeout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_timeout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

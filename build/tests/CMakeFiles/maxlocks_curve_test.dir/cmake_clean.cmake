@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxlocks_curve_test.dir/lock/maxlocks_curve_test.cc.o"
+  "CMakeFiles/maxlocks_curve_test.dir/lock/maxlocks_curve_test.cc.o.d"
+  "maxlocks_curve_test"
+  "maxlocks_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxlocks_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

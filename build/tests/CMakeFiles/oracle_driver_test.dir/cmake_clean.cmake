@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_driver_test.dir/baseline/oracle_driver_test.cc.o"
+  "CMakeFiles/oracle_driver_test.dir/baseline/oracle_driver_test.cc.o.d"
+  "oracle_driver_test"
+  "oracle_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

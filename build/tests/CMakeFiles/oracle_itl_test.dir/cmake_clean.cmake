@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_itl_test.dir/baseline/oracle_itl_test.cc.o"
+  "CMakeFiles/oracle_itl_test.dir/baseline/oracle_itl_test.cc.o.d"
+  "oracle_itl_test"
+  "oracle_itl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_itl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_model_test.dir/core/pmc_model_test.cc.o"
+  "CMakeFiles/pmc_model_test.dir/core/pmc_model_test.cc.o.d"
+  "pmc_model_test"
+  "pmc_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

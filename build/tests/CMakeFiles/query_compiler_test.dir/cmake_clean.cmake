@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_compiler_test.dir/engine/query_compiler_test.cc.o"
+  "CMakeFiles/query_compiler_test.dir/engine/query_compiler_test.cc.o.d"
+  "query_compiler_test"
+  "query_compiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_config_test.dir/workload/scenario_config_test.cc.o"
+  "CMakeFiles/scenario_config_test.dir/workload/scenario_config_test.cc.o.d"
+  "scenario_config_test"
+  "scenario_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmm_controller_test.dir/core/stmm_controller_test.cc.o"
+  "CMakeFiles/stmm_controller_test.dir/core/stmm_controller_test.cc.o.d"
+  "stmm_controller_test"
+  "stmm_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmm_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

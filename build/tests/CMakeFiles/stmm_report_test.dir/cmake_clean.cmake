@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmm_report_test.dir/core/stmm_report_test.cc.o"
+  "CMakeFiles/stmm_report_test.dir/core/stmm_report_test.cc.o.d"
+  "stmm_report_test"
+  "stmm_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmm_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

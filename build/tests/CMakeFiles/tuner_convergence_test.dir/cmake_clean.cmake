@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_convergence_test.dir/core/tuner_convergence_test.cc.o"
+  "CMakeFiles/tuner_convergence_test.dir/core/tuner_convergence_test.cc.o.d"
+  "tuner_convergence_test"
+  "tuner_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

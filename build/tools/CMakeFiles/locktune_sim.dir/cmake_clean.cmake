@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktune_sim.dir/locktune_sim.cc.o"
+  "CMakeFiles/locktune_sim.dir/locktune_sim.cc.o.d"
+  "locktune_sim"
+  "locktune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
