@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <sstream>
+
+#include "telemetry/exporters.h"
 
 namespace locktune {
 namespace bench {
@@ -36,6 +39,13 @@ void PrintClaim(const std::string& claim, const std::string& paper,
                 const std::string& measured) {
   std::printf("  %-46s paper: %-22s measured: %s\n", claim.c_str(),
               paper.c_str(), measured.c_str());
+}
+
+void PrintMetrics(const MetricsRegistry& registry) {
+  std::printf("\nmetrics:\n");
+  std::fflush(stdout);
+  WriteMetricsCsv(registry, std::cout);
+  std::cout.flush();
 }
 
 std::string Mb(double mb) {

@@ -12,6 +12,7 @@
 
 #include "common/time_series.h"
 #include "engine/database.h"
+#include "telemetry/metrics.h"
 #include "workload/scenario.h"
 
 namespace locktune {
@@ -28,6 +29,11 @@ void PrintSeries(const TimeSeriesSet& series,
 // Prints one "claim" row of the PAPER vs MEASURED summary.
 void PrintClaim(const std::string& claim, const std::string& paper,
                 const std::string& measured);
+
+// Prints the telemetry registry as `metric,value` CSV under a banner —
+// the same exporter `locktune_sim --metrics-out x.csv` uses, so bench
+// output feeds the same plotting scripts.
+void PrintMetrics(const MetricsRegistry& registry);
 
 // Formats helpers.
 std::string Mb(double mb);

@@ -73,5 +73,6 @@ int main() {
           " tx/s");
   bench::PrintClaim("lock memory errors", "none",
                     std::to_string(runner.total_oom_aborts()));
+  bench::PrintMetrics(db->metrics());
   return 0;
 }

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/sim_clock.h"
+
 namespace locktune {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<const SimClock*> g_clock{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -44,12 +47,32 @@ void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void SetLogClock(const SimClock* clock) {
+  g_clock.store(clock, std::memory_order_relaxed);
+}
+
+const SimClock* GetLogClock() {
+  return g_clock.load(std::memory_order_relaxed);
+}
+
 namespace internal_logging {
+
+std::string LogPrefix(LogLevel level, const char* file, int line) {
+  std::ostringstream os;
+  os << "[";
+  if (const SimClock* clock = GetLogClock()) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "t=%.3fs ",
+                  static_cast<double>(clock->now()) / 1000.0);
+    os << t;
+  }
+  os << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+  return os.str();
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  stream_ << LogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {

@@ -11,6 +11,8 @@
 
 namespace locktune {
 
+class SimClock;
+
 enum class LogLevel : int {
   kTrace = 0,
   kDebug = 1,
@@ -23,7 +25,18 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+// Optional process-wide virtual clock. When installed (non-null), every log
+// line is prefixed with the current virtual time so stderr logs correlate
+// with trace records and sampled series. The clock is borrowed; uninstall
+// (pass nullptr) before it is destroyed.
+void SetLogClock(const SimClock* clock);
+const SimClock* GetLogClock();
+
 namespace internal_logging {
+
+// Renders the line prefix, e.g. "[t=12.300s I logging.cc:42] " (the time
+// field appears only when a log clock is installed).
+std::string LogPrefix(LogLevel level, const char* file, int line);
 
 // Stream collector that emits on destruction.
 class LogMessage {

@@ -2,8 +2,86 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace locktune {
+
+namespace {
+
+double FreeFraction(const LockTunerInputs& inputs) {
+  const Bytes allocated = std::max<Bytes>(inputs.allocated, kLockBlockSize);
+  const Bytes used = std::clamp<Bytes>(inputs.used, 0, allocated);
+  return static_cast<double>(allocated - used) /
+         static_cast<double>(allocated);
+}
+
+double ToMb(Bytes b) {
+  return static_cast<double>(b) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+std::string ExplainDecision(const LockTunerInputs& inputs,
+                            const LockTunerDecision& decision,
+                            const TuningParams& params) {
+  const double free_pct = 100.0 * FreeFraction(inputs);
+  char buf[256];
+  switch (decision.action) {
+    case LockTunerAction::kDouble:
+      std::snprintf(buf, sizeof(buf),
+                    "%lld escalations this interval while growth was "
+                    "constrained: double lock memory to %.2f MB",
+                    static_cast<long long>(inputs.escalations_in_interval),
+                    ToMb(decision.target));
+      break;
+    case LockTunerAction::kGrow:
+      std::snprintf(buf, sizeof(buf),
+                    "free %.1f%% below minFree %.0f%%: grow to %.2f MB so "
+                    "minFree of the new size is free",
+                    free_pct, 100.0 * params.min_free_fraction,
+                    ToMb(decision.target));
+      break;
+    case LockTunerAction::kShrink:
+      std::snprintf(buf, sizeof(buf),
+                    "free %.1f%% above maxFree %.0f%%: shrink by "
+                    "delta_reduce toward %.2f MB",
+                    free_pct, 100.0 * params.max_free_fraction,
+                    ToMb(decision.target));
+      break;
+    case LockTunerAction::kClamp:
+      std::snprintf(buf, sizeof(buf),
+                    "target clamped into [minLockMemory(%d apps) = %.2f MB, "
+                    "maxLockMemory = %.2f MB]: %.2f MB",
+                    inputs.num_applications,
+                    ToMb(params.MinLockMemory(inputs.num_applications)),
+                    ToMb(params.MaxLockMemory()), ToMb(decision.target));
+      break;
+    case LockTunerAction::kNone:
+      // kNone also covers moves the [minLockMemory, maxLockMemory] clamp
+      // cancelled, so check the band before claiming the dead band.
+      if (FreeFraction(inputs) < params.min_free_fraction ||
+          FreeFraction(inputs) > params.max_free_fraction) {
+        std::snprintf(buf, sizeof(buf),
+                      "free %.1f%% outside the [minFree %.0f%%, maxFree "
+                      "%.0f%%] band, but the move was cancelled by the "
+                      "[minLockMemory(%d apps) = %.2f MB, maxLockMemory = "
+                      "%.2f MB] clamp: no change",
+                      free_pct, 100.0 * params.min_free_fraction,
+                      100.0 * params.max_free_fraction,
+                      inputs.num_applications,
+                      ToMb(params.MinLockMemory(inputs.num_applications)),
+                      ToMb(params.MaxLockMemory()));
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "free %.1f%% inside the [minFree %.0f%%, maxFree "
+                      "%.0f%%] dead band: no change",
+                      free_pct, 100.0 * params.min_free_fraction,
+                      100.0 * params.max_free_fraction);
+      }
+      break;
+  }
+  return buf;
+}
 
 LockMemoryTuner::LockMemoryTuner(const TuningParams& params)
     : params_(params), previous_target_(params.InitialLockMemory()) {

@@ -24,6 +24,7 @@
 #define LOCKTUNE_CORE_LOCK_MEMORY_TUNER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.h"
 #include "core/config.h"
@@ -53,6 +54,14 @@ struct LockTunerDecision {
   Bytes target = 0;  // desired allocated size, block multiple
   LockTunerAction action = LockTunerAction::kNone;
 };
+
+// Human-readable rationale for a decision — the narrative the paper's
+// Figure 6 worked example (and DB2's `db2pd -stmm`) tells: which rule
+// fired, the observed free fraction against the [minFree, maxFree] band,
+// and the resulting target. Used by the decision-trace records.
+std::string ExplainDecision(const LockTunerInputs& inputs,
+                            const LockTunerDecision& decision,
+                            const TuningParams& params);
 
 class LockMemoryTuner {
  public:

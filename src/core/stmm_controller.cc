@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "common/logging.h"
+#include "core/stmm_report.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace locktune {
 
@@ -74,6 +78,7 @@ void StmmController::RunTuningPass() {
   assert(inputs.allocated == lock_heap_->size());
 
   const LockTunerDecision decision = tuner_.Tune(inputs);
+  const bool was_constrained = growth_constrained_;
 
   if (decision.target > inputs.allocated) {
     GrowLockMemory(decision.target - inputs.allocated);
@@ -102,6 +107,88 @@ void StmmController::RunTuningPass() {
   rec.action = decision.action;
   rec.next_interval = timer_.period();
   history_.push_back(rec);
+
+  LOCKTUNE_LOG(kDebug) << "tuning pass " << history_.size() << ": "
+                       << TunerActionName(decision.action) << " — "
+                       << ExplainDecision(inputs, decision, params_);
+
+  if (Counter* c = action_passes_[static_cast<size_t>(decision.action)]) {
+    c->Increment();
+  }
+  if (resize_hist_ != nullptr) {
+    resize_hist_->Observe(static_cast<double>(
+        std::abs(rec.lock_allocated - inputs.allocated)));
+  }
+  if (trace_ != nullptr) {
+    const double free_frac =
+        inputs.allocated > 0
+            ? static_cast<double>(inputs.allocated - inputs.used) /
+                  static_cast<double>(inputs.allocated)
+            : 0.0;
+    // One record per pass: the inputs the tuner saw, the decision it made,
+    // the state the pass left behind, and the narrative why.
+    TraceRecord trace_rec(clock_->now(), "tuning_pass");
+    trace_rec.Int("pass", static_cast<int64_t>(history_.size()))
+        .Str("action", TunerActionName(decision.action))
+        .Int("allocated_before_bytes", inputs.allocated)
+        .Int("used_bytes", inputs.used)
+        .Real("free_fraction", free_frac)
+        .Int("escalations_delta", esc_delta)
+        .Bool("growth_constrained", was_constrained)
+        .Int("num_applications", inputs.num_applications)
+        .Int("target_bytes", decision.target)
+        .Int("allocated_after_bytes", rec.lock_allocated)
+        .Int("lmoc_bytes", lmoc_)
+        .Int("lmo_bytes", lmo_)
+        .Int("overflow_bytes", rec.overflow)
+        .Real("maxlocks_percent", rec.maxlocks_percent)
+        .Int("next_interval_ms", rec.next_interval)
+        .Str("why", ExplainDecision(inputs, decision, params_));
+    trace_->Append(trace_rec);
+  }
+}
+
+void StmmController::RegisterMetrics(MetricsRegistry* registry) {
+  registry->AddCallbackCounter(
+      "locktune_stmm_passes_total", "asynchronous tuning passes run",
+      [this] { return static_cast<int64_t>(history_.size()); });
+  for (int a = 0; a < 5; ++a) {
+    const LockTunerAction action = static_cast<LockTunerAction>(a);
+    action_passes_[a] = registry->AddCounter(
+        std::string("locktune_stmm_pass_actions_total{action=\"") +
+            std::string(TunerActionName(action)) + "\"}",
+        "tuning passes by chosen action");
+  }
+  registry->AddCallbackGauge(
+      "locktune_stmm_lmoc_bytes", "externalized on-disk lock memory config",
+      [this] { return static_cast<double>(lmoc_); });
+  registry->AddCallbackGauge(
+      "locktune_stmm_lmo_bytes",
+      "lock memory currently borrowed from overflow",
+      [this] { return static_cast<double>(lmo_); });
+  registry->AddCallbackGauge(
+      "locktune_stmm_tuning_interval_ms", "current tuning interval",
+      [this] { return static_cast<double>(timer_.period()); });
+  registry->AddCallbackGauge(
+      "locktune_stmm_free_fraction",
+      "free share of lock memory, against the [minFree, maxFree] band",
+      [this] {
+        const Bytes alloc = lock_heap_->size();
+        if (alloc <= 0) return 0.0;
+        return static_cast<double>(alloc - locks_->used_bytes()) /
+               static_cast<double>(alloc);
+      });
+  registry->AddCallbackGauge(
+      "locktune_stmm_min_free_fraction", "minFreeLockMemory band edge",
+      [this] { return params_.min_free_fraction; });
+  registry->AddCallbackGauge(
+      "locktune_stmm_max_free_fraction", "maxFreeLockMemory band edge",
+      [this] { return params_.max_free_fraction; });
+  resize_hist_ = registry->AddHistogram(
+      "locktune_stmm_resize_bytes",
+      "per-pass lock memory resize magnitude",
+      {0.0, 128.0 * 1024, 512.0 * 1024, 1024.0 * 1024, 4096.0 * 1024,
+       16384.0 * 1024, 65536.0 * 1024});
 }
 
 void StmmController::AdaptInterval(LockTunerAction action) {

@@ -28,6 +28,11 @@
 
 namespace locktune {
 
+class Counter;
+class HistogramMetric;
+class MetricsRegistry;
+class TraceSink;
+
 // What one tuning pass saw and did (history entry for experiments).
 struct StmmIntervalRecord {
   TimeMs time = 0;
@@ -84,6 +89,17 @@ class StmmController {
   // The current (possibly adapted) tuning interval.
   DurationMs tuning_interval() const { return timer_.period(); }
 
+  // Decision tracing: each tuning pass appends one `kind:"tuning_pass"`
+  // record (inputs, chosen action, human-readable why). Borrowed; null
+  // disables tracing.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace_sink() const { return trace_; }
+
+  // Registers the tuner metric family (`locktune_stmm_*`): per-action pass
+  // counters, lmoc/lmo/interval gauges, the free-band position, and a
+  // resize-magnitude histogram.
+  void RegisterMetrics(MetricsRegistry* registry);
+
  private:
   // Grows lock memory by up to `want` bytes (block multiple), shrinking
   // PMCs when overflow is short. Returns bytes actually added.
@@ -112,6 +128,12 @@ class StmmController {
   int64_t last_escalations_ = 0;
   int quiet_passes_ = 0;
   std::vector<StmmIntervalRecord> history_;
+
+  TraceSink* trace_ = nullptr;
+  // Owned by the registry; null until RegisterMetrics. Indexed by
+  // LockTunerAction.
+  Counter* action_passes_[5] = {};
+  HistogramMetric* resize_hist_ = nullptr;
 };
 
 }  // namespace locktune

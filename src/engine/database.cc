@@ -113,7 +113,16 @@ Status Database::Init() {
   lmo.policy = policy_.get();
   lmo.clock = &clock_;
   lmo.lock_timeout = options_.lock_timeout;
-  lmo.monitor = options_.lock_monitor;
+  // The trace bridge is always wired (no-op until a sink is installed);
+  // a user-supplied monitor is fanned out alongside it.
+  if (options_.lock_monitor != nullptr) {
+    tee_monitor_ = std::make_unique<TeeEventMonitor>(
+        std::vector<LockEventMonitor*>{options_.lock_monitor,
+                                       &trace_monitor_});
+    lmo.monitor = tee_monitor_.get();
+  } else {
+    lmo.monitor = &trace_monitor_;
+  }
   switch (options_.mode) {
     case TuningMode::kSelfTuning:
       // Synchronous growth lands in the STMM controller (overflow memory,
@@ -138,7 +147,16 @@ Status Database::Init() {
         p, &clock_, memory_.get(), lock_heap_, locks_.get(), &pmcs_,
         [this] { return connected_applications_; });
   }
+
+  locks_->RegisterMetrics(&metrics_);
+  memory_->RegisterMetrics(&metrics_);
+  if (stmm_ != nullptr) stmm_->RegisterMetrics(&metrics_);
   return Status::Ok();
+}
+
+void Database::set_trace_sink(TraceSink* sink) {
+  trace_monitor_.set_sink(sink);
+  if (stmm_ != nullptr) stmm_->set_trace_sink(sink);
 }
 
 bool Database::GrowSqlServerStyle(int64_t blocks) {

@@ -20,7 +20,10 @@
 #include "engine/catalog.h"
 #include "lock/escalation_policy.h"
 #include "lock/lock_manager.h"
+#include "lock/lock_trace_bridge.h"
 #include "memory/database_memory.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace locktune {
 
@@ -76,6 +79,17 @@ class Database {
   int connected_applications() const { return connected_applications_; }
   void set_connected_applications(int n) { connected_applications_ = n; }
 
+  // The unified telemetry registry. All subsystems register their metric
+  // families at Open(); scenario runners add the workload family when they
+  // attach. Exporters (telemetry/exporters.h) walk it.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Installs the structured decision-trace sink: STMM tuning passes and
+  // bridged lock events are appended to it. Borrowed; null disables.
+  void set_trace_sink(TraceSink* sink);
+  TraceSink* trace_sink() const { return trace_monitor_.sink(); }
+
  private:
   explicit Database(const DatabaseOptions& opts);
 
@@ -84,6 +98,11 @@ class Database {
   DatabaseOptions options_;
   SimClock clock_;
   Catalog catalog_;
+  MetricsRegistry metrics_;
+  TraceEventMonitor trace_monitor_;
+  // Fans lock events out to the user's monitor and the trace bridge when
+  // both are present.
+  std::unique_ptr<TeeEventMonitor> tee_monitor_;
   std::unique_ptr<DatabaseMemory> memory_;
   std::unique_ptr<EscalationPolicy> policy_;
   std::unique_ptr<LockManager> locks_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/stmm_report.h"
+#include "telemetry/exporters.h"
+
 namespace locktune {
 
 namespace {
@@ -110,6 +113,32 @@ std::string RenderSnapshot(const DatabaseSnapshot& s) {
                     Mb(a.held_structures * kLockStructSize),
                     a.blocked ? "  [BLOCKED]" : "");
       out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderInspector(Database& db, int max_app_id,
+                            const RingBufferEventMonitor* ring,
+                            size_t ring_tail) {
+  std::string out = RenderSnapshot(CaptureSnapshot(db, max_app_id));
+  out += "\n";
+  out += RenderRegistryTable(db.metrics());
+  if (db.stmm() != nullptr && !db.stmm()->history().empty()) {
+    out += "\nSTMM tuning history (last 10 passes):\n";
+    out += RenderHistoryTable(db.stmm()->history(), 10);
+    out += RenderSummary(Summarize(db.stmm()->history()));
+  }
+  if (ring != nullptr) {
+    const std::vector<LockEvent> events = ring->Events();
+    const size_t shown = std::min(ring_tail, events.size());
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "\nlock event ring buffer (%lld total, last %zu):\n",
+                  static_cast<long long>(ring->total_events()), shown);
+    out += line;
+    for (size_t i = events.size() - shown; i < events.size(); ++i) {
+      out += "  " + events[i].ToString() + "\n";
     }
   }
   return out;

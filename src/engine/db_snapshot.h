@@ -55,6 +55,13 @@ DatabaseSnapshot CaptureSnapshot(Database& db, int max_app_id,
 // Multi-line operator-facing rendering.
 std::string RenderSnapshot(const DatabaseSnapshot& snapshot);
 
+// The `locktune_pd` full inspection: the snapshot above, the telemetry
+// registry table, the last STMM tuning passes, and (when a flight recorder
+// is attached) the tail of the lock event ring buffer.
+std::string RenderInspector(Database& db, int max_app_id,
+                            const RingBufferEventMonitor* ring = nullptr,
+                            size_t ring_tail = 20);
+
 }  // namespace locktune
 
 #endif  // LOCKTUNE_ENGINE_DB_SNAPSHOT_H_

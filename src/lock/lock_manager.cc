@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace locktune {
 
@@ -802,6 +803,77 @@ void LockManager::DrainWorkList() {
 void LockManager::EraseHeldEntry(AppState& state, const ResourceId& resource) {
   const auto it = std::find(state.held.begin(), state.held.end(), resource);
   if (it != state.held.end()) state.held.erase(it);
+}
+
+void LockManager::RegisterMetrics(MetricsRegistry* registry) {
+  const auto counter = [&](const char* name, const char* help,
+                           std::function<int64_t()> fn) {
+    registry->AddCallbackCounter(name, help, std::move(fn));
+  };
+  counter("locktune_lock_requests_total", "lock requests issued",
+          [this] { return stats().lock_requests; });
+  counter("locktune_lock_grants_total", "lock requests granted",
+          [this] { return stats().grants; });
+  counter("locktune_lock_waits_total", "lock requests that blocked",
+          [this] { return stats().lock_waits; });
+  counter("locktune_lock_escalations_total", "completed lock escalations",
+          [this] { return stats().escalations; });
+  counter("locktune_lock_escalations_exclusive_total",
+          "escalations that took an X table lock",
+          [this] { return stats().exclusive_escalations; });
+  counter("locktune_lock_escalation_attempts_total",
+          "escalations attempted (completed or not)",
+          [this] { return stats().escalation_attempts; });
+  counter("locktune_lock_escalations_preferred_total",
+          "escalations taken because the app prefers them over growth",
+          [this] { return stats().preferred_escalations; });
+  counter("locktune_lock_deadlock_victims_total",
+          "applications chosen to break deadlock cycles",
+          [this] { return stats().deadlock_victims; });
+  counter("locktune_lock_timeouts_total", "lock waits past LOCKTIMEOUT",
+          [this] { return stats().lock_timeouts; });
+  counter("locktune_lock_oom_failures_total",
+          "requests failed for lack of lock memory",
+          [this] { return stats().out_of_memory_failures; });
+  counter("locktune_lock_sync_growth_blocks_total",
+          "blocks added synchronously on the request path",
+          [this] { return stats().sync_growth_blocks; });
+  counter("locktune_lock_blocks_added_total",
+          "lock memory blocks ever added",
+          [this] { return blocks_.blocks_added(); });
+  counter("locktune_lock_blocks_removed_total",
+          "lock memory blocks ever removed (shrink)",
+          [this] { return blocks_.blocks_removed(); });
+
+  registry->AddCallbackGauge(
+      "locktune_lock_memory_allocated_bytes", "lock memory owned",
+      [this] { return static_cast<double>(allocated_bytes()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_memory_used_bytes", "lock structures in use x 64 B",
+      [this] { return static_cast<double>(used_bytes()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_memory_max_bytes", "maxLockMemory bound",
+      [this] { return static_cast<double>(max_lock_memory()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_blocks", "blocks on the list",
+      [this] { return static_cast<double>(block_count()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_blocks_free", "entirely free blocks (shrinkable)",
+      [this] { return static_cast<double>(entirely_free_blocks()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_waiting_apps", "applications currently blocked",
+      [this] { return static_cast<double>(waiting_app_count()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_maxlocks_percent",
+      "current lockPercentPerApplication",
+      [this] { return CurrentMaxlocksPercent(); });
+
+  registry->AddCallbackHistogram(
+      "locktune_lock_wait_time_ms", "completed lock-wait durations",
+      [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return SnapshotOf(wait_times_);
+      });
 }
 
 }  // namespace locktune

@@ -40,6 +40,8 @@
 
 namespace locktune {
 
+class MetricsRegistry;
+
 // Outcome of a Lock() call, from the requesting application's viewpoint.
 enum class LockOutcome {
   kGranted,      // the request (and any implied intent lock) is granted
@@ -173,6 +175,12 @@ class LockManager {
   const Histogram& wait_time_histogram() const { return wait_times_; }
   // Verifies block list and per-app accounting invariants (for tests).
   Status CheckConsistency() const;
+
+  // Registers the lock metric family (`locktune_lock_*`): request/grant/
+  // wait/escalation counters, memory and block-churn gauges, and the
+  // wait-time histogram. Callback-based — the hot path is untouched; values
+  // are read (under the manager mutex where needed) at Collect() time.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   struct Continuation {

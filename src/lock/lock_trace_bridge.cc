@@ -1,0 +1,26 @@
+#include "lock/lock_trace_bridge.h"
+
+namespace locktune {
+
+void TraceEventMonitor::OnLockEvent(const LockEvent& event) {
+  if (sink_ == nullptr) return;
+  TraceRecord rec(event.time, "lock_event");
+  rec.Str("event", LockEventKindName(event.kind))
+      .Int("app", event.app)
+      .Str("resource", event.resource.ToString())
+      .Str("mode", ModeName(event.mode));
+  switch (event.kind) {
+    case LockEventKind::kWaitEnd:
+      rec.Int("wait_ms", event.value);
+      break;
+    case LockEventKind::kEscalation:
+      rec.Int("rows_released", event.value);
+      break;
+    default:
+      if (event.value != 0) rec.Int("value", event.value);
+      break;
+  }
+  sink_->Append(rec);
+}
+
+}  // namespace locktune

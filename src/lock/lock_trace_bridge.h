@@ -1,0 +1,30 @@
+// Bridges LockEventMonitor events into the structured trace stream, so a
+// JSONL trace interleaves tuning-pass decisions with the lock events (waits,
+// escalations, timeouts) that motivated them.
+#ifndef LOCKTUNE_LOCK_LOCK_TRACE_BRIDGE_H_
+#define LOCKTUNE_LOCK_LOCK_TRACE_BRIDGE_H_
+
+#include "lock/lock_event_monitor.h"
+#include "telemetry/trace.h"
+
+namespace locktune {
+
+// A LockEventMonitor that renders each event as a `kind:"lock_event"` trace
+// record. The sink is borrowed and settable after construction; with no
+// sink installed the bridge is a no-op, so it can be wired unconditionally.
+class TraceEventMonitor : public LockEventMonitor {
+ public:
+  explicit TraceEventMonitor(TraceSink* sink = nullptr) : sink_(sink) {}
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  void OnLockEvent(const LockEvent& event) override;
+
+ private:
+  TraceSink* sink_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_LOCK_TRACE_BRIDGE_H_

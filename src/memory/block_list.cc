@@ -7,6 +7,7 @@ namespace locktune {
 
 LockBlock* BlockList::AddBlock() {
   active_.push_back(std::make_unique<LockBlock>(next_block_id_++));
+  ++blocks_added_;
   return active_.back().get();
 }
 
@@ -55,6 +56,7 @@ Status BlockList::TryRemoveBlocks(int64_t count) {
     return Status::FailedPrecondition("not enough freeable lock blocks");
   }
   for (auto it : set_aside) active_.erase(it);
+  blocks_removed_ += count;
   return Status::Ok();
 }
 

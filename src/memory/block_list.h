@@ -65,6 +65,9 @@ class BlockList {
   Bytes used_bytes() const { return slots_in_use_ * kLockStructSize; }
   // Blocks with no outstanding lock structures (candidates for shrink).
   int64_t entirely_free_blocks() const;
+  // Lifetime churn: blocks ever added / ever removed (telemetry).
+  int64_t blocks_added() const { return blocks_added_; }
+  int64_t blocks_removed() const { return blocks_removed_; }
 
   // Verifies internal invariants; used by tests. Returns OK or INTERNAL
   // with a description of the violated invariant.
@@ -82,6 +85,8 @@ class BlockList {
   std::list<BlockPtr> exhausted_;  // blocks with zero free slots
   int64_t slots_in_use_ = 0;
   int64_t next_block_id_ = 0;
+  int64_t blocks_added_ = 0;
+  int64_t blocks_removed_ = 0;
 };
 
 }  // namespace locktune

@@ -1,5 +1,7 @@
 #include "memory/database_memory.h"
 
+#include "telemetry/metrics.h"
+
 #include <cassert>
 
 namespace locktune {
@@ -84,6 +86,29 @@ Bytes DatabaseMemory::heap_bytes() const {
   Bytes sum = 0;
   for (const auto& h : heaps_) sum += h->size();
   return sum;
+}
+
+void DatabaseMemory::RegisterMetrics(MetricsRegistry* registry) {
+  registry->AddCallbackGauge(
+      "locktune_memory_total_bytes", "databaseMemory total",
+      [this] { return static_cast<double>(total_); });
+  registry->AddCallbackGauge(
+      "locktune_memory_overflow_bytes",
+      "memory not owned by any heap (the on-demand reserve)",
+      [this] { return static_cast<double>(overflow_bytes()); });
+  registry->AddCallbackGauge(
+      "locktune_memory_overflow_goal_bytes",
+      "overflow size STMM steers toward",
+      [this] { return static_cast<double>(overflow_goal_); });
+  registry->AddCallbackGauge(
+      "locktune_memory_heap_total_bytes", "sum of all heap sizes",
+      [this] { return static_cast<double>(heap_bytes()); });
+  for (const auto& heap : heaps_) {
+    registry->AddCallbackGauge(
+        "locktune_memory_heap_bytes{heap=\"" + heap->name() + "\"}",
+        "per-heap size",
+        [h = heap.get()] { return static_cast<double>(h->size()); });
+  }
 }
 
 Status DatabaseMemory::CheckOwned(const MemoryHeap* heap) const {

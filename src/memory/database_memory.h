@@ -18,6 +18,8 @@
 
 namespace locktune {
 
+class MetricsRegistry;
+
 class DatabaseMemory {
  public:
   // `total` is databaseMemory; `overflow_goal` is the amount STMM tries to
@@ -60,6 +62,11 @@ class DatabaseMemory {
   const std::vector<std::unique_ptr<MemoryHeap>>& heaps() const {
     return heaps_;
   }
+
+  // Registers callback gauges for the memory set (total, overflow, and one
+  // `locktune_memory_heap_bytes{heap="..."}` gauge per registered heap).
+  // Call after all heaps are registered; later heaps are not picked up.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   Status CheckOwned(const MemoryHeap* heap) const;

@@ -1,0 +1,123 @@
+#include "telemetry/exporters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace locktune {
+
+namespace {
+
+// Prometheus sample values: integers print without an exponent, other
+// values with enough precision to round-trip sensibly.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatBound(double b) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return buf;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string HistogramDigest(const HistogramSnapshot& h) {
+  char buf[160];
+  const double mean =
+      h.total > 0 ? h.sum / static_cast<double>(h.total) : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.2f p50=%.2f p95=%.2f p99=%.2f",
+                static_cast<long long>(h.total), mean,
+                SnapshotQuantile(h, 0.50), SnapshotQuantile(h, 0.95),
+                SnapshotQuantile(h, 0.99));
+  return buf;
+}
+
+}  // namespace
+
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
+  std::string last_family;
+  for (const MetricSample& s : registry.Collect()) {
+    const std::string family = MetricFamily(s.name);
+    if (family != last_family) {
+      if (!s.help.empty()) os << "# HELP " << family << " " << s.help << "\n";
+      os << "# TYPE " << family << " " << KindName(s.kind) << "\n";
+      last_family = family;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le = i < h.upper_bounds.size()
+                                   ? FormatBound(h.upper_bounds[i])
+                                   : "+Inf";
+        os << family << "_bucket{le=\"" << le << "\"} " << cumulative
+           << "\n";
+      }
+      os << family << "_sum " << FormatValue(h.sum) << "\n";
+      os << family << "_count " << h.total << "\n";
+    } else {
+      os << s.name << " " << FormatValue(s.value) << "\n";
+    }
+  }
+}
+
+void WriteMetricsCsv(const MetricsRegistry& registry, std::ostream& os) {
+  os << "metric,value\n";
+  for (const MetricSample& s : registry.Collect()) {
+    if (s.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      os << s.name << "_count," << h.total << "\n";
+      os << s.name << "_sum," << FormatValue(h.sum) << "\n";
+      os << s.name << "_p50," << FormatValue(SnapshotQuantile(h, 0.50))
+         << "\n";
+      os << s.name << "_p95," << FormatValue(SnapshotQuantile(h, 0.95))
+         << "\n";
+      os << s.name << "_p99," << FormatValue(SnapshotQuantile(h, 0.99))
+         << "\n";
+    } else {
+      os << s.name << "," << FormatValue(s.value) << "\n";
+    }
+  }
+}
+
+std::string RenderRegistryTable(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.Collect();
+  size_t width = 0;
+  for (const MetricSample& s : samples) {
+    width = std::max(width, s.name.size());
+  }
+  std::ostringstream os;
+  os << "Metrics registry (" << samples.size() << " metrics):\n";
+  for (const MetricSample& s : samples) {
+    os << "  " << s.name << std::string(width - s.name.size() + 2, ' ');
+    if (s.kind == MetricKind::kHistogram) {
+      os << HistogramDigest(s.histogram);
+    } else {
+      os << FormatValue(s.value);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace locktune

@@ -1,0 +1,30 @@
+// Registry exporters: Prometheus text format, CSV, and an aligned
+// operator-facing table (the inspector's registry section).
+#ifndef LOCKTUNE_TELEMETRY_EXPORTERS_H_
+#define LOCKTUNE_TELEMETRY_EXPORTERS_H_
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace locktune {
+
+// Prometheus text exposition format: `# HELP` / `# TYPE` per family, then
+// one sample line per metric; histograms expand to `_bucket{le=...}`,
+// `_sum`, and `_count` series. Histogram metric names must not carry label
+// suffixes.
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& os);
+
+// `metric,value` CSV rows (header included), in registry order — the same
+// comma-separated shape the bench plotting scripts consume. Histograms
+// expand to `_count`, `_sum`, `_p50`, `_p95`, and `_p99` rows.
+void WriteMetricsCsv(const MetricsRegistry& registry, std::ostream& os);
+
+// Aligned `name  value` table for humans (db2pd-style). Histograms render
+// as a one-line digest (count/mean/p50/p95/p99).
+std::string RenderRegistryTable(const MetricsRegistry& registry);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_TELEMETRY_EXPORTERS_H_

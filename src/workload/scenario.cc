@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace locktune {
 
 const char ScenarioRunner::kLockAllocatedMb[] = "lock_allocated_mb";
@@ -57,6 +60,59 @@ ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
     }
   }
   group_start_.push_back(apps_.size());
+  RegisterMetrics();
+}
+
+void ScenarioRunner::RegisterMetrics() {
+  MetricsRegistry& registry = db_->metrics();
+  registry.AddCallbackCounter(
+      "locktune_workload_commits_total", "transactions committed",
+      [this] { return total_commits(); });
+  registry.AddCallbackCounter(
+      "locktune_workload_deadlock_aborts_total",
+      "transactions aborted as deadlock victims",
+      [this] { return total_deadlock_aborts(); });
+  registry.AddCallbackCounter(
+      "locktune_workload_timeout_aborts_total",
+      "transactions aborted past LOCKTIMEOUT",
+      [this] { return total_timeout_aborts(); });
+  registry.AddCallbackCounter(
+      "locktune_workload_oom_aborts_total",
+      "transactions failed for lack of lock memory",
+      [this] { return total_oom_aborts(); });
+  registry.AddCallbackCounter(
+      "locktune_workload_locks_acquired_total", "row/table locks acquired",
+      [this] {
+        int64_t sum = 0;
+        for (const auto& app : apps_) sum += app->stats().locks_acquired;
+        return sum;
+      });
+  registry.AddCallbackCounter(
+      "locktune_workload_table_plan_txns_total",
+      "transactions compiled to table locking",
+      [this] {
+        int64_t sum = 0;
+        for (const auto& app : apps_) sum += app->stats().table_plan_txns;
+        return sum;
+      });
+  registry.AddCallbackGauge(
+      "locktune_workload_clients", "connected applications",
+      [this] { return static_cast<double>(db_->connected_applications()); });
+  registry.AddCallbackGauge(
+      "locktune_workload_throughput_tps",
+      "commit rate over the last sample period",
+      [this] { return last_sample_tps_; });
+  registry.AddCallbackGauge(
+      "locktune_workload_max_held_locks",
+      "most lock structures held by any one application",
+      [this] {
+        int64_t max_held = 0;
+        for (const auto& app : apps_) {
+          max_held =
+              std::max(max_held, db_->locks().HeldStructures(app->id()));
+        }
+        return static_cast<double>(max_held);
+      });
 }
 
 void ScenarioRunner::Run() { RunUntil(options_.duration); }
@@ -113,6 +169,15 @@ void ScenarioRunner::ApplyTimelines(TimeMs now) {
     }
   }
   db_->set_connected_applications(total_active);
+  if (total_active != last_total_active_) {
+    if (TraceSink* sink = db_->trace_sink();
+        sink != nullptr && last_total_active_ >= 0) {
+      TraceRecord rec(now, "clients_change");
+      rec.Int("from", last_total_active_).Int("to", total_active);
+      sink->Append(rec);
+    }
+    last_total_active_ = total_active;
+  }
 }
 
 void ScenarioRunner::Sample(TimeMs now) {
@@ -131,9 +196,9 @@ void ScenarioRunner::Sample(TimeMs now) {
                      ? static_cast<double>(db_->stmm()->lmoc()) / kBytesPerMb
                      : static_cast<double>(db_->locks().allocated_bytes()) /
                            kBytesPerMb);
-  series_.Record(kThroughputTps, now,
-                 static_cast<double>(commits - last_sample_commits_) /
-                     seconds);
+  last_sample_tps_ =
+      static_cast<double>(commits - last_sample_commits_) / seconds;
+  series_.Record(kThroughputTps, now, last_sample_tps_);
   last_sample_commits_ = commits;
   series_.Record(kEscalations, now, static_cast<double>(stats.escalations));
   series_.Record(kExclusiveEscalations, now,

@@ -83,6 +83,10 @@ class ScenarioRunner {
  private:
   void ApplyTimelines(TimeMs now);
   void Sample(TimeMs now);
+  // Registers the workload metric family (`locktune_workload_*`) with the
+  // database's registry: commit/abort counters, throughput, client count,
+  // and the heaviest per-app held-lock count.
+  void RegisterMetrics();
 
   Database* db_;
   std::vector<ClientTimeline> groups_;
@@ -95,6 +99,8 @@ class ScenarioRunner {
   TimeMs next_sample_ = 0;
   TimeMs next_deadlock_check_ = 0;
   int64_t last_sample_commits_ = 0;
+  double last_sample_tps_ = 0.0;
+  int last_total_active_ = -1;
 };
 
 }  // namespace locktune

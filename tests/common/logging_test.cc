@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_clock.h"
+#include "common/units.h"
+
 namespace locktune {
 namespace {
 
@@ -37,6 +40,49 @@ TEST(LoggingTest, MacroCompilesAndStreams) {
   // stderr. Level ordering is the contract tested here.
   EXPECT_LT(static_cast<int>(LogLevel::kTrace),
             static_cast<int>(LogLevel::kError));
+}
+
+class LogClockGuard {
+ public:
+  LogClockGuard() : saved_(GetLogClock()) {}
+  ~LogClockGuard() { SetLogClock(saved_); }
+
+ private:
+  const SimClock* saved_;
+};
+
+TEST(LoggingTest, PrefixWithoutClockHasNoTime) {
+  LogClockGuard guard;
+  SetLogClock(nullptr);
+  const std::string prefix =
+      internal_logging::LogPrefix(LogLevel::kInfo, "file.cc", 42);
+  EXPECT_EQ(prefix.find("t="), std::string::npos);
+  EXPECT_NE(prefix.find("I file.cc:42"), std::string::npos);
+}
+
+TEST(LoggingTest, PrefixCarriesVirtualTimeWhenClockInstalled) {
+  LogClockGuard guard;
+  SimClock clock;
+  clock.Advance(12'300);
+  SetLogClock(&clock);
+  const std::string prefix =
+      internal_logging::LogPrefix(LogLevel::kWarning, "tuner.cc", 7);
+  EXPECT_NE(prefix.find("t=12.300s"), std::string::npos);
+  EXPECT_NE(prefix.find("W tuner.cc:7"), std::string::npos);
+  // Advancing the clock changes subsequent prefixes.
+  clock.Advance(kSecond);
+  EXPECT_NE(internal_logging::LogPrefix(LogLevel::kWarning, "tuner.cc", 7)
+                .find("t=13.300s"),
+            std::string::npos);
+}
+
+TEST(LoggingTest, ClockInstallRoundTrips) {
+  LogClockGuard guard;
+  SimClock clock;
+  SetLogClock(&clock);
+  EXPECT_EQ(GetLogClock(), &clock);
+  SetLogClock(nullptr);
+  EXPECT_EQ(GetLogClock(), nullptr);
 }
 
 }  // namespace

@@ -76,6 +76,26 @@ TEST(HistogramTest, QuantileMonotone) {
   EXPECT_GT(p50, 0.0);
 }
 
+TEST(HistogramTest, QuantileAtExtremes) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(5.0);
+  h.Add(50.0);
+  // q=0 is the lower edge of the first occupied bucket; q=1 the upper edge
+  // of the last.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOverflow) {
+  Histogram h({10.0});
+  for (int i = 0; i < 4; ++i) h.Add(1000.0);
+  // The overflow bucket spans [last_bound, last_bound*2+1): the estimate
+  // stays finite even though every sample exceeded the last bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 15.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 21.0);
+}
+
 TEST(HistogramTest, QuantileClampsArgument) {
   Histogram h({10.0});
   h.Add(5.0);

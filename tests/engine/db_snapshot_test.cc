@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lock/lock_event_monitor.h"
+#include "telemetry/trace.h"
 #include "workload/oltp_workload.h"
 #include "workload/scenario.h"
 
@@ -99,6 +101,53 @@ TEST_F(DbSnapshotTest, StaticModeSnapshotHasNoLmo) {
   const DatabaseSnapshot s = CaptureSnapshot(*db, 0);
   EXPECT_EQ(s.lmo, 0);
   EXPECT_EQ(s.lmoc, s.lock_allocated);
+}
+
+TEST_F(DbSnapshotTest, InspectorRendersRegistryHistoryAndRing) {
+  RingBufferEventMonitor ring(32);
+  DatabaseOptions o;
+  o.params.database_memory = 256 * kMiB;
+  o.lock_monitor = &ring;
+  std::unique_ptr<Database> db = Database::Open(o).value();
+  OltpWorkload oltp(db->catalog(), OltpOptions{});
+  ClientTimeline tl;
+  tl.workload = &oltp;
+  tl.steps = {{0, 20}};
+  ScenarioOptions so;
+  so.duration = 90 * kSecond;  // long enough for tuning passes and waits
+  ScenarioRunner runner(db.get(), {tl}, so);
+  runner.Run();
+  const std::string text = RenderInspector(*db, /*max_app_id=*/20, &ring);
+  // Snapshot section.
+  EXPECT_NE(text.find("database snapshot"), std::string::npos);
+  // Registry section with all four metric families.
+  EXPECT_NE(text.find("Metrics registry"), std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("locktune_memory_total_bytes"), std::string::npos);
+  EXPECT_NE(text.find("locktune_stmm_passes_total"), std::string::npos);
+  EXPECT_NE(text.find("locktune_workload_commits_total"), std::string::npos);
+  // STMM history section.
+  EXPECT_NE(text.find("STMM"), std::string::npos);
+  // Ring-buffer tail.
+  EXPECT_NE(text.find("lock event ring buffer"), std::string::npos);
+}
+
+TEST_F(DbSnapshotTest, DatabaseTraceSinkSeesLockAndTuningRecords) {
+  MemoryTraceSink sink;
+  db_->set_trace_sink(&sink);
+  ASSERT_EQ(db_->locks().Lock(1, RowResource(1, 5), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(db_->locks().Lock(2, RowResource(1, 5), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  db_->Tick(31 * kSecond);  // past the tuning interval: one pass fires
+  bool saw_lock_event = false;
+  bool saw_tuning_pass = false;
+  for (const TraceRecord& rec : sink.records()) {
+    if (rec.kind() == "lock_event") saw_lock_event = true;
+    if (rec.kind() == "tuning_pass") saw_tuning_pass = true;
+  }
+  EXPECT_TRUE(saw_lock_event);
+  EXPECT_TRUE(saw_tuning_pass);
 }
 
 TEST_F(DbSnapshotTest, SnapshotOfLiveScenario) {

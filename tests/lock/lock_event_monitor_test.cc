@@ -1,6 +1,8 @@
 #include "lock/lock_event_monitor.h"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -75,6 +77,36 @@ TEST(TeeMonitorTest, FansOut) {
   tee.OnLockEvent(MakeEvent(LockEventKind::kDeadlockVictim));
   EXPECT_EQ(a.count(LockEventKind::kDeadlockVictim), 1);
   EXPECT_EQ(b.count(LockEventKind::kDeadlockVictim), 1);
+}
+
+// Appends "<tag>:<app>" to a shared log so fan-out order is observable.
+class OrderRecordingMonitor : public LockEventMonitor {
+ public:
+  OrderRecordingMonitor(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+
+  void OnLockEvent(const LockEvent& event) override {
+    log_->push_back(tag_ + ":" + std::to_string(event.app));
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST(TeeMonitorTest, DeliversEachEventToSinksInConstructionOrder) {
+  std::vector<std::string> log;
+  OrderRecordingMonitor a("a", &log);
+  OrderRecordingMonitor b("b", &log);
+  OrderRecordingMonitor c("c", &log);
+  TeeEventMonitor tee({&a, &b, &c});
+  tee.OnLockEvent(MakeEvent(LockEventKind::kWaitBegin, 1));
+  tee.OnLockEvent(MakeEvent(LockEventKind::kWaitBegin, 2));
+  // Each event is fully delivered to every sink, in construction order,
+  // before the next event starts — downstream sinks (e.g. the trace
+  // bridge) see the same event order as the primary monitor.
+  EXPECT_EQ(log, (std::vector<std::string>{"a:1", "b:1", "c:1", "a:2", "b:2",
+                                           "c:2"}));
 }
 
 TEST(LockEventKindTest, NamesAreStable) {

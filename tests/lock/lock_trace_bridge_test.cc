@@ -1,0 +1,72 @@
+#include "lock/lock_trace_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.h"
+
+namespace locktune {
+namespace {
+
+LockEvent MakeEvent(LockEventKind kind, AppId app, TimeMs t) {
+  LockEvent e;
+  e.kind = kind;
+  e.app = app;
+  e.time = t;
+  return e;
+}
+
+TEST(TraceEventMonitorTest, NoSinkIsNoOp) {
+  TraceEventMonitor bridge;
+  bridge.OnLockEvent(MakeEvent(LockEventKind::kWaitBegin, 1, 0));  // no crash
+  EXPECT_EQ(bridge.sink(), nullptr);
+}
+
+TEST(TraceEventMonitorTest, RendersLockEventRecord) {
+  MemoryTraceSink sink;
+  TraceEventMonitor bridge(&sink);
+  LockEvent e = MakeEvent(LockEventKind::kWaitBegin, 7, 12'300);
+  e.resource = RowResource(4, 99);
+  e.mode = LockMode::kS;
+  bridge.OnLockEvent(e);
+  ASSERT_EQ(sink.records().size(), 1u);
+  const TraceRecord& rec = sink.records()[0];
+  EXPECT_EQ(rec.kind(), "lock_event");
+  EXPECT_EQ(rec.time_ms(), 12'300);
+  EXPECT_EQ(*rec.Find("event"), "\"WAIT_BEGIN\"");
+  EXPECT_EQ(*rec.Find("app"), "7");
+  EXPECT_EQ(*rec.Find("resource"), "\"row(4,99)\"");
+  EXPECT_EQ(*rec.Find("mode"), "\"S\"");
+}
+
+TEST(TraceEventMonitorTest, WaitEndCarriesWaitMs) {
+  MemoryTraceSink sink;
+  TraceEventMonitor bridge(&sink);
+  LockEvent e = MakeEvent(LockEventKind::kWaitEnd, 3, 500);
+  e.value = 250;
+  bridge.OnLockEvent(e);
+  EXPECT_EQ(*sink.records()[0].Find("wait_ms"), "250");
+}
+
+TEST(TraceEventMonitorTest, EscalationCarriesRowsReleased) {
+  MemoryTraceSink sink;
+  TraceEventMonitor bridge(&sink);
+  LockEvent e = MakeEvent(LockEventKind::kEscalation, 3, 500);
+  e.value = 1024;
+  bridge.OnLockEvent(e);
+  EXPECT_EQ(*sink.records()[0].Find("rows_released"), "1024");
+  EXPECT_EQ(sink.records()[0].Find("wait_ms"), nullptr);
+}
+
+TEST(TraceEventMonitorTest, SinkSettableAfterConstruction) {
+  MemoryTraceSink sink;
+  TraceEventMonitor bridge;
+  bridge.OnLockEvent(MakeEvent(LockEventKind::kTimeout, 1, 0));  // dropped
+  bridge.set_sink(&sink);
+  bridge.OnLockEvent(MakeEvent(LockEventKind::kTimeout, 1, 0));
+  bridge.set_sink(nullptr);
+  bridge.OnLockEvent(MakeEvent(LockEventKind::kTimeout, 1, 0));  // dropped
+  EXPECT_EQ(sink.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace locktune

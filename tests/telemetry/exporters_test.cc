@@ -1,0 +1,123 @@
+#include "telemetry/exporters.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+
+namespace locktune {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(WritePrometheusTest, CountersAndGauges) {
+  MetricsRegistry reg;
+  reg.AddCounter("locktune_lock_waits_total", "lock waits")->Increment(3);
+  reg.AddGauge("locktune_memory_total_bytes", "database memory")->Set(1024);
+  std::ostringstream os;
+  WritePrometheus(reg, os);
+  const std::vector<std::string> lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0], "# HELP locktune_lock_waits_total lock waits");
+  EXPECT_EQ(lines[1], "# TYPE locktune_lock_waits_total counter");
+  EXPECT_EQ(lines[2], "locktune_lock_waits_total 3");
+  EXPECT_EQ(lines[3], "# HELP locktune_memory_total_bytes database memory");
+  EXPECT_EQ(lines[4], "# TYPE locktune_memory_total_bytes gauge");
+  EXPECT_EQ(lines[5], "locktune_memory_total_bytes 1024");
+}
+
+TEST(WritePrometheusTest, LabeledVariantsShareOneFamilyHeader) {
+  MetricsRegistry reg;
+  reg.AddGauge("locktune_memory_heap_bytes{heap=\"locklist\"}", "heap size")
+      ->Set(4);
+  reg.AddGauge("locktune_memory_heap_bytes{heap=\"sort\"}", "heap size")
+      ->Set(8);
+  std::ostringstream os;
+  WritePrometheus(reg, os);
+  const std::string text = os.str();
+  // One # HELP / # TYPE pair for the family, two sample lines.
+  EXPECT_EQ(Lines(text).size(), 4u);
+  size_t first = text.find("# TYPE locktune_memory_heap_bytes gauge");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE", first + 1), std::string::npos);
+  EXPECT_NE(text.find("locktune_memory_heap_bytes{heap=\"locklist\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_memory_heap_bytes{heap=\"sort\"} 8"),
+            std::string::npos);
+}
+
+TEST(WritePrometheusTest, HistogramExpandsToCumulativeBuckets) {
+  MetricsRegistry reg;
+  HistogramMetric* h =
+      reg.AddHistogram("locktune_lock_wait_time_ms", "wait time", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);  // overflow
+  std::ostringstream os;
+  WritePrometheus(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE locktune_lock_wait_time_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_wait_time_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_wait_time_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_wait_time_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_wait_time_ms_sum 55.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("locktune_lock_wait_time_ms_count 3"),
+            std::string::npos);
+}
+
+TEST(WriteMetricsCsvTest, HeaderAndRows) {
+  MetricsRegistry reg;
+  reg.AddCounter("locktune_lock_waits_total", "waits")->Increment(2);
+  reg.AddGauge("locktune_workload_throughput_tps", "tps")->Set(120.5);
+  std::ostringstream os;
+  WriteMetricsCsv(reg, os);
+  const std::vector<std::string> lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "metric,value");
+  EXPECT_EQ(lines[1], "locktune_lock_waits_total,2");
+  EXPECT_EQ(lines[2], "locktune_workload_throughput_tps,120.5");
+}
+
+TEST(WriteMetricsCsvTest, HistogramExpandsToDigestRows) {
+  MetricsRegistry reg;
+  HistogramMetric* h =
+      reg.AddHistogram("locktune_test_ms", "t", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  std::ostringstream os;
+  WriteMetricsCsv(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("locktune_test_ms_count,100"), std::string::npos);
+  EXPECT_NE(text.find("locktune_test_ms_sum,500"), std::string::npos);
+  EXPECT_NE(text.find("locktune_test_ms_p50,"), std::string::npos);
+  EXPECT_NE(text.find("locktune_test_ms_p95,"), std::string::npos);
+  EXPECT_NE(text.find("locktune_test_ms_p99,"), std::string::npos);
+}
+
+TEST(RenderRegistryTableTest, AlignsNamesAndDigestsHistograms) {
+  MetricsRegistry reg;
+  reg.AddCounter("locktune_lock_waits_total", "waits")->Increment(7);
+  HistogramMetric* h = reg.AddHistogram("locktune_wait_ms", "w", {1.0, 10.0});
+  h->Observe(2.0);
+  const std::string table = RenderRegistryTable(reg);
+  EXPECT_NE(table.find("locktune_lock_waits_total"), std::string::npos);
+  EXPECT_NE(table.find("7"), std::string::npos);
+  EXPECT_NE(table.find("count=1"), std::string::npos);
+  EXPECT_NE(table.find("p50="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locktune

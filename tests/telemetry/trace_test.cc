@@ -1,0 +1,87 @@
+#include "telemetry/trace.h"
+
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("grow to 8 MB"), "grow to 8 MB");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(TraceRecordTest, RendersAllFieldTypes) {
+  TraceRecord rec(12'300, "tuning_pass");
+  rec.Str("action", "GROW")
+      .Int("pass", 3)
+      .Real("free_fraction", 0.25)
+      .Bool("growth_constrained", false);
+  EXPECT_EQ(rec.ToJson(),
+            "{\"t_ms\":12300,\"kind\":\"tuning_pass\",\"action\":\"GROW\","
+            "\"pass\":3,\"free_fraction\":0.25,"
+            "\"growth_constrained\":false}");
+}
+
+TEST(TraceRecordTest, FindReturnsRenderedValue) {
+  TraceRecord rec(0, "x");
+  rec.Str("action", "NONE").Int("pass", 7);
+  ASSERT_NE(rec.Find("action"), nullptr);
+  EXPECT_EQ(*rec.Find("action"), "\"NONE\"");
+  ASSERT_NE(rec.Find("pass"), nullptr);
+  EXPECT_EQ(*rec.Find("pass"), "7");
+  EXPECT_EQ(rec.Find("absent"), nullptr);
+}
+
+TEST(TraceRecordTest, NonFiniteRealsRenderAsNull) {
+  TraceRecord rec(0, "x");
+  rec.Real("bad", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(*rec.Find("bad"), "null");
+}
+
+TEST(TraceRecordTest, KeysAndKindAreEscaped) {
+  TraceRecord rec(5, "odd\"kind");
+  rec.Str("msg", "say \"hi\"");
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"kind\":\"odd\\\"kind\""), std::string::npos);
+  EXPECT_NE(json.find("\"msg\":\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST(JsonlTraceWriterTest, OneObjectPerLine) {
+  std::ostringstream os;
+  JsonlTraceWriter writer(&os);
+  TraceRecord a(100, "tuning_pass");
+  a.Str("action", "GROW");
+  TraceRecord b(200, "lock_event");
+  b.Int("app", 4);
+  writer.Append(a);
+  writer.Append(b);
+  writer.Flush();
+  EXPECT_EQ(writer.records_written(), 2);
+  EXPECT_EQ(os.str(),
+            "{\"t_ms\":100,\"kind\":\"tuning_pass\",\"action\":\"GROW\"}\n"
+            "{\"t_ms\":200,\"kind\":\"lock_event\",\"app\":4}\n");
+}
+
+TEST(MemoryTraceSinkTest, BuffersRecords) {
+  MemoryTraceSink sink;
+  TraceRecord rec(42, "milestone");
+  rec.Int("clients", 20);
+  sink.Append(rec);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].time_ms(), 42);
+  EXPECT_EQ(sink.records()[0].kind(), "milestone");
+  EXPECT_EQ(*sink.records()[0].Find("clients"), "20");
+}
+
+}  // namespace
+}  // namespace locktune

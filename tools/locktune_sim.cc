@@ -1,18 +1,37 @@
 // locktune_sim — run a lock-memory-tuning scenario from a text file.
 //
 // Usage:
-//   locktune_sim <scenario-file> [--series name,name,...] [--stride N]
+//   locktune_sim <scenario-file>
+//     [--series name,name,...] [--stride N]
+//     [--metrics-out PATH|-]   Prometheus text dump of the telemetry
+//                              registry after the run (.csv extension
+//                              switches to metric,value CSV)
+//     [--trace-out PATH|-]     JSONL decision trace: one record per STMM
+//                              tuning pass plus bridged lock events
+//     [--log-level LEVEL]      trace|debug|info|warning|error
+//     [--stmm-report]          db2pd -stmm style tuning history table
+//     [--snapshot]             end-of-run state snapshot
+//     [--inspect]              locktune_pd full inspection: snapshot +
+//                              metrics registry + lock event ring buffer
 //
-// Prints the sampled series as CSV, then a summary (commits, escalations,
-// lock memory, tuning passes). See src/workload/scenario_config.h for the
-// file format and scenarios/*.conf for ready-made examples.
+// Prints the sampled series as CSV on stdout, then a summary (commits,
+// escalations, lock memory, tuning passes) on stderr. See
+// src/workload/scenario_config.h for the file format and scenarios/*.conf
+// for ready-made examples.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/stmm_report.h"
 #include "engine/db_snapshot.h"
+#include "telemetry/exporters.h"
+#include "telemetry/trace.h"
 #include "workload/scenario_config.h"
 
 using namespace locktune;
@@ -39,41 +58,132 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Strict positive-integer parse: rejects empty strings, trailing garbage,
+// and values < 1 (std::atoll would silently yield 0 and break the sampler).
+bool ParsePositiveInt(const char* s, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseLogLevel(const std::string& s, LogLevel* out) {
+  if (s == "trace") *out = LogLevel::kTrace;
+  else if (s == "debug") *out = LogLevel::kDebug;
+  else if (s == "info") *out = LogLevel::kInfo;
+  else if (s == "warning") *out = LogLevel::kWarning;
+  else if (s == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+// An output target that is either stdout ("-") or an owned file.
+struct OutStream {
+  std::ostream* os = nullptr;
+  std::unique_ptr<std::ofstream> file;
+
+  bool Open(const std::string& path) {
+    if (path == "-") {
+      os = &std::cout;
+      return true;
+    }
+    file = std::make_unique<std::ofstream>(path);
+    if (!file->is_open()) return false;
+    os = file.get();
+    return true;
+  }
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+constexpr char kUsage[] =
+    "usage: locktune_sim <scenario-file> [--series a,b,...] [--stride N] "
+    "[--metrics-out PATH|-] [--trace-out PATH|-] [--log-level LEVEL] "
+    "[--stmm-report] [--snapshot] [--inspect]";
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    return Fail("usage: locktune_sim <scenario-file> "
-                "[--series a,b,...] [--stride N]");
-  }
+  if (argc < 2) return Fail(kUsage);
   std::vector<std::string> series = {
       ScenarioRunner::kLockAllocatedMb, ScenarioRunner::kLockUsedMb,
       ScenarioRunner::kThroughputTps, ScenarioRunner::kEscalations};
   size_t stride = 10;
   bool stmm_report = false;
   bool snapshot = false;
+  bool inspect = false;
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
       series = SplitCsv(argv[++i]);
     } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
-      stride = static_cast<size_t>(std::atoll(argv[++i]));
+      int64_t value = 0;
+      if (!ParsePositiveInt(argv[++i], &value)) {
+        return Fail(std::string("--stride requires a positive integer, got "
+                                "\"") +
+                    argv[i] + "\"\n" + kUsage);
+      }
+      stride = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      LogLevel level;
+      if (!ParseLogLevel(argv[++i], &level)) {
+        return Fail(std::string("unknown log level \"") + argv[i] +
+                    "\" (want trace|debug|info|warning|error)");
+      }
+      SetLogLevel(level);
     } else if (std::strcmp(argv[i], "--stmm-report") == 0) {
       stmm_report = true;
     } else if (std::strcmp(argv[i], "--snapshot") == 0) {
       snapshot = true;
+    } else if (std::strcmp(argv[i], "--inspect") == 0) {
+      inspect = true;
     } else {
-      return Fail(std::string("unknown argument ") + argv[i]);
+      return Fail(std::string("unknown argument ") + argv[i] + "\n" +
+                  kUsage);
     }
   }
 
   Result<ScenarioSpec> spec = LoadScenarioFile(argv[1]);
   if (!spec.ok()) return Fail(spec.status().ToString());
+
+  // The inspector keeps a lock event flight recorder alongside whatever
+  // monitor the scenario configured (the database tees them).
+  RingBufferEventMonitor ring;
+  if (inspect) spec.value().database.lock_monitor = &ring;
+
   Result<std::unique_ptr<LoadedScenario>> loaded =
       LoadedScenario::Create(spec.value());
   if (!loaded.ok()) return Fail(loaded.status().ToString());
 
   LoadedScenario& scenario = *loaded.value();
+
+  // Stamp stderr log lines with virtual time so they correlate with trace
+  // records and the sampled series.
+  SetLogClock(&scenario.database().clock());
+
+  OutStream trace_stream;
+  std::unique_ptr<JsonlTraceWriter> trace_writer;
+  if (!trace_out.empty()) {
+    if (!trace_stream.Open(trace_out)) {
+      return Fail("cannot open --trace-out " + trace_out);
+    }
+    trace_writer = std::make_unique<JsonlTraceWriter>(trace_stream.os);
+    scenario.database().set_trace_sink(trace_writer.get());
+  }
+
   scenario.runner().Run();
+
+  if (trace_writer != nullptr) trace_writer->Flush();
+  SetLogClock(nullptr);
 
   // CSV of the requested series.
   for (const std::string& name : series) {
@@ -85,7 +195,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : series) std::printf(",%s", name.c_str());
   std::printf("\n");
   const TimeSeries& first = scenario.runner().series().Get(series[0]);
-  for (size_t i = 0; i < first.size(); i += stride < 1 ? 1 : stride) {
+  for (size_t i = 0; i < first.size(); i += stride) {
     std::printf("%lld",
                 static_cast<long long>(first.points()[i].time_ms / 1000));
     for (const std::string& name : series) {
@@ -93,6 +203,19 @@ int main(int argc, char** argv) {
                   scenario.runner().series().Get(name).points()[i].value);
     }
     std::printf("\n");
+  }
+
+  if (!metrics_out.empty()) {
+    OutStream metrics_stream;
+    if (!metrics_stream.Open(metrics_out)) {
+      return Fail("cannot open --metrics-out " + metrics_out);
+    }
+    if (EndsWith(metrics_out, ".csv")) {
+      WriteMetricsCsv(scenario.database().metrics(), *metrics_stream.os);
+    } else {
+      WritePrometheus(scenario.database().metrics(), *metrics_stream.os);
+    }
+    metrics_stream.os->flush();
   }
 
   const LockManagerStats& stats = scenario.database().locks().stats();
@@ -123,12 +246,16 @@ int main(int argc, char** argv) {
                  RenderHistoryTable(history, 40).c_str(),
                  RenderSummary(Summarize(history)).c_str());
   }
-  if (snapshot) {
-    const int apps = static_cast<int>(
-        scenario.runner().applications().size());
+  const int apps =
+      static_cast<int>(scenario.runner().applications().size());
+  if (snapshot && !inspect) {
     std::fprintf(stderr, "\n%s",
                  RenderSnapshot(
                      CaptureSnapshot(scenario.database(), apps)).c_str());
+  }
+  if (inspect) {
+    std::fprintf(stderr, "\n%s",
+                 RenderInspector(scenario.database(), apps, &ring).c_str());
   }
   return 0;
 }
