@@ -86,6 +86,14 @@ class LockHead {
 
   bool empty() const { return holders_.empty() && waiters_.empty(); }
 
+  // Drops all holders and waiters but keeps vector capacity — called when a
+  // pooled head node is recycled, so a reused node re-enters service
+  // allocation-free.
+  void Clear() {
+    holders_.clear();
+    waiters_.clear();
+  }
+
   // Pops the front waiter. Precondition: !waiters().empty().
   WaitingRequest PopFrontWaiter();
   const WaitingRequest& FrontWaiter() const { return waiters_.front(); }

@@ -9,7 +9,9 @@
 namespace locktune {
 
 LockManager::LockManager(LockManagerOptions options)
-    : options_(std::move(options)), max_lock_memory_(options_.max_lock_memory) {
+    : options_(std::move(options)),
+      max_lock_memory_(options_.max_lock_memory),
+      table_(options_.table_shards) {
   assert(options_.policy != nullptr && "an escalation policy is required");
   for (int64_t i = 0; i < options_.initial_blocks; ++i) blocks_.AddBlock();
 }
@@ -19,11 +21,12 @@ LockResult LockManager::Lock(AppId app, const ResourceId& resource,
   std::lock_guard<std::mutex> guard(mu_);
   ++stats_.lock_requests;
   options_.policy->OnLockRequest();
-  assert(!GetApp(app).waiting &&
-         "application issued a request while blocked");
+  AppState& state = GetApp(app);
+  assert(!state.waiting && "application issued a request while blocked");
 
   bool escalated = false;
-  const AcquireOutcome outcome = TryAcquire(app, resource, mode, &escalated);
+  const AcquireOutcome outcome =
+      TryAcquire(app, state, resource, mode, &escalated);
   DrainWorkList();
 
   LockResult result;
@@ -45,6 +48,7 @@ LockResult LockManager::Lock(AppId app, const ResourceId& resource,
 }
 
 LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
+                                                    AppState& state,
                                                     const ResourceId& resource,
                                                     LockMode mode,
                                                     bool* escalated) {
@@ -52,8 +56,7 @@ LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
     // A table lock covering the row mode makes the row lock unnecessary —
     // this is what keeps an escalated application from re-consuming lock
     // memory on the same table.
-    const LockMode table_mode =
-        HeldModeLockedInternal(app, TableResource(resource.table));
+    const LockMode table_mode = CachedTableMode(app, state, resource.table);
     if (Covers(table_mode, mode)) {
       ++stats_.grants;
       return AcquireOutcome::kDone;
@@ -61,27 +64,25 @@ LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
     // Multigranularity: intent lock on the table first.
     const LockMode intent = IntentModeFor(mode);
     if (!Covers(table_mode, intent)) {
-      const AcquireOutcome io =
-          AcquireOne(app, TableResource(resource.table), intent, escalated);
+      const AcquireOutcome io = AcquireOne(
+          app, state, TableResource(resource.table), intent, escalated);
       if (io == AcquireOutcome::kBlocked) {
         // Resume the full row request once the intent (or escalation)
         // wait is granted.
-        GetApp(app).continuation = Continuation{resource, mode};
+        state.continuation = Continuation{resource, mode};
         return io;
       }
       if (io == AcquireOutcome::kNoMemory) return io;
       // The intent acquisition may itself have escalated this table to
       // S or X; re-check coverage before taking the row lock.
-      if (Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
-                 mode)) {
+      if (Covers(CachedTableMode(app, state, resource.table), mode)) {
         ++stats_.grants;
         return AcquireOutcome::kDone;
       }
     }
   }
-  const AcquireOutcome out = AcquireOne(app, resource, mode, escalated);
+  const AcquireOutcome out = AcquireOne(app, state, resource, mode, escalated);
   if (out == AcquireOutcome::kBlocked) {
-    AppState& state = GetApp(app);
     if (state.wait_is_escalation) {
       // Blocked on an escalation conversion, not on the request itself:
       // re-run the request after the escalation completes.
@@ -92,21 +93,28 @@ LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
 }
 
 LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
+                                                    AppState& state,
                                                     const ResourceId& resource,
                                                     LockMode mode,
                                                     bool* escalated) {
-  AppState& state = GetApp(app);
+  // One hash serves every table touch this request makes (find, create,
+  // held-index insert).
+  const uint64_t hash = ResourceIdHash{}(resource);
   // Do not create the head until a holder or waiter is actually added:
   // early-return paths below must not leave empty heads behind.
-  if (LockHead* head = FindHead(resource); head != nullptr) {
-    if (LockRequest* holder = head->FindHolder(app); holder != nullptr) {
+  LockHead* found = table_.Find(resource, hash);
+  if (found != nullptr) {
+    if (LockRequest* holder = found->FindHolder(app); holder != nullptr) {
       if (Covers(holder->mode, mode)) {
         ++stats_.grants;
         return AcquireOutcome::kDone;
       }
       const LockMode target = Supremum(holder->mode, mode);
-      if (head->CanGrantConversion(app, target)) {
+      if (found->CanGrantConversion(app, target)) {
         holder->mode = target;
+        if (resource.kind == ResourceKind::kTable) {
+          NoteTableMode(state, resource.table, target);
+        }
         ++stats_.grants;
         return AcquireOutcome::kDone;
       }
@@ -114,7 +122,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
       w.app = app;
       w.mode = target;
       w.is_conversion = true;
-      head->EnqueueConversion(w);
+      found->EnqueueConversion(w);
       state.waiting = true;
       state.wait_resource = resource;
       state.wait_mode = target;
@@ -129,11 +137,13 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
   // New request: enforce the per-application quota before consuming another
   // lock structure (paper §3.5). Escalation replaces row locks with one
   // table lock; afterwards the request proceeds.
+  bool table_stable = true;  // `found` still valid / absence still holds
   const LockMemoryState mem = MemoryStateLocked();
   const int64_t limit = options_.policy->MaxStructuresPerApp(mem);
   const bool over_quota = state.held_structures + 1 > limit;
   const bool memory_forced = options_.policy->ForcesMemoryEscalation(mem);
   if (over_quota || memory_forced) {
+    table_stable = false;
     const AcquireOutcome esc = EscalateApp(app);
     if (esc == AcquireOutcome::kDone) *escalated = true;
     if (esc == AcquireOutcome::kBlocked) {
@@ -144,8 +154,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
     // the hard memory limit below still applies.
     // The escalation may have covered the requested resource entirely.
     if (resource.kind == ResourceKind::kRow &&
-        Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
-               mode)) {
+        Covers(CachedTableMode(app, state, resource.table), mode)) {
       ++stats_.grants;
       return AcquireOutcome::kDone;
     }
@@ -154,12 +163,12 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
   }
 
   const AllocResult alloc = AllocateStructure(app, escalated);
+  if (alloc.table_may_have_changed) table_stable = false;
   if (alloc.blocked) return AcquireOutcome::kBlocked;
   if (alloc.slot == nullptr) {
     // Escalation of some application may have covered the request.
     if (resource.kind == ResourceKind::kRow &&
-        Covers(HeldModeLockedInternal(app, TableResource(resource.table)),
-               mode)) {
+        Covers(CachedTableMode(app, state, resource.table), mode)) {
       ++stats_.grants;
       return AcquireOutcome::kDone;
     }
@@ -168,18 +177,25 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
   ++state.held_structures;
 
   // The head is created here, when a holder or waiter is guaranteed to be
-  // added. (AllocateStructure may have escalated another application, which
-  // can erase row heads — resolving late also side-steps that.)
-  LockHead& head2 = table_[resource];
+  // added. While the table is stable the earlier probe is still good: a
+  // found head's node address cannot have changed and an absent key is
+  // still absent, so the re-find inside GetOrCreate is skipped. Any
+  // escalation above (which can create table heads and erase row heads)
+  // invalidates both and forces the full look-up.
+  LockHead& head2 = !table_stable ? table_.GetOrCreate(resource, hash)
+                    : found != nullptr ? *found
+                                       : table_.Create(resource, hash);
   if (head2.CanGrantNew(mode)) {
     LockRequest r;
     r.app = app;
     r.mode = mode;
     r.slot = alloc.slot;
     head2.AddHolder(r);
-    state.held.push_back(resource);
+    AddHeldEntry(state, resource, hash, &head2);
     if (resource.kind == ResourceKind::kRow) {
-      ++state.row_locks_per_table[resource.table];
+      BumpRowCount(state, resource.table);
+    } else {
+      NoteTableMode(state, resource.table, mode);
     }
     ++stats_.grants;
     return AcquireOutcome::kDone;
@@ -209,6 +225,9 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
     out.slot = slot.value();
     return out;
   }
+
+  // Past this point growth or escalation may create/erase lock-table heads.
+  out.table_may_have_changed = true;
 
   // §6.1 selective escalation: applications that prefer escalation over
   // growth trade their own row locks for a table lock before any new
@@ -254,10 +273,8 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
     int64_t victim_rows = 0;
     for (const auto& [id, st] : apps_) {
       if (st.waiting || id == requester) continue;
-      int64_t rows = 0;
-      for (const auto& [tbl, n] : st.row_locks_per_table) rows += n;
-      if (rows > victim_rows) {
-        victim_rows = rows;
+      if (st.total_row_locks > victim_rows) {
+        victim_rows = st.total_row_locks;
         victim = id;
       }
     }
@@ -312,9 +329,11 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
 
   // Escalate to X when any row lock is U or X, otherwise S.
   LockMode target = LockMode::kS;
-  for (const ResourceId& res : state.held) {
+  for (const HeldSlot& slot : state.held) {
+    if (!slot.live) continue;
+    const ResourceId& res = slot.res;
     if (res.kind != ResourceKind::kRow || res.table != victim_table) continue;
-    const LockHead* h = FindHead(res);
+    const LockHead* h = slot.head;
     assert(h != nullptr);
     const LockRequest* r = h->FindHolder(app);
     assert(r != nullptr);
@@ -325,7 +344,7 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   }
 
   const ResourceId table_res = TableResource(victim_table);
-  LockHead& head = table_[table_res];
+  LockHead& head = table_.GetOrCreate(table_res);
   LockRequest* holder = head.FindHolder(app);
   assert(holder != nullptr && "row locks imply an intent table lock");
   const LockMode new_mode = Supremum(holder->mode, target);
@@ -333,6 +352,7 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   if (Covers(holder->mode, new_mode) ||
       head.CanGrantConversion(app, new_mode)) {
     holder->mode = new_mode;
+    NoteTableMode(state, victim_table, new_mode);
     ++stats_.escalations;
     if (target == LockMode::kX) ++stats_.exclusive_escalations;
     ReleaseRowLocksOnTable(app, victim_table);
@@ -358,23 +378,33 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
 
 void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
   AppState& state = GetApp(app);
-  std::vector<ResourceId> keep;
-  keep.reserve(state.held.size());
-  for (const ResourceId& res : state.held) {
-    if (res.kind == ResourceKind::kRow && res.table == table) {
-      LockHead* head = FindHead(res);
-      assert(head != nullptr);
-      LockBlock* slot = head->RemoveHolder(app);
-      assert(slot != nullptr);
-      blocks_.FreeSlot(slot);
-      --state.held_structures;
-      work_list_.push_back(res);
+  for (HeldSlot& slot : state.held) {
+    if (!slot.live) continue;
+    const ResourceId& res = slot.res;
+    if (res.kind != ResourceKind::kRow || res.table != table) continue;
+    const uint64_t hash = ResourceIdHash{}(res);
+    LockHead* head = slot.head;
+    assert(head != nullptr);
+    LockBlock* block = head->RemoveHolder(app);
+    assert(block != nullptr);
+    blocks_.FreeSlot(block);
+    --state.held_structures;
+    if (head->waiters().empty()) {
+      if (head->holders().empty()) table_.EraseIfEmpty(res, hash);
     } else {
-      keep.push_back(res);
+      work_list_.push_back(res);
     }
+    slot.live = false;
+    ++state.held_dead;
+    state.held_index.Erase(res, hash);
   }
-  state.held.swap(keep);
-  state.row_locks_per_table.erase(table);
+  const auto it = state.row_locks_per_table.find(table);
+  if (it != state.row_locks_per_table.end()) {
+    state.total_row_locks -= it->second;
+    state.row_locks_per_table.erase(it);
+    state.row_cache_count = nullptr;
+  }
+  CompactHeld(state);
 }
 
 void LockManager::ReleaseAll(AppId app) {
@@ -397,21 +427,39 @@ void LockManager::ReleaseAll(AppId app) {
     state.waiting = false;
     state.wait_is_conversion = false;
     state.wait_is_escalation = false;
+    --blocked_count_;
   }
   state.continuation.reset();
 
-  std::vector<ResourceId> held;
-  held.swap(state.held);
-  for (const ResourceId& res : held) {
-    LockHead* head = FindHead(res);
+  for (const HeldSlot& slot : state.held) {
+    if (!slot.live) continue;
+    LockHead* head = slot.head;
     assert(head != nullptr);
-    LockBlock* slot = head->RemoveHolder(app);
-    assert(slot != nullptr);
-    blocks_.FreeSlot(slot);
+    LockBlock* block = head->RemoveHolder(app);
+    assert(block != nullptr);
+    blocks_.FreeSlot(block);
     --state.held_structures;
-    work_list_.push_back(res);
+    // Queue the resource only when waiters can actually be granted;
+    // ProcessQueue on a waiterless head would only re-probe and erase, so
+    // do the erase here and skip the work-list round trip.
+    if (head->waiters().empty()) {
+      if (head->holders().empty()) {
+        table_.EraseIfEmpty(slot.res, ResourceIdHash{}(slot.res));
+      }
+    } else {
+      work_list_.push_back(slot.res);
+    }
   }
+  // Clear() (one pass over the slot array, no tombstones) beats per-entry
+  // erases here: those leave tombstone runs that force rehash allocations
+  // on the next transaction's inserts.
+  state.held.clear();  // keeps capacity for the next transaction
+  state.held_index.Clear();
+  state.held_dead = 0;
   state.row_locks_per_table.clear();
+  state.total_row_locks = 0;
+  state.table_cache_valid = false;
+  state.row_cache_count = nullptr;
   assert(state.held_structures == 0);
 
   DrainWorkList();
@@ -420,7 +468,8 @@ void LockManager::ReleaseAll(AppId app) {
 Status LockManager::Release(AppId app, const ResourceId& resource) {
   std::lock_guard<std::mutex> guard(mu_);
   AppState& state = GetApp(app);
-  LockHead* head = FindHead(resource);
+  const uint64_t hash = ResourceIdHash{}(resource);
+  LockHead* head = table_.Find(resource, hash);
   if (head == nullptr || head->FindHolder(app) == nullptr) {
     return Status::NotFound("application does not hold " +
                             resource.ToString());
@@ -431,12 +480,22 @@ Status LockManager::Release(AppId app, const ResourceId& resource) {
   EraseHeldEntry(state, resource);
   if (resource.kind == ResourceKind::kRow) {
     auto it = state.row_locks_per_table.find(resource.table);
-    if (it != state.row_locks_per_table.end() && --it->second == 0) {
-      state.row_locks_per_table.erase(it);
+    if (it != state.row_locks_per_table.end()) {
+      --state.total_row_locks;
+      if (--it->second == 0) {
+        state.row_locks_per_table.erase(it);
+        state.row_cache_count = nullptr;
+      }
     }
+  } else {
+    NoteTableMode(state, resource.table, LockMode::kNone);
   }
-  work_list_.push_back(resource);
-  DrainWorkList();
+  if (head->waiters().empty()) {
+    if (head->holders().empty()) table_.EraseIfEmpty(resource, hash);
+  } else {
+    work_list_.push_back(resource);
+    DrainWorkList();
+  }
   return Status::Ok();
 }
 
@@ -447,9 +506,10 @@ bool LockManager::IsBlocked(AppId app) const {
 }
 
 void LockManager::ProcessQueue(const ResourceId& resource) {
-  auto it = table_.find(resource);
-  if (it == table_.end()) return;
-  LockHead& head = it->second;
+  const uint64_t hash = ResourceIdHash{}(resource);
+  LockHead* headp = table_.Find(resource, hash);
+  if (headp == nullptr) return;
+  LockHead& head = *headp;
 
   while (!head.waiters().empty()) {
     const WaitingRequest& w = head.FrontWaiter();
@@ -459,6 +519,9 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       if (!head.CanGrantConversion(w.app, w.mode)) break;
       const WaitingRequest granted = head.PopFrontWaiter();
       holder->mode = granted.mode;
+      if (resource.kind == ResourceKind::kTable) {
+        NoteTableMode(GetApp(granted.app), resource.table, granted.mode);
+      }
       ++stats_.grants;
       OnWaitGranted(granted.app, resource);
     } else {
@@ -470,20 +533,21 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       r.slot = granted.slot;
       head.AddHolder(r);
       AppState& state = GetApp(granted.app);
-      state.held.push_back(resource);
+      AddHeldEntry(state, resource, hash, &head);
       if (resource.kind == ResourceKind::kRow) {
-        ++state.row_locks_per_table[resource.table];
+        BumpRowCount(state, resource.table);
+      } else {
+        NoteTableMode(state, resource.table, granted.mode);
       }
       ++stats_.grants;
       OnWaitGranted(granted.app, resource);
     }
   }
 
-  // The head reference stays valid across OnWaitGranted (unordered_map
-  // preserves references on insert); re-find before erasing in case the
-  // cascade already erased it.
-  auto again = table_.find(resource);
-  if (again != table_.end() && again->second.empty()) table_.erase(again);
+  // The head node's address is stable across OnWaitGranted (pooled nodes
+  // never move); re-look-up before erasing in case the cascade already
+  // emptied and erased it.
+  table_.EraseIfEmpty(resource, hash);
 }
 
 void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
@@ -501,6 +565,7 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
   state.waiting = false;
   state.wait_is_conversion = false;
   state.wait_is_escalation = false;
+  --blocked_count_;
 
   if (was_escalation) {
     ++stats_.escalations;
@@ -519,7 +584,8 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
     const Continuation c = *state.continuation;
     state.continuation.reset();
     bool escalated = false;
-    const AcquireOutcome out = TryAcquire(app, c.resource, c.mode, &escalated);
+    const AcquireOutcome out =
+        TryAcquire(app, state, c.resource, c.mode, &escalated);
     if (out == AcquireOutcome::kNoMemory) {
       // The resumed request could not get a lock structure. The application
       // is unblocked; the failure is visible in the counters (engines treat
@@ -531,6 +597,9 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
 
 std::vector<AppId> LockManager::DetectDeadlocks() {
   std::lock_guard<std::mutex> guard(mu_);
+  // Nothing waits, so no edge exists: the common idle tick costs one
+  // counter read instead of an O(apps) scan.
+  if (blocked_count_ == 0) return {};
 
   // Build the waits-for graph. A conversion waits for every *other* holder
   // whose granted mode conflicts with the target. A new request waits for
@@ -563,6 +632,7 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
 
   // Iterative DFS cycle detection with victim selection per cycle.
   std::vector<AppId> victims;
+  std::unordered_set<AppId> victim_set;  // O(1) duplicate check
   std::unordered_map<AppId, int> color;  // 0 white, 1 grey, 2 black
   std::vector<AppId> stack;
   for (const auto& [start, unused] : edges) {
@@ -591,10 +661,7 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
             }
             if (*rit == succ) break;
           }
-          if (std::find(victims.begin(), victims.end(), victim) ==
-              victims.end()) {
-            victims.push_back(victim);
-          }
+          if (victim_set.insert(victim).second) victims.push_back(victim);
         } else if (color[succ] == 0) {
           color[succ] = 1;
           stack.push_back(succ);
@@ -678,46 +745,109 @@ LockMode LockManager::HeldMode(AppId app, const ResourceId& resource) const {
 
 int64_t LockManager::waiting_app_count() const {
   std::lock_guard<std::mutex> guard(mu_);
-  int64_t n = 0;
-  for (const auto& [app, state] : apps_) {
-    if (state.waiting) ++n;
-  }
-  return n;
+  return blocked_count_;
 }
 
 Status LockManager::CheckConsistency() const {
   std::lock_guard<std::mutex> guard(mu_);
   if (Status s = blocks_.CheckConsistency(); !s.ok()) return s;
   int64_t slots = 0;
+  int64_t blocked = 0;
   for (const auto& [app, state] : apps_) {
     slots += state.held_structures;
-    for (const ResourceId& res : state.held) {
-      const auto it = table_.find(res);
-      if (it == table_.end() || it->second.FindHolder(app) == nullptr) {
+    if (state.waiting) ++blocked;
+    int64_t dead = 0;
+    int64_t live_rows = 0;
+    for (size_t i = 0; i < state.held.size(); ++i) {
+      const HeldSlot& slot = state.held[i];
+      if (!slot.live) {
+        ++dead;
+        continue;
+      }
+      const LockHead* head = FindHead(slot.res);
+      if (head == nullptr || head->FindHolder(app) == nullptr) {
         return Status::Internal("held list references a missing grant");
       }
+      if (slot.head != head) {
+        return Status::Internal("held slot head pointer is stale");
+      }
+      const uint32_t* idx =
+          state.held_index.Find(slot.res, ResourceIdHash{}(slot.res));
+      if (idx == nullptr || *idx != i) {
+        return Status::Internal("held_index does not point at its slot");
+      }
+      if (slot.res.kind == ResourceKind::kRow) ++live_rows;
     }
+    if (dead != state.held_dead) {
+      return Status::Internal("held_dead does not match tombstone count");
+    }
+    if (static_cast<int64_t>(state.held.size()) - dead !=
+        state.held_index.size()) {
+      return Status::Internal("held_index size does not match live slots");
+    }
+    int64_t per_table = 0;
+    for (const auto& [tbl, n] : state.row_locks_per_table) per_table += n;
+    if (live_rows != state.total_row_locks ||
+        per_table != state.total_row_locks) {
+      return Status::Internal("row-lock counters do not match held rows");
+    }
+    if (state.table_cache_valid &&
+        state.cached_table_mode !=
+            HeldModeLockedInternal(app, TableResource(state.cached_table))) {
+      return Status::Internal("table-mode cache is stale");
+    }
+    if (state.row_cache_count != nullptr) {
+      const auto rit = state.row_locks_per_table.find(state.row_cache_table);
+      if (rit == state.row_locks_per_table.end() ||
+          &rit->second != state.row_cache_count) {
+        return Status::Internal("row-count cache points at a missing entry");
+      }
+    }
+  }
+  if (blocked != blocked_count_) {
+    return Status::Internal("blocked_count_ does not match waiting apps");
   }
   if (slots != blocks_.slots_in_use()) {
     return Status::Internal("per-app structure counts do not sum to slots");
   }
-  for (const auto& [res, head] : table_) {
-    if (head.empty()) return Status::Internal("empty lock head retained");
-  }
-  return Status::Ok();
+  Status head_status = Status::Ok();
+  table_.ForEach([&head_status](const ResourceId& res, const LockHead& head) {
+    (void)res;
+    if (head.empty()) head_status = Status::Internal("empty lock head retained");
+  });
+  return head_status;
 }
 
 std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<AppId> expired;
   if (options_.clock == nullptr || options_.lock_timeout < 0) return expired;
+  if (blocked_count_ == 0) {
+    // Every queued deadline is stale; drop them and make the idle tick O(1).
+    timeout_queue_.clear();
+    return expired;
+  }
   const TimeMs now = options_.clock->now();
-  for (const auto& [app, state] : apps_) {
-    if (state.waiting && now - state.wait_since >= options_.lock_timeout) {
-      expired.push_back(app);
-      Emit(LockEventKind::kTimeout, app, state.wait_resource,
-           state.wait_mode, now - state.wait_since);
-    }
+  // Deadlines are monotone (fixed lock_timeout), so expired entries form a
+  // prefix of the queue. Entries whose epoch no longer matches belong to a
+  // wait that already ended and are dropped.
+  std::vector<TimeoutEntry> still_waiting;
+  while (!timeout_queue_.empty() && timeout_queue_.front().deadline <= now) {
+    const TimeoutEntry entry = timeout_queue_.front();
+    timeout_queue_.pop_front();
+    const auto it = apps_.find(entry.app);
+    if (it == apps_.end()) continue;
+    const AppState& state = it->second;
+    if (!state.waiting || state.wait_epoch != entry.epoch) continue;
+    expired.push_back(entry.app);
+    Emit(LockEventKind::kTimeout, entry.app, state.wait_resource,
+         state.wait_mode, now - state.wait_since);
+    still_waiting.push_back(entry);
+  }
+  // Victims are only reported; until the caller rolls them back a repeated
+  // call must report (and count) them again, so re-queue at the front.
+  for (auto rit = still_waiting.rbegin(); rit != still_waiting.rend(); ++rit) {
+    timeout_queue_.push_front(*rit);
   }
   stats_.lock_timeouts += static_cast<int64_t>(expired.size());
   return expired;
@@ -739,6 +869,12 @@ bool LockManager::IsEscalationPreferred(AppId app) const {
 
 void LockManager::MarkWaitStart(AppId app, AppState& state) {
   state.wait_since = options_.clock != nullptr ? options_.clock->now() : 0;
+  ++state.wait_epoch;
+  ++blocked_count_;
+  if (options_.clock != nullptr && options_.lock_timeout >= 0) {
+    timeout_queue_.push_back(TimeoutEntry{
+        state.wait_since + options_.lock_timeout, app, state.wait_epoch});
+  }
   Emit(LockEventKind::kWaitBegin, app, state.wait_resource, state.wait_mode,
        0);
 }
@@ -760,13 +896,11 @@ void LockManager::Emit(LockEventKind kind, AppId app,
 LockManager::AppState& LockManager::GetApp(AppId app) { return apps_[app]; }
 
 LockHead* LockManager::FindHead(const ResourceId& resource) {
-  const auto it = table_.find(resource);
-  return it == table_.end() ? nullptr : &it->second;
+  return table_.Find(resource);
 }
 
 const LockHead* LockManager::FindHead(const ResourceId& resource) const {
-  const auto it = table_.find(resource);
-  return it == table_.end() ? nullptr : &it->second;
+  return table_.Find(resource);
 }
 
 LockMode LockManager::HeldModeLockedInternal(AppId app,
@@ -776,6 +910,16 @@ LockMode LockManager::HeldModeLockedInternal(AppId app,
   if (head == nullptr) return LockMode::kNone;
   const LockRequest* r = head->FindHolder(app);
   return r == nullptr ? LockMode::kNone : r->mode;
+}
+
+LockMode LockManager::CachedTableMode(AppId app, AppState& state,
+                                      TableId table) const {
+  if (state.table_cache_valid && state.cached_table == table) {
+    return state.cached_table_mode;
+  }
+  const LockMode mode = HeldModeLockedInternal(app, TableResource(table));
+  NoteTableMode(state, table, mode);
+  return mode;
 }
 
 LockMemoryState LockManager::MemoryStateLocked() const {
@@ -800,9 +944,42 @@ void LockManager::DrainWorkList() {
   draining_ = false;
 }
 
+void LockManager::AddHeldEntry(AppState& state, const ResourceId& resource,
+                               uint64_t hash, LockHead* head) {
+  state.held_index.Insert(resource, hash,
+                          static_cast<uint32_t>(state.held.size()));
+  state.held.push_back(HeldSlot{resource, head, true});
+}
+
 void LockManager::EraseHeldEntry(AppState& state, const ResourceId& resource) {
-  const auto it = std::find(state.held.begin(), state.held.end(), resource);
-  if (it != state.held.end()) state.held.erase(it);
+  const uint64_t hash = ResourceIdHash{}(resource);
+  const uint32_t* idx = state.held_index.Find(resource, hash);
+  if (idx == nullptr) return;
+  state.held[*idx].live = false;
+  ++state.held_dead;
+  state.held_index.Erase(resource, hash);
+  CompactHeld(state);
+}
+
+void LockManager::CompactHeld(AppState& state) {
+  // Compact only when tombstones dominate, so the amortized cost per erase
+  // stays O(1) and surviving entries keep their relative (grant) order.
+  if (state.held_dead < 16 ||
+      2 * static_cast<size_t>(state.held_dead) < state.held.size()) {
+    return;
+  }
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < state.held.size(); ++i) {
+    if (!state.held[i].live) continue;
+    if (out != i) state.held[out] = state.held[i];
+    uint32_t* idx = state.held_index.Find(
+        state.held[out].res, ResourceIdHash{}(state.held[out].res));
+    assert(idx != nullptr);
+    *idx = out;
+    ++out;
+  }
+  state.held.resize(out);
+  state.held_dead = 0;
 }
 
 void LockManager::RegisterMetrics(MetricsRegistry* registry) {
@@ -874,6 +1051,48 @@ void LockManager::RegisterMetrics(MetricsRegistry* registry) {
         std::lock_guard<std::mutex> lock(mu_);
         return SnapshotOf(wait_times_);
       });
+}
+
+int64_t LockManager::lock_table_size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return table_.size();
+}
+
+int64_t LockManager::lock_table_max_shard_size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return table_.MaxShardSize();
+}
+
+int64_t LockManager::head_pool_free_nodes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return table_.pool_free_nodes();
+}
+
+int64_t LockManager::head_pool_slab_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return table_.slab_count();
+}
+
+void LockManager::RegisterInternalMetrics(MetricsRegistry* registry) {
+  registry->AddCallbackGauge(
+      "locktune_lock_table_heads", "lock heads resident in the lock table",
+      [this] { return static_cast<double>(lock_table_size()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_table_shards", "lock table partitions",
+      [this] { return static_cast<double>(table_.shard_count()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_table_shard_max_heads",
+      "heads in the most loaded shard (occupancy skew)",
+      [this] { return static_cast<double>(lock_table_max_shard_size()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_head_pool_free", "recycled lock-head nodes available",
+      [this] { return static_cast<double>(head_pool_free_nodes()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_head_pool_slabs", "lock-head slabs ever allocated",
+      [this] { return static_cast<double>(head_pool_slab_count()); });
+  registry->AddCallbackGauge(
+      "locktune_lock_blocked_apps", "applications blocked on a lock wait",
+      [this] { return static_cast<double>(waiting_app_count()); });
 }
 
 }  // namespace locktune

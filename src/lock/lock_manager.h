@@ -35,7 +35,9 @@
 #include "lock/lock_event_monitor.h"
 #include "lock/lock_head.h"
 #include "lock/lock_mode.h"
+#include "lock/lock_table.h"
 #include "lock/resource.h"
+#include "lock/resource_map.h"
 #include "memory/block_list.h"
 
 namespace locktune {
@@ -98,6 +100,9 @@ struct LockManagerOptions {
   // Borrowed; invoked under the manager's mutex — must be fast and must
   // not call back into the manager.
   LockEventMonitor* monitor = nullptr;
+  // Lock table partitions (power of two). Shards bound probe-array size and
+  // are the unit a future per-shard latch would protect.
+  int table_shards = LockTable::kDefaultShards;
 };
 
 class LockManager {
@@ -182,15 +187,47 @@ class LockManager {
   // are read (under the manager mutex where needed) at Collect() time.
   void RegisterMetrics(MetricsRegistry* registry);
 
+  // Registers the hot-path structure gauges (`locktune_lock_table_*`,
+  // `locktune_lock_head_pool_*`, `locktune_lock_blocked_apps`): shard
+  // occupancy, head-pool slab/free counts, and the blocked-application
+  // count. Kept separate from RegisterMetrics so default runs keep the
+  // pre-existing metric set (and byte-identical exports); the inspector
+  // (`locktune_sim --inspect`) opts in.
+  void RegisterInternalMetrics(MetricsRegistry* registry);
+
+  // --- introspection into the table/pool (tests and gauges) ---
+  int64_t lock_table_size() const;
+  int64_t lock_table_max_shard_size() const;
+  int64_t head_pool_free_nodes() const;
+  int64_t head_pool_slab_count() const;
+
  private:
   struct Continuation {
     ResourceId resource;
     LockMode mode;
   };
 
+  // One granted resource in an application's held list. Erasing tombstones
+  // the slot (O(1) through held_index) instead of shifting the vector;
+  // grant order — which drives commit-time release order and therefore the
+  // grant cascade — is preserved for the surviving entries.
+  //
+  // `head` back-references the resource's lock head (DB2 chains lock
+  // requests to their lock block the same way): pooled head nodes are
+  // pointer-stable and a head cannot be erased while this application still
+  // holds it, so release and escalation sweeps skip the table probe.
+  struct HeldSlot {
+    ResourceId res;
+    LockHead* head = nullptr;
+    bool live = true;
+  };
+
   struct AppState {
-    std::vector<ResourceId> held;  // granted resources, unique
-    int64_t held_structures = 0;   // granted + waiting slots
+    std::vector<HeldSlot> held;  // granted resources in grant order, unique
+    ResourceHashMap<uint32_t> held_index;  // resource -> index into held
+    int32_t held_dead = 0;                 // tombstoned entries in held
+    int64_t held_structures = 0;           // granted + waiting slots
+    int64_t total_row_locks = 0;  // sum over row_locks_per_table
     std::unordered_map<TableId, int64_t> row_locks_per_table;
     bool waiting = false;
     ResourceId wait_resource;
@@ -198,7 +235,33 @@ class LockManager {
     bool wait_is_conversion = false;
     bool wait_is_escalation = false;  // complete escalation when granted
     TimeMs wait_since = 0;
+    // Bumped on every wait start; timeout-queue entries referencing an
+    // older epoch are stale and skipped.
+    uint64_t wait_epoch = 0;
     std::optional<Continuation> continuation;
+    // Single-entry cache of this application's granted table-lock mode
+    // (kNone = known not held), so the per-row coverage check does not
+    // re-probe the lock table on every request. Refreshed wherever this
+    // application's table-lock holder entry changes; invalidated wholesale
+    // by ReleaseAll.
+    TableId cached_table = 0;
+    LockMode cached_table_mode = LockMode::kNone;
+    bool table_cache_valid = false;
+    // MRU pointer into row_locks_per_table (values are pointer-stable until
+    // their entry is erased), so the per-row-grant count bump skips the map
+    // look-up when consecutive grants hit the same table. Nulled whenever
+    // any entry may be erased.
+    TableId row_cache_table = 0;
+    int64_t* row_cache_count = nullptr;
+  };
+
+  // Pending LOCKTIMEOUT expiry, queued at wait start. Deadlines are
+  // monotone (fixed lock_timeout), so the queue is deadline-ordered by
+  // construction and expiry never scans non-expired waiters.
+  struct TimeoutEntry {
+    TimeMs deadline = 0;
+    AppId app = 0;
+    uint64_t epoch = 0;
   };
 
   enum class AcquireOutcome { kDone, kBlocked, kNoMemory };
@@ -208,16 +271,23 @@ class LockManager {
     // The requester is waiting on its own escalation conversion; the
     // request resumes as a continuation when it completes.
     bool blocked = false;
+    // The allocation went beyond the free-list fast path (growth or victim
+    // escalation), so lock-table heads may have been created or erased and
+    // pointers obtained before the call are suspect.
+    bool table_may_have_changed = false;
   };
 
   // Full acquisition chain for one request; may recurse for intent locks
-  // and set wait state. `escalated` reports any escalation triggered.
-  AcquireOutcome TryAcquire(AppId app, const ResourceId& resource,
-                            LockMode mode, bool* escalated);
+  // and set wait state. `state` is GetApp(app); `escalated` reports any
+  // escalation triggered.
+  AcquireOutcome TryAcquire(AppId app, AppState& state,
+                            const ResourceId& resource, LockMode mode,
+                            bool* escalated);
 
   // Acquires `mode` on a single resource (no intent-chain handling).
-  AcquireOutcome AcquireOne(AppId app, const ResourceId& resource,
-                            LockMode mode, bool* escalated);
+  AcquireOutcome AcquireOne(AppId app, AppState& state,
+                            const ResourceId& resource, LockMode mode,
+                            bool* escalated);
 
   // Allocates one lock structure: from the block list, else by synchronous
   // growth, else by escalating the heaviest row-lock holders (immediately
@@ -243,7 +313,17 @@ class LockManager {
   // completes escalation, and issues any continuation.
   void OnWaitGranted(AppId app, const ResourceId& resource);
 
+  // Appends `resource` (whose lock head is `head`) to the held list and
+  // indexes it. `hash` is the caller's precomputed ResourceIdHash of
+  // `resource`.
+  void AddHeldEntry(AppState& state, const ResourceId& resource,
+                    uint64_t hash, LockHead* head);
+
+  // Tombstones `resource` in the held list (O(1) via held_index),
+  // compacting when tombstones dominate.
   void EraseHeldEntry(AppState& state, const ResourceId& resource);
+
+  void CompactHeld(AppState& state);
 
   AppState& GetApp(AppId app);
 
@@ -253,6 +333,31 @@ class LockManager {
   // Granted mode of `app` on `resource` (kNone when not held); assumes the
   // mutex is held.
   LockMode HeldModeLockedInternal(AppId app, const ResourceId& resource) const;
+
+  // Granted table-lock mode of `app` on `table`, served from the AppState
+  // single-entry cache when possible.
+  LockMode CachedTableMode(AppId app, AppState& state, TableId table) const;
+
+  // Records `mode` as `state`'s granted table-lock mode on `table` (call at
+  // every site that grants, converts, or releases a table lock).
+  static void NoteTableMode(AppState& state, TableId table, LockMode mode) {
+    state.cached_table = table;
+    state.cached_table_mode = mode;
+    state.table_cache_valid = true;
+  }
+
+  // Counts one granted row lock on `table`, through the MRU entry pointer.
+  static void BumpRowCount(AppState& state, TableId table) {
+    if (state.row_cache_count != nullptr && state.row_cache_table == table) {
+      ++*state.row_cache_count;
+    } else {
+      int64_t& count = state.row_locks_per_table[table];
+      ++count;
+      state.row_cache_table = table;
+      state.row_cache_count = &count;
+    }
+    ++state.total_row_locks;
+  }
 
   LockMemoryState MemoryStateLocked() const;
 
@@ -270,11 +375,16 @@ class LockManager {
 
   mutable std::mutex mu_;
   BlockList blocks_;
-  std::unordered_map<ResourceId, LockHead, ResourceIdHash> table_;
+  LockTable table_;
   std::unordered_map<AppId, AppState> apps_;
   std::unordered_set<AppId> escalation_preferred_;
   std::deque<ResourceId> work_list_;
   bool draining_ = false;
+  // Applications currently blocked on a wait. Maintained at wait start/end
+  // so the per-tick deadlock/timeout checks are O(1) when nothing waits.
+  int64_t blocked_count_ = 0;
+  // Deadline-ordered pending timeouts (lazy deletion via wait_epoch).
+  std::deque<TimeoutEntry> timeout_queue_;
   LockManagerStats stats_;
   Histogram wait_times_{{1, 10, 100, 1000, 10'000, 100'000}};
 };

@@ -1,0 +1,91 @@
+#include "lock/lock_table.h"
+
+#include <cassert>
+
+namespace locktune {
+
+namespace {
+int ShardBits(int shard_count) {
+  int bits = 0;
+  while ((1 << bits) < shard_count) ++bits;
+  return bits;
+}
+}  // namespace
+
+LockTable::LockTable(int shard_count) {
+  assert(shard_count > 0 && (shard_count & (shard_count - 1)) == 0 &&
+         "shard count must be a power of two");
+  shard_mask_ = shard_count - 1;
+  const int bits = ShardBits(shard_count);
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.emplace_back(/*hash_shift=*/bits);
+  }
+}
+
+LockHead* LockTable::Find(const ResourceId& resource, uint64_t hash) {
+  Node** node = shards_[hash & shard_mask_].Find(resource, hash);
+  return node == nullptr ? nullptr : &(*node)->head;
+}
+
+LockHead& LockTable::GetOrCreate(const ResourceId& resource, uint64_t hash) {
+  ResourceHashMap<Node*>& shard = shards_[hash & shard_mask_];
+  if (Node** node = shard.Find(resource, hash); node != nullptr) {
+    return (*node)->head;
+  }
+  return Create(resource, hash);
+}
+
+LockHead& LockTable::Create(const ResourceId& resource, uint64_t hash) {
+  Node* node = AllocateNode();
+  shards_[hash & shard_mask_].Insert(resource, hash, node);
+  ++size_;
+  return node->head;
+}
+
+bool LockTable::EraseIfEmpty(const ResourceId& resource, uint64_t hash) {
+  ResourceHashMap<Node*>& shard = shards_[hash & shard_mask_];
+  const size_t index = shard.FindIndex(resource, hash);
+  if (index == ResourceHashMap<Node*>::kNpos) return false;
+  Node* node = shard.ValueAt(index);
+  if (!node->head.empty()) return false;
+  shard.EraseIndex(index);
+  RecycleNode(node);
+  --size_;
+  return true;
+}
+
+int64_t LockTable::MaxShardSize() const {
+  int64_t max_size = 0;
+  for (const auto& shard : shards_) {
+    if (shard.size() > max_size) max_size = shard.size();
+  }
+  return max_size;
+}
+
+LockTable::Node* LockTable::AllocateNode() {
+  if (free_list_ == nullptr) {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
+    Node* slab = slabs_.back().get();
+    for (int i = kSlabNodes - 1; i >= 0; --i) {
+      slab[i].next_free = free_list_;
+      free_list_ = &slab[i];
+    }
+    pool_free_ += kSlabNodes;
+  }
+  Node* node = free_list_;
+  free_list_ = node->next_free;
+  node->next_free = nullptr;
+  --pool_free_;
+  assert(node->head.empty() && "recycled head must be clear");
+  return node;
+}
+
+void LockTable::RecycleNode(Node* node) {
+  node->head.Clear();
+  node->next_free = free_list_;
+  free_list_ = node;
+  ++pool_free_;
+}
+
+}  // namespace locktune

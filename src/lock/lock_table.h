@@ -1,0 +1,117 @@
+// Sharded, pooled resource → LockHead table (the lock manager's `table_`).
+//
+// Two structural decisions keep the grant/release hot path off the heap
+// (the shapes main-memory engines use for lock/latch state; cf. Larson et
+// al., "High-Performance Concurrency Control Mechanisms for Main-Memory
+// Databases" and the OptiQL lock-queue design):
+//
+//  * Sharding: the table is split into a power-of-two number of partitions
+//    selected by the low bits of ResourceIdHash; each shard is a flat
+//    open-addressing map (ResourceHashMap) probing on the bits above the
+//    shard select. Shards keep individual probe arrays small and are the
+//    unit a future per-shard latch would protect.
+//
+//  * Pooling: LockHead nodes live in slab-allocated arrays and are recycled
+//    through a free list. A recycled head keeps its holder/waiter vector
+//    capacity, so steady-state lock/unlock traffic allocates nothing; node
+//    addresses are stable for the node's lifetime, which the lock manager
+//    relies on while draining grant cascades.
+//
+// Not thread-safe; the owning LockManager serializes access.
+#ifndef LOCKTUNE_LOCK_LOCK_TABLE_H_
+#define LOCKTUNE_LOCK_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lock/lock_head.h"
+#include "lock/resource.h"
+#include "lock/resource_map.h"
+
+namespace locktune {
+
+class LockTable {
+ public:
+  // `shard_count` must be a power of two.
+  explicit LockTable(int shard_count = kDefaultShards);
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  static constexpr int kDefaultShards = 16;
+  // Nodes per slab; slabs are never returned to the heap.
+  static constexpr int kSlabNodes = 256;
+
+  // Head for `resource`, or nullptr. Pointers stay valid until Erase.
+  // The `hash` overloads take a precomputed ResourceIdHash so one request
+  // that touches the table several times hashes its key once.
+  LockHead* Find(const ResourceId& resource) {
+    return Find(resource, ResourceIdHash{}(resource));
+  }
+  const LockHead* Find(const ResourceId& resource) const {
+    return const_cast<LockTable*>(this)->Find(resource,
+                                              ResourceIdHash{}(resource));
+  }
+  LockHead* Find(const ResourceId& resource, uint64_t hash);
+
+  // Head for `resource`, creating an empty one (from the pool) if absent.
+  LockHead& GetOrCreate(const ResourceId& resource) {
+    return GetOrCreate(resource, ResourceIdHash{}(resource));
+  }
+  LockHead& GetOrCreate(const ResourceId& resource, uint64_t hash);
+
+  // Inserts a fresh head for `resource`, which the caller has already
+  // established is absent (skips the find GetOrCreate would repeat).
+  LockHead& Create(const ResourceId& resource, uint64_t hash);
+
+  // Removes `resource`'s head if present and empty, recycling the node.
+  // Returns true when a head was removed. Single probe.
+  bool EraseIfEmpty(const ResourceId& resource) {
+    return EraseIfEmpty(resource, ResourceIdHash{}(resource));
+  }
+  bool EraseIfEmpty(const ResourceId& resource, uint64_t hash);
+
+  // Calls fn(const ResourceId&, const LockHead&) for every head. Iteration
+  // order is unspecified (shard/slot order).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& shard : shards_) {
+      shard.ForEach([&fn](const ResourceId& res, const Node* node) {
+        fn(res, node->head);
+      });
+    }
+  }
+
+  // --- introspection (pool/shard gauges) ---
+  int64_t size() const { return size_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  // Heads in the most loaded shard (occupancy skew indicator).
+  int64_t MaxShardSize() const;
+  int64_t pool_free_nodes() const { return pool_free_; }
+  int64_t pool_total_nodes() const {
+    return static_cast<int64_t>(slabs_.size()) * kSlabNodes;
+  }
+  int64_t slab_count() const { return static_cast<int64_t>(slabs_.size()); }
+
+ private:
+  struct Node {
+    LockHead head;
+    Node* next_free = nullptr;
+  };
+
+  Node* AllocateNode();
+  void RecycleNode(Node* node);
+
+  std::vector<ResourceHashMap<Node*>> shards_;
+  int shard_mask_ = 0;
+  int64_t size_ = 0;
+
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  Node* free_list_ = nullptr;
+  int64_t pool_free_ = 0;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_LOCK_TABLE_H_

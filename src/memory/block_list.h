@@ -18,8 +18,8 @@
 #define LOCKTUNE_MEMORY_BLOCK_LIST_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -55,9 +55,7 @@ class BlockList {
   Status TryRemoveBlocks(int64_t count);
 
   // --- accounting ---
-  int64_t block_count() const {
-    return static_cast<int64_t>(active_.size() + exhausted_.size());
-  }
+  int64_t block_count() const { return active_count_ + exhausted_count_; }
   Bytes allocated_bytes() const { return block_count() * kLockBlockSize; }
   int64_t capacity_slots() const { return block_count() * kLocksPerBlock; }
   int64_t slots_in_use() const { return slots_in_use_; }
@@ -76,13 +74,27 @@ class BlockList {
  private:
   using BlockPtr = std::unique_ptr<LockBlock>;
 
-  // Finds the list entry for `block` in `from`. Asserts if absent when
-  // `required`.
-  static std::list<BlockPtr>::iterator Find(std::list<BlockPtr>& from,
-                                            const LockBlock* block);
+  // One intrusive doubly-linked list threaded through LockBlock::prev_/
+  // next_. Links and unlinks are O(1); FreeSlot on an exhausted block no
+  // longer scans the exhausted list to find itself.
+  struct IntrusiveList {
+    LockBlock* head = nullptr;
+    LockBlock* tail = nullptr;
 
-  std::list<BlockPtr> active_;     // head = allocation target
-  std::list<BlockPtr> exhausted_;  // blocks with zero free slots
+    void PushFront(LockBlock* block);
+    void PushBack(LockBlock* block);
+    void Unlink(LockBlock* block);
+    bool empty() const { return head == nullptr; }
+  };
+
+  // Removes `block` from the ownership store, destroying it.
+  void Destroy(LockBlock* block);
+
+  std::vector<BlockPtr> blocks_;  // ownership, unordered
+  IntrusiveList active_;          // head = allocation target
+  IntrusiveList exhausted_;       // blocks with zero free slots
+  int64_t active_count_ = 0;
+  int64_t exhausted_count_ = 0;
   int64_t slots_in_use_ = 0;
   int64_t next_block_id_ = 0;
   int64_t blocks_added_ = 0;

@@ -32,8 +32,15 @@ class LockBlock {
   void ReturnSlot();
 
  private:
+  friend class BlockList;
+
   int64_t id_;
   int in_use_ = 0;
+  // Intrusive links for BlockList's active/exhausted lists: moving a block
+  // between lists (every exhaust/unexhaust transition) is pointer surgery,
+  // never a search or an allocation.
+  LockBlock* prev_ = nullptr;
+  LockBlock* next_ = nullptr;
 };
 
 }  // namespace locktune

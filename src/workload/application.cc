@@ -31,13 +31,13 @@ void Application::Disconnect() {
 
 void Application::AbortForDeadlock() {
   assert(phase_ == AppPhase::kBlocked);
-  ++stats_.deadlock_aborts;
+  Count(&ApplicationStats::deadlock_aborts);
   AbortToThinking();
 }
 
 void Application::AbortForTimeout() {
   assert(phase_ == AppPhase::kBlocked);
-  ++stats_.timeout_aborts;
+  Count(&ApplicationStats::timeout_aborts);
   AbortToThinking();
 }
 
@@ -47,12 +47,12 @@ void Application::Tick() {
       return;
     case AppPhase::kBlocked:
       if (db_->locks().IsBlocked(id_)) {
-        ++stats_.blocked_ticks;
+        Count(&ApplicationStats::blocked_ticks);
         return;
       }
       // The queued request was granted while we slept.
       ++acquired_;
-      ++stats_.locks_acquired;
+      Count(&ApplicationStats::locks_acquired);
       phase_ = AppPhase::kRunning;
       RunAcquisition();
       return;
@@ -79,7 +79,7 @@ void Application::StartTransaction() {
       compiler_ != nullptr &&
       compiler_->ChooseGranularity(profile_.total_locks) ==
           LockGranularity::kTable;
-  if (table_plan_) ++stats_.table_plan_txns;
+  if (table_plan_) Count(&ApplicationStats::table_plan_txns);
   phase_ = AppPhase::kRunning;
 }
 
@@ -99,7 +99,7 @@ void Application::RunAcquisition() {
     switch (result.outcome) {
       case LockOutcome::kGranted:
         ++acquired_;
-        ++stats_.locks_acquired;
+        Count(&ApplicationStats::locks_acquired);
         break;
       case LockOutcome::kWaiting:
         phase_ = AppPhase::kBlocked;
@@ -107,7 +107,7 @@ void Application::RunAcquisition() {
       case LockOutcome::kOutOfMemory:
         // The statement failed (DB2 would return SQL0912N); abort the
         // transaction and retry after thinking.
-        ++stats_.oom_aborts;
+        Count(&ApplicationStats::oom_aborts);
         AbortToThinking();
         return;
     }
@@ -124,7 +124,7 @@ void Application::RunAcquisition() {
 
 void Application::Commit() {
   db_->locks().ReleaseAll(id_);
-  ++stats_.commits;
+  Count(&ApplicationStats::commits);
   acquired_ = 0;
   phase_ = AppPhase::kThinking;
   timer_ = profile_.think_time > 0 ? profile_.think_time : tick_;

@@ -70,7 +70,18 @@ class Application {
   AppPhase phase() const { return phase_; }
   const ApplicationStats& stats() const { return stats_; }
 
+  // Optional shared aggregate: every counter bump is mirrored into `sink`
+  // (borrowed), so the owner reads totals in O(1) instead of re-summing
+  // every application at each sample point.
+  void set_stats_sink(ApplicationStats* sink) { sink_ = sink; }
+
  private:
+  // Bumps `field` in this application's stats and in the aggregate sink.
+  void Count(int64_t ApplicationStats::* field) {
+    ++(stats_.*field);
+    if (sink_ != nullptr) ++(sink_->*field);
+  }
+
   void StartTransaction();
   void RunAcquisition();
   void Commit();
@@ -89,6 +100,7 @@ class Application {
   int64_t acquired_ = 0;
   DurationMs timer_ = 0;  // think or hold countdown
   ApplicationStats stats_;
+  ApplicationStats* sink_ = nullptr;  // borrowed aggregate, may be null
 };
 
 }  // namespace locktune

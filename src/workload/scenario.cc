@@ -57,6 +57,7 @@ ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
     for (int i = 0; i < g.MaxClients(); ++i) {
       apps_.push_back(std::make_unique<Application>(
           next_id++, db_, g.workload, seeder.Next(), options_.tick));
+      apps_.back()->set_stats_sink(&totals_);
     }
   }
   group_start_.push_back(apps_.size());
@@ -82,19 +83,11 @@ void ScenarioRunner::RegisterMetrics() {
       [this] { return total_oom_aborts(); });
   registry.AddCallbackCounter(
       "locktune_workload_locks_acquired_total", "row/table locks acquired",
-      [this] {
-        int64_t sum = 0;
-        for (const auto& app : apps_) sum += app->stats().locks_acquired;
-        return sum;
-      });
+      [this] { return totals_.locks_acquired; });
   registry.AddCallbackCounter(
       "locktune_workload_table_plan_txns_total",
       "transactions compiled to table locking",
-      [this] {
-        int64_t sum = 0;
-        for (const auto& app : apps_) sum += app->stats().table_plan_txns;
-        return sum;
-      });
+      [this] { return totals_.table_plan_txns; });
   registry.AddCallbackGauge(
       "locktune_workload_clients", "connected applications",
       [this] { return static_cast<double>(db_->connected_applications()); });
@@ -213,30 +206,6 @@ void ScenarioRunner::Sample(TimeMs now) {
                  static_cast<double>(db_->connected_applications()));
   series_.Record(kBlockedApps, now,
                  static_cast<double>(db_->locks().waiting_app_count()));
-}
-
-int64_t ScenarioRunner::total_commits() const {
-  int64_t sum = 0;
-  for (const auto& app : apps_) sum += app->stats().commits;
-  return sum;
-}
-
-int64_t ScenarioRunner::total_deadlock_aborts() const {
-  int64_t sum = 0;
-  for (const auto& app : apps_) sum += app->stats().deadlock_aborts;
-  return sum;
-}
-
-int64_t ScenarioRunner::total_timeout_aborts() const {
-  int64_t sum = 0;
-  for (const auto& app : apps_) sum += app->stats().timeout_aborts;
-  return sum;
-}
-
-int64_t ScenarioRunner::total_oom_aborts() const {
-  int64_t sum = 0;
-  for (const auto& app : apps_) sum += app->stats().oom_aborts;
-  return sum;
 }
 
 }  // namespace locktune

@@ -57,11 +57,13 @@ class ScenarioRunner {
   const ScenarioOptions& options() const { return options_; }
   Database* db() { return db_; }
 
-  // Aggregates over all applications.
-  int64_t total_commits() const;
-  int64_t total_deadlock_aborts() const;
-  int64_t total_timeout_aborts() const;
-  int64_t total_oom_aborts() const;
+  // Aggregates over all applications. O(1): every application mirrors its
+  // counter bumps into `totals_`, so sample points and metric callbacks do
+  // not re-sum the whole client population.
+  int64_t total_commits() const { return totals_.commits; }
+  int64_t total_deadlock_aborts() const { return totals_.deadlock_aborts; }
+  int64_t total_timeout_aborts() const { return totals_.timeout_aborts; }
+  int64_t total_oom_aborts() const { return totals_.oom_aborts; }
 
   const std::vector<std::unique_ptr<Application>>& applications() const {
     return apps_;
@@ -95,6 +97,7 @@ class ScenarioRunner {
   // apps_ index range [group_start_[g], group_start_[g+1]) belongs to
   // group g.
   std::vector<size_t> group_start_;
+  ApplicationStats totals_;  // shared stat sink for every application
   TimeSeriesSet series_;
   TimeMs next_sample_ = 0;
   TimeMs next_deadlock_check_ = 0;

@@ -1,0 +1,84 @@
+// Determinism regression test: the simulator must produce byte-identical
+// output for identical inputs, across repeated runs AND across code changes.
+//
+// The lock-path data structures deliberately preserve legacy iteration
+// orders where they are observable (deadlock victim selection scans apps_
+// in hash order; escalation tie-breaks iterate row_locks_per_table in hash
+// order), so any accidental reordering shows up here as a golden mismatch.
+// The goldens under tests/golden/ were captured from the pre-overhaul lock
+// manager; regenerate them only for an intentional, understood behavior
+// change.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "determinism_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Runs locktune_sim on `scenario` writing --metrics-out to `metrics_path`
+// and the stdout time series to `stdout_path`. Returns the exit code.
+int RunSim(const std::string& scenario, const std::string& metrics_path,
+           const std::string& stdout_path) {
+  const std::string cmd = std::string(LOCKTUNE_SIM_BINARY) + " " +
+                          LOCKTUNE_SOURCE_DIR "/scenarios/" + scenario +
+                          " --metrics-out " + metrics_path + " > " +
+                          stdout_path + " 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  return status < 0 ? status : WEXITSTATUS(status);
+}
+
+// Two runs of the same scenario are byte-identical: no wall-clock time,
+// pointer values, or container iteration nondeterminism leaks into output.
+TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  const std::string m1 = TempPath("run1_metrics.csv");
+  const std::string m2 = TempPath("run2_metrics.csv");
+  const std::string o1 = TempPath("run1_stdout.csv");
+  const std::string o2 = TempPath("run2_stdout.csv");
+  ASSERT_EQ(RunSim("static_escalation.conf", m1, o1), 0);
+  ASSERT_EQ(RunSim("static_escalation.conf", m2, o2), 0);
+  EXPECT_EQ(ReadFile(m1), ReadFile(m2));
+  EXPECT_EQ(ReadFile(o1), ReadFile(o2));
+  EXPECT_FALSE(ReadFile(m1).empty());
+  EXPECT_FALSE(ReadFile(o1).empty());
+}
+
+// The run matches the checked-in golden capture: simulated results are
+// stable across lock-path implementation changes, not merely within one
+// binary.
+TEST(DeterminismTest, MatchesGoldenCapture) {
+  const std::string metrics = TempPath("golden_metrics.csv");
+  const std::string stdout_csv = TempPath("golden_stdout.csv");
+  ASSERT_EQ(RunSim("static_escalation.conf", metrics, stdout_csv), 0);
+
+  const std::string golden_metrics =
+      ReadFile(LOCKTUNE_SOURCE_DIR "/tests/golden/static_escalation_metrics.csv");
+  const std::string golden_series = ReadFile(
+      LOCKTUNE_SOURCE_DIR "/tests/golden/static_escalation_timeseries.csv");
+  ASSERT_FALSE(golden_metrics.empty());
+  ASSERT_FALSE(golden_series.empty());
+  EXPECT_EQ(ReadFile(metrics), golden_metrics)
+      << "metrics drifted from tests/golden/static_escalation_metrics.csv";
+  EXPECT_EQ(ReadFile(stdout_csv), golden_series)
+      << "time series drifted from "
+         "tests/golden/static_escalation_timeseries.csv";
+}
+
+}  // namespace
+}  // namespace locktune

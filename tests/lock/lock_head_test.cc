@@ -143,6 +143,70 @@ TEST(LockHeadTest, HasWaiter) {
   EXPECT_FALSE(head.HasWaiter(6));
 }
 
+// A conversion goes ahead of every new waiter but behind conversions that
+// arrived before it — mixing both kinds in one queue.
+TEST(LockHeadTest, ConversionOrderingWithMixedQueue) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  head.AddHolder(Granted(2, LockMode::kS));
+  head.AddHolder(Granted(3, LockMode::kS));
+  head.EnqueueNew(Waiting(4, LockMode::kX));
+  head.EnqueueConversion(Waiting(2, LockMode::kX, true));
+  head.EnqueueNew(Waiting(5, LockMode::kS));
+  head.EnqueueConversion(Waiting(3, LockMode::kU, true));
+  ASSERT_EQ(head.waiters().size(), 4u);
+  EXPECT_EQ(head.waiters()[0].app, 2);  // first conversion
+  EXPECT_EQ(head.waiters()[1].app, 3);  // second conversion, behind the first
+  EXPECT_EQ(head.waiters()[2].app, 4);  // new requests keep arrival order
+  EXPECT_EQ(head.waiters()[3].app, 5);
+}
+
+// Aborting a mid-queue waiter must not reorder the survivors.
+TEST(LockHeadTest, FifoPreservedAfterMidQueueRemoval) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kX));
+  head.EnqueueNew(Waiting(2, LockMode::kS));
+  head.EnqueueNew(Waiting(3, LockMode::kX));
+  head.EnqueueNew(Waiting(4, LockMode::kS));
+  bool removed = false;
+  head.RemoveWaiter(3, &removed);
+  ASSERT_TRUE(removed);
+  ASSERT_EQ(head.waiters().size(), 2u);
+  EXPECT_EQ(head.waiters()[0].app, 2);
+  EXPECT_EQ(head.waiters()[1].app, 4);
+}
+
+// Clear() empties the head but keeps the vectors' capacity: recycled pool
+// nodes must re-enter service without reallocating.
+TEST(LockHeadTest, ClearKeepsCapacity) {
+  LockHead head;
+  for (AppId a = 1; a <= 16; ++a) head.AddHolder(Granted(a, LockMode::kIS));
+  head.AddHolder(Granted(17, LockMode::kIX));
+  head.EnqueueNew(Waiting(18, LockMode::kX));
+  head.EnqueueNew(Waiting(19, LockMode::kS));
+  const size_t holder_cap = head.holders().capacity();
+  ASSERT_GE(holder_cap, 17u);
+  head.Clear();
+  EXPECT_TRUE(head.empty());
+  EXPECT_EQ(head.GrantedGroupMode(), LockMode::kNone);
+  EXPECT_EQ(head.holders().capacity(), holder_cap);
+  // The cleared head behaves like a brand-new one.
+  EXPECT_TRUE(head.CanGrantNew(LockMode::kX));
+  head.AddHolder(Granted(1, LockMode::kS));
+  EXPECT_EQ(head.GrantedGroupMode(), LockMode::kS);
+}
+
+// Conversions being granted via the queue must pop in conversion-first
+// order even when a new waiter arrived earlier in wall-clock time.
+TEST(LockHeadTest, PopServicesConversionsFirst) {
+  LockHead head;
+  head.AddHolder(Granted(1, LockMode::kS));
+  head.EnqueueNew(Waiting(2, LockMode::kX));
+  head.EnqueueConversion(Waiting(1, LockMode::kX, true));
+  EXPECT_EQ(head.PopFrontWaiter().app, 1);
+  EXPECT_EQ(head.PopFrontWaiter().app, 2);
+}
+
 TEST(LockHeadTest, PopFrontWaiterFifo) {
   LockHead head;
   head.EnqueueNew(Waiting(1, LockMode::kX));

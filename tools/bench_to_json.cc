@@ -1,0 +1,120 @@
+// bench_to_json — merge lockpath_bench CSV runs into one JSON report.
+//
+// Usage:
+//   bench_to_json OUT.json label=RUN.csv [label=RUN.csv ...]
+//
+// Each RUN.csv is the stdout of a lockpath_bench run
+// (name,ops,seconds,ops_per_sec with a header line). Labels are free-form;
+// when both a "before" and an "after" run are given, a "speedup" section
+// reports after/before per benchmark. The checked-in BENCH_lockpath.json is
+// produced this way from a pre-change and post-change build.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  long long ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+// label -> benchmark name -> row; both maps ordered so the JSON is stable.
+using Runs = std::map<std::string, std::map<std::string, Row>>;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "bench_to_json: %s\n", message.c_str());
+  return 1;
+}
+
+bool ParseCsv(const std::string& path, std::map<std::string, Row>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.rfind("name,", 0) == 0) continue;
+    std::istringstream ss(line);
+    std::string name, ops, seconds, rate;
+    if (!std::getline(ss, name, ',') || !std::getline(ss, ops, ',') ||
+        !std::getline(ss, seconds, ',') || !std::getline(ss, rate, ',')) {
+      continue;  // stray non-CSV output (warnings etc.)
+    }
+    Row row;
+    row.ops = std::atoll(ops.c_str());
+    row.seconds = std::atof(seconds.c_str());
+    row.ops_per_sec = std::atof(rate.c_str());
+    (*out)[name] = row;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("usage: bench_to_json OUT.json label=RUN.csv [...]");
+  }
+  Runs runs;
+  for (int i = 2; i < argc; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr || eq == argv[i] || eq[1] == '\0') {
+      return Fail(std::string("argument \"") + argv[i] +
+                  "\" is not label=path");
+    }
+    const std::string label(argv[i], eq - argv[i]);
+    const std::string path(eq + 1);
+    if (!ParseCsv(path, &runs[label])) {
+      return Fail("cannot read " + path);
+    }
+  }
+
+  std::ofstream out(argv[1]);
+  if (!out.is_open()) return Fail(std::string("cannot open ") + argv[1]);
+
+  char buf[160];
+  out << "{\n  \"benchmark\": \"lockpath\",\n  \"unit\": \"ops_per_sec\",\n";
+  out << "  \"runs\": {\n";
+  bool first_label = true;
+  for (const auto& [label, rows] : runs) {
+    if (!first_label) out << ",\n";
+    first_label = false;
+    out << "    \"" << label << "\": {\n";
+    bool first_row = true;
+    for (const auto& [name, row] : rows) {
+      if (!first_row) out << ",\n";
+      first_row = false;
+      std::snprintf(buf, sizeof(buf),
+                    "      \"%s\": {\"ops\": %lld, \"seconds\": %.6f, "
+                    "\"ops_per_sec\": %.0f}",
+                    name.c_str(), row.ops, row.seconds, row.ops_per_sec);
+      out << buf;
+    }
+    out << "\n    }";
+  }
+  out << "\n  }";
+
+  const auto before = runs.find("before");
+  const auto after = runs.find("after");
+  if (before != runs.end() && after != runs.end()) {
+    out << ",\n  \"speedup_after_over_before\": {\n";
+    bool first_row = true;
+    for (const auto& [name, b] : before->second) {
+      const auto a = after->second.find(name);
+      if (a == after->second.end() || b.ops_per_sec <= 0) continue;
+      if (!first_row) out << ",\n";
+      first_row = false;
+      std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", name.c_str(),
+                    a->second.ops_per_sec / b.ops_per_sec);
+      out << buf;
+    }
+    out << "\n  }";
+  }
+  out << "\n}\n";
+  return 0;
+}

@@ -166,6 +166,14 @@ int main(int argc, char** argv) {
 
   LoadedScenario& scenario = *loaded.value();
 
+  // Hot-path structure gauges (lock table shards, head pool, blocked apps)
+  // are inspector-only: registering them changes the metric export, and the
+  // default --metrics-out must stay identical across runs.
+  if (inspect) {
+    scenario.database().locks().RegisterInternalMetrics(
+        &scenario.database().metrics());
+  }
+
   // Stamp stderr log lines with virtual time so they correlate with trace
   // records and the sampled series.
   SetLogClock(&scenario.database().clock());
