@@ -1,6 +1,5 @@
 #include "baseline/oracle_driver.h"
-
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -19,9 +18,9 @@ OracleScenarioRunner::OracleScenarioRunner(OracleItlSimulator* itl,
       tick_(tick),
       row_picker_(static_cast<uint64_t>(options.table_rows),
                   options.row_zipf_theta) {
-  assert(itl != nullptr);
-  assert(clients > 0);
-  assert(options.updates_per_txn > 0 && options.updates_per_tick > 0);
+  LOCKTUNE_CHECK(itl != nullptr);
+  LOCKTUNE_CHECK(clients > 0);
+  LOCKTUNE_CHECK(options.updates_per_txn > 0 && options.updates_per_tick > 0);
   Rng seeder(seed);
   clients_.reserve(static_cast<size_t>(clients));
   for (int i = 0; i < clients; ++i) clients_.emplace_back(seeder.Next());

@@ -1,14 +1,13 @@
 #include "baseline/oracle_itl.h"
-
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
 OracleItlSimulator::OracleItlSimulator(const OracleItlOptions& options)
     : options_(options) {
-  assert(options.rows_per_page > 0);
-  assert(options.initial_itl_slots > 0);
-  assert(options.max_itl_slots >= options.initial_itl_slots);
+  LOCKTUNE_CHECK(options.rows_per_page > 0);
+  LOCKTUNE_CHECK(options.initial_itl_slots > 0);
+  LOCKTUNE_CHECK(options.max_itl_slots >= options.initial_itl_slots);
 }
 
 OracleItlSimulator::RowLockOutcome OracleItlSimulator::LockRow(TxnId txn,
@@ -94,6 +93,8 @@ int OracleItlSimulator::AcquireSlot(PageState& page, TxnId txn) {
     // Reusing a committed transaction's slot. Lock bytes still pointing at
     // it are stale (their owner committed); clear them now — this is the
     // cleanout work Oracle defers to whichever transaction reuses the slot.
+    // locklint: ordered-ok(erase-scan removes every matching entry; the
+    // visit order is not observable)
     for (auto it = page.lock_bytes.begin(); it != page.lock_bytes.end();) {
       if (it->second == reusable) {
         ++stats_.cleanouts;

@@ -1,0 +1,46 @@
+#include "common/paranoid.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace locktune {
+
+namespace {
+
+enum class Override { kUnset, kOn, kOff };
+Override g_override = Override::kUnset;
+
+bool EnvDefault() {
+  // Environment is configuration, not simulation input: reading it does not
+  // affect determinism of a given run.
+  const char* env = std::getenv("LOCKTUNE_PARANOID");
+  if (env != nullptr) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "ON") == 0) {
+      return true;
+    }
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "OFF") == 0) {
+      return false;
+    }
+  }
+#ifdef LOCKTUNE_PARANOID
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool ParanoidEnabled() {
+  if (g_override != Override::kUnset) return g_override == Override::kOn;
+  static const bool kDefault = EnvDefault();
+  return kDefault;
+}
+
+void SetParanoidForTesting(bool on) {
+  g_override = on ? Override::kOn : Override::kOff;
+}
+
+}  // namespace locktune

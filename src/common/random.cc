@@ -1,7 +1,8 @@
 #include "common/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -39,7 +40,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextBelow(uint64_t bound) {
-  assert(bound > 0);
+  LOCKTUNE_DCHECK(bound > 0);
   // Debiased modulo via rejection on the top of the range.
   const uint64_t threshold = -bound % bound;
   while (true) {
@@ -49,7 +50,7 @@ uint64_t Rng::NextBelow(uint64_t bound) {
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  LOCKTUNE_DCHECK(lo <= hi);
   const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(NextBelow(span));
 }
@@ -76,8 +77,8 @@ double Zeta(uint64_t n, double theta) {
 }  // namespace
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
-  assert(n > 0);
-  assert(theta >= 0.0 && theta < 1.0);
+  LOCKTUNE_DCHECK(n > 0);
+  LOCKTUNE_DCHECK(theta >= 0.0 && theta < 1.0);
   zetan_ = Zeta(n, theta);
   zeta2_ = Zeta(2, theta);
   alpha_ = 1.0 / (1.0 - theta);

@@ -1,8 +1,9 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -25,7 +26,7 @@ double SummaryStats::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
-  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  LOCKTUNE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
 void Histogram::Add(double x) {

@@ -9,11 +9,12 @@
 #ifndef LOCKTUNE_COMMON_STATUS_H_
 #define LOCKTUNE_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -39,26 +40,26 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -85,22 +86,22 @@ class Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    LOCKTUNE_DCHECK(!status_.ok() && "Result(Status) requires a non-OK status");
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    LOCKTUNE_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    LOCKTUNE_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    LOCKTUNE_DCHECK(ok());
     return *std::move(value_);
   }
 

@@ -1,7 +1,8 @@
 #include "common/time_series.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -38,7 +39,7 @@ bool TimeSeriesSet::Has(const std::string& name) const {
 
 const TimeSeries& TimeSeriesSet::Get(const std::string& name) const {
   const auto it = series_.find(name);
-  assert(it != series_.end() && "unknown series");
+  LOCKTUNE_CHECK(it != series_.end() && "unknown series");
   return it->second;
 }
 
@@ -58,7 +59,7 @@ void TimeSeriesSet::WriteCsv(std::ostream& os,
   const size_t n = Get(names[0]).size();
   for (const auto& name : names) {
     const bool aligned = Get(name).size() == n;
-    assert(aligned && "series must be equally sampled");
+    LOCKTUNE_CHECK(aligned && "series must be equally sampled");
     (void)aligned;
   }
   for (size_t i = 0; i < n; ++i) {

@@ -86,7 +86,7 @@ struct TuningParams {
 
   // Rejects non-sensical combinations (fractions outside (0,1], inverted
   // free band, non-positive sizes...).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace locktune

@@ -1,8 +1,9 @@
 #include "core/lock_memory_tuner.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -85,7 +86,7 @@ std::string ExplainDecision(const LockTunerInputs& inputs,
 
 LockMemoryTuner::LockMemoryTuner(const TuningParams& params)
     : params_(params), previous_target_(params.InitialLockMemory()) {
-  assert(params.Validate().ok());
+  LOCKTUNE_CHECK(params.Validate().ok());
 }
 
 LockTunerDecision LockMemoryTuner::Tune(const LockTunerInputs& inputs) {

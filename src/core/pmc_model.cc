@@ -1,13 +1,14 @@
 #include "core/pmc_model.h"
 
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 namespace locktune {
 
 void PmcModel::AddConsumer(MemoryHeap* heap, double benefit_constant) {
-  assert(heap != nullptr);
-  assert(heap->consumer_class() == ConsumerClass::kPerformance);
+  LOCKTUNE_CHECK(heap != nullptr);
+  LOCKTUNE_CHECK(heap->consumer_class() == ConsumerClass::kPerformance);
   consumers_.push_back({heap, benefit_constant});
 }
 

@@ -1,9 +1,9 @@
 #include "core/stmm_controller.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "core/stmm_report.h"
 #include "telemetry/metrics.h"
@@ -26,7 +26,7 @@ StmmController::StmmController(const TuningParams& params,
       tuner_(params),
       timer_(clock, params.tuning_interval),
       lmoc_(params.InitialLockMemory()) {
-  assert(params.Validate().ok());
+  LOCKTUNE_CHECK(params.Validate().ok());
   tuner_.set_previous_target(lock_heap_->size());
   lmoc_ = lock_heap_->size();
 }
@@ -75,7 +75,7 @@ void StmmController::RunTuningPass() {
   inputs.escalations_in_interval = esc_delta;
   inputs.growth_was_constrained = growth_constrained_;
   inputs.num_applications = napps;
-  assert(inputs.allocated == lock_heap_->size());
+  LOCKTUNE_CHECK(inputs.allocated == lock_heap_->size());
 
   const LockTunerDecision decision = tuner_.Tune(inputs);
   const bool was_constrained = growth_constrained_;
@@ -148,6 +148,28 @@ void StmmController::RunTuningPass() {
   }
 }
 
+Status StmmController::CheckConsistency() const {
+  // The same bytes accounted twice: the heap view (DatabaseMemory) and the
+  // block-list view (LockManager) must agree at all times.
+  if (lock_heap_->size() != locks_->allocated_bytes()) {
+    return Status::Internal(
+        "lock heap size and lock manager allocation disagree");
+  }
+  if (lock_heap_->size() % kLockBlockSize != 0) {
+    return Status::Internal("lock heap size is not block-granular");
+  }
+  if (lmo_ < 0 || lmoc_ < 0) {
+    return Status::Internal("negative LMO/LMOC accounting");
+  }
+  // RunTuningPass leaves lmo_ == max(0, size - lmoc_); synchronous growth
+  // bumps size and lmo_ together, so the debt always covers the part of the
+  // allocation beyond the externalized configuration.
+  if (lmoc_ + lmo_ < lock_heap_->size()) {
+    return Status::Internal("LMOC + LMO do not cover the lock allocation");
+  }
+  return Status::Ok();
+}
+
 void StmmController::RegisterMetrics(MetricsRegistry* registry) {
   registry->AddCallbackCounter(
       "locktune_stmm_passes_total", "asynchronous tuning passes run",
@@ -207,7 +229,7 @@ void StmmController::AdaptInterval(LockTunerAction action) {
 }
 
 Bytes StmmController::GrowLockMemory(Bytes want) {
-  assert(want % kLockBlockSize == 0);
+  LOCKTUNE_CHECK(want % kLockBlockSize == 0);
   // The lock memory objective outranks PMC comfort: shrink PMCs when
   // overflow cannot cover the growth (§4 T2: "making decreases in sort
   // memory (the least needy consumer)").
@@ -229,7 +251,7 @@ Bytes StmmController::GrowLockMemory(Bytes want) {
 }
 
 Bytes StmmController::ShrinkLockMemory(Bytes want) {
-  assert(want % kLockBlockSize == 0);
+  LOCKTUNE_CHECK(want % kLockBlockSize == 0);
   int64_t blocks = BytesToBlocks(want);
   // DB2's shrink request is all-or-nothing against the block list; if the
   // full request is not satisfiable the controller settles for the largest

@@ -95,6 +95,13 @@ class StmmController {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
 
+  // Cross-subsystem budget conservation (paranoid mode / tests): the lock
+  // heap's committed size equals the lock manager's block-list allocation
+  // (the two accountings of the same memory), sizes are block-granular, and
+  // the externalized LMOC plus the transient overflow debt LMO cover the
+  // committed size. Returns OK or INTERNAL naming the violated invariant.
+  [[nodiscard]] Status CheckConsistency() const;
+
   // Registers the tuner metric family (`locktune_stmm_*`): per-action pass
   // counters, lmoc/lmo/interval gauges, the free-band position, and a
   // resize-magnitude histogram.

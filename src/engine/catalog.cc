@@ -1,6 +1,6 @@
 #include "engine/catalog.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -19,7 +19,7 @@ Result<TableId> Catalog::AddTable(const std::string& name,
 }
 
 const TableInfo& Catalog::Get(TableId id) const {
-  assert(id >= 0 && id < static_cast<TableId>(tables_.size()));
+  LOCKTUNE_DCHECK(id >= 0 && id < static_cast<TableId>(tables_.size()));
   return tables_[static_cast<size_t>(id)];
 }
 
@@ -40,7 +40,7 @@ std::vector<TableId> Catalog::TablesWithPrefix(
 }
 
 Catalog Catalog::TpccTpch(double scale) {
-  assert(scale > 0.0);
+  LOCKTUNE_DCHECK(scale > 0.0);
   const auto rows = [scale](int64_t base) {
     const auto n = static_cast<int64_t>(static_cast<double>(base) * scale);
     return n < 1 ? 1 : n;

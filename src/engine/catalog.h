@@ -23,7 +23,8 @@ struct TableInfo {
 class Catalog {
  public:
   // Registers a table; names must be unique. Returns its TableId.
-  Result<TableId> AddTable(const std::string& name, int64_t row_count);
+  [[nodiscard]] Result<TableId> AddTable(const std::string& name,
+                                         int64_t row_count);
 
   const TableInfo& Get(TableId id) const;
   const TableInfo* FindByName(const std::string& name) const;

@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
-#include <cassert>
+#include "common/check.h"
+#include "common/paranoid.h"
 
 namespace locktune {
 
@@ -171,6 +172,16 @@ bool Database::GrowSqlServerStyle(int64_t blocks) {
 void Database::Tick(DurationMs dt) {
   clock_.Advance(dt);
   if (stmm_ != nullptr) stmm_->Poll();
+  if (ParanoidEnabled()) LOCKTUNE_CHECK_OK(ValidateInvariants());
+}
+
+Status Database::ValidateInvariants() const {
+  if (Status s = locks_->CheckConsistency(); !s.ok()) return s;
+  if (Status s = memory_->CheckConsistency(); !s.ok()) return s;
+  if (stmm_ != nullptr) {
+    if (Status s = stmm_->CheckConsistency(); !s.ok()) return s;
+  }
+  return Status::Ok();
 }
 
 }  // namespace locktune

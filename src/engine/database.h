@@ -54,13 +54,22 @@ struct DatabaseOptions {
 class Database {
  public:
   // Builds and wires all subsystems; fails on invalid options.
-  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& opts);
+  [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& opts);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  // Advances virtual time and runs any due tuning passes.
+  // Advances virtual time and runs any due tuning passes. In paranoid mode
+  // (common/paranoid.h) every tick ends with ValidateInvariants(); a
+  // violation aborts loudly instead of drifting into a wrong golden file.
   void Tick(DurationMs dt);
+
+  // Full-structure validation across the wired subsystems: lock manager
+  // accounting (block list, sharded table/pool conservation, per-app held
+  // index), database memory budget conservation, and STMM lock-memory
+  // accounting. Read-only; never changes observable output.
+  [[nodiscard]] Status ValidateInvariants() const;
 
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
@@ -93,7 +102,7 @@ class Database {
  private:
   explicit Database(const DatabaseOptions& opts);
 
-  Status Init();
+  [[nodiscard]] Status Init();
 
   DatabaseOptions options_;
   SimClock clock_;

@@ -1,6 +1,6 @@
 #include "engine/query_compiler.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -8,8 +8,8 @@ QueryCompiler::QueryCompiler(std::function<Bytes()> lock_memory_view,
                              double safety_factor)
     : lock_memory_view_(std::move(lock_memory_view)),
       safety_factor_(safety_factor) {
-  assert(lock_memory_view_ != nullptr);
-  assert(safety_factor > 0.0 && safety_factor <= 1.0);
+  LOCKTUNE_CHECK(lock_memory_view_ != nullptr);
+  LOCKTUNE_CHECK(safety_factor > 0.0 && safety_factor <= 1.0);
 }
 
 LockGranularity QueryCompiler::ChooseGranularity(

@@ -1,8 +1,9 @@
 #include "lock/escalation_policy.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -32,7 +33,7 @@ void AdaptiveMaxlocksPolicy::OnLockRequest() { curve_.OnLockRequest(); }
 void AdaptiveMaxlocksPolicy::OnResize() { curve_.Invalidate(); }
 
 FixedMaxlocksPolicy::FixedMaxlocksPolicy(double percent) : percent_(percent) {
-  assert(percent > 0.0 && percent <= 100.0);
+  LOCKTUNE_CHECK(percent > 0.0 && percent <= 100.0);
 }
 
 int64_t FixedMaxlocksPolicy::MaxStructuresPerApp(

@@ -1,7 +1,8 @@
 #include "lock/lock_event_monitor.h"
 
-#include <cassert>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -38,7 +39,7 @@ std::string LockEvent::ToString() const {
 
 RingBufferEventMonitor::RingBufferEventMonitor(size_t capacity)
     : capacity_(capacity) {
-  assert(capacity > 0);
+  LOCKTUNE_CHECK(capacity > 0);
   ring_.reserve(capacity);
 }
 
@@ -87,7 +88,7 @@ int64_t CountingEventMonitor::total() const {
 TeeEventMonitor::TeeEventMonitor(std::vector<LockEventMonitor*> sinks)
     : sinks_(std::move(sinks)) {
   for (LockEventMonitor* sink : sinks_) {
-    assert(sink != nullptr);
+    LOCKTUNE_CHECK(sink != nullptr);
     (void)sink;
   }
 }

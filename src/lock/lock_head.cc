@@ -1,7 +1,8 @@
 #include "lock/lock_head.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace locktune {
 
@@ -49,7 +50,7 @@ LockBlock* LockHead::RemoveHolder(AppId app) {
 }
 
 void LockHead::EnqueueConversion(const WaitingRequest& w) {
-  assert(w.is_conversion);
+  LOCKTUNE_DCHECK(w.is_conversion);
   // After any already-queued conversions, ahead of all new requests.
   auto it = waiters_.begin();
   while (it != waiters_.end() && it->is_conversion) ++it;
@@ -57,7 +58,7 @@ void LockHead::EnqueueConversion(const WaitingRequest& w) {
 }
 
 void LockHead::EnqueueNew(const WaitingRequest& w) {
-  assert(!w.is_conversion);
+  LOCKTUNE_DCHECK(!w.is_conversion);
   waiters_.push_back(w);
 }
 
@@ -80,7 +81,7 @@ bool LockHead::HasWaiter(AppId app) const {
 }
 
 WaitingRequest LockHead::PopFrontWaiter() {
-  assert(!waiters_.empty());
+  LOCKTUNE_DCHECK(!waiters_.empty());
   WaitingRequest w = waiters_.front();
   waiters_.erase(waiters_.begin());
   return w;

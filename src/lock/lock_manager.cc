@@ -1,8 +1,8 @@
 #include "lock/lock_manager.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "telemetry/metrics.h"
 
@@ -12,7 +12,7 @@ LockManager::LockManager(LockManagerOptions options)
     : options_(std::move(options)),
       max_lock_memory_(options_.max_lock_memory),
       table_(options_.table_shards) {
-  assert(options_.policy != nullptr && "an escalation policy is required");
+  LOCKTUNE_DCHECK(options_.policy != nullptr && "an escalation policy is required");
   for (int64_t i = 0; i < options_.initial_blocks; ++i) blocks_.AddBlock();
 }
 
@@ -22,7 +22,7 @@ LockResult LockManager::Lock(AppId app, const ResourceId& resource,
   ++stats_.lock_requests;
   options_.policy->OnLockRequest();
   AppState& state = GetApp(app);
-  assert(!state.waiting && "application issued a request while blocked");
+  LOCKTUNE_DCHECK(!state.waiting && "application issued a request while blocked");
 
   bool escalated = false;
   const AcquireOutcome outcome =
@@ -259,7 +259,7 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
     Emit(LockEventKind::kSynchronousGrowth, requester, ResourceId{},
          LockMode::kNone, 1);
     slot = blocks_.AllocateSlot();
-    assert(slot.ok());
+    LOCKTUNE_DCHECK(slot.ok());
     out.slot = slot.value();
     return out;
   }
@@ -271,6 +271,8 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
   for (int attempt = 0; attempt < 3; ++attempt) {
     AppId victim = -1;
     int64_t victim_rows = 0;
+    // locklint: ordered-ok(max scan; ties broken by legacy hash order, which
+    // the golden suite locks in)
     for (const auto& [id, st] : apps_) {
       if (st.waiting || id == requester) continue;
       if (st.total_row_locks > victim_rows) {
@@ -319,6 +321,8 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   // Pick the table with the most row locks held by this application.
   TableId victim_table = -1;
   int64_t most_rows = 0;
+  // locklint: ordered-ok(max scan; ties broken by legacy hash order, which
+  // the golden suite locks in)
   for (const auto& [tbl, n] : state.row_locks_per_table) {
     if (n > most_rows) {
       most_rows = n;
@@ -334,9 +338,9 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
     const ResourceId& res = slot.res;
     if (res.kind != ResourceKind::kRow || res.table != victim_table) continue;
     const LockHead* h = slot.head;
-    assert(h != nullptr);
+    LOCKTUNE_DCHECK(h != nullptr);
     const LockRequest* r = h->FindHolder(app);
-    assert(r != nullptr);
+    LOCKTUNE_DCHECK(r != nullptr);
     if (r->mode == LockMode::kU || r->mode == LockMode::kX) {
       target = LockMode::kX;
       break;
@@ -346,7 +350,7 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   const ResourceId table_res = TableResource(victim_table);
   LockHead& head = table_.GetOrCreate(table_res);
   LockRequest* holder = head.FindHolder(app);
-  assert(holder != nullptr && "row locks imply an intent table lock");
+  LOCKTUNE_DCHECK(holder != nullptr && "row locks imply an intent table lock");
   const LockMode new_mode = Supremum(holder->mode, target);
 
   if (Covers(holder->mode, new_mode) ||
@@ -384,9 +388,9 @@ void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
     if (res.kind != ResourceKind::kRow || res.table != table) continue;
     const uint64_t hash = ResourceIdHash{}(res);
     LockHead* head = slot.head;
-    assert(head != nullptr);
+    LOCKTUNE_DCHECK(head != nullptr);
     LockBlock* block = head->RemoveHolder(app);
-    assert(block != nullptr);
+    LOCKTUNE_DCHECK(block != nullptr);
     blocks_.FreeSlot(block);
     --state.held_structures;
     if (head->waiters().empty()) {
@@ -434,9 +438,9 @@ void LockManager::ReleaseAll(AppId app) {
   for (const HeldSlot& slot : state.held) {
     if (!slot.live) continue;
     LockHead* head = slot.head;
-    assert(head != nullptr);
+    LOCKTUNE_DCHECK(head != nullptr);
     LockBlock* block = head->RemoveHolder(app);
-    assert(block != nullptr);
+    LOCKTUNE_DCHECK(block != nullptr);
     blocks_.FreeSlot(block);
     --state.held_structures;
     // Queue the resource only when waiters can actually be granted;
@@ -460,7 +464,7 @@ void LockManager::ReleaseAll(AppId app) {
   state.total_row_locks = 0;
   state.table_cache_valid = false;
   state.row_cache_count = nullptr;
-  assert(state.held_structures == 0);
+  LOCKTUNE_DCHECK(state.held_structures == 0);
 
   DrainWorkList();
 }
@@ -515,7 +519,7 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
     const WaitingRequest& w = head.FrontWaiter();
     if (w.is_conversion) {
       LockRequest* holder = head.FindHolder(w.app);
-      assert(holder != nullptr);
+      LOCKTUNE_DCHECK(holder != nullptr);
       if (!head.CanGrantConversion(w.app, w.mode)) break;
       const WaitingRequest granted = head.PopFrontWaiter();
       holder->mode = granted.mode;
@@ -552,7 +556,7 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
 
 void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
   AppState& state = GetApp(app);
-  assert(state.waiting);
+  LOCKTUNE_DCHECK(state.waiting);
   const bool was_escalation = state.wait_is_escalation;
   const LockMode granted_mode = state.wait_mode;
   if (options_.clock != nullptr) {
@@ -570,7 +574,7 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
   if (was_escalation) {
     ++stats_.escalations;
     if (granted_mode == LockMode::kX) ++stats_.exclusive_escalations;
-    assert(resource.kind == ResourceKind::kTable);
+    LOCKTUNE_DCHECK(resource.kind == ResourceKind::kTable);
     const int64_t rows_before =
         state.row_locks_per_table.count(resource.table) > 0
             ? state.row_locks_per_table[resource.table]
@@ -606,6 +610,8 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
   // conflicting holders and for every waiter queued ahead of it (strict
   // FIFO: it cannot overtake).
   std::unordered_map<AppId, std::vector<AppId>> edges;
+  // locklint: ordered-ok(edge-set construction; per-node out-edges come from
+  // the ordered wait queue, and the map fill order is not observable)
   for (const auto& [app, state] : apps_) {
     if (!state.waiting) continue;
     const LockHead* head = FindHead(state.wait_resource);
@@ -635,6 +641,8 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
   std::unordered_set<AppId> victim_set;  // O(1) duplicate check
   std::unordered_map<AppId, int> color;  // 0 white, 1 grey, 2 black
   std::vector<AppId> stack;
+  // locklint: ordered-ok(DFS start order follows legacy hash order; victim
+  // choice on overlapping cycles is golden-locked to it)
   for (const auto& [start, unused] : edges) {
     if (color[start] != 0) continue;
     // Path-tracking DFS.
@@ -751,8 +759,10 @@ int64_t LockManager::waiting_app_count() const {
 Status LockManager::CheckConsistency() const {
   std::lock_guard<std::mutex> guard(mu_);
   if (Status s = blocks_.CheckConsistency(); !s.ok()) return s;
+  if (Status s = table_.CheckConsistency(); !s.ok()) return s;
   int64_t slots = 0;
   int64_t blocked = 0;
+  // locklint: ordered-ok(validation only; commutative sums, no output)
   for (const auto& [app, state] : apps_) {
     slots += state.held_structures;
     if (state.waiting) ++blocked;
@@ -786,6 +796,7 @@ Status LockManager::CheckConsistency() const {
       return Status::Internal("held_index size does not match live slots");
     }
     int64_t per_table = 0;
+    // locklint: ordered-ok(validation only; commutative sum, no output)
     for (const auto& [tbl, n] : state.row_locks_per_table) per_table += n;
     if (live_rows != state.total_row_locks ||
         per_table != state.total_row_locks) {
@@ -974,7 +985,7 @@ void LockManager::CompactHeld(AppState& state) {
     if (out != i) state.held[out] = state.held[i];
     uint32_t* idx = state.held_index.Find(
         state.held[out].res, ResourceIdHash{}(state.held[out].res));
-    assert(idx != nullptr);
+    LOCKTUNE_DCHECK(idx != nullptr);
     *idx = out;
     ++out;
   }

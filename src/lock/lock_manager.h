@@ -122,7 +122,7 @@ class LockManager {
   void ReleaseAll(AppId app);
 
   // Releases one granted resource (used by tests and internal escalation).
-  Status Release(AppId app, const ResourceId& resource);
+  [[nodiscard]] Status Release(AppId app, const ResourceId& resource);
 
   // True while `app` has a waiting request (possibly an escalation
   // conversion) that has not been granted.
@@ -156,7 +156,7 @@ class LockManager {
   // Removes `count` entirely-free blocks from the end of the list;
   // all-or-nothing (paper §2.2). FAILED_PRECONDITION when fewer than
   // `count` blocks are freeable.
-  Status TryRemoveBlocks(int64_t count);
+  [[nodiscard]] Status TryRemoveBlocks(int64_t count);
 
   void set_max_lock_memory(Bytes bytes);
   Bytes max_lock_memory() const { return max_lock_memory_; }
@@ -179,7 +179,7 @@ class LockManager {
   // when a clock was supplied.
   const Histogram& wait_time_histogram() const { return wait_times_; }
   // Verifies block list and per-app accounting invariants (for tests).
-  Status CheckConsistency() const;
+  [[nodiscard]] Status CheckConsistency() const;
 
   // Registers the lock metric family (`locktune_lock_*`): request/grant/
   // wait/escalation counters, memory and block-churn gauges, and the

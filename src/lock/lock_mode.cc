@@ -1,6 +1,6 @@
 #include "lock/lock_mode.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -54,7 +54,7 @@ LockMode IntentModeFor(LockMode row_mode) {
     case LockMode::kX:
       return LockMode::kIX;
     default:
-      assert(false && "row locks must be S, U or X");
+      LOCKTUNE_DCHECK(false && "row locks must be S, U or X");
       return LockMode::kIS;
   }
 }

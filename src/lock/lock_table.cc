@@ -1,6 +1,6 @@
 #include "lock/lock_table.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -13,7 +13,7 @@ int ShardBits(int shard_count) {
 }  // namespace
 
 LockTable::LockTable(int shard_count) {
-  assert(shard_count > 0 && (shard_count & (shard_count - 1)) == 0 &&
+  LOCKTUNE_DCHECK(shard_count > 0 && (shard_count & (shard_count - 1)) == 0 &&
          "shard count must be a power of two");
   shard_mask_ = shard_count - 1;
   const int bits = ShardBits(shard_count);
@@ -63,6 +63,41 @@ int64_t LockTable::MaxShardSize() const {
   return max_size;
 }
 
+Status LockTable::CheckConsistency() const {
+  int64_t shard_sum = 0;
+  int64_t iterated = 0;
+  for (const auto& shard : shards_) {
+    shard_sum += shard.size();
+    shard.ForEach([&iterated](const ResourceId&, const Node* node) {
+      if (node != nullptr) ++iterated;
+    });
+  }
+  if (shard_sum != size_) {
+    return Status::Internal("shard sizes do not sum to the table size");
+  }
+  if (iterated != size_) {
+    return Status::Internal("shard iteration does not visit every head");
+  }
+  int64_t free_nodes = 0;
+  for (const Node* node = free_list_; node != nullptr;
+       node = node->next_free) {
+    if (!node->head.empty()) {
+      return Status::Internal("free-list node holds a non-empty head");
+    }
+    if (++free_nodes > pool_total_nodes()) {
+      return Status::Internal("free list is cyclic or over-long");
+    }
+  }
+  if (free_nodes != pool_free_) {
+    return Status::Internal("pool_free_ does not match the free list");
+  }
+  // Conservation: every slab node is either live in a shard or free.
+  if (size_ + pool_free_ != pool_total_nodes()) {
+    return Status::Internal("live + free nodes do not cover the slabs");
+  }
+  return Status::Ok();
+}
+
 LockTable::Node* LockTable::AllocateNode() {
   if (free_list_ == nullptr) {
     slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
@@ -77,7 +112,7 @@ LockTable::Node* LockTable::AllocateNode() {
   free_list_ = node->next_free;
   node->next_free = nullptr;
   --pool_free_;
-  assert(node->head.empty() && "recycled head must be clear");
+  LOCKTUNE_DCHECK(node->head.empty() && "recycled head must be clear");
   return node;
 }
 

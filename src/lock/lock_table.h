@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "lock/lock_head.h"
 #include "lock/resource.h"
 #include "lock/resource_map.h"
@@ -82,6 +83,12 @@ class LockTable {
       });
     }
   }
+
+  // Full-structure validation (paranoid mode / tests): shard occupancy sums
+  // to size(), and every pooled node is either live in a shard or on the
+  // free list (slab/pool conservation). O(total slots); returns OK or
+  // INTERNAL naming the violated invariant.
+  [[nodiscard]] Status CheckConsistency() const;
 
   // --- introspection (pool/shard gauges) ---
   int64_t size() const { return size_; }

@@ -1,17 +1,18 @@
 #include "lock/maxlocks_curve.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace locktune {
 
 MaxlocksCurve::MaxlocksCurve(double p_max, double exponent,
                              int refresh_period)
     : p_max_(p_max), exponent_(exponent), refresh_period_(refresh_period) {
-  assert(p_max > 0.0 && p_max <= 100.0);
-  assert(exponent > 0.0);
-  assert(refresh_period > 0);
+  LOCKTUNE_CHECK(p_max > 0.0 && p_max <= 100.0);
+  LOCKTUNE_CHECK(exponent > 0.0);
+  LOCKTUNE_CHECK(refresh_period > 0);
 }
 
 double MaxlocksCurve::Evaluate(double used_percent_of_max) const {

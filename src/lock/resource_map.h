@@ -17,10 +17,10 @@
 #ifndef LOCKTUNE_LOCK_RESOURCE_MAP_H_
 #define LOCKTUNE_LOCK_RESOURCE_MAP_H_
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "lock/resource.h"
 
 namespace locktune {
@@ -61,7 +61,7 @@ class ResourceHashMap {
     const size_t mask = slots_.size() - 1;
     size_t i = (hash >> shift_) & mask;
     while (slots_[i].state == SlotState::kFull) {
-      assert(!(slots_[i].key == key) && "duplicate ResourceHashMap insert");
+      LOCKTUNE_DCHECK(!(slots_[i].key == key) && "duplicate ResourceHashMap insert");
       i = (i + 1) & mask;
     }
     if (slots_[i].state == SlotState::kTombstone) --tombstones_;
@@ -92,7 +92,7 @@ class ResourceHashMap {
 
   // Removes the (full) slot at `index`, as returned by FindIndex.
   void EraseIndex(size_t index) {
-    assert(slots_[index].state == SlotState::kFull);
+    LOCKTUNE_DCHECK(slots_[index].state == SlotState::kFull);
     const size_t mask = slots_.size() - 1;
     --size_;
     if (slots_[(index + 1) & mask].state == SlotState::kEmpty) {

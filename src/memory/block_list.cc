@@ -1,6 +1,6 @@
 #include "memory/block_list.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -56,7 +56,7 @@ Result<LockBlock*> BlockList::AllocateSlot() {
 }
 
 void BlockList::FreeSlot(LockBlock* block) {
-  assert(block != nullptr);
+  LOCKTUNE_DCHECK(block != nullptr);
   const bool was_exhausted = block->full();
   block->ReturnSlot();
   --slots_in_use_;
@@ -103,7 +103,7 @@ void BlockList::Destroy(LockBlock* block) {
       return;
     }
   }
-  assert(false && "block not found in ownership store");
+  LOCKTUNE_DCHECK(false && "block not found in ownership store");
 }
 
 int64_t BlockList::entirely_free_blocks() const {

@@ -41,7 +41,7 @@ class BlockList {
   // Allocates one lock structure slot from the head block. Returns the block
   // the slot came from (the caller keeps it to free the slot later), or
   // RESOURCE_EXHAUSTED when every slot in every block is in use.
-  Result<LockBlock*> AllocateSlot();
+  [[nodiscard]] Result<LockBlock*> AllocateSlot();
 
   // Frees one slot previously obtained from AllocateSlot on `block`.
   // If the block was on the exhausted list it returns to the head of the
@@ -52,7 +52,7 @@ class BlockList {
   // active list for blocks with no outstanding lock structures. All-or-
   // nothing: on failure no block is removed and FAILED_PRECONDITION is
   // returned.
-  Status TryRemoveBlocks(int64_t count);
+  [[nodiscard]] Status TryRemoveBlocks(int64_t count);
 
   // --- accounting ---
   int64_t block_count() const { return active_count_ + exhausted_count_; }
@@ -69,7 +69,7 @@ class BlockList {
 
   // Verifies internal invariants; used by tests. Returns OK or INTERNAL
   // with a description of the violated invariant.
-  Status CheckConsistency() const;
+  [[nodiscard]] Status CheckConsistency() const;
 
  private:
   using BlockPtr = std::unique_ptr<LockBlock>;

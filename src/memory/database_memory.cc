@@ -1,15 +1,14 @@
 #include "memory/database_memory.h"
 
+#include "common/check.h"
 #include "telemetry/metrics.h"
-
-#include <cassert>
 
 namespace locktune {
 
 DatabaseMemory::DatabaseMemory(Bytes total, Bytes overflow_goal)
     : total_(total), overflow_goal_(overflow_goal) {
-  assert(total > 0);
-  assert(overflow_goal >= 0 && overflow_goal <= total);
+  LOCKTUNE_CHECK(total > 0);
+  LOCKTUNE_CHECK(overflow_goal >= 0 && overflow_goal <= total);
 }
 
 Result<MemoryHeap*> DatabaseMemory::RegisterHeap(const std::string& name,
@@ -29,6 +28,8 @@ Result<MemoryHeap*> DatabaseMemory::RegisterHeap(const std::string& name,
     return Status::ResourceExhausted("not enough free database memory for " +
                                      name);
   }
+  // locklint: alloc-ok(MemoryHeap's constructor is private to this friend;
+  // make_unique cannot reach it, and registration is a cold startup path)
   heaps_.emplace_back(new MemoryHeap(name, consumer_class, initial, min_size,
                                      max_size));
   return heaps_.back().get();
@@ -66,7 +67,7 @@ Status DatabaseMemory::Transfer(MemoryHeap* from, MemoryHeap* to,
   if (Status s = GrowHeap(to, delta); !s.ok()) {
     // Roll back the shrink so the call is atomic.
     Status undo = GrowHeap(from, delta);
-    assert(undo.ok());
+    LOCKTUNE_CHECK(undo.ok());
     (void)undo;
     return s;
   }
@@ -86,6 +87,31 @@ Bytes DatabaseMemory::heap_bytes() const {
   Bytes sum = 0;
   for (const auto& h : heaps_) sum += h->size();
   return sum;
+}
+
+Status DatabaseMemory::CheckConsistency() const {
+  Bytes sum = 0;
+  for (size_t i = 0; i < heaps_.size(); ++i) {
+    const MemoryHeap& heap = *heaps_[i];
+    if (heap.size() < 0) {
+      return Status::Internal("heap " + heap.name() + " has negative size");
+    }
+    if (heap.min_size() < 0 || heap.max_size() < heap.min_size()) {
+      return Status::Internal("heap " + heap.name() + " has inverted bounds");
+    }
+    for (size_t j = i + 1; j < heaps_.size(); ++j) {
+      if (heaps_[j]->name() == heap.name()) {
+        return Status::Internal("duplicate heap name " + heap.name());
+      }
+    }
+    sum += heap.size();
+  }
+  // sum == heap_bytes() by construction; the conservation law is that the
+  // consumers never overcommit the fixed databaseMemory total.
+  if (sum > total_) {
+    return Status::Internal("heap sizes exceed databaseMemory (overflow < 0)");
+  }
+  return Status::Ok();
 }
 
 void DatabaseMemory::RegisterMetrics(MetricsRegistry* registry) {

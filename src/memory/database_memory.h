@@ -32,7 +32,7 @@ class DatabaseMemory {
   // Creates a heap carved out of overflow memory. Fails if `initial` exceeds
   // the available overflow or violates the bounds. The returned pointer is
   // owned by DatabaseMemory and valid for its lifetime.
-  Result<MemoryHeap*> RegisterHeap(const std::string& name,
+  [[nodiscard]] Result<MemoryHeap*> RegisterHeap(const std::string& name,
                                    ConsumerClass consumer_class,
                                    Bytes initial, Bytes min_size,
                                    Bytes max_size);
@@ -40,15 +40,16 @@ class DatabaseMemory {
   // Grows `heap` by `delta` bytes taken from overflow. Fails with
   // RESOURCE_EXHAUSTED when overflow is insufficient, OUT_OF_RANGE when the
   // heap's max would be exceeded.
-  Status GrowHeap(MemoryHeap* heap, Bytes delta);
+  [[nodiscard]] Status GrowHeap(MemoryHeap* heap, Bytes delta);
 
   // Shrinks `heap` by `delta` bytes, returning them to overflow. Fails with
   // OUT_OF_RANGE when the heap would fall below its min or below zero.
-  Status ShrinkHeap(MemoryHeap* heap, Bytes delta);
+  [[nodiscard]] Status ShrinkHeap(MemoryHeap* heap, Bytes delta);
 
   // Moves `delta` bytes directly from one heap to another (STMM heap-to-heap
   // redistribution that bypasses the overflow goal).
-  Status Transfer(MemoryHeap* from, MemoryHeap* to, Bytes delta);
+  [[nodiscard]] Status Transfer(MemoryHeap* from, MemoryHeap* to,
+                                Bytes delta);
 
   MemoryHeap* FindHeap(const std::string& name) const;
 
@@ -63,13 +64,19 @@ class DatabaseMemory {
     return heaps_;
   }
 
+  // Budget-conservation validation (paranoid mode / tests): heap sizes are
+  // non-negative, unique by name, and sum to no more than total — i.e. the
+  // derived overflow area is a real, non-negative reserve. Returns OK or
+  // INTERNAL naming the violated invariant.
+  [[nodiscard]] Status CheckConsistency() const;
+
   // Registers callback gauges for the memory set (total, overflow, and one
   // `locktune_memory_heap_bytes{heap="..."}` gauge per registered heap).
   // Call after all heaps are registered; later heaps are not picked up.
   void RegisterMetrics(MetricsRegistry* registry);
 
  private:
-  Status CheckOwned(const MemoryHeap* heap) const;
+  [[nodiscard]] Status CheckOwned(const MemoryHeap* heap) const;
 
   Bytes total_;
   Bytes overflow_goal_;

@@ -1,16 +1,16 @@
 #include "memory/lock_block.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
 void LockBlock::TakeSlot() {
-  assert(!full());
+  LOCKTUNE_DCHECK(!full());
   ++in_use_;
 }
 
 void LockBlock::ReturnSlot() {
-  assert(in_use_ > 0);
+  LOCKTUNE_DCHECK(in_use_ > 0);
   --in_use_;
 }
 

@@ -1,6 +1,6 @@
 #include "workload/application.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
@@ -11,8 +11,8 @@ Application::Application(AppId id, Database* db, Workload* workload,
       workload_(workload),
       rng_(seed),
       tick_(tick) {
-  assert(db != nullptr && workload != nullptr);
-  assert(tick > 0);
+  LOCKTUNE_DCHECK(db != nullptr && workload != nullptr);
+  LOCKTUNE_DCHECK(tick > 0);
 }
 
 void Application::Connect() {
@@ -30,13 +30,13 @@ void Application::Disconnect() {
 }
 
 void Application::AbortForDeadlock() {
-  assert(phase_ == AppPhase::kBlocked);
+  LOCKTUNE_DCHECK(phase_ == AppPhase::kBlocked);
   Count(&ApplicationStats::deadlock_aborts);
   AbortToThinking();
 }
 
 void Application::AbortForTimeout() {
-  assert(phase_ == AppPhase::kBlocked);
+  LOCKTUNE_DCHECK(phase_ == AppPhase::kBlocked);
   Count(&ApplicationStats::timeout_aborts);
   AbortToThinking();
 }
@@ -73,7 +73,7 @@ void Application::Tick() {
 
 void Application::StartTransaction() {
   profile_ = workload_->NextTransaction(rng_);
-  assert(profile_.total_locks > 0 && profile_.locks_per_tick > 0);
+  LOCKTUNE_DCHECK(profile_.total_locks > 0 && profile_.locks_per_tick > 0);
   acquired_ = 0;
   table_plan_ =
       compiler_ != nullptr &&

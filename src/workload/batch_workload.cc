@@ -1,18 +1,18 @@
 #include "workload/batch_workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
 BatchWorkload::BatchWorkload(const Catalog& catalog, const std::string& table,
                              const BatchOptions& options)
     : options_(options) {
-  assert(options.rows_per_batch > 0);
-  assert(options.locks_per_tick > 0);
-  assert(options.mode == LockMode::kX || options.mode == LockMode::kU ||
+  LOCKTUNE_CHECK(options.rows_per_batch > 0);
+  LOCKTUNE_CHECK(options.locks_per_tick > 0);
+  LOCKTUNE_CHECK(options.mode == LockMode::kX || options.mode == LockMode::kU ||
          options.mode == LockMode::kS);
   const TableInfo* info = catalog.FindByName(table);
-  assert(info != nullptr && "unknown batch table");
+  LOCKTUNE_CHECK(info != nullptr && "unknown batch table");
   table_ = info->id;
   row_count_ = info->row_count;
 }

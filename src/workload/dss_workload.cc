@@ -1,15 +1,15 @@
 #include "workload/dss_workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
 DssWorkload::DssWorkload(const Catalog& catalog, const DssOptions& options)
     : options_(options) {
-  assert(options.scan_locks > 0);
-  assert(options.locks_per_tick > 0);
+  LOCKTUNE_CHECK(options.scan_locks > 0);
+  LOCKTUNE_CHECK(options.locks_per_tick > 0);
   const TableInfo* lineitem = catalog.FindByName("tpch_lineitem");
-  assert(lineitem != nullptr && "catalog lacks tpch_lineitem");
+  LOCKTUNE_CHECK(lineitem != nullptr && "catalog lacks tpch_lineitem");
   table_ = lineitem->id;
   row_count_ = lineitem->row_count;
 }

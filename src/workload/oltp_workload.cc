@@ -1,16 +1,16 @@
 #include "workload/oltp_workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace locktune {
 
 OltpWorkload::OltpWorkload(const Catalog& catalog, const OltpOptions& options)
     : options_(options) {
-  assert(options.mean_locks_per_txn > 0);
-  assert(options.locks_per_tick > 0);
-  assert(options.write_fraction >= 0.0 && options.write_fraction <= 1.0);
+  LOCKTUNE_CHECK(options.mean_locks_per_txn > 0);
+  LOCKTUNE_CHECK(options.locks_per_tick > 0);
+  LOCKTUNE_CHECK(options.write_fraction >= 0.0 && options.write_fraction <= 1.0);
   tables_ = catalog.TablesWithPrefix("tpcc_");
-  assert(!tables_.empty());
+  LOCKTUNE_CHECK(!tables_.empty());
   for (TableId t : tables_) {
     const int64_t rows = catalog.Get(t).row_count;
     row_counts_.push_back(rows);

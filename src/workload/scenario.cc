@@ -1,8 +1,8 @@
 #include "workload/scenario.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -44,15 +44,15 @@ int ClientTimeline::MaxClients() const {
 ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
                                const ScenarioOptions& options)
     : db_(db), groups_(std::move(groups)), options_(options) {
-  assert(db != nullptr);
-  assert(options.tick > 0);
+  LOCKTUNE_CHECK(db != nullptr);
+  LOCKTUNE_CHECK(options.tick > 0);
   // First sample lands one full period in, so every sample window covers
   // the same span.
   next_sample_ = db->clock().now() + options_.sample_period;
   AppId next_id = 1;
   Rng seeder(options_.seed);
   for (const ClientTimeline& g : groups_) {
-    assert(g.workload != nullptr);
+    LOCKTUNE_CHECK(g.workload != nullptr);
     group_start_.push_back(apps_.size());
     for (int i = 0; i < g.MaxClients(); ++i) {
       apps_.push_back(std::make_unique<Application>(
@@ -127,12 +127,12 @@ void ScenarioRunner::RunUntil(TimeMs until) {
       for (AppId victim : db_->locks().DetectDeadlocks()) {
         // Victim AppIds are 1-based application indices by construction.
         const size_t idx = static_cast<size_t>(victim - 1);
-        assert(idx < apps_.size());
+        LOCKTUNE_CHECK(idx < apps_.size());
         apps_[idx]->AbortForDeadlock();
       }
       for (AppId victim : db_->locks().ExpireTimedOutWaiters()) {
         const size_t idx = static_cast<size_t>(victim - 1);
-        assert(idx < apps_.size());
+        LOCKTUNE_CHECK(idx < apps_.size());
         apps_[idx]->AbortForTimeout();
       }
     }
@@ -151,7 +151,7 @@ void ScenarioRunner::ApplyTimelines(TimeMs now) {
     total_active += want;
     const size_t start = group_start_[g];
     const size_t end = group_start_[g + 1];
-    assert(static_cast<size_t>(want) <= end - start);
+    LOCKTUNE_CHECK(static_cast<size_t>(want) <= end - start);
     for (size_t i = start; i < end; ++i) {
       const bool should_connect = i - start < static_cast<size_t>(want);
       if (should_connect && !apps_[i]->connected()) {

@@ -57,16 +57,16 @@ struct ScenarioSpec {
 };
 
 // Parses scenario text. On error, names the offending line.
-Result<ScenarioSpec> ParseScenario(const std::string& text);
+[[nodiscard]] Result<ScenarioSpec> ParseScenario(const std::string& text);
 
 // Convenience: parse + reads the file. NOT_FOUND if unreadable.
-Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+[[nodiscard]] Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
 
 // Instantiated, runnable scenario (owns the database and workloads).
 class LoadedScenario {
  public:
   // Builds the database, workload objects, and runner from a spec.
-  static Result<std::unique_ptr<LoadedScenario>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<LoadedScenario>> Create(
       const ScenarioSpec& spec);
 
   Database& database() { return *database_; }

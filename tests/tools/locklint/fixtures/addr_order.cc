@@ -1,0 +1,11 @@
+// LL007 fixture: address-ordered behavior.
+#include <cstdint>
+#include <set>
+
+struct Node {};
+
+uintptr_t Key(Node* n) {
+  return reinterpret_cast<uintptr_t>(n);  // locklint_test expects LL007 line 8
+}
+
+std::set<Node*> live_nodes;  // locklint_test expects LL007 on line 11

@@ -1,0 +1,7 @@
+// LL000 fixture: a suppression with an empty reason is itself a violation.
+#include <cassert>
+
+void Validate(int n) {
+  assert(n > 0);  // locklint: assert-ok()
+}
+// locklint_test expects LL000 on line 5

@@ -1,0 +1,20 @@
+// Clean fixture: banned tokens in comments or strings do not count, and a
+// properly-annotated suppression (with a reason) silences its rule.
+// Comment mentions of rand() and system_clock are fine here.
+#include <cassert>
+#include <unordered_map>
+
+const char* kDoc = "call time(nullptr) and rand() at your peril";
+
+std::unordered_map<int, int> lookup;
+
+int Sum() {
+  int s = 0;
+  // locklint: ordered-ok(test fixture; commutative sum, order-insensitive)
+  for (const auto& [k, v] : lookup) s += v;
+  return s;
+}
+
+void Check(int n) {
+  assert(n >= 0);  // locklint: assert-ok(fixture exercising suppression)
+}

@@ -1,0 +1,11 @@
+// LL005 fixture: Status-returning declarations without [[nodiscard]].
+#ifndef FIXTURE_NODISCARD_H_
+#define FIXTURE_NODISCARD_H_
+
+struct Status {};
+
+Status Leaky();  // locklint_test expects LL005 on line 7
+
+[[nodiscard]] Status Fine();
+
+#endif  // FIXTURE_NODISCARD_H_

@@ -1,0 +1,6 @@
+// LL006 fixture: raw assert instead of LOCKTUNE_CHECK/LOCKTUNE_DCHECK.
+#include <cassert>
+
+void Validate(int n) {
+  assert(n > 0);  // locklint_test expects LL006 on line 5
+}

@@ -1,0 +1,10 @@
+// LL004 fixture: raw allocation in a file under a src/lock/ path.
+struct LockNode {};
+
+LockNode* Make() {
+  return new LockNode();  // locklint_test expects LL004 on line 5
+}
+
+void Destroy(LockNode* n) {
+  delete n;  // locklint_test expects LL004 on line 9
+}

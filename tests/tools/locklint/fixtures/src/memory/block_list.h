@@ -1,0 +1,11 @@
+// LL003 fixture: floating point in an accounting-scoped basename
+// (block_list.h) under a src/memory/ path.
+#ifndef FIXTURE_BLOCK_LIST_H_
+#define FIXTURE_BLOCK_LIST_H_
+
+struct BlockStats {
+  long used_bytes = 0;
+  double fill_ratio = 0.0;  // locklint_test expects LL003 on line 8
+};
+
+#endif  // FIXTURE_BLOCK_LIST_H_

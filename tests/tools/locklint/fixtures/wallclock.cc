@@ -1,0 +1,17 @@
+// LL001 fixture: wall-clock and libc randomness sources.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long Now() {
+  return time(nullptr);  // locklint_test expects LL001 on line 7
+}
+
+int Noise() {
+  return rand();  // locklint_test expects LL001 on line 11
+}
+
+long NowNs() {
+  auto t = std::chrono::system_clock::now();  // LL001 on line 15
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,514 @@
+// locklint — the repo's determinism & invariant linter.
+//
+// The repository's core promise is that fig6/fig9 runs, --metrics-out
+// exports, and tuner decisions are byte-identical across refactors. That
+// promise dies quietly: one wall-clock read, one iteration over an
+// unordered container in a decision path, one float in lock accounting, and
+// the golden suite fails somewhere far from the cause. locklint checks the
+// house rules mechanically, at token/regex level — deliberately not a
+// compiler plugin, so it runs anywhere the repo builds and over code that
+// does not compile yet.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the catalog and rationale):
+//   LL001 wallclock     nondeterminism sources: system_clock, time(),
+//                       rand()/srand(), std::random_device, clock(), ...
+//   LL002 ordered       iteration over unordered_map/unordered_set —
+//                       observable order is a determinism hazard; requires
+//                       a `// locklint: ordered-ok(<reason>)` annotation
+//   LL003 float         float/double in lock/memory accounting files
+//   LL004 alloc         raw new/delete in the lock hot path
+//   LL005 nodiscard     Status/Result-returning declaration without
+//                       [[nodiscard]]
+//   LL006 assert        raw assert() — use LOCKTUNE_CHECK/LOCKTUNE_DCHECK
+//   LL007 addr          address-ordered behavior: pointer→integer casts,
+//                       pointer-keyed ordered containers
+//   LL000 annotation    malformed suppression (empty reason)
+//
+// Suppressions: `// locklint: <tag>-ok(<reason>)` on the violating line or
+// the line directly above. The reason is mandatory; an empty one is itself
+// a violation. Tags: wallclock-ok, ordered-ok, float-ok, alloc-ok,
+// nodiscard-ok, assert-ok, addr-ok.
+//
+// Usage: locklint [--list-rules] <file-or-dir>...
+// Exit: 0 clean, 1 violations found, 2 usage/IO error.
+//
+// Comments and string/char literals are stripped before rule matching, so
+// banned tokens in documentation (or in this file's own pattern strings) do
+// not trip the checker; annotation comments are read from the raw line.
+// Output is sorted by (file, line, rule) and therefore deterministic
+// regardless of filesystem iteration order.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Violation& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* tag;  // suppression tag, without the "-ok" suffix
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"LL000", "annotation", "malformed locklint suppression (empty reason)"},
+    {"LL001", "wallclock",
+     "wall-clock / libc randomness source (system_clock, time(), rand(), "
+     "std::random_device, clock(), gettimeofday)"},
+    {"LL002", "ordered",
+     "iteration over unordered_map/unordered_set (observable-order hazard); "
+     "annotate ordered-ok(<reason>) when the order is proven harmless or "
+     "deliberately golden-locked"},
+    {"LL003", "float",
+     "float/double in a lock/memory accounting file (use integral Bytes)"},
+    {"LL004", "alloc", "raw new/delete in the lock hot path (use the pool)"},
+    {"LL005", "nodiscard",
+     "Status/Result-returning declaration without [[nodiscard]]"},
+    {"LL006", "assert",
+     "raw assert() (use LOCKTUNE_CHECK / LOCKTUNE_DCHECK from "
+     "common/check.h)"},
+    {"LL007", "addr",
+     "address-ordered behavior: pointer-to-integer cast or pointer-keyed "
+     "ordered container"},
+};
+
+// Basenames of files where integral accounting is mandatory (LL003).
+const std::set<std::string> kAccountingFiles = {
+    "block_list.h",  "block_list.cc",  "lock_block.h",  "lock_block.cc",
+    "memory_heap.h", "lock_table.h",   "lock_table.cc", "resource_map.h",
+    "lock_head.h",   "lock_head.cc",   "units.h",
+};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Strips // and /* */ comments plus string/char literal contents from one
+// line, replacing them with spaces so column structure survives.
+// `in_block_comment` carries /* state across lines.
+std::string StripLine(const std::string& raw, bool* in_block_comment) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (*in_block_comment) {
+      if (raw[i] == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        *in_block_comment = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    const char c = raw[i];
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+      // Line comment: blank the rest.
+      out.append(raw.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+      *in_block_comment = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += ' ';
+      ++i;
+      while (i < raw.size()) {
+        if (raw[i] == '\\' && i + 1 < raw.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        if (raw[i] == quote) {
+          out += ' ';
+          ++i;
+          break;
+        }
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+struct FileText {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  // comment/string-stripped view
+};
+
+bool LoadFile(const fs::path& path, FileText* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  bool in_block = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    out->raw.push_back(line);
+    out->code.push_back(StripLine(line, &in_block));
+  }
+  return true;
+}
+
+// Collects identifiers declared with an unordered container type, e.g.
+//   std::unordered_map<AppId, AppState> apps_;
+// Used file-locally plus from the sibling header, so members declared in
+// foo.h are known while scanning foo.cc.
+void CollectUnorderedIdentifiers(const FileText& text,
+                                 std::set<std::string>* names) {
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set)\s*<[^;{}]*>\s+([A-Za-z_]\w*)\s*(?:;|=|\{|$))");
+  for (const std::string& line : text.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      names->insert((*it)[1].str());
+    }
+  }
+}
+
+bool IsCommentOnlyLine(const std::string& raw) {
+  size_t i = raw.find_first_not_of(" \t");
+  return i != std::string::npos && raw.compare(i, 2, "//") == 0;
+}
+
+// True when the violating line, or the contiguous comment block directly
+// above it, carries a non-empty suppression for `tag`. The reason may wrap
+// onto following comment lines, so the closing paren is optional on the tag
+// line. Sets *bad_annotation when the tag is present with an empty reason.
+bool IsSuppressed(const std::vector<std::string>& raw, size_t idx,
+                  const std::string& tag, bool* bad_annotation) {
+  const std::regex ann("locklint:\\s*" + tag + "-ok\\(([^)]*)");
+  const auto check = [&](const std::string& line) {
+    std::smatch m;
+    if (!std::regex_search(line, m, ann)) return false;
+    std::string reason = m[1].str();
+    reason.erase(std::remove_if(
+                     reason.begin(), reason.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; }),
+                 reason.end());
+    if (reason.empty()) *bad_annotation = true;
+    return true;
+  };
+  if (check(raw[idx])) return !*bad_annotation;
+  for (size_t j = idx; j > 0 && IsCommentOnlyLine(raw[j - 1]); --j) {
+    if (check(raw[j - 1])) return !*bad_annotation;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  void LintFile(const fs::path& path) {
+    FileText text;
+    if (!LoadFile(path, &text)) {
+      std::cerr << "locklint: cannot read " << path.string() << "\n";
+      io_error_ = true;
+      return;
+    }
+    ++files_scanned_;
+
+    const std::string generic = path.generic_string();
+    const std::string base = path.filename().string();
+    const bool is_header = path.extension() == ".h" ||
+                           path.extension() == ".hpp";
+
+    std::set<std::string> unordered_names;
+    CollectUnorderedIdentifiers(text, &unordered_names);
+    // Members declared in the sibling header are in scope for a .cc file.
+    if (!is_header) {
+      fs::path sibling = path;
+      sibling.replace_extension(".h");
+      FileText header;
+      if (fs::exists(sibling) && LoadFile(sibling, &header)) {
+        CollectUnorderedIdentifiers(header, &unordered_names);
+      }
+    }
+
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      const std::string& code = text.code[i];
+      const int line_no = static_cast<int>(i) + 1;
+
+      CheckWallclock(generic, text, i, line_no, code);
+      CheckUnorderedIteration(generic, text, i, line_no, code,
+                              unordered_names);
+      if (kAccountingFiles.count(base) != 0) {
+        CheckFloat(generic, text, i, line_no, code);
+      }
+      if (generic.find("src/lock/") != std::string::npos ||
+          generic.find("src/memory/") != std::string::npos) {
+        CheckRawAlloc(generic, text, i, line_no, code);
+      }
+      if (is_header) CheckNodiscard(generic, text, i, line_no, code);
+      CheckAssert(generic, text, i, line_no, code);
+      CheckAddressOrder(generic, text, i, line_no, code);
+    }
+  }
+
+  // Sorted, deterministic report. Returns the process exit code.
+  int Report() const {
+    std::vector<Violation> sorted(violations_.begin(), violations_.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const Violation& v : sorted) {
+      std::cout << v.file << ":" << v.line << ": " << v.rule << ": "
+                << v.message << "\n";
+    }
+    std::cout << "locklint: " << sorted.size() << " violation(s) in "
+              << files_scanned_ << " file(s) scanned\n";
+    if (io_error_) return 2;
+    return sorted.empty() ? 0 : 1;
+  }
+
+ private:
+  void Add(const std::string& file, int line, const char* rule,
+           const std::string& message) {
+    violations_.push_back({file, line, rule, message});
+  }
+
+  // Reports `rule` at `line_no` unless suppressed by `tag`-ok(<reason>).
+  void AddUnlessSuppressed(const std::string& file, const FileText& text,
+                           size_t idx, int line_no, const char* rule,
+                           const std::string& tag,
+                           const std::string& message) {
+    bool bad_annotation = false;
+    if (IsSuppressed(text.raw, idx, tag, &bad_annotation)) return;
+    if (bad_annotation) {
+      Add(file, line_no, "LL000",
+          tag + "-ok() suppression requires a non-empty reason");
+      return;
+    }
+    Add(file, line_no, rule, message);
+  }
+
+  void CheckWallclock(const std::string& file, const FileText& text,
+                      size_t idx, int line_no, const std::string& code) {
+    static const std::regex kDirect(
+        "system_clock|std::random_device|gettimeofday|localtime|gmtime");
+    // `time(`, `clock()`, `rand(`, `srand(` only when not a member access
+    // or part of a longer identifier (db->clock(), SimClock::now are fine).
+    static const std::regex kCall(
+        R"((?:^|[^\w.>])(time|clock|rand|srand)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, kDirect)) {
+      AddUnlessSuppressed(file, text, idx, line_no, "LL001", "wallclock",
+                          "nondeterminism source '" + m[0].str() + "'");
+      return;
+    }
+    if (std::regex_search(code, m, kCall) &&
+        !LooksLikeDeclaration(code, m.position(1))) {
+      AddUnlessSuppressed(
+          file, text, idx, line_no, "LL001", "wallclock",
+          "nondeterminism source '" + m[1].str() + "()'");
+    }
+  }
+
+  // A libc-looking name at `pos` is a method declaration, not a call, when a
+  // return type precedes it: `SimClock& clock()`, `DurationMs time() const`.
+  // Calls are preceded by an operator/keyword (`= clock()`, `return time(`)
+  // or start the statement.
+  static bool LooksLikeDeclaration(const std::string& code, size_t pos) {
+    size_t i = pos;
+    while (i > 0 && code[i - 1] == ' ') --i;
+    if (i == 0) return false;
+    const char prev = code[i - 1];
+    if (prev == '&' || prev == '*') return true;  // `Type& clock()`
+    if (std::isalnum(static_cast<unsigned char>(prev)) == 0 && prev != '_') {
+      return false;  // operator or punctuation: a call site
+    }
+    size_t w = i;
+    while (w > 0 && (std::isalnum(static_cast<unsigned char>(code[w - 1])) !=
+                         0 ||
+                     code[w - 1] == '_')) {
+      --w;
+    }
+    const std::string word = code.substr(w, i - w);
+    // A keyword before the name still means a call; any other identifier is
+    // a return type.
+    return word != "return" && word != "co_return" && word != "case" &&
+           word != "co_await" && word != "throw";
+  }
+
+  void CheckUnorderedIteration(const std::string& file, const FileText& text,
+                               size_t idx, int line_no,
+                               const std::string& code,
+                               const std::set<std::string>& names) {
+    // The range expression may be a member path (state.row_locks_per_table,
+    // app->held); the trailing component is what the declaration pass knows.
+    static const std::regex kRangeFor(
+        R"(for\s*\([^;)]*:\s*((?:[A-Za-z_]\w*(?:\.|->))*([A-Za-z_]\w*))\s*\))");
+    static const std::regex kBegin(
+        R"((?:^|[^\w])(?:[A-Za-z_]\w*(?:\.|->))*([A-Za-z_]\w*)(?:\.|->)c?begin\s*\(\))");
+    std::smatch m;
+    std::string container;
+    if (std::regex_search(code, m, kRangeFor) && names.count(m[2].str())) {
+      container = m[2].str();
+    } else if (std::regex_search(code, m, kBegin) &&
+               names.count(m[1].str())) {
+      container = m[1].str();
+    }
+    if (container.empty()) return;
+    AddUnlessSuppressed(
+        file, text, idx, line_no, "LL002", "ordered",
+        "iteration over unordered container '" + container +
+            "' — annotate ordered-ok(<reason>) if the order is harmless");
+  }
+
+  void CheckFloat(const std::string& file, const FileText& text, size_t idx,
+                  int line_no, const std::string& code) {
+    static const std::regex kFloat(R"(\b(float|double)\b)");
+    std::smatch m;
+    if (std::regex_search(code, m, kFloat)) {
+      AddUnlessSuppressed(file, text, idx, line_no, "LL003", "float",
+                          m[1].str() + " in an accounting file");
+    }
+  }
+
+  void CheckRawAlloc(const std::string& file, const FileText& text,
+                     size_t idx, int line_no, const std::string& code) {
+    std::string scrubbed = code;
+    // Defaulted/deleted special members are not allocations.
+    static const std::regex kDefaulted(R"(=\s*(?:delete|default)\b)");
+    scrubbed = std::regex_replace(scrubbed, kDefaulted, "");
+    static const std::regex kAlloc(R"(\b(new|delete)\b)");
+    std::smatch m;
+    if (std::regex_search(scrubbed, m, kAlloc)) {
+      AddUnlessSuppressed(file, text, idx, line_no, "LL004", "alloc",
+                          "raw '" + m[1].str() + "' in the lock hot path");
+    }
+  }
+
+  void CheckNodiscard(const std::string& file, const FileText& text,
+                      size_t idx, int line_no, const std::string& code) {
+    static const std::regex kDecl(
+        R"((?:^|[^\w:<,&*])(?:Status|Result\s*<[^;={]*>)\s+([A-Za-z_]\w*)\s*\()");
+    std::smatch m;
+    if (!std::regex_search(code, m, kDecl)) return;
+    if (code.find("[[nodiscard]]") != std::string::npos) return;
+    if (idx > 0 &&
+        text.code[idx - 1].find("[[nodiscard]]") != std::string::npos) {
+      return;
+    }
+    AddUnlessSuppressed(file, text, idx, line_no, "LL005", "nodiscard",
+                        "'" + m[1].str() +
+                            "' returns Status/Result without [[nodiscard]]");
+  }
+
+  void CheckAssert(const std::string& file, const FileText& text, size_t idx,
+                   int line_no, const std::string& code) {
+    static const std::regex kAssert(R"((?:^|[^\w.])assert\s*\()");
+    if (std::regex_search(code, kAssert)) {
+      AddUnlessSuppressed(file, text, idx, line_no, "LL006", "assert",
+                          "raw assert() — use LOCKTUNE_CHECK or "
+                          "LOCKTUNE_DCHECK");
+    }
+  }
+
+  void CheckAddressOrder(const std::string& file, const FileText& text,
+                         size_t idx, int line_no, const std::string& code) {
+    static const std::regex kCast(R"(reinterpret_cast\s*<\s*u?intptr_t\s*>)");
+    static const std::regex kPtrKeyed(
+        R"(std::(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*)");
+    std::smatch m;
+    if (std::regex_search(code, m, kCast)) {
+      AddUnlessSuppressed(file, text, idx, line_no, "LL007", "addr",
+                          "pointer-to-integer cast orders by address");
+      return;
+    }
+    if (std::regex_search(code, m, kPtrKeyed)) {
+      AddUnlessSuppressed(
+          file, text, idx, line_no, "LL007", "addr",
+          "pointer-keyed ordered container iterates in address order");
+    }
+  }
+
+  std::vector<Violation> violations_;
+  int files_scanned_ = 0;
+  bool io_error_ = false;
+};
+
+void ListRules() {
+  for (const RuleInfo& r : kRules) {
+    std::cout << r.id << " (" << r.tag << "-ok): " << r.summary << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: locklint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "locklint: unknown flag '" << arg << "'\n";
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: locklint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "locklint: no such file or directory: " << root.string()
+                << "\n";
+      return 2;
+    }
+  }
+  // Directory iteration order is unspecified; the report must not be.
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  for (const fs::path& f : files) linter.LintFile(f);
+  return linter.Report();
+}
