@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "core/stmm_report.h"
+#include "fault/degradation_ledger.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -50,8 +51,13 @@ bool StmmController::GrantSynchronousGrowth(int64_t blocks) {
     growth_constrained_ = true;
     return false;
   }
-  if (!memory_->GrowHeap(lock_heap_, delta).ok()) {
+  if (Status s = memory_->GrowHeap(lock_heap_, delta); !s.ok()) {
     growth_constrained_ = true;
+    // The lock manager falls back to escalation; record the absorbed
+    // denial so the degradation ledger can pair it with the recovery.
+    if (ledger_ != nullptr) {
+      ledger_->RecordAbsorbed("sync_lock_growth", s.message());
+    }
     return false;
   }
   lmo_ += delta;
@@ -81,7 +87,47 @@ void StmmController::RunTuningPass() {
   const bool was_constrained = growth_constrained_;
 
   if (decision.target > inputs.allocated) {
-    GrowLockMemory(decision.target - inputs.allocated);
+    if (grow_holdoff_ > 0) {
+      // Backoff-on-denial: a recent pass had its grow refused outright by
+      // the memory set. Re-requesting the same grow every interval would
+      // hammer a denying allocator, so the controller sits out a
+      // geometrically growing number of passes instead.
+      --grow_holdoff_;
+      if (trace_ != nullptr) {
+        TraceRecord backoff(clock_->now(), "grow_backoff");
+        backoff.Str("action", "suppress")
+            .Int("denial_streak", grow_denial_streak_)
+            .Int("holdoff_remaining", grow_holdoff_)
+            .Int("wanted_bytes", decision.target - inputs.allocated);
+        trace_->Append(backoff);
+      }
+    } else {
+      grow_denied_ = false;
+      const Bytes grown = GrowLockMemory(decision.target - inputs.allocated);
+      if (grow_denied_) {
+        grow_denial_streak_ = std::min(grow_denial_streak_ + 1, 16);
+        grow_holdoff_ =
+            std::min(8, 1 << std::min(grow_denial_streak_, 3));
+        if (trace_ != nullptr) {
+          TraceRecord backoff(clock_->now(), "grow_backoff");
+          backoff.Str("action", "engage")
+              .Int("denial_streak", grow_denial_streak_)
+              .Int("holdoff_passes", grow_holdoff_)
+              .Int("wanted_bytes", decision.target - inputs.allocated);
+          trace_->Append(backoff);
+        }
+      } else if (grown > 0 && grow_denial_streak_ > 0) {
+        grow_denial_streak_ = 0;
+        if (ledger_ != nullptr) {
+          ledger_->RecordRecovery("async_grow", "asynchronous growth resumed");
+        }
+        if (trace_ != nullptr) {
+          TraceRecord backoff(clock_->now(), "grow_backoff");
+          backoff.Str("action", "recover").Int("grown_bytes", grown);
+          trace_->Append(backoff);
+        }
+      }
+    }
   } else if (decision.target < inputs.allocated) {
     ShrinkLockMemory(inputs.allocated - decision.target);
   }
@@ -243,6 +289,13 @@ Bytes StmmController::GrowLockMemory(Bytes want) {
   if (grow <= 0) return 0;
   const Status s = memory_->GrowHeap(lock_heap_, grow);
   if (!s.ok()) {
+    // A refusal here (not a clamp-to-zero above) is what arms the backoff:
+    // fault-free runs never reach this branch because `grow` was clamped to
+    // both the available overflow and the heap max.
+    grow_denied_ = true;
+    if (ledger_ != nullptr) {
+      ledger_->RecordAbsorbed("async_grow", s.message());
+    }
     LOCKTUNE_LOG(kWarning) << "async lock growth failed: " << s.ToString();
     return 0;
   }

@@ -29,6 +29,7 @@
 namespace locktune {
 
 class Counter;
+class DegradationLedger;
 class HistogramMetric;
 class MetricsRegistry;
 class TraceSink;
@@ -95,6 +96,17 @@ class StmmController {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
 
+  // Chaos layer: absorbed denials and recoveries are recorded here.
+  // Borrowed; null (the default) disables the bookkeeping, not the backoff.
+  void set_degradation_ledger(DegradationLedger* ledger) { ledger_ = ledger; }
+
+  // Backoff-on-denial state (tests / inspector). A streak counts
+  // consecutive tuning passes whose asynchronous grow was refused by the
+  // memory set; while holdoff passes remain the controller does not
+  // re-request the same grow.
+  int grow_denial_streak() const { return grow_denial_streak_; }
+  int grow_holdoff_passes() const { return grow_holdoff_; }
+
   // Cross-subsystem budget conservation (paranoid mode / tests): the lock
   // heap's committed size equals the lock manager's block-list allocation
   // (the two accountings of the same memory), sizes are block-granular, and
@@ -134,8 +146,15 @@ class StmmController {
   bool growth_constrained_ = false;
   int64_t last_escalations_ = 0;
   int quiet_passes_ = 0;
+  // Attenuated retry after denied asynchronous growth: set by
+  // GrowLockMemory when DatabaseMemory::GrowHeap refuses (never on a mere
+  // clamp-to-zero), consumed by RunTuningPass to hold off re-requests.
+  bool grow_denied_ = false;
+  int grow_denial_streak_ = 0;
+  int grow_holdoff_ = 0;
   std::vector<StmmIntervalRecord> history_;
 
+  DegradationLedger* ledger_ = nullptr;
   TraceSink* trace_ = nullptr;
   // Owned by the registry; null until RegisterMetrics. Indexed by
   // LockTunerAction.

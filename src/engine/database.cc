@@ -46,6 +46,13 @@ Status Database::Init() {
   memory_ =
       std::make_unique<DatabaseMemory>(p.database_memory, p.OverflowGoal());
 
+  if (!options_.fault.empty()) {
+    ledger_ = std::make_unique<DegradationLedger>(&clock_);
+    fault_ = std::make_unique<FaultPlan>(options_.fault, &clock_);
+    fault_->set_ledger(ledger_.get());
+    memory_->set_fault_plan(fault_.get());
+  }
+
   const auto frac = [&](double f) {
     return RoundToBlocks(
         static_cast<Bytes>(f * static_cast<double>(p.database_memory)));
@@ -147,17 +154,21 @@ Status Database::Init() {
     stmm_ = std::make_unique<StmmController>(
         p, &clock_, memory_.get(), lock_heap_, locks_.get(), &pmcs_,
         [this] { return connected_applications_; });
+    if (ledger_ != nullptr) stmm_->set_degradation_ledger(ledger_.get());
   }
 
   locks_->RegisterMetrics(&metrics_);
   memory_->RegisterMetrics(&metrics_);
   if (stmm_ != nullptr) stmm_->RegisterMetrics(&metrics_);
+  // Gated on the fault plan so fault-free metric exports are byte-identical.
+  if (ledger_ != nullptr) ledger_->RegisterMetrics(&metrics_);
   return Status::Ok();
 }
 
 void Database::set_trace_sink(TraceSink* sink) {
   trace_monitor_.set_sink(sink);
   if (stmm_ != nullptr) stmm_->set_trace_sink(sink);
+  if (ledger_ != nullptr) ledger_->set_trace_sink(sink);
 }
 
 bool Database::GrowSqlServerStyle(int64_t blocks) {
@@ -180,6 +191,9 @@ Status Database::ValidateInvariants() const {
   if (Status s = memory_->CheckConsistency(); !s.ok()) return s;
   if (stmm_ != nullptr) {
     if (Status s = stmm_->CheckConsistency(); !s.ok()) return s;
+  }
+  if (ledger_ != nullptr) {
+    if (Status s = ledger_->CheckConsistency(); !s.ok()) return s;
   }
   return Status::Ok();
 }

@@ -18,6 +18,8 @@
 #include "core/pmc_model.h"
 #include "core/stmm_controller.h"
 #include "engine/catalog.h"
+#include "fault/degradation_ledger.h"
+#include "fault/fault_plan.h"
 #include "lock/escalation_policy.h"
 #include "lock/lock_manager.h"
 #include "lock/lock_trace_bridge.h"
@@ -49,6 +51,12 @@ struct DatabaseOptions {
 
   // Catalog scale factor (row-count ranges).
   double catalog_scale = 1.0;
+
+  // Chaos layer: a non-empty spec arms a deterministic FaultPlan
+  // (memory-pressure windows, scheduled connection kills) and creates the
+  // degradation ledger. The default empty spec builds neither, leaving
+  // every code path and metric export byte-identical to a fault-free run.
+  FaultPlanSpec fault;
 };
 
 class Database {
@@ -79,6 +87,10 @@ class Database {
   const DatabaseOptions& options() const { return options_; }
   // Null in kStatic and kSqlServer modes.
   StmmController* stmm() { return stmm_.get(); }
+  // Null unless DatabaseOptions::fault was non-empty.
+  FaultPlan* fault_plan() { return fault_.get(); }
+  DegradationLedger* degradation_ledger() { return ledger_.get(); }
+  const DegradationLedger* degradation_ledger() const { return ledger_.get(); }
   PmcModel& pmcs() { return pmcs_; }
   MemoryHeap* lock_heap() { return lock_heap_; }
   MemoryHeap* buffer_pool_heap() { return buffer_pool_; }
@@ -113,6 +125,10 @@ class Database {
   // both are present.
   std::unique_ptr<TeeEventMonitor> tee_monitor_;
   std::unique_ptr<DatabaseMemory> memory_;
+  // Built before the subsystems they hook into; both null for a fault-free
+  // run.
+  std::unique_ptr<DegradationLedger> ledger_;
+  std::unique_ptr<FaultPlan> fault_;
   std::unique_ptr<EscalationPolicy> policy_;
   std::unique_ptr<LockManager> locks_;
   PmcModel pmcs_;

@@ -1,0 +1,80 @@
+// The degradation ledger: one auditable record of every fault the system
+// absorbed and every recovery back to normal service.
+//
+// Three event classes:
+//  * injection — a FaultPlan window/kill actually fired (the cause);
+//  * absorbed  — a subsystem met a denial with a degraded-but-correct
+//    response: the lock manager escalated instead of failing the
+//    transaction, the STMM controller backed off instead of thrashing;
+//  * recovery  — a degraded path returned to normal (growth resumed after
+//    the denial window closed).
+//
+// Counters register with the MetricsRegistry as `locktune_fault_*` and
+// every event appends a decision-trace record, so a chaos run's `db2pd`
+// inspection and JSONL trace tell the same story. The ledger only exists
+// when a scenario carries a fault plan; fault-free runs register nothing
+// and their metric exports stay byte-identical.
+#ifndef LOCKTUNE_FAULT_DEGRADATION_LEDGER_H_
+#define LOCKTUNE_FAULT_DEGRADATION_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace locktune {
+
+class MetricsRegistry;
+class TraceSink;
+
+class DegradationLedger {
+ public:
+  // `clock` is borrowed and must outlive the ledger (trace timestamps).
+  explicit DegradationLedger(const SimClock* clock);
+
+  DegradationLedger(const DegradationLedger&) = delete;
+  DegradationLedger& operator=(const DegradationLedger&) = delete;
+
+  // Decision-trace sink. Borrowed; null disables tracing.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  // An injected fault fired at `site` (e.g. "deny_heap_growth").
+  void RecordInjection(std::string_view site, std::string_view detail);
+  // A subsystem absorbed a denial gracefully (e.g. "sync_lock_growth").
+  void RecordAbsorbed(std::string_view site, std::string_view detail);
+  // A degraded path returned to normal service.
+  void RecordRecovery(std::string_view site, std::string_view detail);
+
+  int64_t injections() const { return injections_; }
+  int64_t absorbed() const { return absorbed_; }
+  int64_t recoveries() const { return recoveries_; }
+  // Per-site injection counts, ordered by site name (deterministic).
+  const std::map<std::string, int64_t>& injections_by_site() const {
+    return by_site_;
+  }
+
+  // Registers the `locktune_fault_*` counter family.
+  void RegisterMetrics(MetricsRegistry* registry);
+
+  // Ledger invariants (paranoid mode): counts are non-negative and the
+  // per-site breakdown sums to the injection total.
+  [[nodiscard]] Status CheckConsistency() const;
+
+ private:
+  void Trace(const char* kind, std::string_view site,
+             std::string_view detail);
+
+  const SimClock* clock_;
+  TraceSink* trace_ = nullptr;
+  int64_t injections_ = 0;
+  int64_t absorbed_ = 0;
+  int64_t recoveries_ = 0;
+  std::map<std::string, int64_t> by_site_;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_FAULT_DEGRADATION_LEDGER_H_

@@ -1,0 +1,85 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fault/degradation_ledger.h"
+
+namespace locktune {
+
+FaultPlan::FaultPlan(const FaultPlanSpec& spec, const SimClock* clock)
+    : spec_(spec), clock_(clock), armed_(!spec.empty()), rng_(spec.seed) {
+  LOCKTUNE_CHECK(clock != nullptr);
+  for (const FaultWindowSpec& w : spec_.windows) {
+    LOCKTUNE_CHECK(w.from >= 0 && w.until >= w.from);
+    LOCKTUNE_CHECK(w.probability >= 0.0 && w.probability <= 1.0);
+    LOCKTUNE_CHECK(w.kind != FaultKind::kSqueezeOverflow || w.amount > 0);
+  }
+  std::sort(spec_.kills.begin(), spec_.kills.end(),
+            [](const FaultKillSpec& a, const FaultKillSpec& b) {
+              return a.at != b.at ? a.at < b.at : a.app < b.app;
+            });
+  for (const FaultKillSpec& k : spec_.kills) {
+    LOCKTUNE_CHECK(k.at >= 0 && k.app >= 1);
+  }
+}
+
+Status FaultPlan::OnHeapGrow(const std::string& heap, Bytes delta,
+                             Bytes available_overflow) {
+  const TimeMs now = clock_->now();
+  for (const FaultWindowSpec& w : spec_.windows) {
+    if (now < w.from || now >= w.until) continue;
+    if (w.kind == FaultKind::kDenyHeapGrowth) {
+      if (w.heap != "*" && w.heap != heap) continue;
+      if (w.probability < 1.0 && !rng_.NextBool(w.probability)) continue;
+      ++denials_injected_;
+      if (ledger_ != nullptr) {
+        ledger_->RecordInjection("deny_heap_growth", heap);
+      }
+      return Status::ResourceExhausted("fault injection: growth of heap " +
+                                       heap + " denied");
+    }
+  }
+  // Squeeze windows only bite when the *withheld* reserve is what the
+  // growth needed: a genuinely sufficient overflow minus the squeeze.
+  const Bytes squeezed = overflow_squeeze_bytes();
+  if (squeezed > 0 && delta > available_overflow - squeezed) {
+    ++denials_injected_;
+    if (ledger_ != nullptr) {
+      ledger_->RecordInjection("squeeze_overflow", heap);
+    }
+    return Status::ResourceExhausted(
+        "fault injection: overflow squeezed, growth of heap " + heap +
+        " denied");
+  }
+  return Status::Ok();
+}
+
+Bytes FaultPlan::overflow_squeeze_bytes() const {
+  const TimeMs now = clock_->now();
+  Bytes squeezed = 0;
+  for (const FaultWindowSpec& w : spec_.windows) {
+    if (w.kind != FaultKind::kSqueezeOverflow) continue;
+    if (now < w.from || now >= w.until) continue;
+    squeezed += w.amount;
+  }
+  return squeezed;
+}
+
+std::vector<int32_t> FaultPlan::TakeDueKills() {
+  std::vector<int32_t> due;
+  const TimeMs now = clock_->now();
+  while (next_kill_ < spec_.kills.size() && spec_.kills[next_kill_].at <= now) {
+    due.push_back(spec_.kills[next_kill_].app);
+    ++kills_delivered_;
+    if (ledger_ != nullptr) {
+      ledger_->RecordInjection("kill_app",
+                               "app " + std::to_string(
+                                            spec_.kills[next_kill_].app));
+    }
+    ++next_kill_;
+  }
+  return due;
+}
+
+}  // namespace locktune

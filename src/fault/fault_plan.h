@@ -1,0 +1,117 @@
+// Deterministic fault-injection plans (chaos layer).
+//
+// A FaultPlan schedules injectable faults over *virtual* time: heap-growth
+// denials (memory-pressure storms, forced STMM resize denials),
+// overflow-memory exhaustion windows, and mid-transaction application
+// kills. Everything is driven by the SimClock and a seeded Rng — no wall
+// clock, no global state — so a chaos scenario replays byte-identically.
+//
+// Injection sites live in the memory/lock hot paths and therefore must be
+// behaviorally inert when no plan is armed: callers gate every query on
+// `plan != nullptr && plan->Armed()` (enforced mechanically by locklint
+// rule LL008). A disarmed or absent plan never consumes randomness and
+// never changes observable output, which is what keeps the fig6/fig9
+// goldens byte-identical.
+#ifndef LOCKTUNE_FAULT_FAULT_PLAN_H_
+#define LOCKTUNE_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace locktune {
+
+class DegradationLedger;
+
+enum class FaultKind {
+  // Refuse DatabaseMemory::GrowHeap for a matching heap inside the window.
+  // Covers both the synchronous lock-growth path (GrantSynchronousGrowth)
+  // and asynchronous STMM resizes of the same heap.
+  kDenyHeapGrowth,
+  // Withhold `amount` bytes of overflow memory inside the window: growth
+  // that would need the withheld reserve is refused, modelling competing
+  // consumers exhausting the on-demand area.
+  kSqueezeOverflow,
+};
+
+// One scheduled fault window over [from, until) virtual time.
+struct FaultWindowSpec {
+  FaultKind kind = FaultKind::kDenyHeapGrowth;
+  std::string heap;          // kDenyHeapGrowth: heap name; "*" matches all
+  Bytes amount = 0;          // kSqueezeOverflow: bytes withheld
+  TimeMs from = 0;
+  TimeMs until = 0;
+  // kDenyHeapGrowth: chance each matching grow is refused. Draws come from
+  // the plan's seeded Rng, so the refusal pattern is reproducible.
+  double probability = 1.0;
+};
+
+// One scheduled mid-transaction kill: application `app` (1-based scenario
+// index) is killed at virtual time `at`, forcing its rollback path.
+struct FaultKillSpec {
+  TimeMs at = 0;
+  int32_t app = 0;
+};
+
+struct FaultPlanSpec {
+  std::vector<FaultWindowSpec> windows;
+  std::vector<FaultKillSpec> kills;
+  uint64_t seed = 0;
+
+  bool empty() const { return windows.empty() && kills.empty(); }
+};
+
+class FaultPlan {
+ public:
+  // `clock` is borrowed and must outlive the plan. Kills are sorted by
+  // (time, app) so consumption order is deterministic.
+  FaultPlan(const FaultPlanSpec& spec, const SimClock* clock);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Fast-path guard: false when the plan can never fire (empty spec). Every
+  // injection site checks this before any other plan call (LL008).
+  bool Armed() const { return armed_; }
+
+  // Injection hook for DatabaseMemory::GrowHeap, called after the real
+  // bounds checks pass (a genuine exhaustion outranks an injected one).
+  // Returns RESOURCE_EXHAUSTED when an active window refuses the growth,
+  // OK otherwise. Records every refusal in the ledger.
+  [[nodiscard]] Status OnHeapGrow(const std::string& heap, Bytes delta,
+                                  Bytes available_overflow);
+
+  // Overflow bytes withheld by active squeeze windows at the current time.
+  Bytes overflow_squeeze_bytes() const;
+
+  // Kills due at or before the current time, each returned exactly once,
+  // in (time, app) order. The scenario runner drives the actual kill.
+  std::vector<int32_t> TakeDueKills();
+
+  // Ledger for injected-fault telemetry. Borrowed; null disables.
+  void set_ledger(DegradationLedger* ledger) { ledger_ = ledger; }
+
+  const FaultPlanSpec& spec() const { return spec_; }
+  // Total injected refusals so far (tests / inspector).
+  int64_t denials_injected() const { return denials_injected_; }
+  int64_t kills_delivered() const { return kills_delivered_; }
+
+ private:
+  FaultPlanSpec spec_;
+  const SimClock* clock_;
+  bool armed_ = false;
+  Rng rng_;
+  size_t next_kill_ = 0;  // index into the sorted kill schedule
+  int64_t denials_injected_ = 0;
+  int64_t kills_delivered_ = 0;
+  DegradationLedger* ledger_ = nullptr;
+};
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_FAULT_FAULT_PLAN_H_

@@ -1,6 +1,7 @@
 #include "memory/database_memory.h"
 
 #include "common/check.h"
+#include "fault/fault_plan.h"
 #include "telemetry/metrics.h"
 
 namespace locktune {
@@ -36,6 +37,11 @@ Result<MemoryHeap*> DatabaseMemory::RegisterHeap(const std::string& name,
 }
 
 Status DatabaseMemory::GrowHeap(MemoryHeap* heap, Bytes delta) {
+  return GrowHeapImpl(heap, delta, /*faultable=*/true);
+}
+
+Status DatabaseMemory::GrowHeapImpl(MemoryHeap* heap, Bytes delta,
+                                    bool faultable) {
   if (Status s = CheckOwned(heap); !s.ok()) return s;
   if (delta < 0) return Status::InvalidArgument("negative growth");
   if (delta == 0) return Status::Ok();
@@ -44,6 +50,14 @@ Status DatabaseMemory::GrowHeap(MemoryHeap* heap, Bytes delta) {
   }
   if (delta > overflow_bytes()) {
     return Status::ResourceExhausted("overflow memory exhausted");
+  }
+  // Chaos hook, after the real bounds checks: a genuine exhaustion outranks
+  // an injected one, and a refusal leaves the accounting untouched.
+  if (faultable && fault_ != nullptr && fault_->Armed()) {
+    if (Status s = fault_->OnHeapGrow(heap->name_, delta, overflow_bytes());
+        !s.ok()) {
+      return s;
+    }
   }
   heap->size_ += delta;
   return Status::Ok();
@@ -65,10 +79,10 @@ Status DatabaseMemory::Transfer(MemoryHeap* from, MemoryHeap* to,
                                 Bytes delta) {
   if (Status s = ShrinkHeap(from, delta); !s.ok()) return s;
   if (Status s = GrowHeap(to, delta); !s.ok()) {
-    // Roll back the shrink so the call is atomic.
-    Status undo = GrowHeap(from, delta);
-    LOCKTUNE_CHECK(undo.ok());
-    (void)undo;
+    // Roll back the shrink so the call is atomic. The rollback bypasses
+    // fault injection (an injected refusal here would break atomicity and
+    // lose bytes), and the bytes just left `from`, so it cannot fail.
+    LOCKTUNE_CHECK_OK(GrowHeapImpl(from, delta, /*faultable=*/false));
     return s;
   }
   return Status::Ok();

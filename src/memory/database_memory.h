@@ -18,6 +18,7 @@
 
 namespace locktune {
 
+class FaultPlan;
 class MetricsRegistry;
 
 class DatabaseMemory {
@@ -75,12 +76,24 @@ class DatabaseMemory {
   // Call after all heaps are registered; later heaps are not picked up.
   void RegisterMetrics(MetricsRegistry* registry);
 
+  // Chaos layer: an armed FaultPlan may refuse GrowHeap (allocation
+  // refusals, overflow-squeeze windows) with RESOURCE_EXHAUSTED. Borrowed;
+  // null (the default) leaves every path byte-identical to a fault-free
+  // build. Accounting is never touched by a refusal — the grow simply does
+  // not happen.
+  void set_fault_plan(FaultPlan* fault) { fault_ = fault; }
+
  private:
   [[nodiscard]] Status CheckOwned(const MemoryHeap* heap) const;
+  // `faultable` gates the chaos hook: internal rollback grows (Transfer)
+  // must succeed even inside an injection window.
+  [[nodiscard]] Status GrowHeapImpl(MemoryHeap* heap, Bytes delta,
+                                    bool faultable);
 
   Bytes total_;
   Bytes overflow_goal_;
   std::vector<std::unique_ptr<MemoryHeap>> heaps_;
+  FaultPlan* fault_ = nullptr;  // borrowed chaos hook, may be null
 };
 
 }  // namespace locktune

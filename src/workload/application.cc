@@ -41,6 +41,17 @@ void Application::AbortForTimeout() {
   AbortToThinking();
 }
 
+void Application::KillConnection() {
+  if (phase_ == AppPhase::kDisconnected) return;
+  const bool mid_txn = phase_ == AppPhase::kRunning ||
+                       phase_ == AppPhase::kBlocked ||
+                       phase_ == AppPhase::kHolding;
+  db_->locks().ReleaseAll(id_);
+  if (mid_txn) Count(&ApplicationStats::kill_aborts);
+  phase_ = AppPhase::kDisconnected;
+  acquired_ = 0;
+}
+
 void Application::Tick() {
   switch (phase_) {
     case AppPhase::kDisconnected:
@@ -123,6 +134,13 @@ void Application::RunAcquisition() {
 }
 
 void Application::Commit() {
+  if (profile_.abort_at_end) {
+    // Abort-storm archetype: the client did all the locking work and rolls
+    // back at the finish line.
+    Count(&ApplicationStats::user_aborts);
+    AbortToThinking();
+    return;
+  }
   db_->locks().ReleaseAll(id_);
   Count(&ApplicationStats::commits);
   acquired_ = 0;

@@ -31,6 +31,8 @@ struct ApplicationStats {
   int64_t deadlock_aborts = 0;
   int64_t timeout_aborts = 0;  // lock waits past LOCKTIMEOUT
   int64_t oom_aborts = 0;  // transactions failed for lack of lock memory
+  int64_t user_aborts = 0;  // client-initiated rollbacks (abort storms)
+  int64_t kill_aborts = 0;  // mid-transaction connection kills (fault plan)
   int64_t locks_acquired = 0;
   int64_t blocked_ticks = 0;
 };
@@ -60,6 +62,12 @@ class Application {
 
   // Lock-timeout treatment (DB2 SQL0911N RC 68): same rollback-and-retry.
   void AbortForTimeout();
+
+  // Fault-plan treatment: the connection dies abruptly. Any in-flight
+  // transaction is forced through rollback (all locks released, counted as
+  // a kill abort); the scenario timeline reconnects the client on a later
+  // tick, modeling crash-and-restart.
+  void KillConnection();
 
   // Optional SQL compiler (§3.6): when set, each transaction's locking
   // granularity is chosen at start from the compiler's lock memory view; a

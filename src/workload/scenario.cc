@@ -81,6 +81,18 @@ void ScenarioRunner::RegisterMetrics() {
       "locktune_workload_oom_aborts_total",
       "transactions failed for lack of lock memory",
       [this] { return total_oom_aborts(); });
+  if (options_.robustness_metrics) {
+    // Only for chaos scenarios: registering these unconditionally would
+    // change every fault-free metric export.
+    registry.AddCallbackCounter(
+        "locktune_workload_user_aborts_total",
+        "transactions rolled back by the client (abort storms)",
+        [this] { return total_user_aborts(); });
+    registry.AddCallbackCounter(
+        "locktune_workload_kill_aborts_total",
+        "transactions rolled back by mid-flight connection kills",
+        [this] { return total_kill_aborts(); });
+  }
   registry.AddCallbackCounter(
       "locktune_workload_locks_acquired_total", "row/table locks acquired",
       [this] { return totals_.locks_acquired; });
@@ -114,6 +126,20 @@ void ScenarioRunner::RunUntil(TimeMs until) {
   while (db_->clock().now() < until) {
     const TimeMs now = db_->clock().now();
     ApplyTimelines(now);
+
+    // Fault-plan connection kills. A killed application rolls back and
+    // disconnects this tick; the next ApplyTimelines reconnects it if its
+    // timeline says it should be active (crash-and-restart).
+    if (FaultPlan* fault = db_->fault_plan();
+        fault != nullptr && fault->Armed()) {
+      for (int32_t victim : fault->TakeDueKills()) {
+        // Kill targets are 1-based application indices, like deadlock
+        // victims below.
+        const size_t idx = static_cast<size_t>(victim - 1);
+        LOCKTUNE_CHECK(idx < apps_.size());
+        apps_[idx]->KillConnection();
+      }
+    }
 
     for (const auto& app : apps_) {
       if (app->connected()) app->Tick();

@@ -35,6 +35,11 @@ struct ScenarioOptions {
   DurationMs deadlock_check_period = 1 * kSecond;
   DurationMs duration = 1 * kMinute;
   uint64_t seed = 42;
+  // Registers the kill/user-abort metric counters. Chaos scenarios set
+  // this (scenario_config does it whenever a [fault] or [hostile] section
+  // is present); it stays off otherwise so fault-free metric exports are
+  // byte-identical to earlier versions.
+  bool robustness_metrics = false;
 };
 
 class ScenarioRunner {
@@ -64,6 +69,8 @@ class ScenarioRunner {
   int64_t total_deadlock_aborts() const { return totals_.deadlock_aborts; }
   int64_t total_timeout_aborts() const { return totals_.timeout_aborts; }
   int64_t total_oom_aborts() const { return totals_.oom_aborts; }
+  int64_t total_user_aborts() const { return totals_.user_aborts; }
+  int64_t total_kill_aborts() const { return totals_.kill_aborts; }
 
   const std::vector<std::unique_ptr<Application>>& applications() const {
     return apps_;

@@ -18,12 +18,7 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
-Status LineError(int line_no, const std::string& message) {
-  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
-                                 message);
-}
-
-bool ParseInt(const std::string& s, int64_t* out) {
+bool ParseRawInt(const std::string& s, int64_t* out) {
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0') return false;
@@ -31,7 +26,7 @@ bool ParseInt(const std::string& s, int64_t* out) {
   return true;
 }
 
-bool ParseDouble(const std::string& s, double* out) {
+bool ParseRawDouble(const std::string& s, double* out) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') return false;
@@ -39,12 +34,370 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+std::string FmtNum(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// One line of a scenario file. Every error it produces has the form
+// `<source>:<line>: ...` and names the offending key and the expected
+// value, so a typo in a 300-line chaos scenario is a one-glance fix.
+class LineParser {
+ public:
+  LineParser(const std::string& source, int line_no,
+             const std::vector<std::string>& tokens)
+      : source_(source), line_no_(line_no), tokens_(tokens) {}
+
+  const std::string& key() const { return tokens_[0]; }
+  size_t values() const { return tokens_.size() - 1; }
+  const std::string& token(size_t i) const { return tokens_[i]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(source_ + ":" + std::to_string(line_no_) +
+                                   ": " + message);
+  }
+  Status UnknownKey(const std::string& where) const {
+    return Error("unknown key '" + key() + "' in " + where);
+  }
+  Status WantValues(size_t n) const {
+    if (values() == n) return Status::Ok();
+    return Error("key '" + key() + "' wants " + std::to_string(n) +
+                 " value(s), got " + std::to_string(values()));
+  }
+
+  // Value parsers. Index `i` is the token index (the key is token 0).
+  [[nodiscard]] Status IntAt(size_t i, int64_t* out) const {
+    if (!ParseRawInt(tokens_[i], out)) {
+      return Error("key '" + key() + "' wants an integer, got '" +
+                   tokens_[i] + "'");
+    }
+    return Status::Ok();
+  }
+  [[nodiscard]] Status IntAtLeast(size_t i, int64_t min, int64_t* out) const {
+    if (Status s = IntAt(i, out); !s.ok()) return s;
+    if (*out < min) {
+      return Error("key '" + key() + "' wants an integer >= " +
+                   std::to_string(min) + ", got '" + tokens_[i] + "'");
+    }
+    return Status::Ok();
+  }
+  [[nodiscard]] Status DoubleAt(size_t i, double* out) const {
+    if (!ParseRawDouble(tokens_[i], out)) {
+      return Error("key '" + key() + "' wants a number, got '" + tokens_[i] +
+                   "'");
+    }
+    return Status::Ok();
+  }
+  [[nodiscard]] Status DoubleIn(size_t i, double lo, bool lo_open, double hi,
+                                bool hi_open, double* out) const {
+    if (Status s = DoubleAt(i, out); !s.ok()) return s;
+    const bool in_range = (lo_open ? *out > lo : *out >= lo) &&
+                          (hi_open ? *out < hi : *out <= hi);
+    if (!in_range) {
+      return Error("key '" + key() + "' wants a number in " +
+                   (lo_open ? "(" : "[") + FmtNum(lo) + ", " + FmtNum(hi) +
+                   (hi_open ? ")" : "]") + ", got '" + tokens_[i] + "'");
+    }
+    return Status::Ok();
+  }
+
+  // Single-value conveniences (arity check + parse + range).
+  [[nodiscard]] Status OneInt(int64_t* out) const {
+    if (Status s = WantValues(1); !s.ok()) return s;
+    return IntAt(1, out);
+  }
+  [[nodiscard]] Status OnePositiveInt(int64_t* out) const {
+    if (Status s = WantValues(1); !s.ok()) return s;
+    return IntAtLeast(1, 1, out);
+  }
+  [[nodiscard]] Status OneNonNegativeInt(int64_t* out) const {
+    if (Status s = WantValues(1); !s.ok()) return s;
+    return IntAtLeast(1, 0, out);
+  }
+  [[nodiscard]] Status OneDoubleIn(double lo, bool lo_open, double hi,
+                                   bool hi_open, double* out) const {
+    if (Status s = WantValues(1); !s.ok()) return s;
+    return DoubleIn(1, lo, lo_open, hi, hi_open, out);
+  }
+  [[nodiscard]] Status OneLockMode(LockMode* out) const {
+    if (Status s = WantValues(1); !s.ok()) return s;
+    if (tokens_[1] == "X") {
+      *out = LockMode::kX;
+    } else if (tokens_[1] == "U") {
+      *out = LockMode::kU;
+    } else if (tokens_[1] == "S") {
+      *out = LockMode::kS;
+    } else {
+      return Error("key '" + key() + "' wants S, U or X, got '" + tokens_[1] +
+                   "'");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& source_;
+  int line_no_;
+  const std::vector<std::string>& tokens_;
+};
+
+Status ParseGlobalLine(const LineParser& p, ScenarioSpec* spec) {
+  const std::string& key = p.key();
+  int64_t iv = 0;
+  double dv = 0.0;
+
+  if (key == "database_memory_mb") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->database.params.database_memory = iv * kMiB;
+  } else if (key == "mode") {
+    if (Status s = p.WantValues(1); !s.ok()) return s;
+    if (p.token(1) == "selftuning") {
+      spec->database.mode = TuningMode::kSelfTuning;
+    } else if (p.token(1) == "static") {
+      spec->database.mode = TuningMode::kStatic;
+    } else if (p.token(1) == "sqlserver") {
+      spec->database.mode = TuningMode::kSqlServer;
+    } else {
+      return p.Error(
+          "key 'mode' wants one of: selftuning, static, sqlserver; got '" +
+          p.token(1) + "'");
+    }
+  } else if (key == "static_locklist_pages") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->database.static_locklist_pages = iv;
+  } else if (key == "static_maxlocks_percent") {
+    if (Status s = p.OneDoubleIn(0, true, 100, false, &dv); !s.ok()) return s;
+    spec->database.static_maxlocks_percent = dv;
+  } else if (key == "initial_locklist_pages") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->database.params.initial_locklist_pages = iv;
+  } else if (key == "tuning_interval_s") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->database.params.tuning_interval = iv * kSecond;
+  } else if (key == "adaptive_interval") {
+    if (Status s = p.WantValues(1); !s.ok()) return s;
+    if (p.token(1) != "on" && p.token(1) != "off") {
+      return p.Error("key 'adaptive_interval' wants on or off, got '" +
+                     p.token(1) + "'");
+    }
+    spec->database.params.adaptive_interval = p.token(1) == "on";
+  } else if (key == "lock_timeout_ms") {
+    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    spec->database.lock_timeout = iv;
+  } else if (key == "duration_s") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->runner.duration = iv * kSecond;
+  } else if (key == "sample_period_s") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    spec->runner.sample_period = iv * kSecond;
+  } else if (key == "seed") {
+    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    spec->runner.seed = static_cast<uint64_t>(iv);
+  } else if (key == "delta_reduce_percent") {
+    if (Status s = p.OneDoubleIn(0, true, 100, true, &dv); !s.ok()) return s;
+    spec->database.params.delta_reduce = dv / 100.0;
+  } else {
+    return p.UnknownKey("the global section");
+  }
+  return Status::Ok();
+}
+
+Status ParseOltpLine(const LineParser& p, WorkloadSpec* section) {
+  const std::string& key = p.key();
+  int64_t iv = 0;
+  double dv = 0.0;
+
+  if (key == "mean_locks_per_txn") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->oltp.mean_locks_per_txn = iv;
+  } else if (key == "locks_per_tick") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->oltp.locks_per_tick = static_cast<int>(iv);
+  } else if (key == "write_fraction") {
+    if (Status s = p.OneDoubleIn(0, false, 1, false, &dv); !s.ok()) return s;
+    section->oltp.write_fraction = dv;
+  } else if (key == "think_time_ms") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->oltp.think_time = iv;
+  } else if (key == "zipf") {
+    if (Status s = p.OneDoubleIn(0, false, 1, true, &dv); !s.ok()) return s;
+    section->oltp.row_zipf_theta = dv;
+  } else {
+    return p.UnknownKey("[oltp]");
+  }
+  return Status::Ok();
+}
+
+Status ParseDssLine(const LineParser& p, WorkloadSpec* section) {
+  const std::string& key = p.key();
+  int64_t iv = 0;
+
+  if (key == "scan_locks") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->dss.scan_locks = iv;
+  } else if (key == "locks_per_tick") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->dss.locks_per_tick = static_cast<int>(iv);
+  } else if (key == "hold_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->dss.hold_time = iv * kSecond;
+  } else if (key == "think_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->dss.think_time = iv * kSecond;
+  } else {
+    return p.UnknownKey("[dss]");
+  }
+  return Status::Ok();
+}
+
+Status ParseBatchLine(const LineParser& p, WorkloadSpec* section) {
+  const std::string& key = p.key();
+  int64_t iv = 0;
+
+  if (key == "rows_per_batch") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->batch.rows_per_batch = iv;
+  } else if (key == "locks_per_tick") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->batch.locks_per_tick = static_cast<int>(iv);
+  } else if (key == "hold_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->batch.hold_time = iv * kSecond;
+  } else if (key == "think_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->batch.think_time = iv * kSecond;
+  } else if (key == "table") {
+    if (Status s = p.WantValues(1); !s.ok()) return s;
+    section->batch_table = p.token(1);
+  } else if (key == "mode") {
+    if (Status s = p.OneLockMode(&section->batch.mode); !s.ok()) return s;
+  } else {
+    return p.UnknownKey("[batch]");
+  }
+  return Status::Ok();
+}
+
+Status ParseHostileLine(const LineParser& p, WorkloadSpec* section) {
+  const std::string& key = p.key();
+  int64_t iv = 0;
+
+  if (key == "archetype") {
+    if (Status s = p.WantValues(1); !s.ok()) return s;
+    if (p.token(1) == "lock_hog") {
+      section->hostile.archetype = HostileArchetype::kLockHog;
+    } else if (p.token(1) == "idle_holder") {
+      section->hostile.archetype = HostileArchetype::kIdleHolder;
+    } else if (p.token(1) == "abort_storm") {
+      section->hostile.archetype = HostileArchetype::kAbortStorm;
+    } else if (p.token(1) == "request_storm") {
+      section->hostile.archetype = HostileArchetype::kRequestStorm;
+    } else {
+      return p.Error(
+          "key 'archetype' wants one of: lock_hog, idle_holder, "
+          "abort_storm, request_storm; got '" +
+          p.token(1) + "'");
+    }
+  } else if (key == "table") {
+    if (Status s = p.WantValues(1); !s.ok()) return s;
+    section->hostile_table = p.token(1);
+  } else if (key == "locks_per_txn") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->hostile.locks_per_txn = iv;
+  } else if (key == "locks_per_tick") {
+    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    section->hostile.locks_per_tick = static_cast<int>(iv);
+  } else if (key == "hold_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->hostile.hold_time = iv * kSecond;
+  } else if (key == "think_time_s") {
+    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    section->hostile.think_time = iv * kSecond;
+  } else if (key == "mode") {
+    if (Status s = p.OneLockMode(&section->hostile.mode); !s.ok()) return s;
+  } else {
+    return p.UnknownKey("[hostile]");
+  }
+  return Status::Ok();
+}
+
+Status ParseFaultLine(const LineParser& p, ScenarioSpec* spec,
+                      bool* fault_seed_set) {
+  const std::string& key = p.key();
+  FaultPlanSpec& fault = spec->database.fault;
+  int64_t iv = 0;
+
+  if (key == "fault_seed") {
+    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    fault.seed = static_cast<uint64_t>(iv);
+    *fault_seed_set = true;
+  } else if (key == "deny_heap") {
+    if (p.values() != 3 && p.values() != 4) {
+      return p.Error(
+          "key 'deny_heap' wants: deny_heap <heap> <from_s> <until_s> "
+          "[probability]");
+    }
+    FaultWindowSpec w;
+    w.kind = FaultKind::kDenyHeapGrowth;
+    w.heap = p.token(1);
+    int64_t from = 0, until = 0;
+    if (Status s = p.IntAtLeast(2, 0, &from); !s.ok()) return s;
+    if (Status s = p.IntAtLeast(3, 0, &until); !s.ok()) return s;
+    if (until <= from) {
+      return p.Error("key 'deny_heap' wants until_s > from_s (the window "
+                     "[from, until) is empty)");
+    }
+    w.from = from * kSecond;
+    w.until = until * kSecond;
+    if (p.values() == 4) {
+      if (Status s = p.DoubleIn(4, 0, false, 1, false, &w.probability);
+          !s.ok()) {
+        return s;
+      }
+    }
+    fault.windows.push_back(w);
+  } else if (key == "squeeze_overflow_mb") {
+    if (Status s = p.WantValues(3); !s.ok()) return s;
+    int64_t mb = 0, from = 0, until = 0;
+    if (Status s = p.IntAtLeast(1, 1, &mb); !s.ok()) return s;
+    if (Status s = p.IntAtLeast(2, 0, &from); !s.ok()) return s;
+    if (Status s = p.IntAtLeast(3, 0, &until); !s.ok()) return s;
+    if (until <= from) {
+      return p.Error(
+          "key 'squeeze_overflow_mb' wants until_s > from_s (the window "
+          "[from, until) is empty)");
+    }
+    FaultWindowSpec w;
+    w.kind = FaultKind::kSqueezeOverflow;
+    w.heap = "*";
+    w.amount = mb * kMiB;
+    w.from = from * kSecond;
+    w.until = until * kSecond;
+    fault.windows.push_back(w);
+  } else if (key == "kill_app") {
+    if (Status s = p.WantValues(2); !s.ok()) return s;
+    int64_t app = 0, at = 0;
+    if (Status s = p.IntAtLeast(1, 1, &app); !s.ok()) return s;
+    if (Status s = p.IntAtLeast(2, 0, &at); !s.ok()) return s;
+    FaultKillSpec k;
+    k.at = at * kSecond;
+    k.app = static_cast<int32_t>(app);
+    fault.kills.push_back(k);
+  } else {
+    return p.UnknownKey("[fault]");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-Result<ScenarioSpec> ParseScenario(const std::string& text) {
+Result<ScenarioSpec> ParseScenario(const std::string& text,
+                                   const std::string& source_name) {
   ScenarioSpec spec;
   spec.runner.duration = 60 * kSecond;
   WorkloadSpec* section = nullptr;
+  bool in_fault_section = false;
+  bool fault_seed_set = false;
+  bool any_hostile = false;
 
   std::istringstream is(text);
   std::string raw;
@@ -56,163 +409,106 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
     if (hash != std::string::npos) raw.resize(hash);
     const std::vector<std::string> tokens = Tokenize(raw);
     if (tokens.empty()) continue;
+    const LineParser p(source_name, line_no, tokens);
 
     // Section headers.
-    if (tokens[0] == "[oltp]" || tokens[0] == "[dss]" ||
-        tokens[0] == "[batch]") {
-      if (tokens.size() != 1) return LineError(line_no, "trailing tokens");
+    if (tokens[0].front() == '[') {
+      if (tokens.size() != 1) {
+        return p.Error("trailing tokens after section header " + tokens[0]);
+      }
+      if (tokens[0] == "[fault]") {
+        in_fault_section = true;
+        section = nullptr;
+        continue;
+      }
+      if (tokens[0] != "[oltp]" && tokens[0] != "[dss]" &&
+          tokens[0] != "[batch]" && tokens[0] != "[hostile]") {
+        return p.Error("unknown section " + tokens[0] +
+                       " (expected [oltp], [dss], [batch], [hostile] or "
+                       "[fault])");
+      }
+      in_fault_section = false;
       spec.workloads.emplace_back();
       section = &spec.workloads.back();
-      section->kind = tokens[0] == "[oltp]"  ? WorkloadSpec::Kind::kOltp
-                      : tokens[0] == "[dss]" ? WorkloadSpec::Kind::kDss
-                                             : WorkloadSpec::Kind::kBatch;
+      if (tokens[0] == "[oltp]") {
+        section->kind = WorkloadSpec::Kind::kOltp;
+      } else if (tokens[0] == "[dss]") {
+        section->kind = WorkloadSpec::Kind::kDss;
+      } else if (tokens[0] == "[batch]") {
+        section->kind = WorkloadSpec::Kind::kBatch;
+      } else {
+        section->kind = WorkloadSpec::Kind::kHostile;
+        any_hostile = true;
+      }
       continue;
     }
-    if (tokens[0].front() == '[') {
-      return LineError(line_no, "unknown section " + tokens[0]);
-    }
 
-    const std::string& key = tokens[0];
-    const auto need = [&](size_t n) { return tokens.size() == n + 1; };
-    int64_t iv = 0;
-    double dv = 0.0;
+    if (in_fault_section) {
+      if (Status s = ParseFaultLine(p, &spec, &fault_seed_set); !s.ok()) {
+        return s;
+      }
+      continue;
+    }
 
     if (section == nullptr) {
-      // Global keys.
-      if (key == "database_memory_mb" && need(1) &&
-          ParseInt(tokens[1], &iv) && iv > 0) {
-        spec.database.params.database_memory = iv * kMiB;
-      } else if (key == "mode" && need(1)) {
-        if (tokens[1] == "selftuning") {
-          spec.database.mode = TuningMode::kSelfTuning;
-        } else if (tokens[1] == "static") {
-          spec.database.mode = TuningMode::kStatic;
-        } else if (tokens[1] == "sqlserver") {
-          spec.database.mode = TuningMode::kSqlServer;
-        } else {
-          return LineError(line_no, "unknown mode " + tokens[1]);
-        }
-      } else if (key == "static_locklist_pages" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        spec.database.static_locklist_pages = iv;
-      } else if (key == "static_maxlocks_percent" && need(1) &&
-                 ParseDouble(tokens[1], &dv) && dv > 0 && dv <= 100) {
-        spec.database.static_maxlocks_percent = dv;
-      } else if (key == "initial_locklist_pages" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        spec.database.params.initial_locklist_pages = iv;
-      } else if (key == "tuning_interval_s" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        spec.database.params.tuning_interval = iv * kSecond;
-      } else if (key == "adaptive_interval" && need(1)) {
-        spec.database.params.adaptive_interval = tokens[1] == "on";
-      } else if (key == "lock_timeout_ms" && need(1) &&
-                 ParseInt(tokens[1], &iv)) {
-        spec.database.lock_timeout = iv;
-      } else if (key == "duration_s" && need(1) && ParseInt(tokens[1], &iv) &&
-                 iv > 0) {
-        spec.runner.duration = iv * kSecond;
-      } else if (key == "sample_period_s" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        spec.runner.sample_period = iv * kSecond;
-      } else if (key == "seed" && need(1) && ParseInt(tokens[1], &iv)) {
-        spec.runner.seed = static_cast<uint64_t>(iv);
-      } else if (key == "delta_reduce_percent" && need(1) &&
-                 ParseDouble(tokens[1], &dv) && dv > 0 && dv < 100) {
-        spec.database.params.delta_reduce = dv / 100.0;
-      } else {
-        return LineError(line_no, "bad global setting: " + raw);
-      }
+      if (Status s = ParseGlobalLine(p, &spec); !s.ok()) return s;
       continue;
     }
 
-    // Section keys.
-    if (key == "clients" && need(2)) {
+    // Keys shared by all workload sections.
+    if (p.key() == "clients") {
+      if (Status s = p.WantValues(2); !s.ok()) return s;
       int64_t at = 0, count = 0;
-      if (!ParseInt(tokens[1], &at) || !ParseInt(tokens[2], &count) ||
-          at < 0 || count < 0) {
-        return LineError(line_no, "clients wants: clients <at_s> <count>");
-      }
-      section->client_steps.push_back({at * kSecond, static_cast<int>(count)});
-    } else if (section->kind == WorkloadSpec::Kind::kOltp) {
-      if (key == "mean_locks_per_txn" && need(1) && ParseInt(tokens[1], &iv) &&
-          iv > 0) {
-        section->oltp.mean_locks_per_txn = iv;
-      } else if (key == "locks_per_tick" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        section->oltp.locks_per_tick = static_cast<int>(iv);
-      } else if (key == "write_fraction" && need(1) &&
-                 ParseDouble(tokens[1], &dv) && dv >= 0 && dv <= 1) {
-        section->oltp.write_fraction = dv;
-      } else if (key == "think_time_ms" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv >= 0) {
-        section->oltp.think_time = iv;
-      } else if (key == "zipf" && need(1) && ParseDouble(tokens[1], &dv) &&
-                 dv >= 0 && dv < 1) {
-        section->oltp.row_zipf_theta = dv;
-      } else {
-        return LineError(line_no, "bad [oltp] setting: " + raw);
-      }
-    } else if (section->kind == WorkloadSpec::Kind::kDss) {
-      if (key == "scan_locks" && need(1) && ParseInt(tokens[1], &iv) &&
-          iv > 0) {
-        section->dss.scan_locks = iv;
-      } else if (key == "locks_per_tick" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        section->dss.locks_per_tick = static_cast<int>(iv);
-      } else if (key == "hold_time_s" && need(1) && ParseInt(tokens[1], &iv) &&
-                 iv >= 0) {
-        section->dss.hold_time = iv * kSecond;
-      } else if (key == "think_time_s" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv >= 0) {
-        section->dss.think_time = iv * kSecond;
-      } else {
-        return LineError(line_no, "bad [dss] setting: " + raw);
-      }
-    } else {  // kBatch
-      if (key == "rows_per_batch" && need(1) && ParseInt(tokens[1], &iv) &&
-          iv > 0) {
-        section->batch.rows_per_batch = iv;
-      } else if (key == "locks_per_tick" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv > 0) {
-        section->batch.locks_per_tick = static_cast<int>(iv);
-      } else if (key == "hold_time_s" && need(1) && ParseInt(tokens[1], &iv) &&
-                 iv >= 0) {
-        section->batch.hold_time = iv * kSecond;
-      } else if (key == "think_time_s" && need(1) &&
-                 ParseInt(tokens[1], &iv) && iv >= 0) {
-        section->batch.think_time = iv * kSecond;
-      } else if (key == "table" && need(1)) {
-        section->batch_table = tokens[1];
-      } else if (key == "mode" && need(1)) {
-        if (tokens[1] == "X") {
-          section->batch.mode = LockMode::kX;
-        } else if (tokens[1] == "U") {
-          section->batch.mode = LockMode::kU;
-        } else if (tokens[1] == "S") {
-          section->batch.mode = LockMode::kS;
-        } else {
-          return LineError(line_no, "batch mode must be S, U or X");
-        }
-      } else {
-        return LineError(line_no, "bad [batch] setting: " + raw);
-      }
+      if (Status s = p.IntAtLeast(1, 0, &at); !s.ok()) return s;
+      if (Status s = p.IntAtLeast(2, 0, &count); !s.ok()) return s;
+      section->client_steps.push_back(
+          {at * kSecond, static_cast<int>(count)});
+      continue;
     }
+    Status s = Status::Ok();
+    switch (section->kind) {
+      case WorkloadSpec::Kind::kOltp:
+        s = ParseOltpLine(p, section);
+        break;
+      case WorkloadSpec::Kind::kDss:
+        s = ParseDssLine(p, section);
+        break;
+      case WorkloadSpec::Kind::kBatch:
+        s = ParseBatchLine(p, section);
+        break;
+      case WorkloadSpec::Kind::kHostile:
+        s = ParseHostileLine(p, section);
+        break;
+    }
+    if (!s.ok()) return s;
   }
 
   if (spec.workloads.empty()) {
-    return Status::InvalidArgument("no workload sections ([oltp] / [dss])");
+    return Status::InvalidArgument(
+        source_name +
+        ": no workload sections ([oltp] / [dss] / [batch] / [hostile])");
   }
   for (size_t i = 0; i < spec.workloads.size(); ++i) {
     WorkloadSpec& w = spec.workloads[i];
     if (w.client_steps.empty()) {
-      return Status::InvalidArgument("workload section " +
+      return Status::InvalidArgument(source_name + ": workload section " +
                                      std::to_string(i + 1) +
                                      " has no clients lines");
     }
     std::sort(w.client_steps.begin(), w.client_steps.end());
   }
   if (Status s = spec.database.params.Validate(); !s.ok()) return s;
+
+  // The fault plan draws from its own stream so arming faults never
+  // perturbs workload randomness; absent an explicit fault_seed it is
+  // still derived deterministically from the scenario seed.
+  if (!fault_seed_set) {
+    spec.database.fault.seed = spec.runner.seed ^ 0x9e3779b97f4a7c15ULL;
+  }
+  // Kill/user-abort counters only exist for chaos scenarios, keeping
+  // fault-free metric exports byte-identical.
+  spec.runner.robustness_metrics =
+      !spec.database.fault.empty() || any_hostile;
   return spec;
 }
 
@@ -221,7 +517,7 @@ Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot read " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseScenario(buffer.str());
+  return ParseScenario(buffer.str(), path);
 }
 
 Result<std::unique_ptr<LoadedScenario>> LoadedScenario::Create(
@@ -232,6 +528,7 @@ Result<std::unique_ptr<LoadedScenario>> LoadedScenario::Create(
   loaded->database_ = std::move(db).value();
 
   std::vector<ClientTimeline> timelines;
+  int64_t total_app_slots = 0;
   for (const WorkloadSpec& w : spec.workloads) {
     std::unique_ptr<Workload> workload;
     if (w.kind == WorkloadSpec::Kind::kOltp) {
@@ -240,19 +537,39 @@ Result<std::unique_ptr<LoadedScenario>> LoadedScenario::Create(
     } else if (w.kind == WorkloadSpec::Kind::kDss) {
       workload = std::make_unique<DssWorkload>(loaded->database_->catalog(),
                                                w.dss);
-    } else {
+    } else if (w.kind == WorkloadSpec::Kind::kBatch) {
       if (loaded->database_->catalog().FindByName(w.batch_table) == nullptr) {
         return Status::InvalidArgument("unknown batch table " +
                                        w.batch_table);
       }
       workload = std::make_unique<BatchWorkload>(
           loaded->database_->catalog(), w.batch_table, w.batch);
+    } else {
+      if (loaded->database_->catalog().FindByName(w.hostile_table) ==
+          nullptr) {
+        return Status::InvalidArgument("unknown hostile table " +
+                                       w.hostile_table);
+      }
+      workload = std::make_unique<HostileWorkload>(
+          loaded->database_->catalog(), w.hostile_table, w.hostile);
     }
     ClientTimeline tl;
     tl.workload = workload.get();
     tl.steps = w.client_steps;
+    total_app_slots += tl.MaxClients();
     timelines.push_back(tl);
     loaded->workloads_.push_back(std::move(workload));
+  }
+  // kill_app targets are 1-based application indices; an index past the
+  // scenario's population would trip the runner's bounds check at fire
+  // time — reject it up front with a useful message instead.
+  for (const FaultKillSpec& k : spec.database.fault.kills) {
+    if (static_cast<int64_t>(k.app) > total_app_slots) {
+      return Status::InvalidArgument(
+          "kill_app target " + std::to_string(k.app) + " exceeds the " +
+          std::to_string(total_app_slots) +
+          " application slot(s) in this scenario");
+    }
   }
   loaded->runner_ = std::make_unique<ScenarioRunner>(
       loaded->database_.get(), std::move(timelines), spec.runner);

@@ -20,9 +20,20 @@
 //     locks_per_tick 3000
 //     hold_time_s 600
 //
-// `#` starts a comment; blank lines are ignored. Parsing is strict: unknown
-// keys, malformed numbers, or out-of-range values produce an error naming
-// the line.
+// Chaos scenarios add a `[hostile]` workload section (misbehaving
+// application archetypes: lock_hog, idle_holder, abort_storm,
+// request_storm) and a `[fault]` section scheduling deterministic fault
+// injection (see docs/ROBUSTNESS.md):
+//
+//     [fault]
+//     deny_heap locklist 120 180      # refuse locklist growth, t=[120,180)s
+//     squeeze_overflow_mb 64 60 90    # withhold 64 MB of overflow
+//     kill_app 3 45                   # kill application #3 at t=45 s
+//
+// `#` starts a comment; blank lines are ignored. Parsing is strict:
+// unknown keys, malformed numbers, or out-of-range values produce an error
+// of the form `<file>:<line>: ...` naming the offending key and the
+// expected form.
 #ifndef LOCKTUNE_WORKLOAD_SCENARIO_CONFIG_H_
 #define LOCKTUNE_WORKLOAD_SCENARIO_CONFIG_H_
 
@@ -34,6 +45,7 @@
 #include "engine/database.h"
 #include "workload/batch_workload.h"
 #include "workload/dss_workload.h"
+#include "workload/hostile_workload.h"
 #include "workload/oltp_workload.h"
 #include "workload/scenario.h"
 
@@ -41,25 +53,31 @@ namespace locktune {
 
 // One workload section from the file.
 struct WorkloadSpec {
-  enum class Kind { kOltp, kDss, kBatch } kind = Kind::kOltp;
+  enum class Kind { kOltp, kDss, kBatch, kHostile } kind = Kind::kOltp;
   OltpOptions oltp;
   DssOptions dss;
   BatchOptions batch;
+  HostileOptions hostile;
   std::string batch_table = "tpch_orders";
+  std::string hostile_table = "tpcc_stock";
   std::vector<std::pair<TimeMs, int>> client_steps;
 };
 
-// A fully parsed scenario: database options + workloads + runner options.
+// A fully parsed scenario: database options (including any fault plan) +
+// workloads + runner options.
 struct ScenarioSpec {
   DatabaseOptions database;
   ScenarioOptions runner;
   std::vector<WorkloadSpec> workloads;
 };
 
-// Parses scenario text. On error, names the offending line.
-[[nodiscard]] Result<ScenarioSpec> ParseScenario(const std::string& text);
+// Parses scenario text. On error, the message is `source_name:line: ...`
+// and names the offending key.
+[[nodiscard]] Result<ScenarioSpec> ParseScenario(
+    const std::string& text, const std::string& source_name = "<scenario>");
 
-// Convenience: parse + reads the file. NOT_FOUND if unreadable.
+// Convenience: parse + reads the file (errors name the file path).
+// NOT_FOUND if unreadable.
 [[nodiscard]] Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
 
 // Instantiated, runnable scenario (owns the database and workloads).

@@ -32,6 +32,9 @@ struct TransactionProfile {
   DurationMs hold_time = 0;
   // Client think time after commit, before the next transaction.
   DurationMs think_time = 0;
+  // Misbehaving application (abort-storm archetype): the transaction does
+  // all its work, then rolls back instead of committing.
+  bool abort_at_end = false;
 };
 
 class Workload {

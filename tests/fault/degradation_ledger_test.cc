@@ -1,0 +1,77 @@
+#include "fault/degradation_ledger.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace locktune {
+namespace {
+
+TEST(DegradationLedgerTest, CountsEventsBySiteDeterministically) {
+  SimClock clock;
+  DegradationLedger ledger(&clock);
+  ledger.RecordInjection("deny_heap_growth", "locklist");
+  ledger.RecordInjection("deny_heap_growth", "locklist");
+  ledger.RecordInjection("kill_app", "app 3");
+  ledger.RecordAbsorbed("sync_lock_growth", "escalated instead");
+  ledger.RecordRecovery("async_grow", "growth resumed");
+
+  EXPECT_EQ(ledger.injections(), 3);
+  EXPECT_EQ(ledger.absorbed(), 1);
+  EXPECT_EQ(ledger.recoveries(), 1);
+  ASSERT_EQ(ledger.injections_by_site().size(), 2u);
+  EXPECT_EQ(ledger.injections_by_site().at("deny_heap_growth"), 2);
+  EXPECT_EQ(ledger.injections_by_site().at("kill_app"), 1);
+  EXPECT_TRUE(ledger.CheckConsistency().ok());
+}
+
+TEST(DegradationLedgerTest, TraceRecordsCarrySiteAndDetail) {
+  SimClock clock;
+  clock.Advance(1234);
+  DegradationLedger ledger(&clock);
+  MemoryTraceSink sink;
+  ledger.set_trace_sink(&sink);
+
+  ledger.RecordAbsorbed("async_grow", "RESOURCE_EXHAUSTED");
+  ledger.RecordRecovery("async_grow", "growth resumed");
+
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].kind(), "fault_absorbed");
+  EXPECT_EQ(sink.records()[0].time_ms(), 1234);
+  ASSERT_NE(sink.records()[0].Find("site"), nullptr);
+  EXPECT_EQ(*sink.records()[0].Find("site"), "\"async_grow\"");
+  EXPECT_EQ(sink.records()[1].kind(), "fault_recovered");
+}
+
+TEST(DegradationLedgerTest, RegistersFaultCounterFamily) {
+  SimClock clock;
+  DegradationLedger ledger(&clock);
+  MetricsRegistry registry;
+  ledger.RegisterMetrics(&registry);
+  ledger.RecordInjection("deny_heap_growth", "locklist");
+  ledger.RecordAbsorbed("sync_lock_growth", "escalated");
+
+  std::ostringstream os;
+  WritePrometheus(registry, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("locktune_fault_injections_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("locktune_fault_absorbed_total 1"), std::string::npos);
+  EXPECT_NE(text.find("locktune_fault_recoveries_total 0"),
+            std::string::npos);
+}
+
+TEST(DegradationLedgerTest, SilentWithoutTraceSink) {
+  SimClock clock;
+  DegradationLedger ledger(&clock);
+  ledger.RecordInjection("deny_heap_growth", "locklist");  // must not crash
+  EXPECT_EQ(ledger.injections(), 1);
+}
+
+}  // namespace
+}  // namespace locktune

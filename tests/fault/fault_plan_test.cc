@@ -1,0 +1,155 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/degradation_ledger.h"
+#include "telemetry/trace.h"
+
+namespace locktune {
+namespace {
+
+FaultWindowSpec DenyWindow(const std::string& heap, TimeMs from, TimeMs until,
+                           double probability = 1.0) {
+  FaultWindowSpec w;
+  w.kind = FaultKind::kDenyHeapGrowth;
+  w.heap = heap;
+  w.from = from;
+  w.until = until;
+  w.probability = probability;
+  return w;
+}
+
+FaultWindowSpec SqueezeWindow(Bytes amount, TimeMs from, TimeMs until) {
+  FaultWindowSpec w;
+  w.kind = FaultKind::kSqueezeOverflow;
+  w.heap = "*";
+  w.amount = amount;
+  w.from = from;
+  w.until = until;
+  return w;
+}
+
+TEST(FaultPlanTest, EmptySpecIsDisarmed) {
+  SimClock clock;
+  FaultPlan plan(FaultPlanSpec{}, &clock);
+  EXPECT_FALSE(plan.Armed());
+  EXPECT_TRUE(plan.OnHeapGrow("locklist", kLockBlockSize, kMiB).ok());
+  EXPECT_EQ(plan.overflow_squeeze_bytes(), 0);
+  EXPECT_TRUE(plan.TakeDueKills().empty());
+  EXPECT_EQ(plan.denials_injected(), 0);
+}
+
+TEST(FaultPlanTest, DenyWindowRefusesMatchingHeapInsideWindow) {
+  SimClock clock;
+  FaultPlanSpec spec;
+  spec.windows.push_back(DenyWindow("locklist", 100, 200));
+  FaultPlan plan(spec, &clock);
+  ASSERT_TRUE(plan.Armed());
+
+  // Before the window.
+  EXPECT_TRUE(plan.OnHeapGrow("locklist", kLockBlockSize, kMiB).ok());
+  clock.Advance(100);
+  // Inside [from, until): matching heap denied, others untouched.
+  const Status denied = plan.OnHeapGrow("locklist", kLockBlockSize, kMiB);
+  EXPECT_EQ(denied.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(plan.OnHeapGrow("buffer_pool", kLockBlockSize, kMiB).ok());
+  clock.Advance(99);
+  EXPECT_FALSE(plan.OnHeapGrow("locklist", kLockBlockSize, kMiB).ok());
+  // `until` is exclusive.
+  clock.Advance(1);
+  EXPECT_TRUE(plan.OnHeapGrow("locklist", kLockBlockSize, kMiB).ok());
+  EXPECT_EQ(plan.denials_injected(), 2);
+}
+
+TEST(FaultPlanTest, WildcardHeapMatchesEverything) {
+  SimClock clock;
+  FaultPlanSpec spec;
+  spec.windows.push_back(DenyWindow("*", 0, 100));
+  FaultPlan plan(spec, &clock);
+  EXPECT_FALSE(plan.OnHeapGrow("locklist", 1, kMiB).ok());
+  EXPECT_FALSE(plan.OnHeapGrow("sort", 1, kMiB).ok());
+}
+
+TEST(FaultPlanTest, ProbabilisticDenialIsSeedDeterministic) {
+  FaultPlanSpec spec;
+  spec.windows.push_back(DenyWindow("locklist", 0, 1000, 0.5));
+  spec.seed = 99;
+
+  const auto run = [&spec] {
+    SimClock clock;
+    FaultPlan plan(spec, &clock);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(plan.OnHeapGrow("locklist", 1, kMiB).ok());
+    }
+    return outcomes;
+  };
+  const std::vector<bool> first = run();
+  EXPECT_EQ(first, run());
+  // p=0.5 over 64 draws: both outcomes occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST(FaultPlanTest, SqueezeDeniesOnlyWhenReserveIsNeeded) {
+  SimClock clock;
+  FaultPlanSpec spec;
+  spec.windows.push_back(SqueezeWindow(10 * kMiB, 0, 1000));
+  FaultPlan plan(spec, &clock);
+  EXPECT_EQ(plan.overflow_squeeze_bytes(), 10 * kMiB);
+
+  // Growth fitting in overflow minus the squeeze passes...
+  EXPECT_TRUE(plan.OnHeapGrow("locklist", 2 * kMiB, 20 * kMiB).ok());
+  // ...growth needing the withheld reserve is refused.
+  EXPECT_EQ(plan.OnHeapGrow("locklist", 15 * kMiB, 20 * kMiB).code(),
+            StatusCode::kResourceExhausted);
+  // Outside the window the squeeze vanishes.
+  clock.Advance(1000);
+  EXPECT_EQ(plan.overflow_squeeze_bytes(), 0);
+  EXPECT_TRUE(plan.OnHeapGrow("locklist", 15 * kMiB, 20 * kMiB).ok());
+}
+
+TEST(FaultPlanTest, KillsDeliveredOnceInTimeOrder) {
+  SimClock clock;
+  FaultPlanSpec spec;
+  spec.kills.push_back({200, 7});
+  spec.kills.push_back({100, 3});
+  spec.kills.push_back({100, 1});
+  FaultPlan plan(spec, &clock);
+
+  EXPECT_TRUE(plan.TakeDueKills().empty());
+  clock.Advance(100);
+  EXPECT_EQ(plan.TakeDueKills(), (std::vector<int32_t>{1, 3}));
+  // Already-taken kills never reappear.
+  EXPECT_TRUE(plan.TakeDueKills().empty());
+  clock.Advance(100);
+  EXPECT_EQ(plan.TakeDueKills(), (std::vector<int32_t>{7}));
+  EXPECT_EQ(plan.kills_delivered(), 3);
+}
+
+TEST(FaultPlanTest, EventsFlowIntoTheLedger) {
+  SimClock clock;
+  FaultPlanSpec spec;
+  spec.windows.push_back(DenyWindow("locklist", 0, 100));
+  spec.kills.push_back({0, 2});
+  FaultPlan plan(spec, &clock);
+  DegradationLedger ledger(&clock);
+  MemoryTraceSink sink;
+  ledger.set_trace_sink(&sink);
+  plan.set_ledger(&ledger);
+
+  EXPECT_FALSE(plan.OnHeapGrow("locklist", 1, kMiB).ok());
+  plan.TakeDueKills();
+
+  EXPECT_EQ(ledger.injections(), 2);
+  ASSERT_EQ(ledger.injections_by_site().count("deny_heap_growth"), 1u);
+  ASSERT_EQ(ledger.injections_by_site().count("kill_app"), 1u);
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].kind(), "fault_injected");
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,0 +1,19 @@
+// LL008 fixture: a fault hook without an Armed() fast-path guard nearby.
+namespace locktune {
+
+void UngatedHook(FaultPlan* fault_plan) {
+  fault_plan->OnHeapGrow(1, 2, 3);
+}
+
+void GatedHook(FaultPlan* fault_plan) {
+  if (fault_plan != nullptr && fault_plan->Armed()) {
+    fault_plan->OnHeapGrow(1, 2, 3);
+  }
+}
+
+void SuppressedHook(FaultPlan* fault_plan) {
+  // locklint: faultgate-ok(cold shutdown path, armed checked by the caller)
+  fault_plan->OnKill(7);
+}
+
+}  // namespace locktune

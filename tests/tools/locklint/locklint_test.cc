@@ -105,6 +105,17 @@ TEST(LocklintTest, AddressOrderRule) {
       << run.output;
 }
 
+TEST(LocklintTest, FaultGateRule) {
+  const LintRun run =
+      RunLocklint(FixtureRoot() + "/src/memory/fault_gate.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  ExpectViolation(run, "fault_gate.cc", 5, "LL008");
+  // The Armed()-gated hook on line 10 and the suppressed hook on line 16
+  // must not be flagged.
+  EXPECT_NE(run.output.find("1 violation(s)"), std::string::npos)
+      << run.output;
+}
+
 TEST(LocklintTest, EmptyReasonIsItsOwnViolation) {
   const LintRun run = RunLocklint(FixtureRoot() + "/bad_annotation.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -126,8 +137,9 @@ TEST(LocklintTest, WholeFixtureTreeIsDeterministicallySorted) {
   const LintRun run = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.exit_code, 1);
   // 3 wallclock + 1 unordered + 1 float + 2 alloc + 1 nodiscard + 1 assert
-  // + 2 addr + 1 bad-annotation = 12, and a second run must be identical.
-  EXPECT_NE(run.output.find("12 violation(s)"), std::string::npos)
+  // + 2 addr + 1 faultgate + 1 bad-annotation = 13, and a second run must
+  // be identical.
+  EXPECT_NE(run.output.find("13 violation(s)"), std::string::npos)
       << run.output;
   const LintRun again = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.output, again.output);
@@ -137,7 +149,7 @@ TEST(LocklintTest, ListRules) {
   const LintRun run = RunLocklint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* id : {"LL000", "LL001", "LL002", "LL003", "LL004",
-                         "LL005", "LL006", "LL007"}) {
+                         "LL005", "LL006", "LL007", "LL008"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << run.output;
   }
 }

@@ -153,30 +153,192 @@ clients 0 10  # here too
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
 }
 
-TEST(ScenarioConfigTest, ErrorsNameTheLine) {
-  const Result<ScenarioSpec> spec = ParseScenario(R"(
+// Asserts that parsing `text` fails and the message carries every fragment
+// in `fragments` — the source name, the `line` number, and the offending
+// key, per the file:line:key error contract.
+void ExpectParseError(const std::string& text, int line,
+                      std::initializer_list<const char*> fragments) {
+  const Result<ScenarioSpec> spec = ParseScenario(text, "test.conf");
+  ASSERT_FALSE(spec.ok()) << "expected a parse error for: " << text;
+  const std::string& message = spec.status().message();
+  const std::string prefix = "test.conf:" + std::to_string(line) + ":";
+  EXPECT_NE(message.find(prefix), std::string::npos)
+      << "missing '" << prefix << "' in: " << message;
+  for (const char* fragment : fragments) {
+    EXPECT_NE(message.find(fragment), std::string::npos)
+        << "missing '" << fragment << "' in: " << message;
+  }
+}
+
+TEST(ScenarioConfigTest, ErrorsNameTheSourceLineAndKey) {
+  ExpectParseError(R"(
 database_memory_mb 256
 flux_capacitance 88
-)");
+)",
+                   3, {"flux_capacitance", "global section"});
+}
+
+TEST(ScenarioConfigTest, DefaultSourceNameIsScenario) {
+  const Result<ScenarioSpec> spec = ParseScenario("flux_capacitance 88\n");
   ASSERT_FALSE(spec.ok());
-  EXPECT_NE(spec.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(spec.status().message().find("<scenario>:1:"),
+            std::string::npos)
+      << spec.status().message();
 }
 
 TEST(ScenarioConfigTest, RejectsUnknownSection) {
-  EXPECT_FALSE(ParseScenario("[tpch]\nclients 0 1\n").ok());
+  ExpectParseError("[tpch]\nclients 0 1\n", 1, {"unknown section [tpch]"});
 }
 
 TEST(ScenarioConfigTest, RejectsUnknownSectionKey) {
-  EXPECT_FALSE(ParseScenario("[oltp]\nclients 0 1\nscan_locks 5\n").ok());
-  EXPECT_FALSE(ParseScenario("[dss]\nclients 0 1\nzipf 0.5\n").ok());
+  ExpectParseError("[oltp]\nclients 0 1\nscan_locks 5\n", 3,
+                   {"scan_locks", "[oltp]"});
+  ExpectParseError("[dss]\nclients 0 1\nzipf 0.5\n", 3, {"zipf", "[dss]"});
 }
 
-TEST(ScenarioConfigTest, RejectsMalformedNumbers) {
-  EXPECT_FALSE(ParseScenario("database_memory_mb many\n[oltp]\nclients 0 1\n")
-                   .ok());
-  EXPECT_FALSE(ParseScenario("[oltp]\nclients zero 1\n").ok());
-  EXPECT_FALSE(ParseScenario("[oltp]\nclients 0 1\nwrite_fraction 1.5\n")
-                   .ok());
+TEST(ScenarioConfigTest, RejectsMalformedInteger) {
+  ExpectParseError("database_memory_mb many\n[oltp]\nclients 0 1\n", 1,
+                   {"database_memory_mb", "integer", "'many'"});
+}
+
+TEST(ScenarioConfigTest, RejectsNonPositiveInteger) {
+  ExpectParseError("duration_s 0\n[oltp]\nclients 0 1\n", 1,
+                   {"duration_s", ">= 1", "'0'"});
+}
+
+TEST(ScenarioConfigTest, RejectsMalformedClients) {
+  ExpectParseError("[oltp]\nclients zero 1\n", 2,
+                   {"clients", "integer", "'zero'"});
+}
+
+TEST(ScenarioConfigTest, RejectsWrongValueCount) {
+  ExpectParseError("[oltp]\nclients 0\n", 2,
+                   {"clients", "wants 2 value(s), got 1"});
+  ExpectParseError("database_memory_mb 256 512\n[oltp]\nclients 0 1\n", 1,
+                   {"database_memory_mb", "wants 1 value(s), got 2"});
+}
+
+TEST(ScenarioConfigTest, RejectsOutOfRangeFraction) {
+  ExpectParseError("[oltp]\nclients 0 1\nwrite_fraction 1.5\n", 3,
+                   {"write_fraction", "[0, 1]", "'1.5'"});
+  ExpectParseError("delta_reduce_percent 100\n[oltp]\nclients 0 1\n", 1,
+                   {"delta_reduce_percent", "(0, 100)", "'100'"});
+}
+
+TEST(ScenarioConfigTest, RejectsBadEnumValues) {
+  ExpectParseError("mode orange\n[oltp]\nclients 0 1\n", 1,
+                   {"mode", "selftuning", "'orange'"});
+  ExpectParseError("adaptive_interval maybe\n[oltp]\nclients 0 1\n", 1,
+                   {"adaptive_interval", "on or off", "'maybe'"});
+}
+
+TEST(ScenarioConfigTest, HostileSectionSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+[hostile]
+clients 30 2
+archetype idle_holder
+table tpcc_order_line
+locks_per_txn 1234
+locks_per_tick 99
+hold_time_s 600
+think_time_s 5
+mode S
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const WorkloadSpec& w = spec.value().workloads[0];
+  EXPECT_EQ(w.kind, WorkloadSpec::Kind::kHostile);
+  EXPECT_EQ(w.hostile.archetype, HostileArchetype::kIdleHolder);
+  EXPECT_EQ(w.hostile_table, "tpcc_order_line");
+  EXPECT_EQ(w.hostile.locks_per_txn, 1234);
+  EXPECT_EQ(w.hostile.locks_per_tick, 99);
+  EXPECT_EQ(w.hostile.hold_time, 600 * kSecond);
+  EXPECT_EQ(w.hostile.think_time, 5 * kSecond);
+  EXPECT_EQ(w.hostile.mode, LockMode::kS);
+  // A hostile section alone flips the robustness metric family on.
+  EXPECT_TRUE(spec.value().runner.robustness_metrics);
+}
+
+TEST(ScenarioConfigTest, RejectsBadHostileArchetype) {
+  ExpectParseError("[hostile]\nclients 0 1\narchetype gremlin\n", 3,
+                   {"archetype", "lock_hog", "'gremlin'"});
+}
+
+TEST(ScenarioConfigTest, FaultSectionSettings) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+seed 7
+[fault]
+fault_seed 1234
+deny_heap locklist 120 180
+deny_heap * 10 20 0.5
+squeeze_overflow_mb 64 60 90
+kill_app 3 45
+[oltp]
+clients 0 10
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const FaultPlanSpec& fault = spec.value().database.fault;
+  EXPECT_EQ(fault.seed, 1234u);
+  ASSERT_EQ(fault.windows.size(), 3u);
+  EXPECT_EQ(fault.windows[0].kind, FaultKind::kDenyHeapGrowth);
+  EXPECT_EQ(fault.windows[0].heap, "locklist");
+  EXPECT_EQ(fault.windows[0].from, 120 * kSecond);
+  EXPECT_EQ(fault.windows[0].until, 180 * kSecond);
+  EXPECT_DOUBLE_EQ(fault.windows[0].probability, 1.0);
+  EXPECT_DOUBLE_EQ(fault.windows[1].probability, 0.5);
+  EXPECT_EQ(fault.windows[2].kind, FaultKind::kSqueezeOverflow);
+  EXPECT_EQ(fault.windows[2].amount, 64 * kMiB);
+  ASSERT_EQ(fault.kills.size(), 1u);
+  EXPECT_EQ(fault.kills[0].app, 3);
+  EXPECT_EQ(fault.kills[0].at, 45 * kSecond);
+  EXPECT_TRUE(spec.value().runner.robustness_metrics);
+}
+
+TEST(ScenarioConfigTest, FaultSeedDerivedFromScenarioSeed) {
+  Result<ScenarioSpec> a = ParseScenario(
+      "seed 7\n[fault]\nkill_app 1 5\n[oltp]\nclients 0 1\n");
+  Result<ScenarioSpec> b = ParseScenario(
+      "seed 8\n[fault]\nkill_app 1 5\n[oltp]\nclients 0 1\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Deterministic, but decorrelated from each other and from the raw seed.
+  EXPECT_NE(a.value().database.fault.seed, b.value().database.fault.seed);
+  EXPECT_NE(a.value().database.fault.seed, 7u);
+}
+
+TEST(ScenarioConfigTest, FaultFreeScenarioHasEmptyPlanAndPlainMetrics) {
+  Result<ScenarioSpec> spec = ParseScenario(kMinimal);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().database.fault.empty());
+  EXPECT_FALSE(spec.value().runner.robustness_metrics);
+}
+
+TEST(ScenarioConfigTest, RejectsMalformedFaultLines) {
+  const std::string tail = "\n[oltp]\nclients 0 1\n";
+  ExpectParseError("[fault]\ndeny_heap locklist 120" + tail, 2,
+                   {"deny_heap", "<heap> <from_s> <until_s>"});
+  ExpectParseError("[fault]\ndeny_heap locklist 180 120" + tail, 2,
+                   {"deny_heap", "until_s > from_s"});
+  ExpectParseError("[fault]\ndeny_heap locklist 10 20 1.5" + tail, 2,
+                   {"deny_heap", "[0, 1]", "'1.5'"});
+  ExpectParseError("[fault]\nsqueeze_overflow_mb 0 10 20" + tail, 2,
+                   {"squeeze_overflow_mb", ">= 1", "'0'"});
+  ExpectParseError("[fault]\nkill_app 0 10" + tail, 2,
+                   {"kill_app", ">= 1", "'0'"});
+  ExpectParseError("[fault]\nkill_app 1 -5" + tail, 2,
+                   {"kill_app", ">= 0", "'-5'"});
+  ExpectParseError("[fault]\nunplug_the_server 1" + tail, 2,
+                   {"unplug_the_server", "[fault]"});
+}
+
+TEST(LoadedScenarioTest, RejectsKillTargetBeyondPopulation) {
+  Result<ScenarioSpec> spec = ParseScenario(
+      "[fault]\nkill_app 11 5\n[oltp]\nclients 0 10\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const Result<std::unique_ptr<LoadedScenario>> loaded =
+      LoadedScenario::Create(spec.value());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("kill_app target 11"),
+            std::string::npos)
+      << loaded.status().message();
 }
 
 TEST(ScenarioConfigTest, RejectsEmptyScenario) {
@@ -218,8 +380,10 @@ clients 0 5
 TEST(LoadedScenarioTest, ShippedScenarioFilesParse) {
   for (const char* path :
        {"/scenarios/fig9_ramp.conf", "/scenarios/fig11_dss.conf",
-        "/scenarios/static_escalation.conf",
-        "/scenarios/batch_rollout.conf"}) {
+        "/scenarios/static_escalation.conf", "/scenarios/batch_rollout.conf",
+        "/scenarios/chaos_lockdeny.conf",
+        "/scenarios/chaos_overflow_squeeze.conf",
+        "/scenarios/chaos_kill_recovery.conf"}) {
     const Result<ScenarioSpec> spec =
         LoadScenarioFile(std::string(LOCKTUNE_SOURCE_DIR) + path);
     EXPECT_TRUE(spec.ok()) << path << ": " << spec.status().ToString();

@@ -22,12 +22,14 @@
 //   LL006 assert        raw assert() — use LOCKTUNE_CHECK/LOCKTUNE_DCHECK
 //   LL007 addr          address-ordered behavior: pointer→integer casts,
 //                       pointer-keyed ordered containers
+//   LL008 faultgate     fault-injection hook in a lock/memory hot path
+//                       without an Armed() fast-path guard nearby
 //   LL000 annotation    malformed suppression (empty reason)
 //
 // Suppressions: `// locklint: <tag>-ok(<reason>)` on the violating line or
 // the line directly above. The reason is mandatory; an empty one is itself
 // a violation. Tags: wallclock-ok, ordered-ok, float-ok, alloc-ok,
-// nodiscard-ok, assert-ok, addr-ok.
+// nodiscard-ok, assert-ok, addr-ok, faultgate-ok.
 //
 // Usage: locklint [--list-rules] <file-or-dir>...
 // Exit: 0 clean, 1 violations found, 2 usage/IO error.
@@ -92,6 +94,9 @@ constexpr RuleInfo kRules[] = {
     {"LL007", "addr",
      "address-ordered behavior: pointer-to-integer cast or pointer-keyed "
      "ordered container"},
+    {"LL008", "faultgate",
+     "fault-injection hook in a lock/memory hot path without an Armed() "
+     "fast-path guard on the same line or the three lines above"},
 };
 
 // Basenames of files where integral accounting is mandatory (LL003).
@@ -267,6 +272,7 @@ class Linter {
       if (generic.find("src/lock/") != std::string::npos ||
           generic.find("src/memory/") != std::string::npos) {
         CheckRawAlloc(generic, text, i, line_no, code);
+        CheckFaultGate(generic, text, i, line_no, code);
       }
       if (is_header) CheckNodiscard(generic, text, i, line_no, code);
       CheckAssert(generic, text, i, line_no, code);
@@ -403,6 +409,35 @@ class Linter {
     if (std::regex_search(scrubbed, m, kAlloc)) {
       AddUnlessSuppressed(file, text, idx, line_no, "LL004", "alloc",
                           "raw '" + m[1].str() + "' in the lock hot path");
+    }
+  }
+
+  // A fault-injection hook in a hot path must sit behind the plan's
+  // Armed() fast-path guard — on the same line or within the three lines
+  // above — so a disarmed (fault-free) run pays one pointer test and
+  // nothing else, and goldens stay byte-identical.
+  void CheckFaultGate(const std::string& file, const FileText& text,
+                      size_t idx, int line_no, const std::string& code) {
+    static const std::regex kHook(R"(\b(fault\w*)(->|\.)(\w+)\s*\()");
+    for (std::sregex_iterator it(code.begin(), code.end(), kHook), end;
+         it != end; ++it) {
+      const std::string method = (*it)[3].str();
+      if (method == "Armed") continue;
+      bool guarded = false;
+      for (size_t j = idx, steps = 0; steps < 4; ++steps) {
+        if (text.code[j].find("Armed") != std::string::npos) {
+          guarded = true;
+          break;
+        }
+        if (j == 0) break;
+        --j;
+      }
+      if (guarded) continue;
+      AddUnlessSuppressed(file, text, idx, line_no, "LL008", "faultgate",
+                          "fault hook '" + (*it)[1].str() + (*it)[2].str() +
+                              method +
+                              "()' without an Armed() fast-path guard");
+      return;  // one report per line
     }
   }
 
