@@ -18,9 +18,25 @@ LockManager::LockManager(LockManagerOptions options)
 
 LockResult LockManager::Lock(AppId app, const ResourceId& resource,
                              LockMode mode) {
-  std::lock_guard<std::mutex> guard(mu_);
-  ++stats_.lock_requests;
-  options_.policy->OnLockRequest();
+  if (parallel_mode_.load(std::memory_order_relaxed)) {
+    if (std::optional<LockResult> fast = FastLock(app, resource, mode)) {
+      return *fast;
+    }
+    // The fast path counted the request before bailing; finish on the
+    // exclusive path without double counting.
+    std::lock_guard<std::shared_mutex> guard(mu_);
+    return LockExclusive(app, resource, mode, /*counted=*/true);
+  }
+  std::lock_guard<std::shared_mutex> guard(mu_);
+  return LockExclusive(app, resource, mode, /*counted=*/false);
+}
+
+LockResult LockManager::LockExclusive(AppId app, const ResourceId& resource,
+                                      LockMode mode, bool counted) {
+  if (!counted) {
+    Bump(stats_.lock_requests);
+    options_.policy->OnLockRequest();
+  }
   AppState& state = GetApp(app);
   LOCKTUNE_DCHECK(!state.waiting && "application issued a request while blocked");
 
@@ -40,11 +56,127 @@ LockResult LockManager::Lock(AppId app, const ResourceId& resource,
       break;
     case AcquireOutcome::kNoMemory:
       result.outcome = LockOutcome::kOutOfMemory;
-      ++stats_.out_of_memory_failures;
+      Bump(stats_.out_of_memory_failures);
       Emit(LockEventKind::kOutOfLockMemory, app, resource, mode, 0);
       break;
   }
   return result;
+}
+
+std::optional<LockResult> LockManager::FastLock(AppId app,
+                                                const ResourceId& resource,
+                                                LockMode mode) {
+  std::shared_lock<std::shared_mutex> shared(mu_);
+  Bump(stats_.lock_requests);
+  options_.policy->OnLockRequest();
+  AppState& state = FastGetApp(app);
+  LOCKTUNE_DCHECK(!state.waiting && "application issued a request while blocked");
+
+  LockResult granted;  // kGranted, escalated=false
+  if (resource.kind == ResourceKind::kRow) {
+    const LockMode table_mode = FastTableMode(app, state, resource.table);
+    if (Covers(table_mode, mode)) {
+      Bump(stats_.grants);
+      return granted;
+    }
+    const LockMode intent = IntentModeFor(mode);
+    if (!Covers(table_mode, intent)) {
+      if (FastAcquireOne(app, state, TableResource(resource.table), intent) ==
+          FastOutcome::kBail) {
+        return std::nullopt;
+      }
+      // The intent grant refreshed the table-mode cache; a covering grant
+      // cannot have appeared (only this thread changes this app's holds).
+      LOCKTUNE_DCHECK(!Covers(FastTableMode(app, state, resource.table), mode));
+    }
+  }
+  if (FastAcquireOne(app, state, resource, mode) == FastOutcome::kBail) {
+    return std::nullopt;
+  }
+  return granted;
+}
+
+LockManager::FastOutcome LockManager::FastAcquireOne(
+    AppId app, AppState& state, const ResourceId& resource, LockMode mode) {
+  const uint64_t hash = ResourceIdHash{}(resource);
+  std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+  LockHead* found = table_.Find(resource, hash);
+  if (found != nullptr) {
+    if (LockRequest* holder = found->FindHolder(app); holder != nullptr) {
+      if (Covers(holder->mode, mode)) {
+        Bump(stats_.grants);
+        return FastOutcome::kGranted;
+      }
+      const LockMode target = Supremum(holder->mode, mode);
+      if (found->CanGrantConversion(app, target)) {
+        holder->mode = target;
+        if (resource.kind == ResourceKind::kTable) {
+          NoteTableMode(state, resource.table, target);
+        }
+        Bump(stats_.grants);
+        return FastOutcome::kGranted;
+      }
+      return FastOutcome::kBail;  // the conversion must queue
+    }
+    // Would this new request have to wait? Check before allocating so the
+    // bail leaves nothing to undo.
+    if (!found->CanGrantNew(mode)) return FastOutcome::kBail;
+  }
+  // Quota and memory pressure mirror the classic path; anything that needs
+  // escalation or growth is the classic path's business.
+  const LockMemoryState mem = MemoryStateLocked();
+  if (state.held_structures + 1 > options_.policy->MaxStructuresPerApp(mem) ||
+      options_.policy->ForcesMemoryEscalation(mem)) {
+    return FastOutcome::kBail;
+  }
+  LockBlock* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> alloc_guard(alloc_mu_);
+    Result<LockBlock*> r = blocks_.AllocateSlot();
+    if (!r.ok()) return FastOutcome::kBail;  // exhausted: growth/escalation
+    slot = r.value();
+  }
+  LockHead& head = found != nullptr ? *found : table_.Create(resource, hash);
+  LockRequest request;
+  request.app = app;
+  request.mode = mode;
+  request.slot = slot;
+  head.AddHolder(request);
+  AddHeldEntry(state, resource, hash, &head);
+  if (resource.kind == ResourceKind::kRow) {
+    BumpRowCount(state, resource.table);
+  } else {
+    NoteTableMode(state, resource.table, mode);
+  }
+  ++state.held_structures;
+  Bump(stats_.grants);
+  return FastOutcome::kGranted;
+}
+
+LockMode LockManager::FastTableMode(AppId app, AppState& state,
+                                    TableId table) {
+  if (state.table_cache_valid && state.cached_table == table) {
+    return state.cached_table_mode;
+  }
+  const ResourceId resource = TableResource(table);
+  const uint64_t hash = ResourceIdHash{}(resource);
+  LockMode mode = LockMode::kNone;
+  {
+    std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+    if (const LockHead* head = table_.Find(resource, hash); head != nullptr) {
+      if (const LockRequest* holder = head->FindHolder(app);
+          holder != nullptr) {
+        mode = holder->mode;
+      }
+    }
+  }
+  NoteTableMode(state, table, mode);
+  return mode;
+}
+
+LockManager::AppState& LockManager::FastGetApp(AppId app) {
+  std::lock_guard<std::mutex> guard(apps_mu_);
+  return apps_[app];
 }
 
 LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
@@ -58,7 +190,7 @@ LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
     // memory on the same table.
     const LockMode table_mode = CachedTableMode(app, state, resource.table);
     if (Covers(table_mode, mode)) {
-      ++stats_.grants;
+      Bump(stats_.grants);
       return AcquireOutcome::kDone;
     }
     // Multigranularity: intent lock on the table first.
@@ -76,7 +208,7 @@ LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
       // The intent acquisition may itself have escalated this table to
       // S or X; re-check coverage before taking the row lock.
       if (Covers(CachedTableMode(app, state, resource.table), mode)) {
-        ++stats_.grants;
+        Bump(stats_.grants);
         return AcquireOutcome::kDone;
       }
     }
@@ -106,7 +238,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
   if (found != nullptr) {
     if (LockRequest* holder = found->FindHolder(app); holder != nullptr) {
       if (Covers(holder->mode, mode)) {
-        ++stats_.grants;
+        Bump(stats_.grants);
         return AcquireOutcome::kDone;
       }
       const LockMode target = Supremum(holder->mode, mode);
@@ -115,7 +247,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
         if (resource.kind == ResourceKind::kTable) {
           NoteTableMode(state, resource.table, target);
         }
-        ++stats_.grants;
+        Bump(stats_.grants);
         return AcquireOutcome::kDone;
       }
       WaitingRequest w;
@@ -129,7 +261,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
       state.wait_is_conversion = true;
       state.wait_is_escalation = false;
       MarkWaitStart(app, state);
-      ++stats_.lock_waits;
+      Bump(stats_.lock_waits);
       return AcquireOutcome::kBlocked;
     }
   }
@@ -155,7 +287,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
     // The escalation may have covered the requested resource entirely.
     if (resource.kind == ResourceKind::kRow &&
         Covers(CachedTableMode(app, state, resource.table), mode)) {
-      ++stats_.grants;
+      Bump(stats_.grants);
       return AcquireOutcome::kDone;
     }
     // The escalation released this app's row locks; if `resource` was one
@@ -169,7 +301,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
     // Escalation of some application may have covered the request.
     if (resource.kind == ResourceKind::kRow &&
         Covers(CachedTableMode(app, state, resource.table), mode)) {
-      ++stats_.grants;
+      Bump(stats_.grants);
       return AcquireOutcome::kDone;
     }
     return AcquireOutcome::kNoMemory;
@@ -197,7 +329,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
     } else {
       NoteTableMode(state, resource.table, mode);
     }
-    ++stats_.grants;
+    Bump(stats_.grants);
     return AcquireOutcome::kDone;
   }
 
@@ -213,7 +345,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
   state.wait_is_conversion = false;
   state.wait_is_escalation = false;
   MarkWaitStart(app, state);
-  ++stats_.lock_waits;
+  Bump(stats_.lock_waits);
   return AcquireOutcome::kBlocked;
 }
 
@@ -236,7 +368,7 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
     const AcquireOutcome esc = EscalateApp(requester);
     if (esc == AcquireOutcome::kDone) {
       *escalated = true;
-      ++stats_.preferred_escalations;
+      Bump(stats_.preferred_escalations);
       slot = blocks_.AllocateSlot();
       if (slot.ok()) {
         out.slot = slot.value();
@@ -244,7 +376,7 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
       }
     } else if (esc == AcquireOutcome::kBlocked) {
       *escalated = true;
-      ++stats_.preferred_escalations;
+      Bump(stats_.preferred_escalations);
       out.blocked = true;
       return out;
     }
@@ -254,7 +386,7 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
   // Synchronous growth from database overflow memory (paper §3.3).
   if (options_.grow_callback && options_.grow_callback(1)) {
     blocks_.AddBlock();
-    ++stats_.sync_growth_blocks;
+    Bump(stats_.sync_growth_blocks);
     options_.policy->OnResize();
     Emit(LockEventKind::kSynchronousGrowth, requester, ResourceId{},
          LockMode::kNone, 1);
@@ -315,7 +447,7 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
 
 LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
                                                      bool only_if_immediate) {
-  ++stats_.escalation_attempts;
+  Bump(stats_.escalation_attempts);
   AppState& state = GetApp(app);
 
   // Pick the table with the most row locks held by this application.
@@ -357,8 +489,8 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
       head.CanGrantConversion(app, new_mode)) {
     holder->mode = new_mode;
     NoteTableMode(state, victim_table, new_mode);
-    ++stats_.escalations;
-    if (target == LockMode::kX) ++stats_.exclusive_escalations;
+    Bump(stats_.escalations);
+    if (target == LockMode::kX) Bump(stats_.exclusive_escalations);
     ReleaseRowLocksOnTable(app, victim_table);
     Emit(LockEventKind::kEscalation, app, table_res, new_mode, most_rows);
     return AcquireOutcome::kDone;
@@ -376,7 +508,7 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   state.wait_is_conversion = true;
   state.wait_is_escalation = true;
   MarkWaitStart(app, state);
-  ++stats_.lock_waits;
+  Bump(stats_.lock_waits);
   return AcquireOutcome::kBlocked;
 }
 
@@ -412,7 +544,10 @@ void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
 }
 
 void LockManager::ReleaseAll(AppId app) {
-  std::lock_guard<std::mutex> guard(mu_);
+  if (parallel_mode_.load(std::memory_order_relaxed) && FastReleaseAll(app)) {
+    return;
+  }
+  std::lock_guard<std::shared_mutex> guard(mu_);
   AppState& state = GetApp(app);
 
   if (state.waiting) {
@@ -432,6 +567,8 @@ void LockManager::ReleaseAll(AppId app) {
     state.wait_is_conversion = false;
     state.wait_is_escalation = false;
     --blocked_count_;
+    // The queued timeout entry (if any) is now stale.
+    NoteWaitEnded(state);
   }
   state.continuation.reset();
 
@@ -469,8 +606,61 @@ void LockManager::ReleaseAll(AppId app) {
   DrainWorkList();
 }
 
+bool LockManager::FastReleaseAll(AppId app) {
+  std::shared_lock<std::shared_mutex> shared(mu_);
+  AppState* statep = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(apps_mu_);
+    const auto it = apps_.find(app);
+    if (it == apps_.end()) return true;  // never held anything
+    statep = &it->second;
+  }
+  AppState& state = *statep;
+  if (state.waiting || state.continuation.has_value()) return false;
+  // Pass 1: any waiter behind a held lock means releasing must run the
+  // grant cascade — exclusive business. Waiters are only enqueued under the
+  // exclusive lock, so the emptiness observed here cannot be invalidated
+  // while we hold the shared lock.
+  for (const HeldSlot& slot : state.held) {
+    if (!slot.live) continue;
+    const uint64_t hash = ResourceIdHash{}(slot.res);
+    std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+    if (!slot.head->waiters().empty()) return false;
+  }
+  // Pass 2: remove our holder entries and recycle. Other fast threads may
+  // add holders to the same heads concurrently; our holder entry keeps each
+  // head non-empty until we remove it, so no other thread can erase it.
+  for (const HeldSlot& slot : state.held) {
+    if (!slot.live) continue;
+    const uint64_t hash = ResourceIdHash{}(slot.res);
+    LockBlock* block = nullptr;
+    {
+      std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+      block = slot.head->RemoveHolder(app);
+      LOCKTUNE_DCHECK(block != nullptr);
+      if (slot.head->holders().empty()) {
+        table_.EraseIfEmpty(slot.res, hash);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> alloc_guard(alloc_mu_);
+      blocks_.FreeSlot(block);
+    }
+    --state.held_structures;
+  }
+  state.held.clear();
+  state.held_index.Clear();
+  state.held_dead = 0;
+  state.row_locks_per_table.clear();
+  state.total_row_locks = 0;
+  state.table_cache_valid = false;
+  state.row_cache_count = nullptr;
+  LOCKTUNE_DCHECK(state.held_structures == 0);
+  return true;
+}
+
 Status LockManager::Release(AppId app, const ResourceId& resource) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   AppState& state = GetApp(app);
   const uint64_t hash = ResourceIdHash{}(resource);
   LockHead* head = table_.Find(resource, hash);
@@ -504,7 +694,10 @@ Status LockManager::Release(AppId app, const ResourceId& resource) {
 }
 
 bool LockManager::IsBlocked(AppId app) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  // Shared: wait flags only change under the exclusive lock, and apps_
+  // lookups race only with fast-path insertion (guarded by apps_mu_).
+  std::shared_lock<std::shared_mutex> shared(mu_);
+  std::lock_guard<std::mutex> guard(apps_mu_);
   const auto it = apps_.find(app);
   return it != apps_.end() && it->second.waiting;
 }
@@ -526,7 +719,7 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       if (resource.kind == ResourceKind::kTable) {
         NoteTableMode(GetApp(granted.app), resource.table, granted.mode);
       }
-      ++stats_.grants;
+      Bump(stats_.grants);
       OnWaitGranted(granted.app, resource);
     } else {
       if (!Compatible(head.GrantedGroupMode(), w.mode)) break;
@@ -543,7 +736,7 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       } else {
         NoteTableMode(state, resource.table, granted.mode);
       }
-      ++stats_.grants;
+      Bump(stats_.grants);
       OnWaitGranted(granted.app, resource);
     }
   }
@@ -570,10 +763,12 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
   state.wait_is_conversion = false;
   state.wait_is_escalation = false;
   --blocked_count_;
+  // The queued timeout entry for this wait is now stale.
+  NoteWaitEnded(state);
 
   if (was_escalation) {
-    ++stats_.escalations;
-    if (granted_mode == LockMode::kX) ++stats_.exclusive_escalations;
+    Bump(stats_.escalations);
+    if (granted_mode == LockMode::kX) Bump(stats_.exclusive_escalations);
     LOCKTUNE_DCHECK(resource.kind == ResourceKind::kTable);
     const int64_t rows_before =
         state.row_locks_per_table.count(resource.table) > 0
@@ -594,13 +789,13 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
       // The resumed request could not get a lock structure. The application
       // is unblocked; the failure is visible in the counters (engines treat
       // it like a statement error).
-      ++stats_.out_of_memory_failures;
+      Bump(stats_.out_of_memory_failures);
     }
   }
 }
 
 std::vector<AppId> LockManager::DetectDeadlocks() {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   // Nothing waits, so no edge exists: the common idle tick costs one
   // counter read instead of an O(apps) scan.
   if (blocked_count_ == 0) return {};
@@ -682,7 +877,7 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
       }
     }
   }
-  stats_.deadlock_victims += static_cast<int64_t>(victims.size());
+  Bump(stats_.deadlock_victims, static_cast<int64_t>(victims.size()));
   for (AppId victim : victims) {
     const AppState& state = GetApp(victim);
     Emit(LockEventKind::kDeadlockVictim, victim, state.wait_resource,
@@ -692,72 +887,100 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
 }
 
 void LockManager::AddBlocks(int64_t count) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   for (int64_t i = 0; i < count; ++i) blocks_.AddBlock();
   if (count > 0) options_.policy->OnResize();
 }
 
 Status LockManager::TryRemoveBlocks(int64_t count) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   Status s = blocks_.TryRemoveBlocks(count);
   if (s.ok() && count > 0) options_.policy->OnResize();
   return s;
 }
 
 void LockManager::set_max_lock_memory(Bytes bytes) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   max_lock_memory_ = bytes;
   options_.policy->OnResize();
 }
 
 LockMemoryState LockManager::MemoryState() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return MemoryStateLocked();
 }
 
+LockManagerStats LockManager::stats() const {
+  // Atomic counters: no lock needed; each field is a relaxed load.
+  LockManagerStats s;
+  s.lock_requests = stats_.lock_requests.load(std::memory_order_relaxed);
+  s.grants = stats_.grants.load(std::memory_order_relaxed);
+  s.lock_waits = stats_.lock_waits.load(std::memory_order_relaxed);
+  s.escalations = stats_.escalations.load(std::memory_order_relaxed);
+  s.exclusive_escalations =
+      stats_.exclusive_escalations.load(std::memory_order_relaxed);
+  s.escalation_attempts =
+      stats_.escalation_attempts.load(std::memory_order_relaxed);
+  s.deadlock_victims = stats_.deadlock_victims.load(std::memory_order_relaxed);
+  s.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
+  s.out_of_memory_failures =
+      stats_.out_of_memory_failures.load(std::memory_order_relaxed);
+  s.sync_growth_blocks =
+      stats_.sync_growth_blocks.load(std::memory_order_relaxed);
+  s.preferred_escalations =
+      stats_.preferred_escalations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LockManager::SetParallelMode(bool enabled) {
+  // Exclusive: flips only while no fast path can be in flight.
+  std::lock_guard<std::shared_mutex> guard(mu_);
+  parallel_mode_.store(enabled, std::memory_order_relaxed);
+}
+
 Bytes LockManager::allocated_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return blocks_.allocated_bytes();
 }
 
 Bytes LockManager::used_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return blocks_.used_bytes();
 }
 
 int64_t LockManager::block_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return blocks_.block_count();
 }
 
 int64_t LockManager::entirely_free_blocks() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return blocks_.entirely_free_blocks();
 }
 
 double LockManager::CurrentMaxlocksPercent() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return options_.policy->CurrentPercent(MemoryStateLocked());
 }
 
 int64_t LockManager::HeldStructures(AppId app) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   const auto it = apps_.find(app);
   return it == apps_.end() ? 0 : it->second.held_structures;
 }
 
 LockMode LockManager::HeldMode(AppId app, const ResourceId& resource) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return HeldModeLockedInternal(app, resource);
 }
 
 int64_t LockManager::waiting_app_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return blocked_count_;
 }
 
 Status LockManager::CheckConsistency() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   if (Status s = blocks_.CheckConsistency(); !s.ok()) return s;
   if (Status s = table_.CheckConsistency(); !s.ok()) return s;
   int64_t slots = 0;
@@ -821,6 +1044,49 @@ Status LockManager::CheckConsistency() const {
   if (slots != blocks_.slots_in_use()) {
     return Status::Internal("per-app structure counts do not sum to slots");
   }
+  // Timeout queue: deadline-ordered; every entry is either live (matches an
+  // in-progress wait) or accounted stale; a waiting application has exactly
+  // one live entry when timeouts are configured. A connection kill or grant
+  // must never leave a live-looking entry behind.
+  {
+    const bool timeouts_enabled =
+        options_.clock != nullptr && options_.lock_timeout >= 0;
+    int64_t stale = 0;
+    TimeMs last_deadline = 0;
+    std::unordered_map<AppId, int64_t> live_entries;
+    bool first = true;
+    for (const TimeoutEntry& entry : timeout_queue_) {
+      if (!first && entry.deadline < last_deadline) {
+        return Status::Internal("timeout queue deadlines are not monotone");
+      }
+      first = false;
+      last_deadline = entry.deadline;
+      const auto it = apps_.find(entry.app);
+      if (it != apps_.end() && it->second.waiting &&
+          it->second.wait_epoch == entry.epoch) {
+        ++live_entries[entry.app];
+      } else {
+        ++stale;
+      }
+    }
+    if (stale != timeout_stale_) {
+      return Status::Internal("timeout_stale_ does not match queue contents");
+    }
+    // locklint: ordered-ok(validation only; no output, early-exit on error)
+    for (const auto& [app, count] : live_entries) {
+      if (count > 1) {
+        return Status::Internal("waiting app has several live timeouts");
+      }
+    }
+    if (timeouts_enabled) {
+      // locklint: ordered-ok(validation only; no output, early-exit on error)
+      for (const auto& [app, state] : apps_) {
+        if (state.waiting && live_entries[app] != 1) {
+          return Status::Internal("waiting app lacks its live timeout entry");
+        }
+      }
+    }
+  }
   Status head_status = Status::Ok();
   table_.ForEach([&head_status](const ResourceId& res, const LockHead& head) {
     (void)res;
@@ -830,12 +1096,13 @@ Status LockManager::CheckConsistency() const {
 }
 
 std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   std::vector<AppId> expired;
   if (options_.clock == nullptr || options_.lock_timeout < 0) return expired;
   if (blocked_count_ == 0) {
     // Every queued deadline is stale; drop them and make the idle tick O(1).
     timeout_queue_.clear();
+    timeout_stale_ = 0;
     return expired;
   }
   const TimeMs now = options_.clock->now();
@@ -847,9 +1114,17 @@ std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
     const TimeoutEntry entry = timeout_queue_.front();
     timeout_queue_.pop_front();
     const auto it = apps_.find(entry.app);
-    if (it == apps_.end()) continue;
+    if (it == apps_.end()) {
+      --timeout_stale_;
+      continue;
+    }
     const AppState& state = it->second;
-    if (!state.waiting || state.wait_epoch != entry.epoch) continue;
+    if (!state.waiting || state.wait_epoch != entry.epoch) {
+      // A wait that ended early (grant, rollback, connection kill) left
+      // this entry behind; NoteWaitEnded counted it.
+      --timeout_stale_;
+      continue;
+    }
     expired.push_back(entry.app);
     Emit(LockEventKind::kTimeout, entry.app, state.wait_resource,
          state.wait_mode, now - state.wait_since);
@@ -860,12 +1135,13 @@ std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
   for (auto rit = still_waiting.rbegin(); rit != still_waiting.rend(); ++rit) {
     timeout_queue_.push_front(*rit);
   }
-  stats_.lock_timeouts += static_cast<int64_t>(expired.size());
+  Bump(stats_.lock_timeouts, static_cast<int64_t>(expired.size()));
+  LOCKTUNE_DCHECK(timeout_stale_ >= 0);
   return expired;
 }
 
 void LockManager::SetEscalationPreferred(AppId app, bool preferred) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   if (preferred) {
     escalation_preferred_.insert(app);
   } else {
@@ -874,7 +1150,7 @@ void LockManager::SetEscalationPreferred(AppId app, bool preferred) {
 }
 
 bool LockManager::IsEscalationPreferred(AppId app) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return escalation_preferred_.count(app) > 0;
 }
 
@@ -888,6 +1164,40 @@ void LockManager::MarkWaitStart(AppId app, AppState& state) {
   }
   Emit(LockEventKind::kWaitBegin, app, state.wait_resource, state.wait_mode,
        0);
+}
+
+void LockManager::NoteWaitEnded(AppState& state) {
+  // Invalidate the queued timeout entry for the wait that just ended. The
+  // epoch bump makes it stale even though it stays queued; the stale count
+  // lets expiry and compaction account for it exactly.
+  ++state.wait_epoch;
+  if (options_.clock != nullptr && options_.lock_timeout >= 0) {
+    // MarkWaitStart queued exactly one entry for this wait under the same
+    // condition; it is still in the queue (expiry re-queues reported
+    // victims) and is stale as of the bump above.
+    ++timeout_stale_;
+    MaybeCompactTimeouts();
+  }
+}
+
+void LockManager::MaybeCompactTimeouts() {
+  // Rebuild once stale entries are ≥16 and the majority: each surviving
+  // entry is copied at most once per halving, so the cost amortizes to O(1)
+  // per ended wait, and a kill storm cannot leave an unbounded queue.
+  if (timeout_stale_ < 16 ||
+      2 * timeout_stale_ < static_cast<int64_t>(timeout_queue_.size())) {
+    return;
+  }
+  std::deque<TimeoutEntry> live;
+  for (const TimeoutEntry& entry : timeout_queue_) {
+    const auto it = apps_.find(entry.app);
+    if (it == apps_.end()) continue;
+    if (it->second.waiting && it->second.wait_epoch == entry.epoch) {
+      live.push_back(entry);  // deadline order is preserved
+    }
+  }
+  timeout_queue_.swap(live);
+  timeout_stale_ = 0;
 }
 
 void LockManager::Emit(LockEventKind kind, AppId app,
@@ -1059,28 +1369,28 @@ void LockManager::RegisterMetrics(MetricsRegistry* registry) {
   registry->AddCallbackHistogram(
       "locktune_lock_wait_time_ms", "completed lock-wait durations",
       [this] {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<std::shared_mutex> lock(mu_);
         return SnapshotOf(wait_times_);
       });
 }
 
 int64_t LockManager::lock_table_size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return table_.size();
 }
 
 int64_t LockManager::lock_table_max_shard_size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return table_.MaxShardSize();
 }
 
 int64_t LockManager::head_pool_free_nodes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return table_.pool_free_nodes();
 }
 
 int64_t LockManager::head_pool_slab_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::shared_mutex> guard(mu_);
   return table_.slab_count();
 }
 

@@ -14,15 +14,27 @@
 //  * maintain a FIFO "post" wait discipline (Figure 3) and detect deadlocks
 //    through the waits-for graph.
 //
-// Thread safety: all public methods are guarded by an internal mutex.
+// Thread safety: two-level locking (docs/CONCURRENCY.md). All classic logic
+// runs under an exclusive hold of a reader-writer lock, exactly as the
+// previous single-mutex design did. When parallel mode is enabled
+// (SetParallelMode), Lock/ReleaseAll first try an opt-in fast path under a
+// *shared* hold plus the per-shard LockTable mutex for the touched resource;
+// anything complicated — waits, conversions that queue, escalation, memory
+// growth, grant cascades — bails out and retries on the exclusive path.
+// Because shared and exclusive holds exclude each other, all pre-existing
+// state remains race-free; only the state the fast path itself mutates
+// (stats counters, block-list aggregates, lock-table shards, the curve
+// cache) is atomic or mutex-striped.
 #ifndef LOCKTUNE_LOCK_LOCK_MANAGER_H_
 #define LOCKTUNE_LOCK_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -58,7 +70,7 @@ struct LockResult {
   bool escalated = false;
 };
 
-// Monotonic counters, readable at any time.
+// Monotonic counters, readable at any time (stats() returns a snapshot).
 struct LockManagerStats {
   int64_t lock_requests = 0;
   int64_t grants = 0;
@@ -141,6 +153,14 @@ class LockManager {
   // a clock and a non-negative lock_timeout; returns empty otherwise.
   std::vector<AppId> ExpireTimedOutWaiters();
 
+  // Enables/disables the parallel fast path. Off by default: the manager
+  // then behaves exactly like the single-threaded build (the deterministic
+  // golden contract). ScenarioRunner turns it on for --threads > 1.
+  void SetParallelMode(bool enabled);
+  bool parallel_mode() const {
+    return parallel_mode_.load(std::memory_order_relaxed);
+  }
+
   // §6.1 selective escalation: applications marked escalation-preferred
   // escalate instead of growing lock memory when the lock list is full,
   // conserving memory for caching and sorting.
@@ -163,7 +183,9 @@ class LockManager {
 
   // --- introspection ---
   LockMemoryState MemoryState() const;
-  const LockManagerStats& stats() const { return stats_; }
+  // Snapshot of the monotonic counters (fields are atomics internally so
+  // both execution modes share one accounting path).
+  LockManagerStats stats() const;
   Bytes allocated_bytes() const;
   Bytes used_bytes() const;
   int64_t block_count() const;
@@ -257,14 +279,41 @@ class LockManager {
 
   // Pending LOCKTIMEOUT expiry, queued at wait start. Deadlines are
   // monotone (fixed lock_timeout), so the queue is deadline-ordered by
-  // construction and expiry never scans non-expired waiters.
+  // construction and expiry never scans non-expired waiters. Entries whose
+  // wait ended early (grant, rollback, connection kill) are invalidated by
+  // the wait_epoch bump at wait end, counted in timeout_stale_, and dropped
+  // lazily — or eagerly when stale entries dominate (MaybeCompactTimeouts).
   struct TimeoutEntry {
     TimeMs deadline = 0;
     AppId app = 0;
     uint64_t epoch = 0;
   };
 
+  // Mirror of LockManagerStats with atomic fields: the parallel fast path
+  // bumps counters under a shared lock, concurrently with other fast
+  // threads. Relaxed ordering — they are monotonic event counts, not
+  // synchronization.
+  struct AtomicStats {
+    std::atomic<int64_t> lock_requests{0};
+    std::atomic<int64_t> grants{0};
+    std::atomic<int64_t> lock_waits{0};
+    std::atomic<int64_t> escalations{0};
+    std::atomic<int64_t> exclusive_escalations{0};
+    std::atomic<int64_t> escalation_attempts{0};
+    std::atomic<int64_t> deadlock_victims{0};
+    std::atomic<int64_t> lock_timeouts{0};
+    std::atomic<int64_t> out_of_memory_failures{0};
+    std::atomic<int64_t> sync_growth_blocks{0};
+    std::atomic<int64_t> preferred_escalations{0};
+  };
+
+  static void Bump(std::atomic<int64_t>& counter, int64_t n = 1) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
   enum class AcquireOutcome { kDone, kBlocked, kNoMemory };
+
+  enum class FastOutcome { kGranted, kBail };
 
   struct AllocResult {
     LockBlock* slot = nullptr;
@@ -276,6 +325,39 @@ class LockManager {
     // pointers obtained before the call are suspect.
     bool table_may_have_changed = false;
   };
+
+  // Classic request path; runs under an exclusive hold of mu_. `counted` is
+  // true when a bailed fast path already counted the request.
+  LockResult LockExclusive(AppId app, const ResourceId& resource,
+                           LockMode mode, bool counted);
+
+  // --- parallel fast path (shared hold of mu_ + per-shard table mutexes).
+  // Every function bails (nullopt / kBail) before mutating anything the
+  // classic path would then redo; on a bail the caller retries exclusively.
+
+  // Uncontended grant attempt. Counts the request (the exclusive retry must
+  // not count again). nullopt = bail to the classic path.
+  std::optional<LockResult> FastLock(AppId app, const ResourceId& resource,
+                                     LockMode mode);
+
+  // Grant/convert `mode` on one resource under its shard mutex. Bails on
+  // anything that must queue, escalate, or grow memory.
+  FastOutcome FastAcquireOne(AppId app, AppState& state,
+                             const ResourceId& resource, LockMode mode);
+
+  // Granted table-lock mode via the AppState cache, probing the table under
+  // its shard mutex on a miss.
+  LockMode FastTableMode(AppId app, AppState& state, TableId table);
+
+  // App state lookup/creation under apps_mu_ (fast threads may insert
+  // concurrently; pointers are stable).
+  AppState& FastGetApp(AppId app);
+
+  // Commit/abort release when the app has no waiters behind any held lock
+  // and no wait of its own; false = bail to the classic path. Waiters are
+  // only enqueued under the exclusive lock, so the waiter sets observed
+  // under the shared hold are frozen and the check-then-release is sound.
+  bool FastReleaseAll(AppId app);
 
   // Full acquisition chain for one request; may recurse for intent locks
   // and set wait state. `state` is GetApp(app); `escalated` reports any
@@ -369,11 +451,28 @@ class LockManager {
   // Stamps wait-state entry, records it with the monitor.
   void MarkWaitStart(AppId app, AppState& state);
 
+  // Ends `state`'s wait for timeout-queue purposes: bumps wait_epoch so any
+  // queued entry is stale, and counts/compacts the staleness.
+  void NoteWaitEnded(AppState& state);
+
+  // Rebuilds the timeout queue without stale entries once they dominate
+  // (amortized O(1) per ended wait).
+  void MaybeCompactTimeouts();
+
   // Delivers an event to the configured monitor (no-op without one).
   void Emit(LockEventKind kind, AppId app, const ResourceId& resource,
             LockMode mode, int64_t value);
 
-  mutable std::mutex mu_;
+  // Reader-writer lock: exclusive for the classic path and every structural
+  // mutation; shared for the parallel fast path.
+  mutable std::shared_mutex mu_;
+  // Serializes block-list slot alloc/free on the fast path. Ordering: a
+  // shard mutex may be held when taking alloc_mu_, never the reverse.
+  std::mutex alloc_mu_;
+  // Guards apps_ map insertion/lookup between fast threads (element
+  // pointers are stable; AppState itself is owner-thread-confined).
+  mutable std::mutex apps_mu_;
+  std::atomic<bool> parallel_mode_{false};
   BlockList blocks_;
   LockTable table_;
   std::unordered_map<AppId, AppState> apps_;
@@ -385,7 +484,9 @@ class LockManager {
   int64_t blocked_count_ = 0;
   // Deadline-ordered pending timeouts (lazy deletion via wait_epoch).
   std::deque<TimeoutEntry> timeout_queue_;
-  LockManagerStats stats_;
+  // Queue entries invalidated by an early wait end (grant, rollback, kill).
+  int64_t timeout_stale_ = 0;
+  AtomicStats stats_;
   Histogram wait_times_{{1, 10, 100, 1000, 10'000, 100'000}};
 };
 

@@ -17,110 +17,138 @@ LockTable::LockTable(int shard_count) {
          "shard count must be a power of two");
   shard_mask_ = shard_count - 1;
   const int bits = ShardBits(shard_count);
-  shards_.reserve(static_cast<size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
     shards_.emplace_back(/*hash_shift=*/bits);
   }
 }
 
 LockHead* LockTable::Find(const ResourceId& resource, uint64_t hash) {
-  Node** node = shards_[hash & shard_mask_].Find(resource, hash);
+  Node** node = ShardFor(hash).map.Find(resource, hash);
   return node == nullptr ? nullptr : &(*node)->head;
 }
 
 LockHead& LockTable::GetOrCreate(const ResourceId& resource, uint64_t hash) {
-  ResourceHashMap<Node*>& shard = shards_[hash & shard_mask_];
-  if (Node** node = shard.Find(resource, hash); node != nullptr) {
+  Shard& shard = ShardFor(hash);
+  if (Node** node = shard.map.Find(resource, hash); node != nullptr) {
     return (*node)->head;
   }
   return Create(resource, hash);
 }
 
 LockHead& LockTable::Create(const ResourceId& resource, uint64_t hash) {
-  Node* node = AllocateNode();
-  shards_[hash & shard_mask_].Insert(resource, hash, node);
-  ++size_;
+  Shard& shard = ShardFor(hash);
+  Node* node = AllocateNode(shard);
+  shard.map.Insert(resource, hash, node);
+  ++shard.live;
   return node->head;
 }
 
 bool LockTable::EraseIfEmpty(const ResourceId& resource, uint64_t hash) {
-  ResourceHashMap<Node*>& shard = shards_[hash & shard_mask_];
-  const size_t index = shard.FindIndex(resource, hash);
+  Shard& shard = ShardFor(hash);
+  const size_t index = shard.map.FindIndex(resource, hash);
   if (index == ResourceHashMap<Node*>::kNpos) return false;
-  Node* node = shard.ValueAt(index);
+  Node* node = shard.map.ValueAt(index);
   if (!node->head.empty()) return false;
-  shard.EraseIndex(index);
-  RecycleNode(node);
-  --size_;
+  shard.map.EraseIndex(index);
+  RecycleNode(shard, node);
+  --shard.live;
   return true;
+}
+
+int64_t LockTable::size() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.live;
+  return total;
 }
 
 int64_t LockTable::MaxShardSize() const {
   int64_t max_size = 0;
-  for (const auto& shard : shards_) {
-    if (shard.size() > max_size) max_size = shard.size();
+  for (const Shard& shard : shards_) {
+    if (shard.map.size() > max_size) max_size = shard.map.size();
   }
   return max_size;
 }
 
+int64_t LockTable::pool_free_nodes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.pool_free;
+  return total;
+}
+
+int64_t LockTable::pool_total_nodes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<int64_t>(shard.slabs.size()) * kSlabNodes;
+  }
+  return total;
+}
+
+int64_t LockTable::slab_count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<int64_t>(shard.slabs.size());
+  }
+  return total;
+}
+
 Status LockTable::CheckConsistency() const {
-  int64_t shard_sum = 0;
-  int64_t iterated = 0;
-  for (const auto& shard : shards_) {
-    shard_sum += shard.size();
-    shard.ForEach([&iterated](const ResourceId&, const Node* node) {
+  for (const Shard& shard : shards_) {
+    if (shard.map.size() != shard.live) {
+      return Status::Internal("shard live count does not match its map");
+    }
+    int64_t iterated = 0;
+    shard.map.ForEach([&iterated](const ResourceId&, const Node* node) {
       if (node != nullptr) ++iterated;
     });
-  }
-  if (shard_sum != size_) {
-    return Status::Internal("shard sizes do not sum to the table size");
-  }
-  if (iterated != size_) {
-    return Status::Internal("shard iteration does not visit every head");
-  }
-  int64_t free_nodes = 0;
-  for (const Node* node = free_list_; node != nullptr;
-       node = node->next_free) {
-    if (!node->head.empty()) {
-      return Status::Internal("free-list node holds a non-empty head");
+    if (iterated != shard.live) {
+      return Status::Internal("shard iteration does not visit every head");
     }
-    if (++free_nodes > pool_total_nodes()) {
-      return Status::Internal("free list is cyclic or over-long");
+    const int64_t shard_nodes =
+        static_cast<int64_t>(shard.slabs.size()) * kSlabNodes;
+    int64_t free_nodes = 0;
+    for (const Node* node = shard.free_list; node != nullptr;
+         node = node->next_free) {
+      if (!node->head.empty()) {
+        return Status::Internal("free-list node holds a non-empty head");
+      }
+      if (++free_nodes > shard_nodes) {
+        return Status::Internal("free list is cyclic or over-long");
+      }
     }
-  }
-  if (free_nodes != pool_free_) {
-    return Status::Internal("pool_free_ does not match the free list");
-  }
-  // Conservation: every slab node is either live in a shard or free.
-  if (size_ + pool_free_ != pool_total_nodes()) {
-    return Status::Internal("live + free nodes do not cover the slabs");
+    if (free_nodes != shard.pool_free) {
+      return Status::Internal("pool_free does not match the free list");
+    }
+    // Conservation: every slab node is either live in the shard or free.
+    if (shard.live + shard.pool_free != shard_nodes) {
+      return Status::Internal("live + free nodes do not cover the slabs");
+    }
   }
   return Status::Ok();
 }
 
-LockTable::Node* LockTable::AllocateNode() {
-  if (free_list_ == nullptr) {
-    slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
-    Node* slab = slabs_.back().get();
+LockTable::Node* LockTable::AllocateNode(Shard& shard) {
+  if (shard.free_list == nullptr) {
+    shard.slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
+    Node* slab = shard.slabs.back().get();
     for (int i = kSlabNodes - 1; i >= 0; --i) {
-      slab[i].next_free = free_list_;
-      free_list_ = &slab[i];
+      slab[i].next_free = shard.free_list;
+      shard.free_list = &slab[i];
     }
-    pool_free_ += kSlabNodes;
+    shard.pool_free += kSlabNodes;
   }
-  Node* node = free_list_;
-  free_list_ = node->next_free;
+  Node* node = shard.free_list;
+  shard.free_list = node->next_free;
   node->next_free = nullptr;
-  --pool_free_;
+  --shard.pool_free;
   LOCKTUNE_DCHECK(node->head.empty() && "recycled head must be clear");
   return node;
 }
 
-void LockTable::RecycleNode(Node* node) {
+void LockTable::RecycleNode(Shard& shard, Node* node) {
   node->head.Clear();
-  node->next_free = free_list_;
-  free_list_ = node;
-  ++pool_free_;
+  node->next_free = shard.free_list;
+  shard.free_list = node;
+  ++shard.pool_free;
 }
 
 }  // namespace locktune

@@ -1,15 +1,16 @@
 // Sharded, pooled resource → LockHead table (the lock manager's `table_`).
 //
-// Two structural decisions keep the grant/release hot path off the heap
-// (the shapes main-memory engines use for lock/latch state; cf. Larson et
-// al., "High-Performance Concurrency Control Mechanisms for Main-Memory
+// Three structural decisions keep the grant/release hot path off the heap
+// and make the shards independent units of concurrency (the shapes
+// main-memory engines use for lock/latch state; cf. Larson et al.,
+// "High-Performance Concurrency Control Mechanisms for Main-Memory
 // Databases" and the OptiQL lock-queue design):
 //
 //  * Sharding: the table is split into a power-of-two number of partitions
 //    selected by the low bits of ResourceIdHash; each shard is a flat
 //    open-addressing map (ResourceHashMap) probing on the bits above the
-//    shard select. Shards keep individual probe arrays small and are the
-//    unit a future per-shard latch would protect.
+//    shard select. Shards keep individual probe arrays small and carry the
+//    striped mutex the parallel execution mode locks per resource.
 //
 //  * Pooling: LockHead nodes live in slab-allocated arrays and are recycled
 //    through a free list. A recycled head keeps its holder/waiter vector
@@ -17,12 +18,24 @@
 //    addresses are stable for the node's lifetime, which the lock manager
 //    relies on while draining grant cascades.
 //
-// Not thread-safe; the owning LockManager serializes access.
+//  * Per-shard pools: slabs and free lists are shard-local, so allocating or
+//    recycling a node never touches state outside the shard being mutated —
+//    holding ShardMutex(hash) is sufficient for every table operation on
+//    that resource.
+//
+// Thread safety: the table itself performs no locking. In the default
+// single-threaded mode the owning LockManager serializes all access. In
+// parallel mode the manager holds ShardMutex(hash) around any call touching
+// that resource's shard; the cross-shard introspection calls (size,
+// MaxShardSize, pool gauges, ForEach, CheckConsistency) are only legal in a
+// serial region (under the manager's exclusive lock).
 #ifndef LOCKTUNE_LOCK_LOCK_TABLE_H_
 #define LOCKTUNE_LOCK_LOCK_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -73,33 +86,38 @@ class LockTable {
   }
   bool EraseIfEmpty(const ResourceId& resource, uint64_t hash);
 
+  // The striped mutex protecting `hash`'s shard. Parallel-mode callers hold
+  // this around any Find/GetOrCreate/Create/EraseIfEmpty on the resource.
+  // Lock ordering: never hold two shard mutexes at once.
+  std::mutex& ShardMutex(uint64_t hash) const {
+    return shards_[hash & shard_mask_].mu;
+  }
+
   // Calls fn(const ResourceId&, const LockHead&) for every head. Iteration
-  // order is unspecified (shard/slot order).
+  // order is unspecified (shard/slot order). Serial regions only.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (const auto& shard : shards_) {
-      shard.ForEach([&fn](const ResourceId& res, const Node* node) {
+    for (const Shard& shard : shards_) {
+      shard.map.ForEach([&fn](const ResourceId& res, const Node* node) {
         fn(res, node->head);
       });
     }
   }
 
   // Full-structure validation (paranoid mode / tests): shard occupancy sums
-  // to size(), and every pooled node is either live in a shard or on the
-  // free list (slab/pool conservation). O(total slots); returns OK or
-  // INTERNAL naming the violated invariant.
+  // to size(), and every pooled node is either live in its shard or on that
+  // shard's free list (per-shard slab/pool conservation). O(total slots);
+  // returns OK or INTERNAL naming the violated invariant.
   [[nodiscard]] Status CheckConsistency() const;
 
-  // --- introspection (pool/shard gauges) ---
-  int64_t size() const { return size_; }
+  // --- introspection (pool/shard gauges; serial regions only) ---
+  int64_t size() const;
   int shard_count() const { return static_cast<int>(shards_.size()); }
   // Heads in the most loaded shard (occupancy skew indicator).
   int64_t MaxShardSize() const;
-  int64_t pool_free_nodes() const { return pool_free_; }
-  int64_t pool_total_nodes() const {
-    return static_cast<int64_t>(slabs_.size()) * kSlabNodes;
-  }
-  int64_t slab_count() const { return static_cast<int64_t>(slabs_.size()); }
+  int64_t pool_free_nodes() const;
+  int64_t pool_total_nodes() const;
+  int64_t slab_count() const;
 
  private:
   struct Node {
@@ -107,16 +125,27 @@ class LockTable {
     Node* next_free = nullptr;
   };
 
-  Node* AllocateNode();
-  void RecycleNode(Node* node);
+  // A shard owns its map, its node pool, and the mutex striping it. Slabs
+  // and free list are shard-local so every mutation is covered by `mu`.
+  struct Shard {
+    explicit Shard(int hash_shift) : map(hash_shift) {}
 
-  std::vector<ResourceHashMap<Node*>> shards_;
+    ResourceHashMap<Node*> map;
+    std::vector<std::unique_ptr<Node[]>> slabs;
+    Node* free_list = nullptr;
+    int64_t pool_free = 0;
+    int64_t live = 0;  // heads currently in `map`
+    mutable std::mutex mu;
+  };
+
+  static Node* AllocateNode(Shard& shard);
+  static void RecycleNode(Shard& shard, Node* node);
+
+  Shard& ShardFor(uint64_t hash) { return shards_[hash & shard_mask_]; }
+
+  // deque: Shard is immovable (std::mutex member) and needs stable storage.
+  std::deque<Shard> shards_;
   int shard_mask_ = 0;
-  int64_t size_ = 0;
-
-  std::vector<std::unique_ptr<Node[]>> slabs_;
-  Node* free_list_ = nullptr;
-  int64_t pool_free_ = 0;
 };
 
 }  // namespace locktune

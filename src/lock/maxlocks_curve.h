@@ -9,10 +9,22 @@
 //
 // The value is recomputed every time lock memory is resized, and every
 // refreshPeriodForAppPercent (0x80 = 128) lock structure requests — roughly
-// the same interval on which new memory blocks can be allocated.
+// the same interval on which new memory blocks can be allocated. The request
+// counter measures requests since the last *actual* recomputation: a
+// resize-triggered refresh restarts the cadence, so every interval between
+// recomputations is exactly refresh_period requests (an earlier version reset
+// the counter at the period boundary instead, so a resize or the initial
+// computation left a partial count behind and the next refresh fired early).
+//
+// Thread safety: the cached view (OnLockRequest / Invalidate / Current) is
+// safe to call concurrently; the counter, dirty flag, and cached percent are
+// atomics. Under concurrent callers a reader may observe a value that is at
+// most one refresh stale — acceptable for a quota heuristic, and exact in the
+// single-threaded deterministic mode.
 #ifndef LOCKTUNE_LOCK_MAXLOCKS_CURVE_H_
 #define LOCKTUNE_LOCK_MAXLOCKS_CURVE_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace locktune {
@@ -24,6 +36,11 @@ class MaxlocksCurve {
   // structure requests between recomputations (paper: 0x80).
   MaxlocksCurve(double p_max = 98.0, double exponent = 3.0,
                 int refresh_period = 0x80);
+
+  // Copyable so policies can take the curve by value (atomics are copied as
+  // plain loads; copying while another thread mutates is not supported).
+  MaxlocksCurve(const MaxlocksCurve& other);
+  MaxlocksCurve& operator=(const MaxlocksCurve& other);
 
   double p_max() const { return p_max_; }
   double exponent() const { return exponent_; }
@@ -37,23 +54,30 @@ class MaxlocksCurve {
   // --- cached, refresh-period-driven view (what the lock manager uses) ---
 
   // Notes one lock structure request; returns true when the cached value is
-  // due for recomputation (every refresh_period requests).
+  // due for recomputation. The refresh becomes due on the refresh_period-th
+  // request after the last recomputation (exactly 0x80 with defaults).
   bool OnLockRequest();
 
   // Forces recomputation at the next read (called on lock memory resize).
-  void Invalidate() { dirty_ = true; }
+  // The resize-triggered recomputation restarts the request cadence.
+  void Invalidate() { dirty_.store(true, std::memory_order_release); }
 
   // Returns the cached percent, recomputing from `used_percent_of_max` if
   // due. This is the externally visible lockPercentPerApplication.
   double Current(double used_percent_of_max);
 
+  // Requests observed since the last recomputation (test/inspection hook).
+  int requests_since_refresh() const {
+    return requests_since_refresh_.load(std::memory_order_relaxed);
+  }
+
  private:
   double p_max_;
   double exponent_;
   int refresh_period_;
-  int requests_since_refresh_ = 0;
-  bool dirty_ = true;
-  double cached_percent_ = 0.0;
+  std::atomic<int> requests_since_refresh_{0};
+  std::atomic<bool> dirty_{true};
+  std::atomic<double> cached_percent_{0.0};
 };
 
 }  // namespace locktune

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "fault/fault_plan.h"
+#include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
 
 namespace locktune {
@@ -144,8 +145,11 @@ void DatabaseMemory::RegisterMetrics(MetricsRegistry* registry) {
       "locktune_memory_heap_total_bytes", "sum of all heap sizes",
       [this] { return static_cast<double>(heap_bytes()); });
   for (const auto& heap : heaps_) {
+    // Heap names come from configuration; escape them so a quote or
+    // backslash cannot corrupt the label syntax in exports.
     registry->AddCallbackGauge(
-        "locktune_memory_heap_bytes{heap=\"" + heap->name() + "\"}",
+        "locktune_memory_heap_bytes{heap=\"" +
+            PrometheusLabelValue(heap->name()) + "\"}",
         "per-heap size",
         [h = heap.get()] { return static_cast<double>(h->size()); });
   }

@@ -51,14 +51,52 @@ std::string HistogramDigest(const HistogramSnapshot& h) {
   return buf;
 }
 
+// HELP text escaping per the Prometheus exposition format: only backslash
+// and newline are special on comment lines.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string CsvField(const std::string& field) {
+  if (field.find_first_of(",\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
 
 void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
   std::string last_family;
   for (const MetricSample& s : registry.Collect()) {
     const std::string family = MetricFamily(s.name);
     if (family != last_family) {
-      if (!s.help.empty()) os << "# HELP " << family << " " << s.help << "\n";
+      if (!s.help.empty()) {
+        os << "# HELP " << family << " " << EscapeHelp(s.help) << "\n";
+      }
       os << "# TYPE " << family << " " << KindName(s.kind) << "\n";
       last_family = family;
     }
@@ -84,18 +122,21 @@ void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
 void WriteMetricsCsv(const MetricsRegistry& registry, std::ostream& os) {
   os << "metric,value\n";
   for (const MetricSample& s : registry.Collect()) {
+    // Names can carry `{label="value"}` suffixes built from free-form
+    // strings, so the name column gets RFC 4180 quoting; values are always
+    // rendered numbers and never need it.
     if (s.kind == MetricKind::kHistogram) {
       const HistogramSnapshot& h = s.histogram;
-      os << s.name << "_count," << h.total << "\n";
-      os << s.name << "_sum," << FormatValue(h.sum) << "\n";
-      os << s.name << "_p50," << FormatValue(SnapshotQuantile(h, 0.50))
-         << "\n";
-      os << s.name << "_p95," << FormatValue(SnapshotQuantile(h, 0.95))
-         << "\n";
-      os << s.name << "_p99," << FormatValue(SnapshotQuantile(h, 0.99))
-         << "\n";
+      os << CsvField(s.name + "_count") << "," << h.total << "\n";
+      os << CsvField(s.name + "_sum") << "," << FormatValue(h.sum) << "\n";
+      os << CsvField(s.name + "_p50") << ","
+         << FormatValue(SnapshotQuantile(h, 0.50)) << "\n";
+      os << CsvField(s.name + "_p95") << ","
+         << FormatValue(SnapshotQuantile(h, 0.95)) << "\n";
+      os << CsvField(s.name + "_p99") << ","
+         << FormatValue(SnapshotQuantile(h, 0.99)) << "\n";
     } else {
-      os << s.name << "," << FormatValue(s.value) << "\n";
+      os << CsvField(s.name) << "," << FormatValue(s.value) << "\n";
     }
   }
 }

@@ -5,10 +5,25 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "telemetry/metrics.h"
 
 namespace locktune {
+
+// Minimally-quoted RFC 4180 CSV field: wrapped in double quotes (internal
+// quotes doubled) only when the field contains a comma, CR, or LF — the
+// characters that would corrupt row structure. A field with embedded quotes
+// but no delimiter stays verbatim (it does not start with a quote, so RFC
+// parsers read it literally); this keeps historical exports, whose metric
+// names carry `{label="value"}` suffixes, byte-identical.
+std::string CsvField(const std::string& field);
+
+// Prometheus text-format label value escaping: backslash, double quote, and
+// newline become \\, \", and \n. Producers building `name{label="value"}`
+// metric names from free-form strings (heap names, config identifiers) must
+// pass the value through this before splicing it into the name.
+std::string PrometheusLabelValue(std::string_view value);
 
 // Prometheus text exposition format: `# HELP` / `# TYPE` per family, then
 // one sample line per metric; histograms expand to `_bucket{le=...}`,

@@ -21,10 +21,12 @@
 #ifndef LOCKTUNE_TELEMETRY_METRICS_H_
 #define LOCKTUNE_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,25 +34,30 @@
 
 namespace locktune {
 
-// Monotonically increasing event count.
+// Monotonically increasing event count. Lock-free: producers on concurrent
+// worker threads bump it with relaxed atomics (it is a statistic, not a
+// synchronization point).
 class Counter {
  public:
-  void Increment(int64_t n = 1) { value_ += n; }
-  int64_t value() const { return value_; }
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-// Instantaneous value that can move both ways.
+// Instantaneous value that can move both ways. Lock-free like Counter
+// (atomic<double>::fetch_add is C++20).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Point-in-time copy of a histogram, as exporters consume it. `counts` has
@@ -67,21 +74,30 @@ struct HistogramSnapshot {
 double SnapshotQuantile(const HistogramSnapshot& snapshot, double q);
 
 // A bucketed distribution plus a running sum (for Prometheus `_sum`).
+// Observe/Snapshot are serialized by an internal mutex so concurrent
+// producers cannot tear the bucket array against the running sum.
 class HistogramMetric {
  public:
   explicit HistogramMetric(std::vector<double> upper_bounds)
       : hist_(std::move(upper_bounds)) {}
 
   void Observe(double x) {
+    std::lock_guard<std::mutex> guard(mu_);
     hist_.Add(x);
     sum_ += x;
   }
 
-  int64_t total_count() const { return hist_.total_count(); }
+  int64_t total_count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return hist_.total_count();
+  }
+  // Unsynchronized view for single-threaded readers (tests, inspector after
+  // the run); concurrent contexts must use Snapshot().
   const Histogram& histogram() const { return hist_; }
   HistogramSnapshot Snapshot() const;
 
  private:
+  mutable std::mutex mu_;
   Histogram hist_;
   double sum_ = 0.0;
 };
@@ -125,7 +141,10 @@ class MetricsRegistry {
                             std::function<HistogramSnapshot()> fn);
 
   bool Has(const std::string& name) const;
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return entries_.size();
+  }
 
   // Evaluates every metric (callbacks included), ordered by name. Label
   // variants of one family (`name{...}`) sort adjacently.
@@ -144,6 +163,10 @@ class MetricsRegistry {
     std::function<HistogramSnapshot()> histogram_fn;
   };
 
+  // Guards the entry map itself (registration vs. Collect). The metric
+  // objects are individually thread-safe, and callbacks run under this
+  // mutex — they must not re-enter the registry.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

@@ -88,8 +88,10 @@ std::string TraceRecord::ToJson() const {
 
 void JsonlTraceWriter::Append(const TraceRecord& record) {
   if (os_ == nullptr) return;
-  *os_ << record.ToJson() << '\n';
-  ++records_;
+  const std::string line = record.ToJson();  // render outside the lock
+  std::lock_guard<std::mutex> guard(mu_);
+  *os_ << line << '\n';
+  records_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void JsonlTraceWriter::Flush() {

@@ -10,7 +10,9 @@
 #ifndef LOCKTUNE_TELEMETRY_TRACE_H_
 #define LOCKTUNE_TELEMETRY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -59,7 +61,9 @@ class TraceRecord {
 
 // Receives trace records. Implementations must tolerate records arriving
 // from under the lock manager's mutex: be fast, never call back into the
-// producing subsystem.
+// producing subsystem. In parallel mode records can arrive from several
+// worker threads; Append must be thread-safe (both implementations below
+// serialize internally).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -75,23 +79,30 @@ class JsonlTraceWriter : public TraceSink {
   void Append(const TraceRecord& record) override;
   void Flush() override;
 
-  int64_t records_written() const { return records_; }
+  int64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
 
  private:
+  std::mutex mu_;  // keeps concurrent Append lines from interleaving
   std::ostream* os_;
-  int64_t records_ = 0;
+  std::atomic<int64_t> records_{0};
 };
 
 // Buffers records in memory (tests, inspector).
 class MemoryTraceSink : public TraceSink {
  public:
   void Append(const TraceRecord& record) override {
+    std::lock_guard<std::mutex> guard(mu_);
     records_.push_back(record);
   }
 
+  // Unsynchronized view: read only after producers have quiesced (end of
+  // run / end of tick).
   const std::vector<TraceRecord>& records() const { return records_; }
 
  private:
+  std::mutex mu_;
   std::vector<TraceRecord> records_;
 };
 

@@ -8,6 +8,7 @@
 #ifndef LOCKTUNE_WORKLOAD_APPLICATION_H_
 #define LOCKTUNE_WORKLOAD_APPLICATION_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/random.h"
@@ -25,16 +26,19 @@ enum class AppPhase {
   kBlocked,
 };
 
+// Counters are atomics because several worker threads mirror bumps into one
+// shared sink in parallel mode (reads convert implicitly, so `stats().x`
+// keeps working; relaxed ordering — these are monotonic event counts).
 struct ApplicationStats {
-  int64_t commits = 0;
-  int64_t table_plan_txns = 0;  // transactions compiled to table locking
-  int64_t deadlock_aborts = 0;
-  int64_t timeout_aborts = 0;  // lock waits past LOCKTIMEOUT
-  int64_t oom_aborts = 0;  // transactions failed for lack of lock memory
-  int64_t user_aborts = 0;  // client-initiated rollbacks (abort storms)
-  int64_t kill_aborts = 0;  // mid-transaction connection kills (fault plan)
-  int64_t locks_acquired = 0;
-  int64_t blocked_ticks = 0;
+  std::atomic<int64_t> commits{0};
+  std::atomic<int64_t> table_plan_txns{0};  // txns compiled to table locking
+  std::atomic<int64_t> deadlock_aborts{0};
+  std::atomic<int64_t> timeout_aborts{0};  // lock waits past LOCKTIMEOUT
+  std::atomic<int64_t> oom_aborts{0};  // txns failed for lack of lock memory
+  std::atomic<int64_t> user_aborts{0};  // client rollbacks (abort storms)
+  std::atomic<int64_t> kill_aborts{0};  // mid-txn connection kills (faults)
+  std::atomic<int64_t> locks_acquired{0};
+  std::atomic<int64_t> blocked_ticks{0};
 };
 
 class Application {
@@ -85,9 +89,11 @@ class Application {
 
  private:
   // Bumps `field` in this application's stats and in the aggregate sink.
-  void Count(int64_t ApplicationStats::* field) {
-    ++(stats_.*field);
-    if (sink_ != nullptr) ++(sink_->*field);
+  void Count(std::atomic<int64_t> ApplicationStats::* field) {
+    (stats_.*field).fetch_add(1, std::memory_order_relaxed);
+    if (sink_ != nullptr) {
+      (sink_->*field).fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   void StartTransaction();

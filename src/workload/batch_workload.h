@@ -5,6 +5,8 @@
 #ifndef LOCKTUNE_WORKLOAD_BATCH_WORKLOAD_H_
 #define LOCKTUNE_WORKLOAD_BATCH_WORKLOAD_H_
 
+#include <atomic>
+
 #include "engine/catalog.h"
 #include "workload/workload.h"
 
@@ -40,7 +42,7 @@ class BatchWorkload : public Workload {
   BatchOptions options_;
   TableId table_;
   int64_t row_count_;
-  int64_t cursor_ = 0;
+  std::atomic<int64_t> cursor_{0};  // shared scan position; see dss_workload.h
 };
 
 }  // namespace locktune

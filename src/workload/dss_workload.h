@@ -7,6 +7,8 @@
 #ifndef LOCKTUNE_WORKLOAD_DSS_WORKLOAD_H_
 #define LOCKTUNE_WORKLOAD_DSS_WORKLOAD_H_
 
+#include <atomic>
+
 #include "engine/catalog.h"
 #include "workload/workload.h"
 
@@ -38,7 +40,10 @@ class DssWorkload : public Workload {
   DssOptions options_;
   TableId table_;
   int64_t row_count_;
-  int64_t cursor_ = 0;  // sequential scan position
+  // Atomic: one DSS workload feeds every client in its group, and parallel
+  // workers call NextAccess concurrently. fetch_add keeps the scan strictly
+  // sequential in single-threaded mode (same values as before).
+  std::atomic<int64_t> cursor_{0};  // sequential scan position
 };
 
 }  // namespace locktune

@@ -1,6 +1,10 @@
 #include "workload/scenario.h"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "telemetry/metrics.h"
@@ -46,6 +50,7 @@ ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
     : db_(db), groups_(std::move(groups)), options_(options) {
   LOCKTUNE_CHECK(db != nullptr);
   LOCKTUNE_CHECK(options.tick > 0);
+  LOCKTUNE_CHECK(options.threads >= 1);
   // First sample lands one full period in, so every sample window covers
   // the same span.
   next_sample_ = db->clock().now() + options_.sample_period;
@@ -95,11 +100,11 @@ void ScenarioRunner::RegisterMetrics() {
   }
   registry.AddCallbackCounter(
       "locktune_workload_locks_acquired_total", "row/table locks acquired",
-      [this] { return totals_.locks_acquired; });
+      [this] { return totals_.locks_acquired.load(std::memory_order_relaxed); });
   registry.AddCallbackCounter(
       "locktune_workload_table_plan_txns_total",
       "transactions compiled to table locking",
-      [this] { return totals_.table_plan_txns; });
+      [this] { return totals_.table_plan_txns.load(std::memory_order_relaxed); });
   registry.AddCallbackGauge(
       "locktune_workload_clients", "connected applications",
       [this] { return static_cast<double>(db_->connected_applications()); });
@@ -123,50 +128,105 @@ void ScenarioRunner::RegisterMetrics() {
 void ScenarioRunner::Run() { RunUntil(options_.duration); }
 
 void ScenarioRunner::RunUntil(TimeMs until) {
+  if (options_.threads > 1) {
+    RunUntilParallel(until);
+    return;
+  }
   while (db_->clock().now() < until) {
     const TimeMs now = db_->clock().now();
-    ApplyTimelines(now);
-
-    // Fault-plan connection kills. A killed application rolls back and
-    // disconnects this tick; the next ApplyTimelines reconnects it if its
-    // timeline says it should be active (crash-and-restart).
-    if (FaultPlan* fault = db_->fault_plan();
-        fault != nullptr && fault->Armed()) {
-      for (int32_t victim : fault->TakeDueKills()) {
-        // Kill targets are 1-based application indices, like deadlock
-        // victims below.
-        const size_t idx = static_cast<size_t>(victim - 1);
-        LOCKTUNE_CHECK(idx < apps_.size());
-        apps_[idx]->KillConnection();
-      }
-    }
-
+    BeginTick(now);
     for (const auto& app : apps_) {
       if (app->connected()) app->Tick();
     }
+    FinishTick(now);
+  }
+}
 
-    // Advance virtual time; due STMM tuning passes run inside.
-    db_->Tick(options_.tick);
-
-    if (now >= next_deadlock_check_) {
-      next_deadlock_check_ = now + options_.deadlock_check_period;
-      for (AppId victim : db_->locks().DetectDeadlocks()) {
-        // Victim AppIds are 1-based application indices by construction.
-        const size_t idx = static_cast<size_t>(victim - 1);
-        LOCKTUNE_CHECK(idx < apps_.size());
-        apps_[idx]->AbortForDeadlock();
+// Parallel execution: every tick fans the connected applications out over
+// options_.threads persistent workers (application i belongs to worker
+// i % threads, so each application is only ever ticked by one thread), then
+// joins them at a barrier before the serial phase runs. The barrier gives
+// the serial phase — STMM tuning inside db_->Tick, deadlock/timeout
+// detection, sampling — a consistent epoch snapshot: no application
+// mutates lock state while it runs. Lock-manager internals are protected
+// separately (see docs/CONCURRENCY.md); this loop only guarantees the
+// tick-grain phasing.
+void ScenarioRunner::RunUntilParallel(TimeMs until) {
+  const int workers = options_.threads;
+  db_->locks().SetParallelMode(true);
+  std::atomic<bool> stop{false};
+  // +1: the coordinator (this thread) participates in both barriers.
+  std::barrier start_barrier(workers + 1);
+  std::barrier done_barrier(workers + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([this, w, workers, &stop, &start_barrier,
+                       &done_barrier] {
+      for (;;) {
+        start_barrier.arrive_and_wait();
+        if (stop.load(std::memory_order_acquire)) return;
+        for (size_t i = static_cast<size_t>(w); i < apps_.size();
+             i += static_cast<size_t>(workers)) {
+          if (apps_[i]->connected()) apps_[i]->Tick();
+        }
+        done_barrier.arrive_and_wait();
       }
-      for (AppId victim : db_->locks().ExpireTimedOutWaiters()) {
-        const size_t idx = static_cast<size_t>(victim - 1);
-        LOCKTUNE_CHECK(idx < apps_.size());
-        apps_[idx]->AbortForTimeout();
-      }
-    }
+    });
+  }
+  while (db_->clock().now() < until) {
+    const TimeMs now = db_->clock().now();
+    BeginTick(now);
+    start_barrier.arrive_and_wait();  // release workers into this tick
+    done_barrier.arrive_and_wait();   // epoch barrier: all apps ticked
+    FinishTick(now);
+  }
+  stop.store(true, std::memory_order_release);
+  start_barrier.arrive_and_wait();  // release workers into the stop check
+  for (std::thread& t : pool) t.join();
+  db_->locks().SetParallelMode(false);
+}
 
-    if (db_->clock().now() >= next_sample_) {
-      next_sample_ += options_.sample_period;
-      Sample(db_->clock().now());
+void ScenarioRunner::BeginTick(TimeMs now) {
+  ApplyTimelines(now);
+
+  // Fault-plan connection kills. A killed application rolls back and
+  // disconnects this tick; the next ApplyTimelines reconnects it if its
+  // timeline says it should be active (crash-and-restart).
+  if (FaultPlan* fault = db_->fault_plan();
+      fault != nullptr && fault->Armed()) {
+    for (int32_t victim : fault->TakeDueKills()) {
+      // Kill targets are 1-based application indices, like deadlock
+      // victims below.
+      const size_t idx = static_cast<size_t>(victim - 1);
+      LOCKTUNE_CHECK(idx < apps_.size());
+      apps_[idx]->KillConnection();
     }
+  }
+}
+
+void ScenarioRunner::FinishTick(TimeMs now) {
+  // Advance virtual time; due STMM tuning passes run inside.
+  db_->Tick(options_.tick);
+
+  if (now >= next_deadlock_check_) {
+    next_deadlock_check_ = now + options_.deadlock_check_period;
+    for (AppId victim : db_->locks().DetectDeadlocks()) {
+      // Victim AppIds are 1-based application indices by construction.
+      const size_t idx = static_cast<size_t>(victim - 1);
+      LOCKTUNE_CHECK(idx < apps_.size());
+      apps_[idx]->AbortForDeadlock();
+    }
+    for (AppId victim : db_->locks().ExpireTimedOutWaiters()) {
+      const size_t idx = static_cast<size_t>(victim - 1);
+      LOCKTUNE_CHECK(idx < apps_.size());
+      apps_[idx]->AbortForTimeout();
+    }
+  }
+
+  if (db_->clock().now() >= next_sample_) {
+    next_sample_ += options_.sample_period;
+    Sample(db_->clock().now());
   }
 }
 

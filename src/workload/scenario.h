@@ -40,6 +40,13 @@ struct ScenarioOptions {
   // is present); it stays off otherwise so fault-free metric exports are
   // byte-identical to earlier versions.
   bool robustness_metrics = false;
+  // Worker threads driving connected applications each tick. 1 (default)
+  // is the deterministic single-threaded path — the golden contract. With
+  // N > 1, applications are partitioned across N workers, the lock
+  // manager's parallel fast path is enabled, and each tick ends at a
+  // barrier so the serial phase (STMM tuning, deadlock/timeout checks,
+  // sampling) observes a consistent snapshot. See docs/CONCURRENCY.md.
+  int threads = 1;
 };
 
 class ScenarioRunner {
@@ -90,6 +97,14 @@ class ScenarioRunner {
   static const char kBlockedApps[];
 
  private:
+  // Serial tick phases shared by both execution modes: BeginTick applies
+  // timelines and due connection kills; FinishTick advances virtual time
+  // (STMM passes run inside) and runs the periodic deadlock/timeout checks
+  // and sampling. Between the two, every connected application is ticked —
+  // inline for threads == 1, fanned out over workers otherwise.
+  void BeginTick(TimeMs now);
+  void FinishTick(TimeMs now);
+  void RunUntilParallel(TimeMs until);
   void ApplyTimelines(TimeMs now);
   void Sample(TimeMs now);
   // Registers the workload metric family (`locktune_workload_*`) with the

@@ -1,8 +1,10 @@
 #include "workload/scenario_config.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace locktune {
@@ -20,8 +22,11 @@ std::vector<std::string> Tokenize(const std::string& line) {
 
 bool ParseRawInt(const std::string& s, int64_t* out) {
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') return false;
+  // ERANGE: strtoll clamps to LLONG_MIN/MAX, silently turning a fat-fingered
+  // value into a huge one — reject it like any other malformed integer.
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return false;
   *out = v;
   return true;
 }
@@ -399,6 +404,15 @@ Result<ScenarioSpec> ParseScenario(const std::string& text,
   bool fault_seed_set = false;
   bool any_hostile = false;
 
+  // Duplicate-key detection, scoped per section: a scalar key appearing
+  // twice silently overwrote its first value and hid config typos. Keys
+  // that genuinely build lists stay repeatable.
+  const auto is_repeatable = [](const std::string& key) {
+    return key == "clients" || key == "deny_heap" ||
+           key == "squeeze_overflow_mb" || key == "kill_app";
+  };
+  std::map<std::string, int> seen_keys;  // key -> first line in this section
+
   std::istringstream is(text);
   std::string raw;
   int line_no = 0;
@@ -416,6 +430,7 @@ Result<ScenarioSpec> ParseScenario(const std::string& text,
       if (tokens.size() != 1) {
         return p.Error("trailing tokens after section header " + tokens[0]);
       }
+      seen_keys.clear();
       if (tokens[0] == "[fault]") {
         in_fault_section = true;
         section = nullptr;
@@ -441,6 +456,14 @@ Result<ScenarioSpec> ParseScenario(const std::string& text,
         any_hostile = true;
       }
       continue;
+    }
+
+    if (!is_repeatable(p.key())) {
+      const auto [it, inserted] = seen_keys.emplace(p.key(), line_no);
+      if (!inserted) {
+        return p.Error("duplicate key '" + p.key() + "' (first set at " +
+                       source_name + ":" + std::to_string(it->second) + ")");
+      }
     }
 
     if (in_fault_section) {

@@ -1,0 +1,190 @@
+// Parallel-mode stress: the sharded LockTable under its striped mutexes and
+// the LockManager fast path under real thread interleavings. These tests
+// assert structural invariants after the dust settles (and data-race freedom
+// under the TSan CI leg); they intentionally run with overlapping resource
+// sets so shard mutexes, the shared/exclusive manager lock, and the bail
+// path all get exercised. Run with LOCKTUNE_PARANOID=1 for every-operation
+// validation (the `paranoid_lock_table_concurrency` ctest entry).
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "lock/lock_manager.h"
+#include "lock/lock_table.h"
+
+namespace locktune {
+namespace {
+
+LockRequest Granted(AppId app, LockMode mode) {
+  LockRequest r;
+  r.app = app;
+  r.mode = mode;
+  return r;
+}
+
+// Raw table discipline: every touch of a resource's shard happens under
+// ShardMutex(hash), exactly as the lock manager's fast path does. Threads
+// share a small resource universe so shards see genuine contention.
+TEST(LockTableConcurrencyTest, ShardedChurnKeepsConservation) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20'000;
+  constexpr int64_t kRows = 512;  // spans all 16 shards, heavily shared
+  LockTable table;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const AppId app = t + 1;
+      Rng rng(static_cast<uint64_t>(t) * 977 + 1);
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const ResourceId res =
+            RowResource(1, static_cast<int64_t>(rng.NextBelow(kRows)));
+        const uint64_t hash = ResourceIdHash{}(res);
+        std::lock_guard<std::mutex> shard_guard(table.ShardMutex(hash));
+        LockHead& head = table.GetOrCreate(res, hash);
+        // S locks are compatible, so holders from several apps coexist on
+        // one head; each thread only ever adds/removes its own.
+        head.AddHolder(Granted(app, LockMode::kS));
+        head.RemoveHolder(app);
+        table.EraseIfEmpty(res, hash);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Everything was removed symmetrically: the table drained, and every
+  // pooled node is back on some shard's free list.
+  EXPECT_EQ(table.size(), 0);
+  EXPECT_EQ(table.pool_free_nodes(), table.pool_total_nodes());
+  EXPECT_TRUE(table.CheckConsistency().ok());
+}
+
+class ParallelModeTest : public ::testing::Test {
+ protected:
+  void Make(double maxlocks_percent, int64_t initial_blocks,
+            bool allow_growth) {
+    policy_ = std::make_unique<FixedMaxlocksPolicy>(maxlocks_percent);
+    LockManagerOptions opts;
+    opts.initial_blocks = initial_blocks;
+    opts.max_lock_memory = 64 * kMiB;
+    opts.database_memory = kGiB;
+    opts.policy = policy_.get();
+    if (allow_growth) {
+      opts.grow_callback = [](int64_t) { return true; };
+    }
+    lm_ = std::make_unique<LockManager>(std::move(opts));
+    lm_->SetParallelMode(true);
+  }
+
+  std::unique_ptr<EscalationPolicy> policy_;
+  std::unique_ptr<LockManager> lm_;
+};
+
+// Uncontended-fast-path mix: disjoint tables per thread, so nearly every
+// request takes the shared-lock fast path end to end.
+TEST_F(ParallelModeTest, DisjointFastPathDrainsClean) {
+  Make(/*maxlocks_percent=*/90.0, /*initial_blocks=*/64,
+       /*allow_growth=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kTxns = 300;
+  constexpr int64_t kLocksPerTxn = 40;
+  std::atomic<int64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const AppId app = t + 1;
+      for (int txn = 0; txn < kTxns; ++txn) {
+        for (int64_t r = 0; r < kLocksPerTxn; ++r) {
+          const LockResult res = lm_->Lock(
+              app, RowResource(t, txn * kLocksPerTxn + r), LockMode::kX);
+          if (res.outcome == LockOutcome::kGranted) {
+            granted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        lm_->ReleaseAll(app);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lm_->SetParallelMode(false);
+  EXPECT_EQ(granted.load(), kThreads * kTxns * kLocksPerTxn);
+  EXPECT_EQ(lm_->used_bytes(), 0);
+  EXPECT_EQ(lm_->lock_table_size(), 0);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+// Hot-shard mix: every thread hammers the same 64 rows, forcing shard-mutex
+// contention, conversion attempts, waits (which bail to the exclusive
+// classic path), and the two-pass fast release against heads other threads
+// are probing.
+TEST_F(ParallelModeTest, HotShardContentionStaysConsistent) {
+  Make(/*maxlocks_percent=*/90.0, /*initial_blocks=*/64,
+       /*allow_growth=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 30'000;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const AppId app = t + 1;
+      Rng rng(static_cast<uint64_t>(t) + 17);
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kOps; ++i) {
+        const int64_t row = static_cast<int64_t>(rng.NextBelow(64));
+        const LockResult res =
+            lm_->Lock(app, RowResource(9, row),
+                      rng.NextBool(0.5) ? LockMode::kX : LockMode::kS);
+        if (res.outcome == LockOutcome::kWaiting) {
+          // A waiting app cannot issue further requests; roll back like an
+          // impatient client. Exercises FastReleaseAll's waiting bail.
+          lm_->ReleaseAll(app);
+        } else if (rng.NextBool(0.3)) {
+          lm_->ReleaseAll(app);
+        }
+      }
+      lm_->ReleaseAll(app);
+    });
+  }
+  for (auto& th : threads) th.join();
+  lm_->SetParallelMode(false);
+  EXPECT_EQ(lm_->used_bytes(), 0);
+  EXPECT_EQ(lm_->waiting_app_count(), 0);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+// Escalation churn: a 1% quota with no growth forces constant escalation,
+// which always bails from the fast path into the exclusive classic path —
+// the highest-traffic crossing between the two locking regimes.
+TEST_F(ParallelModeTest, EscalationBailPathUnderThreads) {
+  Make(/*maxlocks_percent=*/1.0, /*initial_blocks=*/1,
+       /*allow_growth=*/false);
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const AppId app = t + 1;
+      for (int txn = 0; txn < kTxns; ++txn) {
+        for (int64_t r = 0; r < 64; ++r) {
+          (void)lm_->Lock(app, RowResource(t, r), LockMode::kX);
+        }
+        lm_->ReleaseAll(app);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lm_->SetParallelMode(false);
+  EXPECT_GT(lm_->stats().escalations, 0);
+  EXPECT_EQ(lm_->used_bytes(), 0);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace locktune

@@ -110,7 +110,9 @@ TEST(LockTableTest, ShardCountAndOccupancy) {
 }
 
 TEST(LockTableTest, PoolRecyclesNodesWithoutNewSlabs) {
-  LockTable table;
+  // Pools are shard-local (a shard's mutex covers its own allocator), so
+  // slab counts scale with the number of shards touched, not globally.
+  LockTable table(/*shard_count=*/1);
   ASSERT_EQ(table.slab_count(), 0);
   for (int i = 0; i < 100; ++i) table.GetOrCreate(RowResource(1, i));
   EXPECT_EQ(table.slab_count(), 1);
@@ -131,12 +133,26 @@ TEST(LockTableTest, PoolRecyclesNodesWithoutNewSlabs) {
 }
 
 TEST(LockTableTest, PoolGrowsByWholeSlabs) {
-  LockTable table;
+  LockTable table(/*shard_count=*/1);
   const int n = LockTable::kSlabNodes + 1;
   for (int i = 0; i < n; ++i) table.GetOrCreate(RowResource(1, i));
   EXPECT_EQ(table.slab_count(), 2);
   EXPECT_EQ(table.pool_total_nodes(), 2 * LockTable::kSlabNodes);
   EXPECT_EQ(table.pool_free_nodes(), 2 * LockTable::kSlabNodes - n);
+}
+
+TEST(LockTableTest, ShardedPoolsAreIndependent) {
+  // A default (16-shard) table allocates one slab per shard it touches;
+  // conservation (live + free == slabs * kSlabNodes) holds per shard and in
+  // the summed gauges.
+  LockTable table;
+  for (int i = 0; i < 100; ++i) table.GetOrCreate(RowResource(1, i));
+  EXPECT_GE(table.slab_count(), 1);
+  EXPECT_LE(table.slab_count(), table.shard_count());
+  EXPECT_EQ(table.pool_total_nodes(),
+            table.slab_count() * LockTable::kSlabNodes);
+  EXPECT_EQ(table.pool_free_nodes(), table.pool_total_nodes() - 100);
+  ASSERT_TRUE(table.CheckConsistency().ok());
 }
 
 TEST(LockTableTest, RecycledHeadComesBackEmpty) {

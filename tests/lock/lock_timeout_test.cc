@@ -105,6 +105,96 @@ TEST_F(LockTimeoutTest, SeparateWaitersExpireIndependently) {
   EXPECT_EQ(expired[0], 2);
 }
 
+// A connection kill mid-wait (ReleaseAll on a waiting app) must neutralize
+// the app's queued timeout entry: no expiry fires for it, and the queue
+// invariants hold afterwards.
+TEST_F(LockTimeoutTest, KilledWaiterLeavesNoStaleTimeout) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);
+  lm_->ReleaseAll(2);  // kill mid-wait
+  EXPECT_EQ(lm_->waiting_app_count(), 0);
+  clock_.Advance(20 * kSecond);
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+  EXPECT_EQ(lm_->stats().lock_timeouts, 0);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+// After a kill, the same app's next wait must get a fresh deadline; the
+// dead entry from the first wait must not expire it early.
+TEST_F(LockTimeoutTest, ReWaitAfterKillGetsFreshDeadline) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);  // deadline 10 s
+  lm_->ReleaseAll(2);
+  clock_.Advance(5 * kSecond);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);  // deadline 15 s
+  clock_.Advance(5 * kSecond);       // now 10 s: only the dead entry is due
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+  clock_.Advance(5 * kSecond);  // now 15 s: the live entry expires
+  const std::vector<AppId> expired = lm_->ExpireTimedOutWaiters();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 2);
+  lm_->ReleaseAll(2);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+// Heavy churn of killed waits exercises the compaction path (the queue
+// rebuilds once stale entries dominate); a live waiter threaded through the
+// churn must still expire exactly on time.
+TEST_F(LockTimeoutTest, CompactionSurvivesKillChurn) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+              LockOutcome::kWaiting);
+    lm_->ReleaseAll(2);  // each round strands one dead entry
+    ASSERT_TRUE(lm_->CheckConsistency().ok()) << "round " << i;
+  }
+  clock_.Advance(5 * kSecond);
+  ASSERT_EQ(lm_->Lock(3, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);  // deadline 15 s
+  clock_.Advance(5 * kSecond);       // 10 s: all dead deadlines due, not 3's
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+  clock_.Advance(5 * kSecond);  // 15 s
+  const std::vector<AppId> expired = lm_->ExpireTimedOutWaiters();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 3);
+  lm_->ReleaseAll(3);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
+// A wait that ends by grant also retires its timeout entry (NoteWaitEnded
+// from the grant path), so a later wait by the same app expires on its own
+// deadline, not the first one's.
+TEST_F(LockTimeoutTest, GrantRetiresEntryBeforeNextWait) {
+  Make(10 * kSecond);
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 1), LockMode::kX).outcome,
+            LockOutcome::kWaiting);  // deadline 10 s
+  clock_.Advance(2 * kSecond);
+  lm_->ReleaseAll(1);  // grants app 2 at 2 s
+  ASSERT_EQ(lm_->Lock(1, RowResource(kT, 2), LockMode::kX).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(lm_->Lock(2, RowResource(kT, 2), LockMode::kX).outcome,
+            LockOutcome::kWaiting);  // app 2 still holds row 1; deadline 12 s
+  clock_.Advance(8 * kSecond);       // 10 s: only the retired entry is due
+  EXPECT_TRUE(lm_->ExpireTimedOutWaiters().empty());
+  clock_.Advance(2 * kSecond);  // 12 s
+  const std::vector<AppId> expired = lm_->ExpireTimedOutWaiters();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 2);
+  lm_->ReleaseAll(2);
+  EXPECT_TRUE(lm_->CheckConsistency().ok());
+}
+
 TEST_F(LockTimeoutTest, WaitHistogramRecordsDurations) {
   Make(-1);
   ASSERT_EQ(lm_->Lock(1, RowResource(kT, 1), LockMode::kX).outcome,

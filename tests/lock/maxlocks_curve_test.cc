@@ -78,6 +78,68 @@ TEST(MaxlocksCurveTest, InvalidateForcesRecompute) {
   EXPECT_NEAR(curve.Current(50.0), curve.Evaluate(50.0), 1e-12);
 }
 
+// Exact 0x80 cadence with the paper defaults: after a recomputation the
+// cached value survives exactly 127 further requests and refreshes on the
+// 128th — not the 129th, and not earlier.
+TEST(MaxlocksCurveTest, ExactDefaultCadence) {
+  MaxlocksCurve curve;
+  ASSERT_EQ(curve.refresh_period(), 128);
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);  // initial compute
+  for (int i = 0; i < 127; ++i) {
+    EXPECT_FALSE(curve.OnLockRequest()) << "request " << (i + 1);
+    EXPECT_DOUBLE_EQ(curve.Current(90.0), 98.0) << "request " << (i + 1);
+  }
+  EXPECT_TRUE(curve.OnLockRequest());  // 128th request since recompute
+  EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(90.0), 1e-12);
+}
+
+// A resize-triggered Invalidate() restarts the request cadence: the next
+// periodic refresh comes a full refresh_period after the resize recompute,
+// not at the old boundary. (Regression: the counter used to be reset at the
+// period boundary instead of at recompute time, so a mid-interval resize
+// left a partial count behind and the next refresh fired early.)
+TEST(MaxlocksCurveTest, InvalidateRestartsCadence) {
+  MaxlocksCurve curve(98.0, 3.0, 8);
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);
+  for (int i = 0; i < 5; ++i) curve.OnLockRequest();  // mid-interval
+  curve.Invalidate();  // lock memory resized
+  EXPECT_NEAR(curve.Current(50.0), curve.Evaluate(50.0), 1e-12);
+  EXPECT_EQ(curve.requests_since_refresh(), 0);
+  // Usage changes again; the stale-value window is a full 8 requests.
+  for (int i = 0; i < 7; ++i) {
+    curve.OnLockRequest();
+    EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(50.0), 1e-12)
+        << "request " << (i + 1) << " after resize";
+  }
+  curve.OnLockRequest();  // 8th request after the resize recompute
+  EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(90.0), 1e-12);
+}
+
+// The initial computation also anchors the cadence: a fresh curve that first
+// reads at request 1 refreshes 128 requests later, not at request 128.
+TEST(MaxlocksCurveTest, InitialComputeRestartsCadence) {
+  MaxlocksCurve curve(98.0, 3.0, 4);
+  curve.OnLockRequest();                       // request 1
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);  // initial compute
+  EXPECT_EQ(curve.requests_since_refresh(), 0);
+  for (int i = 0; i < 3; ++i) {
+    curve.OnLockRequest();  // requests 2..4 — only 3 since the recompute
+    EXPECT_DOUBLE_EQ(curve.Current(90.0), 98.0);
+  }
+  curve.OnLockRequest();  // 4th request since the recompute
+  EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(90.0), 1e-12);
+}
+
+// A refresh that becomes due stays due until the next Current() read, even
+// if more requests arrive in between.
+TEST(MaxlocksCurveTest, DueRefreshStaysDueUntilRead) {
+  MaxlocksCurve curve(98.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(curve.Current(0.0), 98.0);
+  for (int i = 0; i < 6; ++i) curve.OnLockRequest();  // past the boundary
+  EXPECT_TRUE(curve.OnLockRequest());
+  EXPECT_NEAR(curve.Current(90.0), curve.Evaluate(90.0), 1e-12);
+}
+
 TEST(MaxlocksCurveTest, CustomExponentShapesCurve) {
   MaxlocksCurve linear(98.0, 1.0, 0x80);
   MaxlocksCurve cubic(98.0, 3.0, 0x80);

@@ -107,6 +107,110 @@ TEST(WriteMetricsCsvTest, HistogramExpandsToDigestRows) {
   EXPECT_NE(text.find("locktune_test_ms_p99,"), std::string::npos);
 }
 
+// Minimal RFC 4180 row parser for the round-trip tests: splits one line
+// into fields, honoring quoted fields with doubled internal quotes.
+std::vector<std::string> ParseCsvRow(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  bool at_field_start = true;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && at_field_start) {
+      // Quotes only open an escaped field at its start; a quote later in an
+      // unquoted field is literal (lenient RFC 4180 reading).
+      quoted = true;
+      at_field_start = false;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+      at_field_start = true;
+    } else {
+      field += c;
+      at_field_start = false;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+TEST(CsvFieldTest, QuotesOnlyWhenStructureIsAtRisk) {
+  // Historical outputs must stay byte-identical: no gratuitous quoting, and
+  // label-suffixed names (embedded quotes, no delimiter) pass through raw.
+  EXPECT_EQ(CsvField("locktune_lock_waits_total"),
+            "locktune_lock_waits_total");
+  EXPECT_EQ(CsvField("heap_bytes{heap=\"lock\"}"),
+            "heap_bytes{heap=\"lock\"}");
+  EXPECT_EQ(CsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvField("a,\"b\""), "\"a,\"\"b\"\"\"");
+  EXPECT_EQ(CsvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvField(""), "");
+}
+
+TEST(WriteMetricsCsvTest, SpecialCharactersRoundTrip) {
+  MetricsRegistry reg;
+  const std::string hostile = "locktune_odd{note=\"a,b\"}";
+  reg.AddGauge(hostile, "gauge with a comma and quotes in its name")
+      ->Set(7);
+  std::ostringstream os;
+  WriteMetricsCsv(reg, os);
+  const std::vector<std::string> lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::vector<std::string> row = ParseCsvRow(lines[1]);
+  // The quoted name parses back to exactly the registered string, and the
+  // row still has exactly two columns despite the embedded comma.
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], hostile);
+  EXPECT_EQ(row[1], "7");
+}
+
+TEST(PrometheusLabelValueTest, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(PrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusLabelValue("two\nlines"), "two\\nlines");
+}
+
+TEST(WritePrometheusTest, HostileLabelValueStaysOneWellFormedLine) {
+  MetricsRegistry reg;
+  // A producer following the documented pattern: splice a free-form string
+  // through PrometheusLabelValue when building the labeled name.
+  const std::string name = "locktune_memory_heap_bytes{heap=\"" +
+                           PrometheusLabelValue("odd\"heap\\name\n") + "\"}";
+  reg.AddGauge(name, "per-heap size")->Set(2);
+  std::ostringstream os;
+  WritePrometheus(reg, os);
+  const std::vector<std::string> lines = Lines(os.str());
+  // HELP + TYPE + one sample: the newline in the label did not split the
+  // sample across lines.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2],
+            "locktune_memory_heap_bytes{heap=\"odd\\\"heap\\\\name\\n\"} 2");
+}
+
+TEST(WritePrometheusTest, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.AddCounter("locktune_odd_total", "first\nsecond \\ third")
+      ->Increment(1);
+  std::ostringstream os;
+  WritePrometheus(reg, os);
+  const std::vector<std::string> lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "# HELP locktune_odd_total first\\nsecond \\\\ third");
+}
+
 TEST(RenderRegistryTableTest, AlignsNamesAndDigestsHistograms) {
   MetricsRegistry reg;
   reg.AddCounter("locktune_lock_waits_total", "waits")->Increment(7);

@@ -232,6 +232,57 @@ TEST(ScenarioConfigTest, RejectsBadEnumValues) {
                    {"adaptive_interval", "on or off", "'maybe'"});
 }
 
+TEST(ScenarioConfigTest, RejectsOutOfRangeInteger) {
+  // strtoll clamps overflowing values to LLONG_MAX/MIN and reports ERANGE;
+  // accepting the clamped value would turn a typo into a huge setting, so
+  // the parser must reject it like any other malformed integer.
+  ExpectParseError(
+      "database_memory_mb 99999999999999999999\n[oltp]\nclients 0 1\n", 1,
+      {"database_memory_mb", "integer", "'99999999999999999999'"});
+  ExpectParseError("seed -99999999999999999999\n[oltp]\nclients 0 1\n", 1,
+                   {"seed", "integer", "'-99999999999999999999'"});
+}
+
+TEST(ScenarioConfigTest, RejectsDuplicateKeysNamingBothLines) {
+  ExpectParseError(R"(
+database_memory_mb 256
+duration_s 60
+database_memory_mb 512
+[oltp]
+clients 0 1
+)",
+                   4,
+                   {"duplicate key 'database_memory_mb'",
+                    "first set at test.conf:2"});
+  ExpectParseError("[oltp]\nclients 0 1\nzipf 0.5\nzipf 0.9\n", 4,
+                   {"duplicate key 'zipf'", "first set at test.conf:3"});
+  ExpectParseError(
+      "[fault]\nfault_seed 1\nfault_seed 2\n[oltp]\nclients 0 1\n", 3,
+      {"duplicate key 'fault_seed'", "first set at test.conf:2"});
+}
+
+TEST(ScenarioConfigTest, RepeatableAndCrossSectionKeysAreNotDuplicates) {
+  // `clients` and the fault list-building keys may repeat; the same scalar
+  // key in two different sections is also fine (scoping is per section).
+  const Result<ScenarioSpec> spec = ParseScenario(R"(
+[oltp]
+clients 0 5
+clients 10 20
+locks_per_tick 4
+[dss]
+clients 0 2
+locks_per_tick 8
+[fault]
+kill_app 1 5
+kill_app 2 6
+deny_heap locklist 1 2
+deny_heap sort 3 4
+squeeze_overflow_mb 16 1 2
+squeeze_overflow_mb 32 3 4
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
 TEST(ScenarioConfigTest, HostileSectionSettings) {
   Result<ScenarioSpec> spec = ParseScenario(R"(
 [hostile]

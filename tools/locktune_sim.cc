@@ -3,6 +3,9 @@
 // Usage:
 //   locktune_sim <scenario-file>
 //     [--series name,name,...] [--stride N]
+//     [--threads N]            worker threads driving applications; 1
+//                              (default) is the deterministic golden path,
+//                              N > 1 runs the lock manager's parallel mode
 //     [--metrics-out PATH|-]   Prometheus text dump of the telemetry
 //                              registry after the run (.csv extension
 //                              switches to metric,value CSV)
@@ -102,8 +105,8 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 
 constexpr char kUsage[] =
     "usage: locktune_sim <scenario-file> [--series a,b,...] [--stride N] "
-    "[--metrics-out PATH|-] [--trace-out PATH|-] [--log-level LEVEL] "
-    "[--stmm-report] [--snapshot] [--inspect]";
+    "[--threads N] [--metrics-out PATH|-] [--trace-out PATH|-] "
+    "[--log-level LEVEL] [--stmm-report] [--snapshot] [--inspect]";
 
 }  // namespace
 
@@ -113,6 +116,7 @@ int main(int argc, char** argv) {
       ScenarioRunner::kLockAllocatedMb, ScenarioRunner::kLockUsedMb,
       ScenarioRunner::kThroughputTps, ScenarioRunner::kEscalations};
   size_t stride = 10;
+  int64_t threads = 1;
   bool stmm_report = false;
   bool snapshot = false;
   bool inspect = false;
@@ -129,6 +133,12 @@ int main(int argc, char** argv) {
                     argv[i] + "\"\n" + kUsage);
       }
       stride = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!ParsePositiveInt(argv[++i], &threads)) {
+        return Fail(std::string("--threads requires a positive integer, got "
+                                "\"") +
+                    argv[i] + "\"\n" + kUsage);
+      }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -154,6 +164,7 @@ int main(int argc, char** argv) {
 
   Result<ScenarioSpec> spec = LoadScenarioFile(argv[1]);
   if (!spec.ok()) return Fail(spec.status().ToString());
+  spec.value().runner.threads = static_cast<int>(threads);
 
   // The inspector keeps a lock event flight recorder alongside whatever
   // monitor the scenario configured (the database tees them).
