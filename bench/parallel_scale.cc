@@ -32,6 +32,7 @@
 #include "common/units.h"
 #include "lock/escalation_policy.h"
 #include "lock/lock_manager.h"
+#include "telemetry/lock_profiler.h"
 
 using namespace locktune;
 
@@ -48,15 +49,69 @@ struct Measurement {
   double seconds = 0.0;
 };
 
-// name -> best measurement, insertion-ordered via vector so the CSV and the
-// JSON sections list mixes in run order (t1..t8 within each mix).
-std::vector<std::pair<std::string, Measurement>> g_results;
+// Where the repetition's latch wait time went, from the lock-path profiler
+// (LOCKTUNE_PROFILE builds; absent otherwise). Shares sum to 1 when any
+// wait was recorded.
+struct Attribution {
+  bool present = false;
+  double wait_ms = 0.0;  // total contended wait across all sites
+  double wait_share[kProfileSiteCount] = {};
+  uint64_t fast_grants = 0;
+  uint64_t fast_bails = 0;
+  uint64_t release_bails = 0;
+};
 
-void Report(const std::string& name, const Measurement& m) {
-  g_results.emplace_back(name, m);
-  std::printf("%s,%lld,%.6f,%.0f\n", name.c_str(),
+Attribution Attribute(const ProfileSnapshot& snap) {
+  Attribution a;
+  if (!snap.compiled_in) return a;
+  a.present = true;
+  uint64_t total_ns = 0;
+  for (const SiteProfile& site : snap.sites) total_ns += site.wait.sum_ns;
+  a.wait_ms = static_cast<double>(total_ns) / 1e6;
+  for (int i = 0; i < kProfileSiteCount; ++i) {
+    a.wait_share[i] =
+        total_ns > 0
+            ? static_cast<double>(snap.sites[i].wait.sum_ns) /
+                  static_cast<double>(total_ns)
+            : 0.0;
+  }
+  a.fast_grants = snap.fast_grants;
+  a.fast_bails = snap.fast_bails;
+  a.release_bails = snap.release_bails;
+  return a;
+}
+
+struct ResultRow {
+  std::string name;
+  Measurement m;
+  Attribution attr;
+};
+
+// Best measurements in insertion order, so the CSV and the JSON sections
+// list mixes in run order (t1..t8 within each mix).
+std::vector<ResultRow> g_results;
+
+void Report(const std::string& name, const Measurement& m,
+            const Attribution& attr) {
+  g_results.push_back({name, m, attr});
+  std::printf("%s,%lld,%.6f,%.0f", name.c_str(),
               static_cast<long long>(m.ops), m.seconds,
               m.seconds > 0 ? static_cast<double>(m.ops) / m.seconds : 0.0);
+  if (attr.present) {
+    // Self-describing key=value columns after the fixed four; bench_to_json
+    // passes them through to the JSON rows.
+    std::printf(",wait_ms=%.3f", attr.wait_ms);
+    for (int i = 0; i < kProfileSiteCount; ++i) {
+      std::printf(",wait_share_%s=%.3f",
+                  ProfileSiteName(static_cast<ProfileSite>(i)),
+                  attr.wait_share[i]);
+    }
+    std::printf(",fast_grants=%llu,fast_bails=%llu,release_bails=%llu",
+                static_cast<unsigned long long>(attr.fast_grants),
+                static_cast<unsigned long long>(attr.fast_bails),
+                static_cast<unsigned long long>(attr.release_bails));
+  }
+  std::printf("\n");
 }
 
 // Best of five repetitions, same rationale as lockpath_bench: the minimum
@@ -69,14 +124,19 @@ constexpr int kReps = 5;
 template <typename Body>
 void RunBest(const std::string& name, Body body) {
   Measurement best;
+  Attribution best_attr;
   for (int rep = 0; rep < kReps; ++rep) {
+    // Fresh profiler epoch per repetition so the attribution reported is
+    // the best repetition's, not a blur across all five.
+    ResetProfileForTesting();
     const Measurement m = body();
     if (rep == 0 || m.seconds * static_cast<double>(best.ops) <
                         best.seconds * static_cast<double>(m.ops)) {
       best = m;
+      best_attr = Attribute(CaptureProfile());
     }
   }
-  Report(name, best);
+  Report(name, best, best_attr);
 }
 
 struct Harness {
@@ -196,30 +256,53 @@ bool WriteJson(const std::string& path) {
       << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"runs\": {\n";
   for (size_t i = 0; i < g_results.size(); ++i) {
-    const auto& [name, m] = g_results[i];
+    const ResultRow& row = g_results[i];
     std::snprintf(buf, sizeof(buf),
                   "    \"%s\": {\"ops\": %lld, \"seconds\": %.6f, "
-                  "\"ops_per_sec\": %.0f}%s\n",
-                  name.c_str(), static_cast<long long>(m.ops), m.seconds,
-                  OpsPerSec(m), i + 1 < g_results.size() ? "," : "");
+                  "\"ops_per_sec\": %.0f",
+                  row.name.c_str(), static_cast<long long>(row.m.ops),
+                  row.m.seconds, OpsPerSec(row.m));
     out << buf;
+    if (row.attr.present) {
+      // Why the speedup moved: which latch the wait time sat on, and how
+      // often the fast path actually served requests.
+      std::snprintf(buf, sizeof(buf),
+                    ", \"contention\": {\"wait_ms\": %.3f, \"wait_share\": {",
+                    row.attr.wait_ms);
+      out << buf;
+      for (int s = 0; s < kProfileSiteCount; ++s) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.3f%s",
+                      ProfileSiteName(static_cast<ProfileSite>(s)),
+                      row.attr.wait_share[s],
+                      s + 1 < kProfileSiteCount ? ", " : "");
+        out << buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "}, \"fast_grants\": %llu, \"fast_bails\": %llu, "
+                    "\"release_bails\": %llu}",
+                    static_cast<unsigned long long>(row.attr.fast_grants),
+                    static_cast<unsigned long long>(row.attr.fast_bails),
+                    static_cast<unsigned long long>(row.attr.release_bails));
+      out << buf;
+    }
+    out << "}" << (i + 1 < g_results.size() ? ",\n" : "\n");
   }
   out << "  },\n  \"speedup_over_one_thread\": {\n";
   std::map<std::string, double> base;  // mix -> t1 ops/sec
-  for (const auto& [name, m] : g_results) {
-    const size_t cut = name.rfind("_t1");
-    if (cut != std::string::npos && cut + 3 == name.size()) {
-      base[name.substr(0, cut)] = OpsPerSec(m);
+  for (const ResultRow& row : g_results) {
+    const size_t cut = row.name.rfind("_t1");
+    if (cut != std::string::npos && cut + 3 == row.name.size()) {
+      base[row.name.substr(0, cut)] = OpsPerSec(row.m);
     }
   }
   std::vector<std::string> lines;
-  for (const auto& [name, m] : g_results) {
-    const size_t cut = name.rfind("_t");
+  for (const ResultRow& row : g_results) {
+    const size_t cut = row.name.rfind("_t");
     if (cut == std::string::npos) continue;
-    const auto it = base.find(name.substr(0, cut));
+    const auto it = base.find(row.name.substr(0, cut));
     if (it == base.end() || it->second <= 0) continue;
-    std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", name.c_str(),
-                  OpsPerSec(m) / it->second);
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", row.name.c_str(),
+                  OpsPerSec(row.m) / it->second);
     lines.emplace_back(buf);
   }
   for (size_t i = 0; i < lines.size(); ++i) {

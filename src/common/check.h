@@ -29,11 +29,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace locktune {
+
+// Post-mortem hooks, run after a CHECK prints its message and before the
+// process aborts. The flight recorder (telemetry/flight_recorder.h)
+// registers one so every CHECK failure comes with the recent lock/tuner
+// event history. Hooks must be async-signal-tolerant in spirit: no locks
+// that the failing thread might already hold, no allocation-heavy work.
+// Re-entrant failures (a hook tripping a CHECK) skip straight to abort.
+using CheckFailureHook = void (*)();
+void AddCheckFailureHook(CheckFailureHook hook);
+void InvokeCheckFailureHooks();
+
+}  // namespace locktune
+
 #define LOCKTUNE_CHECK(cond)                                          \
   do {                                                                \
     if (!(cond)) {                                                    \
       std::fprintf(stderr, "locktune: CHECK failed: %s (%s:%d)\n",    \
                    #cond, __FILE__, __LINE__);                        \
+      ::locktune::InvokeCheckFailureHooks();                          \
       std::abort();                                                   \
     }                                                                 \
   } while (0)
@@ -59,6 +74,7 @@
       std::fprintf(stderr, "locktune: CHECK failed: %s (%s:%d)\n",     \
                    locktune_check_ok_s.ToString().c_str(), __FILE__,   \
                    __LINE__);                                          \
+      ::locktune::InvokeCheckFailureHooks();                           \
       std::abort();                                                    \
     }                                                                  \
   } while (0)

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "core/stmm_report.h"
 #include "fault/degradation_ledger.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -153,6 +155,20 @@ void StmmController::RunTuningPass() {
   rec.action = decision.action;
   rec.next_interval = timer_.period();
   history_.push_back(rec);
+
+  // Flight-recorder + trace-timeline copies of the pass: a = action, b =
+  // resulting configured size, so a post-mortem dump shows what the tuner
+  // was doing when an invariant tripped.
+  FlightRecord(FlightEventKind::kTunerPass, rec.time, 0,
+               static_cast<int64_t>(decision.action), lmoc_);
+  if (ChromeTraceCollector* chrome = GlobalTraceCollector()) {
+    chrome->Instant(
+        "stmm_pass: " + std::string(TunerActionName(decision.action)),
+        kTracePidSim, kTraceTidStmm, SimTimeToTraceUs(rec.time),
+        "{\"pass\":" + std::to_string(history_.size()) +
+            ",\"lmoc_bytes\":" + std::to_string(lmoc_) +
+            ",\"escalations_delta\":" + std::to_string(esc_delta) + "}");
+  }
 
   LOCKTUNE_LOG(kDebug) << "tuning pass " << history_.size() << ": "
                        << TunerActionName(decision.action) << " — "

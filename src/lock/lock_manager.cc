@@ -4,6 +4,9 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/lock_profiler.h"
 #include "telemetry/metrics.h"
 
 namespace locktune {
@@ -20,14 +23,16 @@ LockResult LockManager::Lock(AppId app, const ResourceId& resource,
                              LockMode mode) {
   if (parallel_mode_.load(std::memory_order_relaxed)) {
     if (std::optional<LockResult> fast = FastLock(app, resource, mode)) {
+      ProfileNoteFastGrant();
       return *fast;
     }
     // The fast path counted the request before bailing; finish on the
     // exclusive path without double counting.
-    std::lock_guard<std::shared_mutex> guard(mu_);
+    ProfileNoteFastBail();
+    ProfiledExclusiveGuard guard(mu_, ProfileSite::kExclusive);
     return LockExclusive(app, resource, mode, /*counted=*/true);
   }
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  ProfiledExclusiveGuard guard(mu_, ProfileSite::kExclusive);
   return LockExclusive(app, resource, mode, /*counted=*/false);
 }
 
@@ -66,7 +71,7 @@ LockResult LockManager::LockExclusive(AppId app, const ResourceId& resource,
 std::optional<LockResult> LockManager::FastLock(AppId app,
                                                 const ResourceId& resource,
                                                 LockMode mode) {
-  std::shared_lock<std::shared_mutex> shared(mu_);
+  ProfiledSharedGuard shared(mu_, ProfileSite::kFastShared);
   Bump(stats_.lock_requests);
   options_.policy->OnLockRequest();
   AppState& state = FastGetApp(app);
@@ -99,7 +104,8 @@ std::optional<LockResult> LockManager::FastLock(AppId app,
 LockManager::FastOutcome LockManager::FastAcquireOne(
     AppId app, AppState& state, const ResourceId& resource, LockMode mode) {
   const uint64_t hash = ResourceIdHash{}(resource);
-  std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+  ProfiledMutexGuard shard_guard(table_.ShardMutex(hash), ProfileSite::kShard,
+                                 table_.ShardIndex(hash));
   LockHead* found = table_.Find(resource, hash);
   if (found != nullptr) {
     if (LockRequest* holder = found->FindHolder(app); holder != nullptr) {
@@ -131,7 +137,7 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
   }
   LockBlock* slot = nullptr;
   {
-    std::lock_guard<std::mutex> alloc_guard(alloc_mu_);
+    ProfiledMutexGuard alloc_guard(alloc_mu_, ProfileSite::kAlloc);
     Result<LockBlock*> r = blocks_.AllocateSlot();
     if (!r.ok()) return FastOutcome::kBail;  // exhausted: growth/escalation
     slot = r.value();
@@ -162,7 +168,9 @@ LockMode LockManager::FastTableMode(AppId app, AppState& state,
   const uint64_t hash = ResourceIdHash{}(resource);
   LockMode mode = LockMode::kNone;
   {
-    std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+    ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
+                                   ProfileSite::kShard,
+                                   table_.ShardIndex(hash));
     if (const LockHead* head = table_.Find(resource, hash); head != nullptr) {
       if (const LockRequest* holder = head->FindHolder(app);
           holder != nullptr) {
@@ -175,7 +183,7 @@ LockMode LockManager::FastTableMode(AppId app, AppState& state,
 }
 
 LockManager::AppState& LockManager::FastGetApp(AppId app) {
-  std::lock_guard<std::mutex> guard(apps_mu_);
+  ProfiledMutexGuard guard(apps_mu_, ProfileSite::kAppsMap);
   return apps_[app];
 }
 
@@ -544,10 +552,11 @@ void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
 }
 
 void LockManager::ReleaseAll(AppId app) {
-  if (parallel_mode_.load(std::memory_order_relaxed) && FastReleaseAll(app)) {
-    return;
+  if (parallel_mode_.load(std::memory_order_relaxed)) {
+    if (FastReleaseAll(app)) return;
+    ProfileNoteReleaseBail();
   }
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  ProfiledExclusiveGuard guard(mu_, ProfileSite::kExclusive);
   AppState& state = GetApp(app);
 
   if (state.waiting) {
@@ -607,10 +616,10 @@ void LockManager::ReleaseAll(AppId app) {
 }
 
 bool LockManager::FastReleaseAll(AppId app) {
-  std::shared_lock<std::shared_mutex> shared(mu_);
+  ProfiledSharedGuard shared(mu_, ProfileSite::kFastShared);
   AppState* statep = nullptr;
   {
-    std::lock_guard<std::mutex> guard(apps_mu_);
+    ProfiledMutexGuard guard(apps_mu_, ProfileSite::kAppsMap);
     const auto it = apps_.find(app);
     if (it == apps_.end()) return true;  // never held anything
     statep = &it->second;
@@ -624,7 +633,9 @@ bool LockManager::FastReleaseAll(AppId app) {
   for (const HeldSlot& slot : state.held) {
     if (!slot.live) continue;
     const uint64_t hash = ResourceIdHash{}(slot.res);
-    std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+    ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
+                                   ProfileSite::kShard,
+                                   table_.ShardIndex(hash));
     if (!slot.head->waiters().empty()) return false;
   }
   // Pass 2: remove our holder entries and recycle. Other fast threads may
@@ -635,7 +646,9 @@ bool LockManager::FastReleaseAll(AppId app) {
     const uint64_t hash = ResourceIdHash{}(slot.res);
     LockBlock* block = nullptr;
     {
-      std::lock_guard<std::mutex> shard_guard(table_.ShardMutex(hash));
+      ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
+                                     ProfileSite::kShard,
+                                     table_.ShardIndex(hash));
       block = slot.head->RemoveHolder(app);
       LOCKTUNE_DCHECK(block != nullptr);
       if (slot.head->holders().empty()) {
@@ -643,7 +656,7 @@ bool LockManager::FastReleaseAll(AppId app) {
       }
     }
     {
-      std::lock_guard<std::mutex> alloc_guard(alloc_mu_);
+      ProfiledMutexGuard alloc_guard(alloc_mu_, ProfileSite::kAlloc);
       blocks_.FreeSlot(block);
     }
     --state.held_structures;
@@ -882,6 +895,13 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
     const AppState& state = GetApp(victim);
     Emit(LockEventKind::kDeadlockVictim, victim, state.wait_resource,
          state.wait_mode, state.held_structures);
+  }
+  // When armed (--flight-dump / paranoid), the first victim selection dumps
+  // the event history that led to the cycle — once per process, since
+  // victims are routine in contention scenarios.
+  if (!victims.empty() && TakeVictimDumpBudget()) {
+    std::fprintf(stderr, "deadlock victim selected; dumping flight recorder\n");
+    DumpFlightRecorder(stderr);
   }
   return victims;
 }
@@ -1200,13 +1220,56 @@ void LockManager::MaybeCompactTimeouts() {
   timeout_stale_ = 0;
 }
 
+namespace {
+
+FlightEventKind ToFlightKind(LockEventKind kind) {
+  switch (kind) {
+    case LockEventKind::kWaitBegin:
+      return FlightEventKind::kWaitBegin;
+    case LockEventKind::kWaitEnd:
+      return FlightEventKind::kWaitEnd;
+    case LockEventKind::kEscalation:
+      return FlightEventKind::kEscalation;
+    case LockEventKind::kTimeout:
+      return FlightEventKind::kTimeout;
+    case LockEventKind::kDeadlockVictim:
+      return FlightEventKind::kDeadlockVictim;
+    case LockEventKind::kOutOfLockMemory:
+      return FlightEventKind::kOutOfLockMemory;
+    case LockEventKind::kSynchronousGrowth:
+      return FlightEventKind::kSynchronousGrowth;
+  }
+  return FlightEventKind::kWaitBegin;
+}
+
+// Wait begin/end pairs fire for every blocked request — too hot for the
+// trace timeline. The structural events are rare and worth a pin.
+bool IsColdLockEvent(LockEventKind kind) {
+  return kind != LockEventKind::kWaitBegin && kind != LockEventKind::kWaitEnd;
+}
+
+}  // namespace
+
 void LockManager::Emit(LockEventKind kind, AppId app,
                        const ResourceId& resource, LockMode mode,
                        int64_t value) {
+  const int64_t now = options_.clock != nullptr ? options_.clock->now() : 0;
+  // The flight recorder and trace collector see events even when no monitor
+  // is installed (benches, parallel runs without a sampler).
+  FlightRecord(ToFlightKind(kind), now, app, resource.table, value);
+  if (IsColdLockEvent(kind)) {
+    if (ChromeTraceCollector* trace = GlobalTraceCollector()) {
+      trace->Instant(std::string(LockEventKindName(kind)), kTracePidSim,
+                     kTraceTidLockEvents, SimTimeToTraceUs(now),
+                     "{\"app\":" + std::to_string(app) +
+                         ",\"table\":" + std::to_string(resource.table) +
+                         ",\"value\":" + std::to_string(value) + "}");
+    }
+  }
   if (options_.monitor == nullptr) return;
   LockEvent event;
   event.kind = kind;
-  event.time = options_.clock != nullptr ? options_.clock->now() : 0;
+  event.time = now;
   event.app = app;
   event.resource = resource;
   event.mode = mode;
@@ -1384,6 +1447,15 @@ int64_t LockManager::lock_table_max_shard_size() const {
   return table_.MaxShardSize();
 }
 
+int LockManager::lock_table_shard_count() const {
+  return table_.shard_count();  // fixed at construction, no lock needed
+}
+
+std::vector<int64_t> LockManager::lock_table_shard_sizes() const {
+  std::lock_guard<std::shared_mutex> guard(mu_);
+  return table_.ShardSizes();
+}
+
 int64_t LockManager::head_pool_free_nodes() const {
   std::lock_guard<std::shared_mutex> guard(mu_);
   return table_.pool_free_nodes();
@@ -1414,6 +1486,18 @@ void LockManager::RegisterInternalMetrics(MetricsRegistry* registry) {
   registry->AddCallbackGauge(
       "locktune_lock_blocked_apps", "applications blocked on a lock wait",
       [this] { return static_cast<double>(waiting_app_count()); });
+  // Per-shard occupancy, one gauge per shard id so the inspector (and any
+  // Prometheus scrape of an --inspect run) can tell the shards apart.
+  // Zero-padded ids keep registry order lexicographic.
+  for (int i = 0; i < table_.shard_count(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name),
+                  "locktune_lock_table_shard_heads{shard=\"%02d\"}", i);
+    registry->AddCallbackGauge(
+        name, "lock heads resident in this shard", [this, i] {
+          return static_cast<double>(lock_table_shard_sizes()[i]);
+        });
+  }
 }
 
 }  // namespace locktune

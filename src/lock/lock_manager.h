@@ -220,6 +220,9 @@ class LockManager {
   // --- introspection into the table/pool (tests and gauges) ---
   int64_t lock_table_size() const;
   int64_t lock_table_max_shard_size() const;
+  int lock_table_shard_count() const;
+  // Live heads per shard, indexed by shard id. Serial regions only.
+  std::vector<int64_t> lock_table_shard_sizes() const;
   int64_t head_pool_free_nodes() const;
   int64_t head_pool_slab_count() const;
 

@@ -69,6 +69,13 @@ int64_t LockTable::MaxShardSize() const {
   return max_size;
 }
 
+std::vector<int64_t> LockTable::ShardSizes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const Shard& shard : shards_) sizes.push_back(shard.live);
+  return sizes;
+}
+
 int64_t LockTable::pool_free_nodes() const {
   int64_t total = 0;
   for (const Shard& shard : shards_) total += shard.pool_free;

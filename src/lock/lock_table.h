@@ -93,6 +93,12 @@ class LockTable {
     return shards_[hash & shard_mask_].mu;
   }
 
+  // Which shard `hash` selects (the index ShardMutex locks). The profiler
+  // uses this to attribute contention to individual shards.
+  int ShardIndex(uint64_t hash) const {
+    return static_cast<int>(hash & shard_mask_);
+  }
+
   // Calls fn(const ResourceId&, const LockHead&) for every head. Iteration
   // order is unspecified (shard/slot order). Serial regions only.
   template <typename Fn>
@@ -115,6 +121,8 @@ class LockTable {
   int shard_count() const { return static_cast<int>(shards_.size()); }
   // Heads in the most loaded shard (occupancy skew indicator).
   int64_t MaxShardSize() const;
+  // Live-head count per shard, indexed by ShardIndex (heatmap input).
+  std::vector<int64_t> ShardSizes() const;
   int64_t pool_free_nodes() const;
   int64_t pool_total_nodes() const;
   int64_t slab_count() const;

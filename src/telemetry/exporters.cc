@@ -64,6 +64,35 @@ std::string EscapeHelp(const std::string& help) {
   return out;
 }
 
+// Splits `name` into its family and an optional label body ("a=\"b\"",
+// brace-free). Prometheus histogram series splice `le` into the existing
+// label set, so `fam{site="x"}` becomes `fam_bucket{site="x",le="1"}`.
+struct NameParts {
+  std::string family;
+  std::string labels;  // empty when the name carries no labels
+};
+
+NameParts SplitName(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    return {name, ""};
+  }
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string BucketSeries(const NameParts& parts, const std::string& le) {
+  if (parts.labels.empty()) {
+    return parts.family + "_bucket{le=\"" + le + "\"}";
+  }
+  return parts.family + "_bucket{" + parts.labels + ",le=\"" + le + "\"}";
+}
+
+std::string SuffixSeries(const NameParts& parts, const char* suffix) {
+  if (parts.labels.empty()) return parts.family + suffix;
+  return parts.family + suffix + "{" + parts.labels + "}";
+}
+
 }  // namespace
 
 std::string CsvField(const std::string& field) {
@@ -101,6 +130,9 @@ void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
       last_family = family;
     }
     if (s.kind == MetricKind::kHistogram) {
+      // Labeled histogram names (`fam{site="x"}`) splice `le` into the
+      // label set; unlabeled names keep the historical byte-exact shape.
+      const NameParts parts = SplitName(s.name);
       const HistogramSnapshot& h = s.histogram;
       int64_t cumulative = 0;
       for (size_t i = 0; i < h.counts.size(); ++i) {
@@ -108,11 +140,10 @@ void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
         const std::string le = i < h.upper_bounds.size()
                                    ? FormatBound(h.upper_bounds[i])
                                    : "+Inf";
-        os << family << "_bucket{le=\"" << le << "\"} " << cumulative
-           << "\n";
+        os << BucketSeries(parts, le) << " " << cumulative << "\n";
       }
-      os << family << "_sum " << FormatValue(h.sum) << "\n";
-      os << family << "_count " << h.total << "\n";
+      os << SuffixSeries(parts, "_sum") << " " << FormatValue(h.sum) << "\n";
+      os << SuffixSeries(parts, "_count") << " " << h.total << "\n";
     } else {
       os << s.name << " " << FormatValue(s.value) << "\n";
     }

@@ -26,9 +26,11 @@ std::string CsvField(const std::string& field);
 std::string PrometheusLabelValue(std::string_view value);
 
 // Prometheus text exposition format: `# HELP` / `# TYPE` per family, then
-// one sample line per metric; histograms expand to `_bucket{le=...}`,
-// `_sum`, and `_count` series. Histogram metric names must not carry label
-// suffixes.
+// one sample line per metric; histograms expand to cumulative
+// `_bucket{le=...}`, `_sum`, and `_count` series. Histogram names may
+// carry `{label="value"}` suffixes: `fam{site="x"}` exports as
+// `fam_bucket{site="x",le="..."}` / `fam_sum{site="x"}` /
+// `fam_count{site="x"}`.
 void WritePrometheus(const MetricsRegistry& registry, std::ostream& os);
 
 // `metric,value` CSV rows (header included), in registry order — the same

@@ -1,0 +1,296 @@
+#include "telemetry/lock_profiler.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace locktune {
+
+const char* ProfileSiteName(ProfileSite site) {
+  switch (site) {
+    case ProfileSite::kFastShared:
+      return "fast_shared";
+    case ProfileSite::kShard:
+      return "shard";
+    case ProfileSite::kExclusive:
+      return "exclusive";
+    case ProfileSite::kAlloc:
+      return "alloc";
+    case ProfileSite::kAppsMap:
+      return "apps_map";
+    case ProfileSite::kTickBarrier:
+      return "tick_barrier";
+  }
+  return "unknown";
+}
+
+HistogramSnapshot ToHistogramSnapshot(const ProfileHistogramData& h) {
+  HistogramSnapshot out;
+  out.upper_bounds.reserve(kProfileHistBuckets - 1);
+  out.counts.reserve(kProfileHistBuckets);
+  // Bucket i's upper bound is 256·2^i ns; the last slab bucket doubles as
+  // the snapshot's overflow bucket, so it contributes no bound.
+  for (int i = 0; i < kProfileHistBuckets - 1; ++i) {
+    out.upper_bounds.push_back(static_cast<double>(256ULL << i) / 1e6);
+  }
+  for (int i = 0; i < kProfileHistBuckets; ++i) {
+    out.counts.push_back(static_cast<int64_t>(h.counts[i]));
+  }
+  out.total = static_cast<int64_t>(h.total);
+  out.sum = static_cast<double>(h.sum_ns) / 1e6;
+  return out;
+}
+
+#if defined(LOCKTUNE_PROFILE)
+
+namespace profile_internal {
+
+void ProfileHistogramSlab::Record(uint64_t ns, uint64_t weight) {
+  // bit_width(ns) <= 8 → < 256 ns → bucket 0; each further bit doubles the
+  // bucket's range. Values past the last bucket clamp into it (overflow).
+  // `weight` scales a sampled observation back to population terms.
+  const int width = std::bit_width(ns);
+  const int bucket =
+      width <= 8 ? 0 : std::min(width - 8, kProfileHistBuckets - 1);
+  Bump(counts[bucket], weight);
+  Bump(total, weight);
+  Bump(sum_ns, ns * weight);
+}
+
+namespace {
+
+// Slabs are owned here and never freed: a worker thread's counts must
+// survive its exit (bench reps join their pools between measurements).
+// Zero-initialized via value-init of the atomics' containing struct.
+struct SlabRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ProfileSlab>> slabs;
+};
+
+SlabRegistry& Registry() {
+  static SlabRegistry* registry = new SlabRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+ProfileSlab* RegisterTlsSlab() {
+  auto owned = std::make_unique<ProfileSlab>();
+  ProfileSlab* raw = owned.get();
+  SlabRegistry& reg = Registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  reg.slabs.push_back(std::move(owned));
+  return raw;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// noinline: these are the cold 1-in-kProfileSamplePeriod paths; see the
+// declaration comment in lock_profiler.h.
+__attribute__((noinline)) void ObserveAcquire(ProfileSlab& slab,
+                                              std::mutex& mu,
+                                              ProfileSite site, int shard) {
+  RecordAcquire(slab, site, shard, kProfileSamplePeriod);
+  if (!mu.try_lock()) {
+    const uint64_t t0 = NowNs();
+    mu.lock();
+    RecordContended(slab, site, shard, kProfileSamplePeriod);
+    RecordWait(slab, site, shard, NowNs() - t0, kProfileSamplePeriod);
+  }
+}
+
+__attribute__((noinline)) void ObserveAcquireShared(ProfileSlab& slab,
+                                                    std::shared_mutex& mu,
+                                                    ProfileSite site) {
+  RecordAcquire(slab, site, kProfileNoShard, kProfileSamplePeriod);
+  if (!mu.try_lock_shared()) {
+    const uint64_t t0 = NowNs();
+    mu.lock_shared();
+    RecordContended(slab, site, kProfileNoShard, kProfileSamplePeriod);
+    RecordWait(slab, site, kProfileNoShard, NowNs() - t0,
+               kProfileSamplePeriod);
+  }
+}
+
+__attribute__((noinline)) void ObserveAcquireExclusive(ProfileSlab& slab,
+                                                       std::shared_mutex& mu,
+                                                       ProfileSite site) {
+  RecordAcquire(slab, site, kProfileNoShard, kProfileSamplePeriod);
+  if (!mu.try_lock()) {
+    const uint64_t t0 = NowNs();
+    mu.lock();
+    RecordContended(slab, site, kProfileNoShard, kProfileSamplePeriod);
+    RecordWait(slab, site, kProfileNoShard, NowNs() - t0,
+               kProfileSamplePeriod);
+  }
+}
+
+__attribute__((noinline)) void ObserveHold(ProfileSite site,
+                                           uint64_t held_ns) {
+  Tls().sites[static_cast<int>(site)].hold.Record(held_ns, 1);
+}
+
+}  // namespace profile_internal
+
+namespace {
+
+using profile_internal::ProfileHistogramSlab;
+using profile_internal::ProfileSlab;
+using profile_internal::Registry;
+
+void Accumulate(ProfileHistogramData& into, const ProfileHistogramSlab& h) {
+  for (int i = 0; i < kProfileHistBuckets; ++i) {
+    into.counts[i] += h.counts[i].load(std::memory_order_relaxed);
+  }
+  into.total += h.total.load(std::memory_order_relaxed);
+  into.sum_ns += h.sum_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ProfileSnapshot CaptureProfile() {
+  ProfileSnapshot snap;
+  snap.compiled_in = true;
+  snap.shards.resize(kMaxProfiledShards);
+  auto& reg = Registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  for (const auto& slab : reg.slabs) {
+    for (int s = 0; s < kProfileSiteCount; ++s) {
+      const auto& site = slab->sites[s];
+      snap.sites[s].acquires += site.acquires.load(std::memory_order_relaxed);
+      snap.sites[s].contended +=
+          site.contended.load(std::memory_order_relaxed);
+      Accumulate(snap.sites[s].wait, site.wait);
+      Accumulate(snap.sites[s].hold, site.hold);
+    }
+    for (int s = 0; s < kMaxProfiledShards; ++s) {
+      const auto& shard = slab->shards[s];
+      snap.shards[s].acquires +=
+          shard.acquires.load(std::memory_order_relaxed);
+      snap.shards[s].contended +=
+          shard.contended.load(std::memory_order_relaxed);
+      snap.shards[s].wait_ns += shard.wait_ns.load(std::memory_order_relaxed);
+    }
+    snap.fast_grants += slab->fast_grants.load(std::memory_order_relaxed);
+    snap.fast_bails += slab->fast_bails.load(std::memory_order_relaxed);
+    snap.release_bails +=
+        slab->release_bails.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void ResetProfileForTesting() {
+  auto& reg = Registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  for (const auto& slab : reg.slabs) {
+    for (auto& site : slab->sites) {
+      site.acquires.store(0, std::memory_order_relaxed);
+      site.contended.store(0, std::memory_order_relaxed);
+      for (auto* h : {&site.wait, &site.hold}) {
+        for (auto& c : h->counts) c.store(0, std::memory_order_relaxed);
+        h->total.store(0, std::memory_order_relaxed);
+        h->sum_ns.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& shard : slab->shards) {
+      shard.acquires.store(0, std::memory_order_relaxed);
+      shard.contended.store(0, std::memory_order_relaxed);
+      shard.wait_ns.store(0, std::memory_order_relaxed);
+    }
+    slab->fast_grants.store(0, std::memory_order_relaxed);
+    slab->fast_bails.store(0, std::memory_order_relaxed);
+    slab->release_bails.store(0, std::memory_order_relaxed);
+  }
+}
+
+void RegisterProfileMetrics(MetricsRegistry* registry, int shards) {
+  for (int s = 0; s < kProfileSiteCount; ++s) {
+    const ProfileSite site = static_cast<ProfileSite>(s);
+    const std::string label =
+        std::string("{site=\"") + ProfileSiteName(site) + "\"}";
+    registry->AddCallbackCounter(
+        "locktune_profile_acquires_total" + label,
+        "latch acquisitions through this site",
+        [s] {
+          return static_cast<int64_t>(CaptureProfile().sites[s].acquires);
+        });
+    registry->AddCallbackCounter(
+        "locktune_profile_contended_total" + label,
+        "latch acquisitions that had to wait (sampled estimate)",
+        [s] {
+          return static_cast<int64_t>(CaptureProfile().sites[s].contended);
+        });
+    registry->AddCallbackHistogram(
+        "locktune_profile_wait_ms" + label,
+        "contended latch acquire-wait durations (sampled)",
+        [s] { return ToHistogramSnapshot(CaptureProfile().sites[s].wait); });
+    registry->AddCallbackHistogram(
+        "locktune_profile_hold_ms" + label,
+        "latch hold durations (sampled)",
+        [s] { return ToHistogramSnapshot(CaptureProfile().sites[s].hold); });
+  }
+  registry->AddCallbackCounter(
+      "locktune_profile_fast_grants_total",
+      "Lock() requests served entirely on the parallel fast path",
+      [] { return static_cast<int64_t>(CaptureProfile().fast_grants); });
+  registry->AddCallbackCounter(
+      "locktune_profile_fast_bails_total",
+      "fast-path requests that bailed to the exclusive path",
+      [] { return static_cast<int64_t>(CaptureProfile().fast_bails); });
+  registry->AddCallbackCounter(
+      "locktune_profile_release_bails_total",
+      "FastReleaseAll calls that bailed to the classic release",
+      [] { return static_cast<int64_t>(CaptureProfile().release_bails); });
+  const int capped = std::min(shards, kMaxProfiledShards);
+  for (int s = 0; s < capped; ++s) {
+    // Two-digit shard ids keep label variants of the family in numeric
+    // order under the registry's lexicographic collection.
+    char label[32];
+    std::snprintf(label, sizeof(label), "{shard=\"%02d\"}", s);
+    registry->AddCallbackCounter(
+        std::string("locktune_profile_shard_acquires_total") + label,
+        "shard-mutex acquisitions attributed to this shard",
+        [s] {
+          return static_cast<int64_t>(CaptureProfile().shards[s].acquires);
+        });
+    registry->AddCallbackCounter(
+        std::string("locktune_profile_shard_contended_total") + label,
+        "contended shard-mutex acquisitions on this shard (sampled estimate)",
+        [s] {
+          return static_cast<int64_t>(CaptureProfile().shards[s].contended);
+        });
+    registry->AddCallbackGauge(
+        std::string("locktune_profile_shard_wait_ms_total") + label,
+        "estimated contended wait on this shard's mutex",
+        [s] {
+          return static_cast<double>(CaptureProfile().shards[s].wait_ns) /
+                 1e6;
+        });
+  }
+}
+
+#else  // !LOCKTUNE_PROFILE
+
+ProfileSnapshot CaptureProfile() {
+  ProfileSnapshot snap;
+  snap.shards.resize(kMaxProfiledShards);
+  return snap;
+}
+
+void ResetProfileForTesting() {}
+
+void RegisterProfileMetrics(MetricsRegistry*, int) {}
+
+#endif  // LOCKTUNE_PROFILE
+
+}  // namespace locktune

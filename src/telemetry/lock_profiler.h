@@ -1,0 +1,441 @@
+// Lock-path contention profiler: per-site and per-shard attribution of
+// where latch time goes (acquire waits, hold times, fast-path bails).
+//
+// Design (docs/OBSERVABILITY.md has the full rationale):
+//
+//  * Compile-gated by LOCKTUNE_PROFILE (a CMake option, ON by default).
+//    When OFF every guard below degrades to the plain std guard it wraps
+//    and every counter call inlines to nothing — the hot paths carry zero
+//    instrumentation, which the CI profile-smoke job proves by byte-
+//    comparing goldens across both builds.
+//
+//  * Thread-local accumulation. Each thread owns a ProfileSlab (registered
+//    once, on first use, under a mutex); all hot-path updates are relaxed
+//    atomic stores into that slab, so instrumentation never contends on
+//    shared cache lines. Aggregation (CaptureProfile) walks the slab list
+//    in a serial region — the tick barrier's serial phase, after a bench's
+//    workers joined, or at inspect time.
+//
+//  * Everything is sampled. 1 in kProfileSamplePeriod guard acquisitions
+//    is observed: the acquire is counted, a try_lock-first probe detects
+//    contention, and a contended probe times the blocking lock() with two
+//    steady_clock reads — all recorded at the sample period's weight, so
+//    every profile counter is a population-scale estimate. The other 255
+//    of 256 acquisitions execute a TLS load, one tick increment, a
+//    predictable branch, and then *exactly* a plain lock(): no counter
+//    traffic, no clock read, and no second CAS on a hot mutex line (a
+//    failed try_lock steals the line in exclusive state, slowing the
+//    holder's unlock). Sampled bumps land before the acquisition, outside
+//    the critical section, where a saturated shard would pay them once
+//    per op globally. Hold times ride the same wheel at an offset phase;
+//    fast-path notes (one TLS bump) and ProfileTimer stay exact.
+//
+//  * Single-writer slabs use plain load+store bumps, not fetch_add: a
+//    relaxed fetch_add still compiles to a locked RMW on x86 (~20 cycles),
+//    which at several bumps per acquire was the dominant instrumentation
+//    cost. The owning thread is the only writer, so load+1+store is safe
+//    and compiles to a plain add; concurrent aggregation reads are
+//    slightly stale statistics, which is fine.
+//
+// The profiler is process-global: multiple LockManagers in one process
+// (tests, benches) share it. That is the right shape for attribution — the
+// question is "where does this process's wall-clock go" — and tests that
+// need isolation call ResetProfileForTesting().
+#ifndef LOCKTUNE_TELEMETRY_LOCK_PROFILER_H_
+#define LOCKTUNE_TELEMETRY_LOCK_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace locktune {
+
+class MetricsRegistry;
+struct HistogramSnapshot;
+
+// Instrumented latch-acquisition contexts. The names track the lock
+// manager's concurrency design (docs/CONCURRENCY.md): kFastShared is the
+// outer shared_mutex taken shared on the parallel fast path, kExclusive is
+// the same mutex taken exclusively (classic path and bail-to-exclusive
+// retries), kShard the striped per-shard table mutexes, kAlloc the
+// block-list slot guard, kAppsMap the app-state map guard, and
+// kTickBarrier the scenario runner's per-tick worker barriers.
+enum class ProfileSite : uint8_t {
+  kFastShared = 0,
+  kShard,
+  kExclusive,
+  kAlloc,
+  kAppsMap,
+  kTickBarrier,
+};
+inline constexpr int kProfileSiteCount = 6;
+const char* ProfileSiteName(ProfileSite site);
+
+// Shards above this fold into the last slot (the default table has 16).
+inline constexpr int kMaxProfiledShards = 64;
+inline constexpr int kProfileNoShard = -1;
+
+// Power-of-two nanosecond buckets: bucket 0 is < 256 ns, bucket i covers
+// [256·2^(i-1), 256·2^i), and the last bucket is the overflow (~>1 s).
+inline constexpr int kProfileHistBuckets = 24;
+
+// 1 in this many guard acquisitions is observed (acquire count, contention
+// probe, wait timing); observations are recorded with this weight so all
+// profile counters, sums, and histogram totals estimate the full
+// population. Power of two, shared with hold sampling (one wheel, offset
+// phases). Fast-path notes and ProfileTimer stay exact.
+inline constexpr uint64_t kProfileSamplePeriod = 256;
+
+// --- aggregated (read-side) view; compiled in every build so renderers
+// and exporters build against one shape ---
+
+struct ProfileHistogramData {
+  uint64_t counts[kProfileHistBuckets] = {};
+  uint64_t total = 0;
+  uint64_t sum_ns = 0;
+};
+
+// Counters are sampled, weight-compensated estimates (multiples of
+// kProfileSamplePeriod); ProfileTimer sites are exact. `contended` can
+// overshoot `acquires` only through weight granularity at tiny counts.
+struct SiteProfile {
+  uint64_t acquires = 0;
+  uint64_t contended = 0;
+  ProfileHistogramData wait;  // contended acquire-wait durations (sampled)
+  ProfileHistogramData hold;  // sampled critical-section holds
+};
+
+// Sampled, weight-compensated estimates, like SiteProfile.
+struct ShardProfile {
+  uint64_t acquires = 0;
+  uint64_t contended = 0;
+  uint64_t wait_ns = 0;
+};
+
+struct ProfileSnapshot {
+  bool compiled_in = false;  // false in LOCKTUNE_PROFILE=OFF builds
+  SiteProfile sites[kProfileSiteCount];
+  std::vector<ShardProfile> shards;  // kMaxProfiledShards entries
+  uint64_t fast_grants = 0;    // Lock() served entirely on the fast path
+  uint64_t fast_bails = 0;     // fast path bailed to the exclusive path
+  uint64_t release_bails = 0;  // FastReleaseAll bailed to the classic path
+};
+
+// Walks all thread slabs (including those of exited threads). Callers must
+// be in a serial region relative to the writers they want a consistent
+// view of; concurrent capture is safe but reads a moving target.
+ProfileSnapshot CaptureProfile();
+
+// Zeroes every slab. Tests and bench reps only; racing writers tolerated
+// (their in-flight increments land in the fresh epoch).
+void ResetProfileForTesting();
+
+constexpr bool ProfileCompiledIn() {
+#if defined(LOCKTUNE_PROFILE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Converts a profile histogram to the registry snapshot shape, bounds in
+// milliseconds (256 ns = 0.000256 ms up through ~1 s, then overflow).
+HistogramSnapshot ToHistogramSnapshot(const ProfileHistogramData& h);
+
+// Registers the locktune_profile_* family: per-site acquire/contended
+// counters, wait/hold histograms, fast-path grant/bail counters, and
+// per-shard attribution for `shards` shard ids. Opt-in (the sim's
+// --profile-metrics / --inspect flags): registering changes the export,
+// and default --metrics-out runs must stay byte-identical. No-op when the
+// profiler is compiled out.
+void RegisterProfileMetrics(MetricsRegistry* registry, int shards);
+
+#if defined(LOCKTUNE_PROFILE)
+
+namespace profile_internal {
+
+// One thread's accumulator. Fields are relaxed atomics: the owning thread
+// is the only writer, aggregation is the only concurrent reader, and the
+// values are statistics, not synchronization.
+// Single-writer increment: plain add, no locked RMW (see header comment).
+inline void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+struct ProfileHistogramSlab {
+  std::atomic<uint64_t> counts[kProfileHistBuckets];
+  std::atomic<uint64_t> total;
+  std::atomic<uint64_t> sum_ns;
+  void Record(uint64_t ns, uint64_t weight);
+};
+
+struct SiteSlab {
+  std::atomic<uint64_t> acquires;
+  std::atomic<uint64_t> contended;
+  ProfileHistogramSlab wait;
+  ProfileHistogramSlab hold;
+};
+
+struct ShardSlab {
+  std::atomic<uint64_t> acquires;
+  std::atomic<uint64_t> contended;
+  std::atomic<uint64_t> wait_ns;
+};
+
+struct ProfileSlab {
+  SiteSlab sites[kProfileSiteCount];
+  ShardSlab shards[kMaxProfiledShards];
+  std::atomic<uint64_t> fast_grants;
+  std::atomic<uint64_t> fast_bails;
+  std::atomic<uint64_t> release_bails;
+  // Sampling wheel: owner-thread only, no atomicity needed. One counter
+  // drives both wait probing (phase 0) and hold timing (phase 32) so a
+  // guard pays a single increment.
+  uint64_t sample_tick = 0;
+};
+
+// Allocates and registers the calling thread's slab (cold, first use).
+ProfileSlab* RegisterTlsSlab();
+
+// The calling thread's slab. Inline so every guard compiles down to a
+// TLS load instead of an out-of-line call.
+inline ProfileSlab& Tls() {
+  thread_local ProfileSlab* slab = RegisterTlsSlab();
+  return *slab;
+}
+
+uint64_t NowNs();
+
+inline bool SampleWait(uint64_t tick) {
+  return (tick & (kProfileSamplePeriod - 1)) == 0;
+}
+
+inline bool SampleHold(uint64_t tick) {
+  return (tick & (kProfileSamplePeriod - 1)) ==
+         kProfileSamplePeriod / 2;
+}
+
+inline void RecordContended(ProfileSlab& slab, ProfileSite site, int shard,
+                            uint64_t weight) {
+  Bump(slab.sites[static_cast<int>(site)].contended, weight);
+  if (shard != kProfileNoShard) {
+    Bump(slab.shards[shard & (kMaxProfiledShards - 1)].contended, weight);
+  }
+}
+
+// A sampled (weighted) wait observation; the matching RecordContended is
+// the caller's responsibility.
+inline void RecordWait(ProfileSlab& slab, ProfileSite site, int shard,
+                       uint64_t wait_ns, uint64_t weight) {
+  slab.sites[static_cast<int>(site)].wait.Record(wait_ns, weight);
+  if (shard != kProfileNoShard) {
+    Bump(slab.shards[shard & (kMaxProfiledShards - 1)].wait_ns,
+         wait_ns * weight);
+  }
+}
+
+inline void RecordAcquire(ProfileSlab& slab, ProfileSite site, int shard,
+                          uint64_t weight) {
+  Bump(slab.sites[static_cast<int>(site)].acquires, weight);
+  if (shard != kProfileNoShard) {
+    Bump(slab.shards[shard & (kMaxProfiledShards - 1)].acquires, weight);
+  }
+}
+
+// Cold out-of-line observers (defined in lock_profiler.cc, marked
+// noinline there): the sampled 1-in-kProfileSamplePeriod observation —
+// acquire count, try_lock contention probe, timed blocking lock — and
+// the sampled hold recording. Keeping these out of line keeps the guard
+// inline path down to a TLS load, a tick increment, and two predictable
+// branches; inlining the probe at every call site bloats the lock
+// manager's hot functions enough to show up as real overhead.
+void ObserveAcquire(ProfileSlab& slab, std::mutex& mu, ProfileSite site,
+                    int shard);
+void ObserveAcquireShared(ProfileSlab& slab, std::shared_mutex& mu,
+                          ProfileSite site);
+void ObserveAcquireExclusive(ProfileSlab& slab, std::shared_mutex& mu,
+                             ProfileSite site);
+void ObserveHold(ProfileSite site, uint64_t held_ns);
+
+}  // namespace profile_internal
+
+// RAII guard over std::mutex with wait/hold attribution. Drop-in for
+// std::lock_guard<std::mutex> at instrumented sites; `shard` additionally
+// routes the wait into per-shard attribution.
+class ProfiledMutexGuard {
+ public:
+  ProfiledMutexGuard(std::mutex& mu, ProfileSite site,
+                     int shard = kProfileNoShard)
+      : mu_(mu), site_(site), shard_(shard) {
+    using namespace profile_internal;
+    ProfileSlab& slab = Tls();
+    const uint64_t tick = slab.sample_tick++;
+    if (SampleWait(tick)) [[unlikely]] {
+      ObserveAcquire(slab, mu_, site_, shard_);
+    } else {
+      mu_.lock();
+    }
+    if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
+  }
+  ~ProfiledMutexGuard() {
+    if (hold_t0_ != 0) [[unlikely]] {
+      const uint64_t held = profile_internal::NowNs() - hold_t0_;
+      mu_.unlock();
+      profile_internal::ObserveHold(site_, held);
+    } else {
+      mu_.unlock();
+    }
+  }
+  ProfiledMutexGuard(const ProfiledMutexGuard&) = delete;
+  ProfiledMutexGuard& operator=(const ProfiledMutexGuard&) = delete;
+
+ private:
+  std::mutex& mu_;
+  ProfileSite site_;
+  int shard_;
+  uint64_t hold_t0_ = 0;
+};
+
+// Shared (reader) acquisition of a std::shared_mutex.
+class ProfiledSharedGuard {
+ public:
+  ProfiledSharedGuard(std::shared_mutex& mu, ProfileSite site)
+      : mu_(mu), site_(site) {
+    using namespace profile_internal;
+    ProfileSlab& slab = Tls();
+    const uint64_t tick = slab.sample_tick++;
+    if (SampleWait(tick)) [[unlikely]] {
+      ObserveAcquireShared(slab, mu_, site_);
+    } else {
+      mu_.lock_shared();
+    }
+    if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
+  }
+  ~ProfiledSharedGuard() {
+    if (hold_t0_ != 0) [[unlikely]] {
+      const uint64_t held = profile_internal::NowNs() - hold_t0_;
+      mu_.unlock_shared();
+      profile_internal::ObserveHold(site_, held);
+    } else {
+      mu_.unlock_shared();
+    }
+  }
+  ProfiledSharedGuard(const ProfiledSharedGuard&) = delete;
+  ProfiledSharedGuard& operator=(const ProfiledSharedGuard&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+  ProfileSite site_;
+  uint64_t hold_t0_ = 0;
+};
+
+// Exclusive (writer) acquisition of a std::shared_mutex.
+class ProfiledExclusiveGuard {
+ public:
+  ProfiledExclusiveGuard(std::shared_mutex& mu, ProfileSite site)
+      : mu_(mu), site_(site) {
+    using namespace profile_internal;
+    ProfileSlab& slab = Tls();
+    const uint64_t tick = slab.sample_tick++;
+    if (SampleWait(tick)) [[unlikely]] {
+      ObserveAcquireExclusive(slab, mu_, site_);
+    } else {
+      mu_.lock();
+    }
+    if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
+  }
+  ~ProfiledExclusiveGuard() {
+    if (hold_t0_ != 0) [[unlikely]] {
+      const uint64_t held = profile_internal::NowNs() - hold_t0_;
+      mu_.unlock();
+      profile_internal::ObserveHold(site_, held);
+    } else {
+      mu_.unlock();
+    }
+  }
+  ProfiledExclusiveGuard(const ProfiledExclusiveGuard&) = delete;
+  ProfiledExclusiveGuard& operator=(const ProfiledExclusiveGuard&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+  ProfileSite site_;
+  uint64_t hold_t0_ = 0;
+};
+
+// Times an arbitrary region (barrier waits) into a site's wait histogram;
+// every timed region counts as a contended acquire of that site.
+class ProfileTimer {
+ public:
+  explicit ProfileTimer(ProfileSite site)
+      : site_(site), t0_(profile_internal::NowNs()) {}
+  ~ProfileTimer() {
+    using namespace profile_internal;
+    ProfileSlab& slab = Tls();
+    // Barrier waits are cold (per tick), so they are counted and timed
+    // exactly (weight 1), unlike the sampled guard probes.
+    RecordAcquire(slab, site_, kProfileNoShard, 1);
+    RecordContended(slab, site_, kProfileNoShard, 1);
+    RecordWait(slab, site_, kProfileNoShard, NowNs() - t0_, 1);
+  }
+  ProfileTimer(const ProfileTimer&) = delete;
+  ProfileTimer& operator=(const ProfileTimer&) = delete;
+
+ private:
+  ProfileSite site_;
+  uint64_t t0_;
+};
+
+inline void ProfileNoteFastGrant() {
+  profile_internal::Bump(profile_internal::Tls().fast_grants);
+}
+inline void ProfileNoteFastBail() {
+  profile_internal::Bump(profile_internal::Tls().fast_bails);
+}
+inline void ProfileNoteReleaseBail() {
+  profile_internal::Bump(profile_internal::Tls().release_bails);
+}
+
+#else  // !LOCKTUNE_PROFILE — every guard is the plain std guard, every
+       // counter a no-op; no clock is ever read.
+
+class ProfiledMutexGuard {
+ public:
+  ProfiledMutexGuard(std::mutex& mu, ProfileSite, int = kProfileNoShard)
+      : guard_(mu) {}
+
+ private:
+  std::lock_guard<std::mutex> guard_;
+};
+
+class ProfiledSharedGuard {
+ public:
+  ProfiledSharedGuard(std::shared_mutex& mu, ProfileSite) : guard_(mu) {}
+
+ private:
+  std::shared_lock<std::shared_mutex> guard_;
+};
+
+class ProfiledExclusiveGuard {
+ public:
+  ProfiledExclusiveGuard(std::shared_mutex& mu, ProfileSite) : guard_(mu) {}
+
+ private:
+  std::lock_guard<std::shared_mutex> guard_;
+};
+
+class ProfileTimer {
+ public:
+  explicit ProfileTimer(ProfileSite) {}
+};
+
+inline void ProfileNoteFastGrant() {}
+inline void ProfileNoteFastBail() {}
+inline void ProfileNoteReleaseBail() {}
+
+#endif  // LOCKTUNE_PROFILE
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_TELEMETRY_LOCK_PROFILER_H_

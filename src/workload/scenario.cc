@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/lock_profiler.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -164,13 +166,29 @@ void ScenarioRunner::RunUntilParallel(TimeMs until) {
     pool.emplace_back([this, w, workers, &stop, &start_barrier,
                        &done_barrier] {
       for (;;) {
-        start_barrier.arrive_and_wait();
+        {
+          // Barrier waits are where load imbalance shows up: a worker that
+          // finished early stalls here until the slowest one arrives.
+          ProfileTimer barrier_wait(ProfileSite::kTickBarrier);
+          start_barrier.arrive_and_wait();
+        }
         if (stop.load(std::memory_order_acquire)) return;
+        ChromeTraceCollector* trace = GlobalTraceCollector();
+        const int64_t t0 = trace != nullptr ? trace->RealNowUs() : 0;
         for (size_t i = static_cast<size_t>(w); i < apps_.size();
              i += static_cast<size_t>(workers)) {
           if (apps_[i]->connected()) apps_[i]->Tick();
         }
-        done_barrier.arrive_and_wait();
+        if (trace != nullptr) {
+          // Real-clock span on the profiler process: one slice per worker
+          // per tick, so Perfetto shows the actual parallel overlap.
+          trace->Span("worker_tick", kTracePidReal, w, t0,
+                      trace->RealNowUs() - t0);
+        }
+        {
+          ProfileTimer barrier_wait(ProfileSite::kTickBarrier);
+          done_barrier.arrive_and_wait();
+        }
       }
     });
   }
@@ -206,6 +224,15 @@ void ScenarioRunner::BeginTick(TimeMs now) {
 }
 
 void ScenarioRunner::FinishTick(TimeMs now) {
+  if (ChromeTraceCollector* trace = GlobalTraceCollector()) {
+    // Virtual-time tick span: sim time advances exactly one tick per
+    // iteration, so the spans tile the timeline.
+    trace->Span("tick", kTracePidSim, kTraceTidTicks, SimTimeToTraceUs(now),
+                options_.tick * 1000,
+                "{\"clients\":" +
+                    std::to_string(db_->connected_applications()) + "}");
+  }
+
   // Advance virtual time; due STMM tuning passes run inside.
   db_->Tick(options_.tick);
 

@@ -116,6 +116,17 @@ TEST(LocklintTest, FaultGateRule) {
       << run.output;
 }
 
+TEST(LocklintTest, ProfileTimingRule) {
+  const LintRun run =
+      RunLocklint(FixtureRoot() + "/src/lock/profile_timing.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  ExpectViolation(run, "profile_timing.cc", 5, "LL009");
+  // The LOCKTUNE_PROFILE-gated call on line 10 and the suppressed call on
+  // line 16 must not be flagged.
+  EXPECT_NE(run.output.find("1 violation(s)"), std::string::npos)
+      << run.output;
+}
+
 TEST(LocklintTest, EmptyReasonIsItsOwnViolation) {
   const LintRun run = RunLocklint(FixtureRoot() + "/bad_annotation.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -137,9 +148,9 @@ TEST(LocklintTest, WholeFixtureTreeIsDeterministicallySorted) {
   const LintRun run = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.exit_code, 1);
   // 3 wallclock + 1 unordered + 1 float + 2 alloc + 1 nodiscard + 1 assert
-  // + 2 addr + 1 faultgate + 1 bad-annotation = 13, and a second run must
-  // be identical.
-  EXPECT_NE(run.output.find("13 violation(s)"), std::string::npos)
+  // + 2 addr + 1 faultgate + 1 profile + 1 bad-annotation = 14, and a
+  // second run must be identical.
+  EXPECT_NE(run.output.find("14 violation(s)"), std::string::npos)
       << run.output;
   const LintRun again = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.output, again.output);
@@ -149,7 +160,7 @@ TEST(LocklintTest, ListRules) {
   const LintRun run = RunLocklint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* id : {"LL000", "LL001", "LL002", "LL003", "LL004",
-                         "LL005", "LL006", "LL007", "LL008"}) {
+                         "LL005", "LL006", "LL007", "LL008", "LL009"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << run.output;
   }
 }

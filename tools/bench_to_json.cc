@@ -4,7 +4,10 @@
 //   bench_to_json OUT.json label=RUN.csv [label=RUN.csv ...]
 //
 // Each RUN.csv is the stdout of a lockpath_bench run
-// (name,ops,seconds,ops_per_sec with a header line). Labels are free-form;
+// (name,ops,seconds,ops_per_sec with a header line). Benches may append
+// self-describing `key=value` columns after the fixed four (parallel_scale's
+// contention attribution does); these pass through into the JSON row
+// verbatim. Labels are free-form;
 // when both a "before" and an "after" run are given, a "speedup" section
 // reports after/before per benchmark. The checked-in BENCH_lockpath.json is
 // produced this way from a pre-change and post-change build.
@@ -23,7 +26,17 @@ struct Row {
   long long ops = 0;
   double seconds = 0.0;
   double ops_per_sec = 0.0;
+  // Extra `key=value` CSV columns, in file order.
+  std::vector<std::pair<std::string, std::string>> extras;
 };
+
+// True when `s` is a complete numeric literal (safe to emit unquoted).
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
 
 // label -> benchmark name -> row; both maps ordered so the JSON is stable.
 using Runs = std::map<std::string, std::map<std::string, Row>>;
@@ -49,6 +62,12 @@ bool ParseCsv(const std::string& path, std::map<std::string, Row>* out) {
     row.ops = std::atoll(ops.c_str());
     row.seconds = std::atof(seconds.c_str());
     row.ops_per_sec = std::atof(rate.c_str());
+    std::string extra;
+    while (std::getline(ss, extra, ',')) {
+      const size_t eq = extra.find('=');
+      if (eq == std::string::npos || eq == 0) continue;  // not key=value
+      row.extras.emplace_back(extra.substr(0, eq), extra.substr(eq + 1));
+    }
     (*out)[name] = row;
   }
   return true;
@@ -91,9 +110,18 @@ int main(int argc, char** argv) {
       first_row = false;
       std::snprintf(buf, sizeof(buf),
                     "      \"%s\": {\"ops\": %lld, \"seconds\": %.6f, "
-                    "\"ops_per_sec\": %.0f}",
+                    "\"ops_per_sec\": %.0f",
                     name.c_str(), row.ops, row.seconds, row.ops_per_sec);
       out << buf;
+      for (const auto& [key, value] : row.extras) {
+        out << ", \"" << key << "\": ";
+        if (IsNumber(value)) {
+          out << value;
+        } else {
+          out << "\"" << value << "\"";
+        }
+      }
+      out << "}";
     }
     out << "\n    }";
   }

@@ -24,12 +24,17 @@
 //                       pointer-keyed ordered containers
 //   LL008 faultgate     fault-injection hook in a lock/memory hot path
 //                       without an Armed() fast-path guard nearby
+//   LL009 profile       wall-clock timing call (steady_clock,
+//                       high_resolution_clock, rdtsc) in src/lock/ outside
+//                       a LOCKTUNE_PROFILE gate — raw clock reads belong in
+//                       telemetry/lock_profiler.h, where the OFF build
+//                       compiles them away
 //   LL000 annotation    malformed suppression (empty reason)
 //
 // Suppressions: `// locklint: <tag>-ok(<reason>)` on the violating line or
 // the line directly above. The reason is mandatory; an empty one is itself
 // a violation. Tags: wallclock-ok, ordered-ok, float-ok, alloc-ok,
-// nodiscard-ok, assert-ok, addr-ok, faultgate-ok.
+// nodiscard-ok, assert-ok, addr-ok, faultgate-ok, profile-ok.
 //
 // Usage: locklint [--list-rules] <file-or-dir>...
 // Exit: 0 clean, 1 violations found, 2 usage/IO error.
@@ -97,6 +102,10 @@ constexpr RuleInfo kRules[] = {
     {"LL008", "faultgate",
      "fault-injection hook in a lock/memory hot path without an Armed() "
      "fast-path guard on the same line or the three lines above"},
+    {"LL009", "profile",
+     "wall-clock timing call (steady_clock, high_resolution_clock, rdtsc) "
+     "in src/lock/ outside a LOCKTUNE_PROFILE gate; keep raw clock reads in "
+     "telemetry/lock_profiler.h or annotate profile-ok(<reason>)"},
 };
 
 // Basenames of files where integral accounting is mandatory (LL003).
@@ -274,6 +283,9 @@ class Linter {
         CheckRawAlloc(generic, text, i, line_no, code);
         CheckFaultGate(generic, text, i, line_no, code);
       }
+      if (generic.find("src/lock/") != std::string::npos) {
+        CheckProfileTiming(generic, text, i, line_no, code);
+      }
       if (is_header) CheckNodiscard(generic, text, i, line_no, code);
       CheckAssert(generic, text, i, line_no, code);
       CheckAddressOrder(generic, text, i, line_no, code);
@@ -439,6 +451,30 @@ class Linter {
                               "()' without an Armed() fast-path guard");
       return;  // one report per line
     }
+  }
+
+  // Lock-path code must not read a clock unless the read vanishes in
+  // LOCKTUNE_PROFILE=OFF builds: every timing call needs a LOCKTUNE_PROFILE
+  // token on the same line or within the three lines above (an
+  // #if defined(...) region opener or a ProfileCompiledIn() branch), or a
+  // reasoned profile-ok suppression. steady_clock is deterministic-safe
+  // (LL001 does not ban it) but still costs a vDSO call per read — the
+  // profiler's zero-cost-when-off contract is what this rule protects.
+  void CheckProfileTiming(const std::string& file, const FileText& text,
+                          size_t idx, int line_no, const std::string& code) {
+    static const std::regex kTiming(
+        R"(steady_clock|high_resolution_clock|\b__?rdtscp?\b)");
+    std::smatch m;
+    if (!std::regex_search(code, m, kTiming)) return;
+    for (size_t j = idx, steps = 0; steps < 4; ++steps) {
+      if (text.code[j].find("LOCKTUNE_PROFILE") != std::string::npos) return;
+      if (j == 0) break;
+      --j;
+    }
+    AddUnlessSuppressed(file, text, idx, line_no, "LL009", "profile",
+                        "timing call '" + m[0].str() +
+                            "' in lock-path code without a LOCKTUNE_PROFILE "
+                            "gate");
   }
 
   void CheckNodiscard(const std::string& file, const FileText& text,

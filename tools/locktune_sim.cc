@@ -15,7 +15,15 @@
 //     [--stmm-report]          db2pd -stmm style tuning history table
 //     [--snapshot]             end-of-run state snapshot
 //     [--inspect]              locktune_pd full inspection: snapshot +
-//                              metrics registry + lock event ring buffer
+//                              metrics registry + lock event ring buffer +
+//                              shard contention heatmap
+//     [--trace-profile PATH]   Chrome trace-event JSON (load in
+//                              ui.perfetto.dev): tick/STMM/escalation spans
+//                              on virtual time, worker spans on real time
+//     [--profile-metrics]      add locktune_profile_* contention metrics to
+//                              the registry export (implied by --inspect)
+//     [--flight-dump]          dump the flight-recorder rings at end of run
+//                              and arm the dump-on-deadlock-victim path
 //
 // Prints the sampled series as CSV on stdout, then a summary (commits,
 // escalations, lock memory, tuning passes) on stderr. See
@@ -31,9 +39,13 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/paranoid.h"
 #include "core/stmm_report.h"
 #include "engine/db_snapshot.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/exporters.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/lock_profiler.h"
 #include "telemetry/trace.h"
 #include "workload/scenario_config.h"
 
@@ -106,7 +118,8 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 constexpr char kUsage[] =
     "usage: locktune_sim <scenario-file> [--series a,b,...] [--stride N] "
     "[--threads N] [--metrics-out PATH|-] [--trace-out PATH|-] "
-    "[--log-level LEVEL] [--stmm-report] [--snapshot] [--inspect]";
+    "[--log-level LEVEL] [--stmm-report] [--snapshot] [--inspect] "
+    "[--trace-profile PATH] [--profile-metrics] [--flight-dump]";
 
 }  // namespace
 
@@ -120,8 +133,11 @@ int main(int argc, char** argv) {
   bool stmm_report = false;
   bool snapshot = false;
   bool inspect = false;
+  bool profile_metrics = false;
+  bool flight_dump = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string trace_profile_out;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
       series = SplitCsv(argv[++i]);
@@ -143,6 +159,12 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-profile") == 0 && i + 1 < argc) {
+      trace_profile_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-metrics") == 0) {
+      profile_metrics = true;
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0) {
+      flight_dump = true;
     } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
       LogLevel level;
       if (!ParseLogLevel(argv[++i], &level)) {
@@ -184,6 +206,29 @@ int main(int argc, char** argv) {
     scenario.database().locks().RegisterInternalMetrics(
         &scenario.database().metrics());
   }
+  // Same opt-in contract for the contention profiler's metrics: the
+  // profiler always accumulates (LOCKTUNE_PROFILE builds), but only
+  // surfaces in the registry when asked.
+  if (profile_metrics || inspect) {
+    RegisterProfileMetrics(
+        &scenario.database().metrics(),
+        scenario.database().locks().lock_table_shard_count());
+  }
+  // Paranoid runs arm the victim dump too: a deadlock victim under paranoid
+  // scrutiny is exactly when the recent event history matters. stderr only,
+  // so golden (stdout/file) outputs are unaffected.
+  if (flight_dump || ParanoidEnabled()) ArmFlightDumpOnVictim(true);
+
+  std::unique_ptr<ChromeTraceCollector> trace_profile;
+  std::ofstream trace_profile_file;
+  if (!trace_profile_out.empty()) {
+    trace_profile_file.open(trace_profile_out);
+    if (!trace_profile_file.is_open()) {
+      return Fail("cannot open --trace-profile " + trace_profile_out);
+    }
+    trace_profile = std::make_unique<ChromeTraceCollector>();
+    SetGlobalTraceCollector(trace_profile.get());
+  }
 
   // Stamp stderr log lines with virtual time so they correlate with trace
   // records and the sampled series.
@@ -203,6 +248,20 @@ int main(int argc, char** argv) {
 
   if (trace_writer != nullptr) trace_writer->Flush();
   SetLogClock(nullptr);
+
+  if (trace_profile != nullptr) {
+    SetGlobalTraceCollector(nullptr);
+    trace_profile->WriteJson(trace_profile_file);
+    trace_profile_file.flush();
+    // Open succeeding is not enough (a full disk fails at write time);
+    // a truncated trace would silently fail to load in Perfetto.
+    if (!trace_profile_file.good()) {
+      return Fail("cannot write --trace-profile " + trace_profile_out);
+    }
+    std::fprintf(stderr, "trace-profile: %zu events -> %s\n",
+                 trace_profile->event_count(), trace_profile_out.c_str());
+  }
+  if (flight_dump) DumpFlightRecorder(stderr);
 
   // CSV of the requested series.
   for (const std::string& name : series) {
@@ -235,6 +294,9 @@ int main(int argc, char** argv) {
       WritePrometheus(scenario.database().metrics(), *metrics_stream.os);
     }
     metrics_stream.os->flush();
+    if (!metrics_stream.os->good()) {
+      return Fail("cannot write --metrics-out " + metrics_out);
+    }
   }
 
   const LockManagerStats& stats = scenario.database().locks().stats();
