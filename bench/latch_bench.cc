@@ -1,0 +1,240 @@
+// latch_bench — OptiQL-style microbenchmark of the shard latch primitives.
+//
+// Prices the four candidate shard-protection schemes against each other on
+// the access mixes the lock table actually sees, isolated from the lock
+// manager so the numbers are pure latch cost:
+//
+//   std_mutex      std::mutex for readers and writers (the pre-rework
+//                  per-shard scheme, modulo the old outer shared_mutex)
+//   shared_mutex   std::shared_mutex, shared for readers
+//   opt_latch      OptLatch: optimistic read-validate with the manager's
+//                  retry-then-pessimize ladder; queued write side
+//   mcs            OptLatch's MCS write path for readers AND writers — the
+//                  queue alone, no optimistic layer, to separate what
+//                  queueing buys from what validation buys
+//
+// Mixes, each at 1 and 4 threads over 64 independently-latched cells:
+//
+//   read_mostly    95% reads, 5% writes, uniform cells — the lock table's
+//                  dominant probe/grant-check profile
+//   write_heavy    50% writes, uniform cells — grant/release churn
+//   hot_key        95% reads but every op on ONE cell — the hot-shard
+//                  collapse case the rework targets
+//
+// Readers verify the seqlock invariant (b == 2a) on every validated
+// snapshot, so the benchmark doubles as a torn-read check at full speed.
+// Output is the lockpath_bench CSV (name,ops,seconds,ops_per_sec);
+// `--quick` shrinks counts for the latch_bench_smoke ctest entry.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "lock/opt_latch.h"
+
+using namespace locktune;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The guarded payload: two words kept in lockstep (b == 2a) so a torn read
+// is detectable. Relaxed atomics, as OptLatch's protocol requires of all
+// optimistically-read state; the mutex schemes use the same representation
+// so per-access codegen is comparable.
+struct Cell {
+  std::atomic<uint64_t> a{0};
+  std::atomic<uint64_t> b{0};
+};
+
+struct StdMutexScheme {
+  static constexpr const char* kName = "std_mutex";
+  std::mutex mu;
+  uint64_t Read(const Cell& c) {
+    std::lock_guard<std::mutex> guard(mu);
+    return c.a.load(std::memory_order_relaxed) +
+           c.b.load(std::memory_order_relaxed);
+  }
+  void Write(Cell& c, uint64_t v) {
+    std::lock_guard<std::mutex> guard(mu);
+    c.a.store(v, std::memory_order_relaxed);
+    c.b.store(2 * v, std::memory_order_relaxed);
+  }
+};
+
+struct SharedMutexScheme {
+  static constexpr const char* kName = "shared_mutex";
+  std::shared_mutex mu;
+  uint64_t Read(const Cell& c) {
+    std::shared_lock<std::shared_mutex> guard(mu);
+    return c.a.load(std::memory_order_relaxed) +
+           c.b.load(std::memory_order_relaxed);
+  }
+  void Write(Cell& c, uint64_t v) {
+    std::unique_lock<std::shared_mutex> guard(mu);
+    c.a.store(v, std::memory_order_relaxed);
+    c.b.store(2 * v, std::memory_order_relaxed);
+  }
+};
+
+struct OptLatchScheme {
+  static constexpr const char* kName = "opt_latch";
+  OptLatch latch;
+  uint64_t Read(const Cell& c) {
+    // The manager's FastAcquireOne ladder: bounded optimistic attempts,
+    // then pessimize to the write side.
+    for (int attempt = 0; attempt < OptLatch::kOptReadRetries; ++attempt) {
+      const uint64_t v = latch.ReadBegin();
+      if ((v & 1) != 0) continue;
+      const uint64_t ra = c.a.load(std::memory_order_relaxed);
+      const uint64_t rb = c.b.load(std::memory_order_relaxed);
+      if (latch.ReadValidate(v)) return CheckPair(ra, rb);
+    }
+    OptLatchGuard guard(latch);
+    return CheckPair(c.a.load(std::memory_order_relaxed),
+                     c.b.load(std::memory_order_relaxed));
+  }
+  void Write(Cell& c, uint64_t v) {
+    OptLatchGuard guard(latch);
+    c.a.store(v, std::memory_order_relaxed);
+    c.b.store(2 * v, std::memory_order_relaxed);
+  }
+  static uint64_t CheckPair(uint64_t ra, uint64_t rb) {
+    if (rb != 2 * ra) {
+      std::fprintf(stderr, "latch_bench: torn validated read\n");
+      std::abort();
+    }
+    return ra + rb;
+  }
+};
+
+// The MCS queue as a plain mutual-exclusion lock: both sides take the write
+// path. Separates the queue's handoff cost from the optimistic layer.
+struct McsScheme {
+  static constexpr const char* kName = "mcs";
+  OptLatch latch;
+  uint64_t Read(const Cell& c) {
+    McsNode node;
+    latch.Lock(node);
+    const uint64_t sum = c.a.load(std::memory_order_relaxed) +
+                         c.b.load(std::memory_order_relaxed);
+    latch.Unlock(node);
+    return sum;
+  }
+  void Write(Cell& c, uint64_t v) {
+    McsNode node;
+    latch.Lock(node);
+    c.a.store(v, std::memory_order_relaxed);
+    c.b.store(2 * v, std::memory_order_relaxed);
+    latch.Unlock(node);
+  }
+};
+
+void Report(const std::string& name, int64_t ops, double seconds) {
+  std::printf("%s,%lld,%.6f,%.0f\n", name.c_str(),
+              static_cast<long long>(ops), seconds,
+              seconds > 0 ? static_cast<double>(ops) / seconds : 0.0);
+}
+
+constexpr int kCells = 64;
+constexpr int kReps = 5;
+
+// Keeps validated read results observable so the read loops cannot be
+// dead-code-eliminated.
+std::atomic<uint64_t> g_sink{0};
+
+// One mix × scheme × thread-count measurement, best of kReps. Each rep
+// builds fresh cells/latches so no run inherits a predecessor's queue or
+// cache state. `read_permille` selects the mix; `hot` pins all traffic to
+// cell 0.
+template <typename Scheme>
+void RunMix(const std::string& mix, int threads, int read_permille, bool hot,
+            int64_t ops_per_thread) {
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    struct Guarded {
+      Scheme scheme;
+      Cell cell;
+    };
+    std::vector<std::unique_ptr<Guarded>> cells;
+    cells.reserve(kCells);
+    for (int i = 0; i < kCells; ++i) {
+      cells.push_back(std::make_unique<Guarded>());
+    }
+    std::atomic<int> ready{0};
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(static_cast<uint64_t>(t) * 7919 + rep + 1);
+        uint64_t local = 0;
+        ready.fetch_add(1);
+        while (ready.load() < threads) std::this_thread::yield();
+        for (int64_t i = 0; i < ops_per_thread; ++i) {
+          Guarded& g = hot ? *cells[0]
+                           : *cells[rng.NextBelow(kCells)];
+          if (static_cast<int>(rng.NextBelow(1000)) < read_permille) {
+            local += g.scheme.Read(g.cell);
+          } else {
+            g.scheme.Write(g.cell, i + 1);
+          }
+        }
+        g_sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : workers) th.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  Report(mix + "_" + Scheme::kName + "_t" + std::to_string(threads),
+         threads * ops_per_thread, best_seconds);
+}
+
+struct MixSpec {
+  const char* name;
+  int read_permille;
+  bool hot;
+};
+
+constexpr MixSpec kMixes[] = {
+    {"read_mostly", 950, false},
+    {"write_heavy", 500, false},
+    {"hot_key", 950, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: latch_bench [--quick]\n");
+      return 1;
+    }
+  }
+  const int64_t ops = quick ? 20'000 : 2'000'000;
+  std::printf("name,ops,seconds,ops_per_sec\n");
+  for (const MixSpec& mix : kMixes) {
+    for (const int threads : {1, 4}) {
+      RunMix<StdMutexScheme>(mix.name, threads, mix.read_permille, mix.hot,
+                             ops);
+      RunMix<SharedMutexScheme>(mix.name, threads, mix.read_permille,
+                                mix.hot, ops);
+      RunMix<OptLatchScheme>(mix.name, threads, mix.read_permille, mix.hot,
+                             ops);
+      RunMix<McsScheme>(mix.name, threads, mix.read_permille, mix.hot, ops);
+    }
+  }
+  return 0;
+}

@@ -15,9 +15,11 @@
 // Output is the same machine-readable CSV as lockpath_bench
 // (name,ops,seconds,ops_per_sec). `--json PATH` additionally writes a
 // scaling report (the checked-in BENCH_parallel.json): per-mix throughput
-// at each thread count plus speedup_over_one_thread. `--quick` shrinks
-// iteration counts to smoke-test levels (the bench_parallel_smoke ctest
-// entry).
+// at each thread count, speedup_over_one_thread, and vs_serial_classic —
+// every parallel row's throughput relative to the classic exclusive path,
+// so fast-path overhead and scaling wins are priced against the same
+// yardstick. `--quick` shrinks iteration counts to smoke-test levels (the
+// bench_parallel_smoke ctest entry).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -59,6 +61,8 @@ struct Attribution {
   uint64_t fast_grants = 0;
   uint64_t fast_bails = 0;
   uint64_t release_bails = 0;
+  uint64_t opt_validation_fails = 0;
+  uint64_t opt_pessimizes = 0;
 };
 
 Attribution Attribute(const ProfileSnapshot& snap) {
@@ -78,6 +82,8 @@ Attribution Attribute(const ProfileSnapshot& snap) {
   a.fast_grants = snap.fast_grants;
   a.fast_bails = snap.fast_bails;
   a.release_bails = snap.release_bails;
+  a.opt_validation_fails = snap.opt_validation_fails;
+  a.opt_pessimizes = snap.opt_pessimizes;
   return a;
 }
 
@@ -110,6 +116,9 @@ void Report(const std::string& name, const Measurement& m,
                 static_cast<unsigned long long>(attr.fast_grants),
                 static_cast<unsigned long long>(attr.fast_bails),
                 static_cast<unsigned long long>(attr.release_bails));
+    std::printf(",opt_validation_fails=%llu,opt_pessimizes=%llu",
+                static_cast<unsigned long long>(attr.opt_validation_fails),
+                static_cast<unsigned long long>(attr.opt_pessimizes));
   }
   std::printf("\n");
 }
@@ -279,10 +288,16 @@ bool WriteJson(const std::string& path) {
       }
       std::snprintf(buf, sizeof(buf),
                     "}, \"fast_grants\": %llu, \"fast_bails\": %llu, "
-                    "\"release_bails\": %llu}",
+                    "\"release_bails\": %llu, ",
                     static_cast<unsigned long long>(row.attr.fast_grants),
                     static_cast<unsigned long long>(row.attr.fast_bails),
                     static_cast<unsigned long long>(row.attr.release_bails));
+      out << buf;
+      std::snprintf(
+          buf, sizeof(buf),
+          "\"opt_validation_fails\": %llu, \"opt_pessimizes\": %llu}",
+          static_cast<unsigned long long>(row.attr.opt_validation_fails),
+          static_cast<unsigned long long>(row.attr.opt_pessimizes));
       out << buf;
     }
     out << "}" << (i + 1 < g_results.size() ? ",\n" : "\n");
@@ -304,6 +319,26 @@ bool WriteJson(const std::string& path) {
     std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", row.name.c_str(),
                   OpsPerSec(row.m) / it->second);
     lines.emplace_back(buf);
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  }
+  // Every parallel row against the classic exclusive path's throughput: the
+  // t1 entries price the fast path's latch/atomic overhead on one thread,
+  // the tN entries show what parallel mode buys (or costs) net of it.
+  out << "  },\n  \"vs_serial_classic\": {\n";
+  double classic = 0.0;
+  for (const ResultRow& row : g_results) {
+    if (row.name == "serial_classic") classic = OpsPerSec(row.m);
+  }
+  lines.clear();
+  if (classic > 0) {
+    for (const ResultRow& row : g_results) {
+      if (row.name == "serial_classic") continue;
+      std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", row.name.c_str(),
+                    OpsPerSec(row.m) / classic);
+      lines.emplace_back(buf);
+    }
   }
   for (size_t i = 0; i < lines.size(); ++i) {
     out << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");

@@ -43,6 +43,7 @@ LockBlock* LockHead::RemoveHolder(AppId app) {
     if (it->app == app) {
       LockBlock* slot = it->slot;
       holders_.erase(it);
+      RefreshSummary();
       return slot;
     }
   }
@@ -55,11 +56,13 @@ void LockHead::EnqueueConversion(const WaitingRequest& w) {
   auto it = waiters_.begin();
   while (it != waiters_.end() && it->is_conversion) ++it;
   waiters_.insert(it, w);
+  RefreshSummary();
 }
 
 void LockHead::EnqueueNew(const WaitingRequest& w) {
   LOCKTUNE_DCHECK(!w.is_conversion);
   waiters_.push_back(w);
+  RefreshSummary();
 }
 
 LockBlock* LockHead::RemoveWaiter(AppId app, bool* removed) {
@@ -67,6 +70,7 @@ LockBlock* LockHead::RemoveWaiter(AppId app, bool* removed) {
     if (it->app == app) {
       LockBlock* slot = it->slot;
       waiters_.erase(it);
+      RefreshSummary();
       if (removed != nullptr) *removed = true;
       return slot;
     }
@@ -84,7 +88,15 @@ WaitingRequest LockHead::PopFrontWaiter() {
   LOCKTUNE_DCHECK(!waiters_.empty());
   WaitingRequest w = waiters_.front();
   waiters_.erase(waiters_.begin());
+  RefreshSummary();
   return w;
+}
+
+bool LockHead::SummaryConsistent() const {
+  const uint32_t summary = opt_summary();
+  return SummaryMode(summary) == GrantedGroupMode() &&
+         SummaryHasWaiters(summary) == !waiters_.empty() &&
+         SummaryHolderCount(summary) == holders_.size();
 }
 
 }  // namespace locktune

@@ -9,6 +9,7 @@
 #ifndef LOCKTUNE_LOCK_LOCK_HEAD_H_
 #define LOCKTUNE_LOCK_LOCK_HEAD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,34 @@ struct WaitingRequest {
 
 class LockHead {
  public:
+  LockHead() = default;
+  // Not copyable: heads live in pooled, pointer-stable nodes; the atomic
+  // summary word must never be duplicated.
+  LockHead(const LockHead&) = delete;
+  LockHead& operator=(const LockHead&) = delete;
+
+  // --- optimistic summary (docs/LATCHES.md) ---
+  //
+  // A packed snapshot of the grant-check inputs, readable without the shard
+  // latch: bits [0..3] the granted-group supremum mode, bit [4] whether any
+  // waiter is queued, bits [5..] the holder count. Every mutator below
+  // refreshes it (all mutations run under the shard latch's write side or
+  // the manager's exclusive lock), so an optimistic reader that validates
+  // its latch version saw a summary consistent with the vectors. CanGrantNew
+  // is exactly derivable from it: !HasWaiters && Compatible(Mode, mode).
+  uint32_t opt_summary() const {
+    return opt_summary_.load(std::memory_order_relaxed);
+  }
+  static LockMode SummaryMode(uint32_t summary) {
+    return static_cast<LockMode>(summary & 0xF);
+  }
+  static bool SummaryHasWaiters(uint32_t summary) {
+    return (summary & 0x10) != 0;
+  }
+  static uint32_t SummaryHolderCount(uint32_t summary) {
+    return summary >> 5;
+  }
+
   // --- granted group ---
   const std::vector<LockRequest>& holders() const { return holders_; }
   std::vector<LockRequest>& holders() { return holders_; }
@@ -64,7 +93,19 @@ class LockHead {
   bool CanGrantConversion(AppId app, LockMode mode) const;
 
   // Appends a granted request.
-  void AddHolder(const LockRequest& request) { holders_.push_back(request); }
+  void AddHolder(const LockRequest& request) {
+    holders_.push_back(request);
+    RefreshSummary();
+  }
+
+  // Changes `holder`'s granted mode (conversion grant, escalation). The
+  // only sanctioned way to change a granted mode — a plain `holder->mode =`
+  // through FindHolder would leave the optimistic summary stale (locklint
+  // LL010 polices the raw form on shard state).
+  void SetHolderMode(LockRequest* holder, LockMode mode) {
+    holder->mode = mode;
+    RefreshSummary();
+  }
 
   // Removes `app`'s granted request, returning its lock memory slot
   // (nullptr if the app held nothing here).
@@ -92,15 +133,33 @@ class LockHead {
   void Clear() {
     holders_.clear();
     waiters_.clear();
+    opt_summary_.store(0, std::memory_order_relaxed);
   }
+
+  // True when the summary word matches a fresh recomputation (paranoid
+  // checks / tests).
+  bool SummaryConsistent() const;
 
   // Pops the front waiter. Precondition: !waiters().empty().
   WaitingRequest PopFrontWaiter();
   const WaitingRequest& FrontWaiter() const { return waiters_.front(); }
 
  private:
+  // Recomputed after every mutation. O(holders), which stays small (the
+  // compatible-mode fan-in on one resource); the mutators that call it are
+  // already O(holders) probes or vector edits.
+  void RefreshSummary() {
+    const uint32_t packed =
+        static_cast<uint32_t>(GrantedGroupMode()) |
+        (waiters_.empty() ? 0u : 0x10u) |
+        (static_cast<uint32_t>(holders_.size()) << 5);
+    opt_summary_.store(packed, std::memory_order_relaxed);
+  }
+
   std::vector<LockRequest> holders_;
   std::vector<WaitingRequest> waiters_;  // front = next to service
+  // Relaxed atomic: read by optimistic probes without the shard latch.
+  std::atomic<uint32_t> opt_summary_{0};
 };
 
 }  // namespace locktune

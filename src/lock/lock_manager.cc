@@ -11,9 +11,18 @@
 
 namespace locktune {
 
+namespace {
+// Source of per-manager epochs for the FastGetApp thread-local cache.
+// Monotone and never reused, so a cache entry keyed by an epoch can only
+// ever match the manager instance that minted it.
+std::atomic<uint64_t> g_manager_epoch{0};
+}  // namespace
+
 LockManager::LockManager(LockManagerOptions options)
     : options_(std::move(options)),
       max_lock_memory_(options_.max_lock_memory),
+      manager_epoch_(g_manager_epoch.fetch_add(1, std::memory_order_relaxed) +
+                     1),
       table_(options_.table_shards) {
   LOCKTUNE_DCHECK(options_.policy != nullptr && "an escalation policy is required");
   for (int64_t i = 0; i < options_.initial_blocks; ++i) blocks_.AddBlock();
@@ -79,7 +88,7 @@ std::optional<LockResult> LockManager::FastLock(AppId app,
 
   LockResult granted;  // kGranted, escalated=false
   if (resource.kind == ResourceKind::kRow) {
-    const LockMode table_mode = FastTableMode(app, state, resource.table);
+    const LockMode table_mode = FastTableMode(state, resource.table);
     if (Covers(table_mode, mode)) {
       Bump(stats_.grants);
       return granted;
@@ -92,7 +101,7 @@ std::optional<LockResult> LockManager::FastLock(AppId app,
       }
       // The intent grant refreshed the table-mode cache; a covering grant
       // cannot have appeared (only this thread changes this app's holds).
-      LOCKTUNE_DCHECK(!Covers(FastTableMode(app, state, resource.table), mode));
+      LOCKTUNE_DCHECK(!Covers(FastTableMode(state, resource.table), mode));
     }
   }
   if (FastAcquireOne(app, state, resource, mode) == FastOutcome::kBail) {
@@ -104,29 +113,64 @@ std::optional<LockResult> LockManager::FastLock(AppId app,
 LockManager::FastOutcome LockManager::FastAcquireOne(
     AppId app, AppState& state, const ResourceId& resource, LockMode mode) {
   const uint64_t hash = ResourceIdHash{}(resource);
-  ProfiledMutexGuard shard_guard(table_.ShardMutex(hash), ProfileSite::kShard,
-                                 table_.ShardIndex(hash));
-  LockHead* found = table_.Find(resource, hash);
-  if (found != nullptr) {
-    if (LockRequest* holder = found->FindHolder(app); holder != nullptr) {
-      if (Covers(holder->mode, mode)) {
-        Bump(stats_.grants);
-        return FastOutcome::kGranted;
-      }
-      const LockMode target = Supremum(holder->mode, mode);
-      if (found->CanGrantConversion(app, target)) {
-        holder->mode = target;
-        if (resource.kind == ResourceKind::kTable) {
-          NoteTableMode(state, resource.table, target);
-        }
-        Bump(stats_.grants);
-        return FastOutcome::kGranted;
-      }
+  // Already held? Resolved thread-locally: held_index membership and the
+  // HeldSlot mode mirror are owner-thread state, so the dominant re-request
+  // case never touches the shard.
+  if (const uint32_t* idx = state.held_index.Find(resource, hash);
+      idx != nullptr) {
+    HeldSlot& held = state.held[*idx];
+    if (Covers(held.mode, mode)) {
+      Bump(stats_.grants);
+      return FastOutcome::kGranted;
+    }
+    // In-place conversion attempt: needs the latched view of the other
+    // holders.
+    const LockMode target = Supremum(held.mode, mode);
+    OptLatchWriteGuard shard_guard(table_.ShardLatch(hash),
+                                   ProfileSite::kQueuedWrite,
+                                   table_.ShardIndex(hash));
+    LockHead* head = held.head;
+    LockRequest* holder = head->FindHolder(app);
+    LOCKTUNE_DCHECK(holder != nullptr && "held slot without holder entry");
+    if (!head->CanGrantConversion(app, target)) {
       return FastOutcome::kBail;  // the conversion must queue
     }
-    // Would this new request have to wait? Check before allocating so the
-    // bail leaves nothing to undo.
-    if (!found->CanGrantNew(mode)) return FastOutcome::kBail;
+    head->SetHolderMode(holder, target);
+    held.mode = target;
+    if (resource.kind == ResourceKind::kTable) {
+      NoteTableMode(state, resource.table, target);
+    }
+    Bump(stats_.grants);
+    return FastOutcome::kGranted;
+  }
+  OptLatch& latch = table_.ShardLatch(hash);
+  // Optimistic pre-flight (docs/LATCHES.md): a version-validated probe of
+  // the directory plus the head's summary word decides "would this new
+  // request have to wait?" without the latch. A wait means queueing — the
+  // classic path's business — so bailing here skips the latch acquisition
+  // entirely on the contended-resource pattern that used to collapse the
+  // hot shard. Validation failures retry, then pessimize to the latched
+  // path below, which decides authoritatively.
+  for (int attempt = 0;; ++attempt) {
+    if (attempt == OptLatch::kOptReadRetries) {
+      ProfileNoteOptPessimize();
+      break;
+    }
+    if (latch.Busy()) continue;  // writer in flight; burn an attempt
+    const LockTable::OptProbeResult probe = table_.OptProbe(resource, hash);
+    if (!probe.valid) {
+      ProfileNoteOptValidationFail();
+      continue;
+    }
+    ProfileNoteOptRead();
+    if (probe.found) {
+      const uint32_t s = probe.summary;
+      if (LockHead::SummaryHasWaiters(s) ||
+          !Compatible(LockHead::SummaryMode(s), mode)) {
+        return FastOutcome::kBail;  // would wait: queueing is exclusive-only
+      }
+    }
+    break;  // absent or grantable: fall through to the latched grant
   }
   // Quota and memory pressure mirror the classic path; anything that needs
   // escalation or growth is the classic path's business.
@@ -135,8 +179,15 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
       options_.policy->ForcesMemoryEscalation(mem)) {
     return FastOutcome::kBail;
   }
+  OptLatchWriteGuard shard_guard(latch, ProfileSite::kQueuedWrite,
+                                 table_.ShardIndex(hash));
+  LockHead* found = table_.Find(resource, hash);
+  // The optimistic verdict is advisory; re-check under the latch before
+  // mutating (the probe may have pessimized or gone stale).
+  if (found != nullptr && !found->CanGrantNew(mode)) return FastOutcome::kBail;
   LockBlock* slot = nullptr;
   {
+    // Ordering: shard latch, then alloc_mu_ — never the reverse.
     ProfiledMutexGuard alloc_guard(alloc_mu_, ProfileSite::kAlloc);
     Result<LockBlock*> r = blocks_.AllocateSlot();
     if (!r.ok()) return FastOutcome::kBail;  // exhausted: growth/escalation
@@ -148,7 +199,7 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
   request.mode = mode;
   request.slot = slot;
   head.AddHolder(request);
-  AddHeldEntry(state, resource, hash, &head);
+  AddHeldEntry(state, resource, hash, &head, mode);
   if (resource.kind == ResourceKind::kRow) {
     BumpRowCount(state, resource.table);
   } else {
@@ -159,32 +210,50 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
   return FastOutcome::kGranted;
 }
 
-LockMode LockManager::FastTableMode(AppId app, AppState& state,
-                                    TableId table) {
+LockMode LockManager::FastTableMode(AppState& state, TableId table) {
   if (state.table_cache_valid && state.cached_table == table) {
     return state.cached_table_mode;
   }
+  // held_index is the authoritative owner-thread record of this app's
+  // grants (a live slot exists iff a holder entry exists), so the miss path
+  // is thread-local too — the shard is never probed for our own mode.
   const ResourceId resource = TableResource(table);
   const uint64_t hash = ResourceIdHash{}(resource);
   LockMode mode = LockMode::kNone;
-  {
-    ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
-                                   ProfileSite::kShard,
-                                   table_.ShardIndex(hash));
-    if (const LockHead* head = table_.Find(resource, hash); head != nullptr) {
-      if (const LockRequest* holder = head->FindHolder(app);
-          holder != nullptr) {
-        mode = holder->mode;
-      }
-    }
+  if (const uint32_t* idx = state.held_index.Find(resource, hash);
+      idx != nullptr) {
+    mode = state.held[*idx].mode;
   }
   NoteTableMode(state, table, mode);
   return mode;
 }
 
 LockManager::AppState& LockManager::FastGetApp(AppId app) {
-  ProfiledMutexGuard guard(apps_mu_, ProfileSite::kAppsMap);
-  return apps_[app];
+  // Thread-local pointer cache: apps_ entries are never erased and
+  // unordered_map element pointers are stable, so a resolved AppState* is
+  // good for the manager's lifetime. The epoch (unique per manager ever
+  // constructed) keeps a cache built against a destroyed manager — or a new
+  // manager reusing this address — from ever serving a stale pointer. Only
+  // a thread's first touch of an app pays for apps_mu_.
+  struct TlsAppCache {
+    uint64_t epoch = 0;
+    std::unordered_map<AppId, AppState*> by_app;
+  };
+  static thread_local TlsAppCache tls;
+  if (tls.epoch != manager_epoch_) {
+    tls.epoch = manager_epoch_;
+    tls.by_app.clear();
+  }
+  if (const auto it = tls.by_app.find(app); it != tls.by_app.end()) {
+    return *it->second;
+  }
+  AppState* statep = nullptr;
+  {
+    ProfiledMutexGuard guard(apps_mu_, ProfileSite::kAppsMap);
+    statep = &apps_[app];
+  }
+  tls.by_app.emplace(app, statep);
+  return *statep;
 }
 
 LockManager::AcquireOutcome LockManager::TryAcquire(AppId app,
@@ -251,7 +320,8 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
       }
       const LockMode target = Supremum(holder->mode, mode);
       if (found->CanGrantConversion(app, target)) {
-        holder->mode = target;
+        found->SetHolderMode(holder, target);
+        NoteHeldMode(state, resource, hash, target);
         if (resource.kind == ResourceKind::kTable) {
           NoteTableMode(state, resource.table, target);
         }
@@ -331,7 +401,7 @@ LockManager::AcquireOutcome LockManager::AcquireOne(AppId app,
     r.mode = mode;
     r.slot = alloc.slot;
     head2.AddHolder(r);
-    AddHeldEntry(state, resource, hash, &head2);
+    AddHeldEntry(state, resource, hash, &head2, mode);
     if (resource.kind == ResourceKind::kRow) {
       BumpRowCount(state, resource.table);
     } else {
@@ -488,14 +558,16 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
   }
 
   const ResourceId table_res = TableResource(victim_table);
-  LockHead& head = table_.GetOrCreate(table_res);
+  const uint64_t table_hash = ResourceIdHash{}(table_res);
+  LockHead& head = table_.GetOrCreate(table_res, table_hash);
   LockRequest* holder = head.FindHolder(app);
   LOCKTUNE_DCHECK(holder != nullptr && "row locks imply an intent table lock");
   const LockMode new_mode = Supremum(holder->mode, target);
 
   if (Covers(holder->mode, new_mode) ||
       head.CanGrantConversion(app, new_mode)) {
-    holder->mode = new_mode;
+    head.SetHolderMode(holder, new_mode);
+    NoteHeldMode(state, table_res, table_hash, new_mode);
     NoteTableMode(state, victim_table, new_mode);
     Bump(stats_.escalations);
     if (target == LockMode::kX) Bump(stats_.exclusive_escalations);
@@ -627,16 +699,15 @@ bool LockManager::FastReleaseAll(AppId app) {
   AppState& state = *statep;
   if (state.waiting || state.continuation.has_value()) return false;
   // Pass 1: any waiter behind a held lock means releasing must run the
-  // grant cascade — exclusive business. Waiters are only enqueued under the
-  // exclusive lock, so the emptiness observed here cannot be invalidated
-  // while we hold the shared lock.
+  // grant cascade — exclusive business. Latch-free: the waiters bit of the
+  // head's summary word is only ever set under the exclusive lock, which
+  // our shared hold excludes, so a clear bit observed here stays clear for
+  // the whole release. Concurrent fast threads do refresh the summary
+  // (holder changes under their shard latch), but the word is atomic and
+  // they never set the waiters bit.
   for (const HeldSlot& slot : state.held) {
     if (!slot.live) continue;
-    const uint64_t hash = ResourceIdHash{}(slot.res);
-    ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
-                                   ProfileSite::kShard,
-                                   table_.ShardIndex(hash));
-    if (!slot.head->waiters().empty()) return false;
+    if (LockHead::SummaryHasWaiters(slot.head->opt_summary())) return false;
   }
   // Pass 2: remove our holder entries and recycle. Other fast threads may
   // add holders to the same heads concurrently; our holder entry keeps each
@@ -646,8 +717,8 @@ bool LockManager::FastReleaseAll(AppId app) {
     const uint64_t hash = ResourceIdHash{}(slot.res);
     LockBlock* block = nullptr;
     {
-      ProfiledMutexGuard shard_guard(table_.ShardMutex(hash),
-                                     ProfileSite::kShard,
+      OptLatchWriteGuard shard_guard(table_.ShardLatch(hash),
+                                     ProfileSite::kQueuedWrite,
                                      table_.ShardIndex(hash));
       block = slot.head->RemoveHolder(app);
       LOCKTUNE_DCHECK(block != nullptr);
@@ -728,9 +799,11 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       LOCKTUNE_DCHECK(holder != nullptr);
       if (!head.CanGrantConversion(w.app, w.mode)) break;
       const WaitingRequest granted = head.PopFrontWaiter();
-      holder->mode = granted.mode;
+      head.SetHolderMode(holder, granted.mode);
+      AppState& conv_state = GetApp(granted.app);
+      NoteHeldMode(conv_state, resource, hash, granted.mode);
       if (resource.kind == ResourceKind::kTable) {
-        NoteTableMode(GetApp(granted.app), resource.table, granted.mode);
+        NoteTableMode(conv_state, resource.table, granted.mode);
       }
       Bump(stats_.grants);
       OnWaitGranted(granted.app, resource);
@@ -743,7 +816,7 @@ void LockManager::ProcessQueue(const ResourceId& resource) {
       r.slot = granted.slot;
       head.AddHolder(r);
       AppState& state = GetApp(granted.app);
-      AddHeldEntry(state, resource, hash, &head);
+      AddHeldEntry(state, resource, hash, &head, granted.mode);
       if (resource.kind == ResourceKind::kRow) {
         BumpRowCount(state, resource.table);
       } else {
@@ -1018,11 +1091,16 @@ Status LockManager::CheckConsistency() const {
         continue;
       }
       const LockHead* head = FindHead(slot.res);
-      if (head == nullptr || head->FindHolder(app) == nullptr) {
+      const LockRequest* holder =
+          head == nullptr ? nullptr : head->FindHolder(app);
+      if (holder == nullptr) {
         return Status::Internal("held list references a missing grant");
       }
       if (slot.head != head) {
         return Status::Internal("held slot head pointer is stale");
+      }
+      if (slot.mode != holder->mode) {
+        return Status::Internal("held slot mode mirror is stale");
       }
       const uint32_t* idx =
           state.held_index.Find(slot.res, ResourceIdHash{}(slot.res));
@@ -1329,10 +1407,10 @@ void LockManager::DrainWorkList() {
 }
 
 void LockManager::AddHeldEntry(AppState& state, const ResourceId& resource,
-                               uint64_t hash, LockHead* head) {
+                               uint64_t hash, LockHead* head, LockMode mode) {
   state.held_index.Insert(resource, hash,
                           static_cast<uint32_t>(state.held.size()));
-  state.held.push_back(HeldSlot{resource, head, true});
+  state.held.push_back(HeldSlot{resource, head, mode, true});
 }
 
 void LockManager::EraseHeldEntry(AppState& state, const ResourceId& resource) {

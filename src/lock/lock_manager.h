@@ -18,13 +18,16 @@
 // runs under an exclusive hold of a reader-writer lock, exactly as the
 // previous single-mutex design did. When parallel mode is enabled
 // (SetParallelMode), Lock/ReleaseAll first try an opt-in fast path under a
-// *shared* hold plus the per-shard LockTable mutex for the touched resource;
-// anything complicated — waits, conversions that queue, escalation, memory
-// growth, grant cascades — bails out and retries on the exclusive path.
-// Because shared and exclusive holds exclude each other, all pre-existing
-// state remains race-free; only the state the fast path itself mutates
-// (stats counters, block-list aggregates, lock-table shards, the curve
-// cache) is atomic or mutex-striped.
+// *shared* hold plus the per-shard LockTable OptLatch for the touched
+// resource: grant-feasibility is pre-flighted with an optimistic
+// version-validated probe (no latch), and only the mutating tail of a grant
+// takes the latch's queued write side (docs/LATCHES.md); anything
+// complicated — waits, conversions that queue, escalation, memory growth,
+// grant cascades — bails out and retries on the exclusive path. Because
+// shared and exclusive holds exclude each other, all pre-existing state
+// remains race-free; only the state the fast path itself mutates (stats
+// counters, block-list aggregates, lock-table shards, the curve cache) is
+// atomic or latch-striped.
 #ifndef LOCKTUNE_LOCK_LOCK_MANAGER_H_
 #define LOCKTUNE_LOCK_LOCK_MANAGER_H_
 
@@ -39,6 +42,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/sim_clock.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -241,9 +245,16 @@ class LockManager {
   // requests to their lock block the same way): pooled head nodes are
   // pointer-stable and a head cannot be erased while this application still
   // holds it, so release and escalation sweeps skip the table probe.
+  //
+  // `mode` mirrors the granted mode of this application's holder entry
+  // (kept in sync by NoteHeldMode at every conversion/escalation site).
+  // AppState is owner-thread-confined, so the fast path answers "do I
+  // already hold this, and does it cover the request?" without touching the
+  // shard — the dominant re-request case costs zero shared memory.
   struct HeldSlot {
     ResourceId res;
     LockHead* head = nullptr;
+    LockMode mode = LockMode::kNone;
     bool live = true;
   };
 
@@ -343,17 +354,23 @@ class LockManager {
   std::optional<LockResult> FastLock(AppId app, const ResourceId& resource,
                                      LockMode mode);
 
-  // Grant/convert `mode` on one resource under its shard mutex. Bails on
+  // Grant/convert `mode` on one resource. An already-held resource resolves
+  // thread-locally through held_index/HeldSlot::mode; a new request is
+  // pre-flighted with an optimistic probe (retry-then-pessimize) and only
+  // the mutating grant takes the shard latch's write side. Bails on
   // anything that must queue, escalate, or grow memory.
   FastOutcome FastAcquireOne(AppId app, AppState& state,
                              const ResourceId& resource, LockMode mode);
 
-  // Granted table-lock mode via the AppState cache, probing the table under
-  // its shard mutex on a miss.
-  LockMode FastTableMode(AppId app, AppState& state, TableId table);
+  // Granted table-lock mode via the AppState cache. Pure thread-local:
+  // held_index membership plus HeldSlot::mode answer it without probing the
+  // shared table.
+  LockMode FastTableMode(AppState& state, TableId table);
 
-  // App state lookup/creation under apps_mu_ (fast threads may insert
-  // concurrently; pointers are stable).
+  // App state lookup/creation. A thread-local pointer cache (keyed by a
+  // per-manager epoch) makes repeat lookups latch-free; only a thread's
+  // first touch of an app takes apps_mu_. AppState pointers are stable
+  // (apps_ entries are never erased).
   AppState& FastGetApp(AppId app);
 
   // Commit/abort release when the app has no waiters behind any held lock
@@ -398,11 +415,21 @@ class LockManager {
   // completes escalation, and issues any continuation.
   void OnWaitGranted(AppId app, const ResourceId& resource);
 
-  // Appends `resource` (whose lock head is `head`) to the held list and
-  // indexes it. `hash` is the caller's precomputed ResourceIdHash of
-  // `resource`.
+  // Appends `resource` (whose lock head is `head`, granted in `mode`) to
+  // the held list and indexes it. `hash` is the caller's precomputed
+  // ResourceIdHash of `resource`.
   void AddHeldEntry(AppState& state, const ResourceId& resource,
-                    uint64_t hash, LockHead* head);
+                    uint64_t hash, LockHead* head, LockMode mode);
+
+  // Records `mode` as the held-slot mirror of `resource`'s granted mode.
+  // Must accompany every SetHolderMode on a resource the app has in its
+  // held list (conversion grants, escalation).
+  static void NoteHeldMode(AppState& state, const ResourceId& resource,
+                           uint64_t hash, LockMode mode) {
+    uint32_t* idx = state.held_index.Find(resource, hash);
+    LOCKTUNE_DCHECK(idx != nullptr && "converted resource not in held list");
+    state.held[*idx].mode = mode;
+  }
 
   // Tombstones `resource` in the held list (O(1) via held_index),
   // compacting when tombstones dominate.
@@ -470,11 +497,16 @@ class LockManager {
   // mutation; shared for the parallel fast path.
   mutable std::shared_mutex mu_;
   // Serializes block-list slot alloc/free on the fast path. Ordering: a
-  // shard mutex may be held when taking alloc_mu_, never the reverse.
+  // shard latch may be held when taking alloc_mu_, never the reverse.
   std::mutex alloc_mu_;
   // Guards apps_ map insertion/lookup between fast threads (element
-  // pointers are stable; AppState itself is owner-thread-confined).
+  // pointers are stable; AppState itself is owner-thread-confined). Repeat
+  // lookups bypass it through FastGetApp's thread-local cache.
   mutable std::mutex apps_mu_;
+  // Unique per manager instance ever constructed; keys FastGetApp's
+  // thread-local cache so a pointer cached against a destroyed manager (or
+  // a new manager reusing the address) can never be served.
+  const uint64_t manager_epoch_;
   std::atomic<bool> parallel_mode_{false};
   BlockList blocks_;
   LockTable table_;

@@ -1,0 +1,171 @@
+#include "lock/opt_latch.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace locktune {
+
+namespace {
+
+// Direct futex plumbing. std::atomic::wait/notify is NOT used here: on
+// libstdc++ 12 its notify path consults a shared waiter-pool count that can
+// race a waiter registering late and skip the FUTEX_WAKE outright — a lost
+// wakeup we hit in the wild (queue head asleep on a free latch, every
+// other writer parked behind it). The raw syscall has no such bookkeeping:
+// the kernel compares the word against `expected` under the futex bucket
+// lock, so "change the word, then wake" can never strand a sleeper.
+// std::atomic<uint32_t> is lock-free and standard-layout here, so its
+// address is the value's address.
+
+void FutexWait(std::atomic<uint32_t>& word, uint32_t expected) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(&word), FUTEX_WAIT_PRIVATE,
+          expected, nullptr, nullptr, 0);
+#else
+  word.wait(expected, std::memory_order_acquire);
+#endif
+}
+
+void FutexWakeOne(std::atomic<uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(&word), FUTEX_WAKE_PRIVATE,
+          1, nullptr, nullptr, 0);
+#else
+  word.notify_one();
+#endif
+}
+
+// Spinning only helps when the latch holder can make progress on another
+// core; on a single-CPU host every pause burns the holder's only chance to
+// run, so waiters go straight to the scheduler. Sampled once per process.
+int SpinRounds() {
+  static const int rounds =
+      std::thread::hardware_concurrency() > 1 ? OptLatch::kWriterSpinRounds
+                                              : 0;
+  return rounds;
+}
+
+}  // namespace
+
+void OptLatch::LockQueued(McsNode& node) {
+  enqueue_count_.fetch_add(1, std::memory_order_relaxed);
+  const int spin_rounds = SpinRounds();
+  McsNode* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+  if (prev != nullptr) {
+    prev->next.store(&node, std::memory_order_release);
+    // Wait for queue-head promotion. Bounded spin with proportional
+    // backoff: each unsuccessful round doubles the pause (capped), so a
+    // near-front waiter reacts fast while a deep waiter backs off the
+    // notification line instead of hammering it. Past the bound, park on
+    // the node flag; the predecessor flips it on its own acquisition (flip
+    // first, then wake — the kernel's compare closes the window).
+    int round = 0;
+    while (node.ready.load(std::memory_order_acquire) == 0) {
+      if (round < spin_rounds) {
+        const int pause = 1 << (round < 6 ? round : 6);
+        for (int i = 0; i < pause; ++i) CpuRelax();
+        ++round;
+      } else {
+        FutexWait(node.ready, 0);
+      }
+    }
+  }
+  // Queue head: contend for the version word against barging threads. Spin
+  // with the same proportional backoff; past the bound, park until a
+  // holder's exit bumps wake_seq_.
+  int round = 0;
+  bool armed = false;
+  for (;;) {
+    uint64_t v = version_.load(std::memory_order_relaxed);
+    if ((v & 1) == 0) {
+      if (version_.compare_exchange_weak(v, v + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        // Retire a token no releaser claimed (we woke via the re-check,
+        // not a wake) so the next unlock skips the futex syscall.
+        if (armed) parked_.store(0, std::memory_order_relaxed);
+        break;
+      }
+      continue;  // lost the CAS to a barger that just entered; re-check
+    }
+    if (round < spin_rounds) {
+      const int pause = 1 << (round < 6 ? round : 6);
+      for (int i = 0; i < pause; ++i) CpuRelax();
+      ++round;
+    } else {
+      // Park. Order matters, all seq_cst: (1) arm the token, (2) snapshot
+      // wake_seq_, (3) re-check the version is still odd, (4) sleep while
+      // wake_seq_ holds the snapshot. The Dekker pair with Unlock
+      // guarantees the exiting writer sees the token (and bumps + wakes)
+      // or we see the even version here and never block; the kernel's
+      // atomic compare of wake_seq_ against the snapshot covers a bump
+      // that lands between (3) and (4).
+      parked_.store(1, std::memory_order_seq_cst);
+      armed = true;
+      const uint32_t seq = wake_seq_.load(std::memory_order_seq_cst);
+      if ((version_.load(std::memory_order_seq_cst) & 1) != 0) {
+        FutexWait(wake_seq_, seq);
+      }
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_release);  // seqlock entry
+  // Pass queue-head status on (or retire the queue) BEFORE the critical
+  // section runs: the successor overlaps its wakeup latency with our hold
+  // and is already spinning when we release.
+  McsNode* succ = node.next.load(std::memory_order_acquire);
+  if (succ == nullptr) {
+    McsNode* expected = &node;
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return;  // no successor: queue is empty again
+    }
+    // A successor won the tail exchange but has not linked yet; its store
+    // to node.next is imminent.
+    while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
+      CpuRelax();
+    }
+  }
+  succ->ready.store(1, std::memory_order_release);
+  FutexWakeOne(succ->ready);
+}
+
+void OptLatch::WakeParked() {
+  // Claim the token: exactly one releaser pays the wake for one parked
+  // episode. Bump BEFORE waking — a contender between its version re-check
+  // and its sleep sees the moved sequence and returns without blocking.
+  if (parked_.exchange(0, std::memory_order_relaxed) == 0) return;
+  wake_seq_.fetch_add(1, std::memory_order_seq_cst);
+  FutexWakeOne(wake_seq_);
+}
+
+#if defined(LOCKTUNE_PROFILE)
+
+namespace profile_internal {
+
+// noinline for the same reason as ObserveAcquire: this is the cold
+// 1-in-kProfileSamplePeriod path and must stay out of the guard's inline
+// body.
+__attribute__((noinline)) void ObserveOptLatchAcquire(ProfileSlab& slab,
+                                                      OptLatch& latch,
+                                                      McsNode& node,
+                                                      ProfileSite site,
+                                                      int shard) {
+  RecordAcquire(slab, site, shard, kProfileSamplePeriod);
+  if (!latch.TryLock(node)) {
+    const uint64_t t0 = NowNs();
+    latch.Lock(node);
+    RecordContended(slab, site, shard, kProfileSamplePeriod);
+    RecordWait(slab, site, shard, NowNs() - t0, kProfileSamplePeriod);
+  }
+}
+
+}  // namespace profile_internal
+
+#endif  // LOCKTUNE_PROFILE
+
+}  // namespace locktune

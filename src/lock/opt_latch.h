@@ -1,0 +1,305 @@
+// OptLatch: a sequence-versioned shard latch with optimistic readers and
+// MCS-style queued writers (docs/LATCHES.md has the full protocol).
+//
+// The latch replaces the per-shard std::mutex on the lock manager's
+// parallel fast path. Two access modes:
+//
+//  * Optimistic read (ReadBegin/ReadValidate): a reader samples the version
+//    word, probes shard state through relaxed atomics, and re-reads the
+//    version. An unchanged, even version proves no writer ran during the
+//    probe, so the reads form a consistent snapshot. A changed version means
+//    the probe raced a writer; the caller retries a bounded number of times
+//    and then pessimizes (takes the write latch or bails to the exclusive
+//    path). Readers never write shared cache lines — the scalability point
+//    of OptiQL-style optimistic lock coupling.
+//
+//  * Queued write (Lock/Unlock with a caller-owned McsNode): the version
+//    word's parity IS the write lock — a writer acquires by CAS-ing the
+//    version from even to odd, and any running thread may do so the moment
+//    the latch is free (barging). Writers that find the latch taken form an
+//    MCS queue; each waiter spins on its *own* queue node with proportional
+//    backoff for a bounded number of rounds, then parks on the node flag
+//    (a direct futex wait). The queue orders waiters FIFO for the right to
+//    *contend*: the releasing writer frees the latch and wakes the queue
+//    head, which then competes with bargers for the CAS. Direct ownership
+//    handoff (classic MCS) is deliberately NOT used — on an oversubscribed
+//    host, handing the latch to a parked thread forces a context switch per
+//    critical section and convoys the whole shard; freeing first lets the
+//    running thread batch work for its entire timeslice, which is why a
+//    futex mutex never collapses there. Queueing still bounds spin traffic
+//    under contention to one contender on the version word at a time.
+//
+// Memory-ordering contract (Boehm's seqlock treatment):
+//  * writer entry:  version CAS v -> v+1 (acq_rel); fence(release); writes...
+//  * writer exit:   version.fetch_add(1, seq_cst)   (v+2: even again)
+//  * reader begin:  v = version.load(acquire); v must be even
+//  * reader end:    reads...; fence(acquire); version.load(relaxed) == v
+// All optimistically-readable shard state must itself be relaxed atomics:
+// version validation discards torn snapshots but does not pacify a data
+// race on a plain field, and the TSan CI leg enforces exactly that.
+// The writer-exit RMW is seq_cst (not just release) because it forms a
+// Dekker pair with the parked-contender counter: the exiting writer must
+// see the contender's park registration, or the contender must see the new
+// version — otherwise a wakeup could be lost.
+#ifndef LOCKTUNE_LOCK_OPT_LATCH_H_
+#define LOCKTUNE_LOCK_OPT_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "telemetry/lock_profiler.h"
+
+namespace locktune {
+
+// One writer's queue position. Lives in the acquiring scope (the write
+// guard's frame) and must stay alive from Lock()/TryLock() until the
+// matching Unlock() — classic MCS node ownership.
+struct McsNode {
+  std::atomic<McsNode*> next{nullptr};
+  // 0 = waiting; 1 = promoted to queue head (may now contend for the
+  // version CAS). Parked waiters futex-wait directly on this word.
+  std::atomic<uint32_t> ready{0};
+};
+
+class OptLatch {
+ public:
+  OptLatch() = default;
+  OptLatch(const OptLatch&) = delete;
+  OptLatch& operator=(const OptLatch&) = delete;
+
+  // Spin rounds a queued writer burns (with proportional backoff) before
+  // parking on its node flag. Small: a waiter that does not get the latch
+  // within a few handoff windows is better off off-CPU.
+  static constexpr int kWriterSpinRounds = 24;
+  // Bounded wait for an in-flight writer to finish before ReadBegin gives
+  // up and reports busy (odd version) to the caller.
+  static constexpr int kReadBeginSpins = 64;
+  // Optimistic probe attempts before a caller should pessimize. Callers own
+  // the retry loop; this is the contract constant they share.
+  static constexpr int kOptReadRetries = 3;
+
+  // --- optimistic read side ---
+
+  // Samples the version, briefly waiting out an in-flight writer. An odd
+  // return means a writer is still active and the caller should pessimize
+  // immediately; an even return opens an optimistic read section.
+  uint64_t ReadBegin() const {
+    uint64_t v = version_.load(std::memory_order_acquire);
+    for (int i = 0; (v & 1) != 0 && i < kReadBeginSpins; ++i) {
+      CpuRelax();
+      v = version_.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  // Closes the section opened by ReadBegin: true iff no writer ran, i.e.
+  // every relaxed read in between belongs to one consistent snapshot.
+  bool ReadValidate(uint64_t begin_version) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_relaxed) == begin_version;
+  }
+
+  // --- queued write side ---
+
+  // True when a writer is inside the latch right now. One relaxed load;
+  // the fast path uses it to gate the optimistic pre-flight probe.
+  bool Busy() const {
+    return (version_.load(std::memory_order_relaxed) & 1) != 0;
+  }
+
+  // Acquires the latch. Free latch: one CAS (barging — a running thread
+  // wins even if waiters are queued). Taken: queue FIFO behind the current
+  // waiters for the right to contend. `node` must outlive the critical
+  // section (guard-owned).
+  void Lock(McsNode& node) {
+    if (!TryAcquire()) [[unlikely]] {
+      LockQueued(node);
+    }
+  }
+
+  // Single-attempt acquisition: succeeds only when the latch is free.
+  // `node` is unused (ownership lives in the version word) but kept so
+  // Try/Lock/Unlock share one calling convention.
+  bool TryLock(McsNode& node) {
+    (void)node;
+    return TryAcquire();
+  }
+
+  void Unlock(McsNode& node) {
+    (void)node;
+    // Free the latch BEFORE waking anyone: whoever runs next — the woken
+    // queue head or a barging running thread — can take it without a
+    // handoff context switch.
+    version_.fetch_add(1, std::memory_order_seq_cst);
+    // Dekker pair with the contender's parked_ store (both seq_cst):
+    // either we see the park token and wake the contender, or it sees the
+    // new even version and never blocks. WakeParked CLAIMS the token, so
+    // one parked episode costs one futex wake even if this thread barges
+    // through many more critical sections before the woken contender gets
+    // a timeslice; the contender re-arms the token if it must park again.
+    if (parked_.load(std::memory_order_seq_cst) != 0) [[unlikely]] {
+      WakeParked();
+    }
+  }
+
+  // --- introspection (tests, benches) ---
+
+  // Even while free; odd while a writer is inside. Strictly monotonic
+  // across write sections.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  // Writers that found the latch taken and queued behind another node
+  // (the contended slow path). Exact.
+  uint64_t enqueue_count() const {
+    return enqueue_count_.load(std::memory_order_relaxed);
+  }
+
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+ private:
+  // Contended path: enqueue FIFO, wait for queue-head promotion, then
+  // contend for the version CAS (spin with proportional backoff, park past
+  // the bound). Out of line — it only runs when the latch is taken.
+  void LockQueued(McsNode& node);
+
+  // Cold half of Unlock: claims the park token, bumps wake_seq_, and
+  // futex-wakes the parked queue head. Out of line so the syscall plumbing
+  // stays off the inline unlock path.
+  void WakeParked();
+
+  // Writer entry: flip the version odd iff it is even right now. The
+  // trailing release fence orders the version store before the critical
+  // section's relaxed data writes, per the seqlock contract above.
+  bool TryAcquire() {
+    uint64_t v = version_.load(std::memory_order_relaxed);
+    if ((v & 1) != 0) return false;
+    if (!version_.compare_exchange_strong(v, v + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      return false;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    return true;
+  }
+
+  std::atomic<uint64_t> version_{0};
+  // FIFO queue of writers waiting for contention rights; does NOT include
+  // the holder. Non-null does not imply the latch is taken (the queue head
+  // may still be waking up while a barger runs).
+  std::atomic<McsNode*> tail_{nullptr};
+  // Park token: 1 while the queue-head contender is (about to be) parked,
+  // claimed back to 0 by the releaser that takes responsibility for the
+  // wake. Gates the futex wake in Unlock so the uncontended path never
+  // pays a syscall, and bounds a parked episode to one wake. Only the
+  // queue head ever parks, so a single token suffices.
+  std::atomic<uint32_t> parked_{0};
+  // The word the queue-head contender actually sleeps on. 32-bit so the
+  // park is a DIRECT futex on this address — the 64-bit version word would
+  // route through libstdc++'s proxy waiter pool, whose waiter-count check
+  // can race a late registration and skip the wake (observed as a lost
+  // wakeup under load on libstdc++ 12). Protocol: the contender snapshots
+  // wake_seq_, re-checks the version is still odd, then sleeps while
+  // wake_seq_ holds the snapshot; WakeParked bumps it BEFORE the wake, and
+  // the kernel's atomic compare-and-block closes the remaining window.
+  std::atomic<uint32_t> wake_seq_{0};
+  std::atomic<uint64_t> enqueue_count_{0};
+};
+
+// RAII write guard (unprofiled): tests, serial regions, and the bench's
+// raw-latch legs.
+class OptLatchGuard {
+ public:
+  explicit OptLatchGuard(OptLatch& latch) : latch_(latch) {
+    latch_.Lock(node_);
+  }
+  ~OptLatchGuard() { latch_.Unlock(node_); }
+  OptLatchGuard(const OptLatchGuard&) = delete;
+  OptLatchGuard& operator=(const OptLatchGuard&) = delete;
+
+ private:
+  OptLatch& latch_;
+  McsNode node_;
+};
+
+#if defined(LOCKTUNE_PROFILE)
+
+namespace profile_internal {
+// Cold sampled observation of a queued-write acquisition (defined in
+// opt_latch.cc): counts the acquire, probes contention with TryLock, and
+// times the queued Lock when the probe fails — the OptLatch analogue of
+// ObserveAcquire.
+void ObserveOptLatchAcquire(ProfileSlab& slab, OptLatch& latch,
+                            McsNode& node, ProfileSite site, int shard);
+}  // namespace profile_internal
+
+// Profiled queued-write acquisition; drop-in for the former
+// ProfiledMutexGuard on shard state, attributing to ProfileSite::
+// kQueuedWrite plus the shard id. Sampling mirrors ProfiledMutexGuard:
+// 1 in kProfileSamplePeriod acquisitions is observed, the rest pay one TLS
+// tick and exactly a plain Lock().
+class OptLatchWriteGuard {
+ public:
+  OptLatchWriteGuard(OptLatch& latch, ProfileSite site,
+                     int shard = kProfileNoShard)
+      : latch_(latch), site_(site) {
+    using namespace profile_internal;
+    ProfileSlab& slab = Tls();
+    const uint64_t tick = slab.sample_tick++;
+    if (SampleWait(tick)) [[unlikely]] {
+      ObserveOptLatchAcquire(slab, latch_, node_, site_, shard);
+    } else {
+      latch_.Lock(node_);
+    }
+    if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
+  }
+  ~OptLatchWriteGuard() {
+    if (hold_t0_ != 0) [[unlikely]] {
+      const uint64_t held = profile_internal::NowNs() - hold_t0_;
+      latch_.Unlock(node_);
+      profile_internal::ObserveHold(site_, held);
+    } else {
+      latch_.Unlock(node_);
+    }
+  }
+  OptLatchWriteGuard(const OptLatchWriteGuard&) = delete;
+  OptLatchWriteGuard& operator=(const OptLatchWriteGuard&) = delete;
+
+ private:
+  OptLatch& latch_;
+  ProfileSite site_;
+  McsNode node_;
+  uint64_t hold_t0_ = 0;
+};
+
+#else  // !LOCKTUNE_PROFILE
+
+class OptLatchWriteGuard {
+ public:
+  OptLatchWriteGuard(OptLatch& latch, ProfileSite, int = kProfileNoShard)
+      : latch_(latch) {
+    latch_.Lock(node_);
+  }
+  ~OptLatchWriteGuard() { latch_.Unlock(node_); }
+  OptLatchWriteGuard(const OptLatchWriteGuard&) = delete;
+  OptLatchWriteGuard& operator=(const OptLatchWriteGuard&) = delete;
+
+ private:
+  OptLatch& latch_;
+  McsNode node_;
+};
+
+#endif  // LOCKTUNE_PROFILE
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_LOCK_OPT_LATCH_H_

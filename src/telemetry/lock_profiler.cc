@@ -15,8 +15,10 @@ const char* ProfileSiteName(ProfileSite site) {
   switch (site) {
     case ProfileSite::kFastShared:
       return "fast_shared";
-    case ProfileSite::kShard:
-      return "shard";
+    case ProfileSite::kOptRead:
+      return "opt_read";
+    case ProfileSite::kQueuedWrite:
+      return "queued_write";
     case ProfileSite::kExclusive:
       return "exclusive";
     case ProfileSite::kAlloc:
@@ -185,6 +187,10 @@ ProfileSnapshot CaptureProfile() {
     snap.fast_bails += slab->fast_bails.load(std::memory_order_relaxed);
     snap.release_bails +=
         slab->release_bails.load(std::memory_order_relaxed);
+    snap.opt_validation_fails +=
+        slab->opt_validation_fails.load(std::memory_order_relaxed);
+    snap.opt_pessimizes +=
+        slab->opt_pessimizes.load(std::memory_order_relaxed);
   }
   return snap;
 }
@@ -210,6 +216,8 @@ void ResetProfileForTesting() {
     slab->fast_grants.store(0, std::memory_order_relaxed);
     slab->fast_bails.store(0, std::memory_order_relaxed);
     slab->release_bails.store(0, std::memory_order_relaxed);
+    slab->opt_validation_fails.store(0, std::memory_order_relaxed);
+    slab->opt_pessimizes.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -251,6 +259,16 @@ void RegisterProfileMetrics(MetricsRegistry* registry, int shards) {
       "locktune_profile_release_bails_total",
       "FastReleaseAll calls that bailed to the classic release",
       [] { return static_cast<int64_t>(CaptureProfile().release_bails); });
+  registry->AddCallbackCounter(
+      "locktune_profile_opt_validation_fails_total",
+      "optimistic shard probes whose version validation failed",
+      [] {
+        return static_cast<int64_t>(CaptureProfile().opt_validation_fails);
+      });
+  registry->AddCallbackCounter(
+      "locktune_profile_opt_pessimizes_total",
+      "optimistic shard probes abandoned after the retry budget",
+      [] { return static_cast<int64_t>(CaptureProfile().opt_pessimizes); });
   const int capped = std::min(shards, kMaxProfiledShards);
   for (int s = 0; s < capped; ++s) {
     // Two-digit shard ids keep label variants of the family in numeric
@@ -259,19 +277,19 @@ void RegisterProfileMetrics(MetricsRegistry* registry, int shards) {
     std::snprintf(label, sizeof(label), "{shard=\"%02d\"}", s);
     registry->AddCallbackCounter(
         std::string("locktune_profile_shard_acquires_total") + label,
-        "shard-mutex acquisitions attributed to this shard",
+        "shard-latch write acquisitions attributed to this shard",
         [s] {
           return static_cast<int64_t>(CaptureProfile().shards[s].acquires);
         });
     registry->AddCallbackCounter(
         std::string("locktune_profile_shard_contended_total") + label,
-        "contended shard-mutex acquisitions on this shard (sampled estimate)",
+        "contended shard-latch acquisitions on this shard (sampled estimate)",
         [s] {
           return static_cast<int64_t>(CaptureProfile().shards[s].contended);
         });
     registry->AddCallbackGauge(
         std::string("locktune_profile_shard_wait_ms_total") + label,
-        "estimated contended wait on this shard's mutex",
+        "estimated contended wait on this shard's latch",
         [s] {
           return static_cast<double>(CaptureProfile().shards[s].wait_ns) /
                  1e6;

@@ -56,21 +56,24 @@ class MetricsRegistry;
 struct HistogramSnapshot;
 
 // Instrumented latch-acquisition contexts. The names track the lock
-// manager's concurrency design (docs/CONCURRENCY.md): kFastShared is the
-// outer shared_mutex taken shared on the parallel fast path, kExclusive is
-// the same mutex taken exclusively (classic path and bail-to-exclusive
-// retries), kShard the striped per-shard table mutexes, kAlloc the
+// manager's concurrency design (docs/CONCURRENCY.md, docs/LATCHES.md):
+// kFastShared is the outer shared_mutex taken shared on the parallel fast
+// path, kExclusive is the same mutex taken exclusively (classic path and
+// bail-to-exclusive retries), kOptRead the optimistic version-validated
+// shard probes (acquires = probes, contended = validation failures),
+// kQueuedWrite the per-shard OptLatch write acquisitions, kAlloc the
 // block-list slot guard, kAppsMap the app-state map guard, and
 // kTickBarrier the scenario runner's per-tick worker barriers.
 enum class ProfileSite : uint8_t {
   kFastShared = 0,
-  kShard,
+  kOptRead,
+  kQueuedWrite,
   kExclusive,
   kAlloc,
   kAppsMap,
   kTickBarrier,
 };
-inline constexpr int kProfileSiteCount = 6;
+inline constexpr int kProfileSiteCount = 7;
 const char* ProfileSiteName(ProfileSite site);
 
 // Shards above this fold into the last slot (the default table has 16).
@@ -121,6 +124,12 @@ struct ProfileSnapshot {
   uint64_t fast_grants = 0;    // Lock() served entirely on the fast path
   uint64_t fast_bails = 0;     // fast path bailed to the exclusive path
   uint64_t release_bails = 0;  // FastReleaseAll bailed to the classic path
+  // OptLatch optimistic-read outcomes (exact, like the fast-path notes):
+  // probes whose version validation failed (a writer ran during the probe),
+  // and probes abandoned after kOptReadRetries failures (the caller
+  // pessimized to the write latch or the exclusive path).
+  uint64_t opt_validation_fails = 0;
+  uint64_t opt_pessimizes = 0;
 };
 
 // Walks all thread slabs (including those of exited threads). Callers must
@@ -190,6 +199,8 @@ struct ProfileSlab {
   std::atomic<uint64_t> fast_grants;
   std::atomic<uint64_t> fast_bails;
   std::atomic<uint64_t> release_bails;
+  std::atomic<uint64_t> opt_validation_fails;
+  std::atomic<uint64_t> opt_pessimizes;
   // Sampling wheel: owner-thread only, no atomicity needed. One counter
   // drives both wait probing (phase 0) and hold timing (phase 32) so a
   // guard pays a single increment.
@@ -397,6 +408,26 @@ inline void ProfileNoteReleaseBail() {
   profile_internal::Bump(profile_internal::Tls().release_bails);
 }
 
+// Optimistic-read notes (exact, one TLS bump each — the probe itself is a
+// handful of relaxed loads, so sampled observation would cost more than it
+// saves). A probe counts one kOptRead acquire; a validation failure
+// additionally counts as a contended kOptRead acquire; a pessimize marks
+// the retry budget running out.
+inline void ProfileNoteOptRead() {
+  profile_internal::ProfileSlab& slab = profile_internal::Tls();
+  profile_internal::Bump(
+      slab.sites[static_cast<int>(ProfileSite::kOptRead)].acquires);
+}
+inline void ProfileNoteOptValidationFail() {
+  profile_internal::ProfileSlab& slab = profile_internal::Tls();
+  profile_internal::Bump(
+      slab.sites[static_cast<int>(ProfileSite::kOptRead)].contended);
+  profile_internal::Bump(slab.opt_validation_fails);
+}
+inline void ProfileNoteOptPessimize() {
+  profile_internal::Bump(profile_internal::Tls().opt_pessimizes);
+}
+
 #else  // !LOCKTUNE_PROFILE — every guard is the plain std guard, every
        // counter a no-op; no clock is ever read.
 
@@ -433,6 +464,9 @@ class ProfileTimer {
 inline void ProfileNoteFastGrant() {}
 inline void ProfileNoteFastBail() {}
 inline void ProfileNoteReleaseBail() {}
+inline void ProfileNoteOptRead() {}
+inline void ProfileNoteOptValidationFail() {}
+inline void ProfileNoteOptPessimize() {}
 
 #endif  // LOCKTUNE_PROFILE
 

@@ -1,10 +1,11 @@
-// Parallel-mode stress: the sharded LockTable under its striped mutexes and
-// the LockManager fast path under real thread interleavings. These tests
+// Parallel-mode stress: the sharded LockTable under its striped OptLatches
+// and the LockManager fast path under real thread interleavings. These tests
 // assert structural invariants after the dust settles (and data-race freedom
 // under the TSan CI leg); they intentionally run with overlapping resource
-// sets so shard mutexes, the shared/exclusive manager lock, and the bail
-// path all get exercised. Run with LOCKTUNE_PARANOID=1 for every-operation
-// validation (the `paranoid_lock_table_concurrency` ctest entry).
+// sets so shard latches, optimistic probes, the shared/exclusive manager
+// lock, and the bail path all get exercised. Run with LOCKTUNE_PARANOID=1
+// for every-operation validation (the `paranoid_lock_table_concurrency`
+// ctest entry).
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -27,9 +28,10 @@ LockRequest Granted(AppId app, LockMode mode) {
   return r;
 }
 
-// Raw table discipline: every touch of a resource's shard happens under
-// ShardMutex(hash), exactly as the lock manager's fast path does. Threads
-// share a small resource universe so shards see genuine contention.
+// Raw table discipline: every mutating touch of a resource's shard happens
+// under ShardLatch(hash)'s write side, exactly as the lock manager's fast
+// path does. Threads share a small resource universe so shards see genuine
+// contention (MCS queueing on the latch).
 TEST(LockTableConcurrencyTest, ShardedChurnKeepsConservation) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 20'000;
@@ -47,7 +49,7 @@ TEST(LockTableConcurrencyTest, ShardedChurnKeepsConservation) {
         const ResourceId res =
             RowResource(1, static_cast<int64_t>(rng.NextBelow(kRows)));
         const uint64_t hash = ResourceIdHash{}(res);
-        std::lock_guard<std::mutex> shard_guard(table.ShardMutex(hash));
+        OptLatchGuard shard_guard(table.ShardLatch(hash));
         LockHead& head = table.GetOrCreate(res, hash);
         // S locks are compatible, so holders from several apps coexist on
         // one head; each thread only ever adds/removes its own.
@@ -62,6 +64,67 @@ TEST(LockTableConcurrencyTest, ShardedChurnKeepsConservation) {
   // pooled node is back on some shard's free list.
   EXPECT_EQ(table.size(), 0);
   EXPECT_EQ(table.pool_free_nodes(), table.pool_total_nodes());
+  EXPECT_TRUE(table.CheckConsistency().ok());
+}
+
+// Optimistic probes racing latched writers: reader threads hammer OptProbe
+// on the same rows writer threads churn (create/insert/erase, forcing
+// rehashes through occupancy growth). Every valid=true result must be
+// self-consistent; invalid results are the expected outcome of racing a
+// writer and carry no information.
+TEST(LockTableConcurrencyTest, OptProbeRacesLatchedWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kOpsPerThread = 20'000;
+  constexpr int64_t kRows = 64;  // hot: maximizes probe/write overlap
+  LockTable table;
+  std::atomic<int> ready{0};
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> valid_probes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      const AppId app = t + 1;
+      Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+      ready.fetch_add(1);
+      while (ready.load() < kWriters + kReaders) std::this_thread::yield();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const ResourceId res =
+            RowResource(1, static_cast<int64_t>(rng.NextBelow(kRows)));
+        const uint64_t hash = ResourceIdHash{}(res);
+        OptLatchGuard shard_guard(table.ShardLatch(hash));
+        LockHead& head = table.GetOrCreate(res, hash);
+        head.AddHolder(Granted(app, LockMode::kS));
+        head.RemoveHolder(app);
+        table.EraseIfEmpty(res, hash);
+      }
+      done.store(true);
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 53 + 11);
+      ready.fetch_add(1);
+      while (ready.load() < kWriters + kReaders) std::this_thread::yield();
+      while (!done.load(std::memory_order_relaxed)) {
+        const ResourceId res =
+            RowResource(1, static_cast<int64_t>(rng.NextBelow(kRows)));
+        const uint64_t hash = ResourceIdHash{}(res);
+        const LockTable::OptProbeResult probe = table.OptProbe(res, hash);
+        if (!probe.valid) continue;
+        valid_probes.fetch_add(1, std::memory_order_relaxed);
+        if (probe.found) {
+          // A validated snapshot of a found head must decode sanely: the
+          // writers only ever install S holders with no waiters.
+          EXPECT_FALSE(LockHead::SummaryHasWaiters(probe.summary));
+          EXPECT_LE(LockHead::SummaryHolderCount(probe.summary), 1u);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(valid_probes.load(), 0);
+  EXPECT_EQ(table.size(), 0);
   EXPECT_TRUE(table.CheckConsistency().ok());
 }
 

@@ -30,16 +30,16 @@ TEST(LockProfilerTest, UncontendedGuardCountsAcquireOnly) {
   // population weight — the estimate equals the true count.
   std::thread worker([&] {
     for (uint64_t i = 0; i < kProfileSamplePeriod; ++i) {
-      ProfiledMutexGuard guard(mu, ProfileSite::kShard, /*shard=*/3);
+      ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, /*shard=*/3);
     }
   });
   worker.join();
   const ProfileSnapshot snap = CaptureProfile();
   EXPECT_TRUE(snap.compiled_in);
-  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kShard)].acquires,
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kQueuedWrite)].acquires,
             kProfileSamplePeriod);
-  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kShard)].contended, 0u);
-  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kShard)].wait.total, 0u);
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kQueuedWrite)].contended, 0u);
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kQueuedWrite)].wait.total, 0u);
   ASSERT_EQ(snap.shards.size(), static_cast<size_t>(kMaxProfiledShards));
   EXPECT_EQ(snap.shards[3].acquires, kProfileSamplePeriod);
   EXPECT_EQ(snap.shards[3].contended, 0u);
@@ -54,7 +54,7 @@ TEST(LockProfilerTest, ContendedGuardRecordsWaitAndShardAttribution) {
   mu.lock();
   std::thread waiter([&] {
     started.store(true);
-    ProfiledMutexGuard guard(mu, ProfileSite::kShard, /*shard=*/5);
+    ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, /*shard=*/5);
   });
   while (!started.load()) std::this_thread::yield();
   // Hold long enough that the waiter is past its failed try_lock and
@@ -63,7 +63,7 @@ TEST(LockProfilerTest, ContendedGuardRecordsWaitAndShardAttribution) {
   mu.unlock();
   waiter.join();
   const ProfileSnapshot snap = CaptureProfile();
-  const SiteProfile& site = snap.sites[SiteIdx(ProfileSite::kShard)];
+  const SiteProfile& site = snap.sites[SiteIdx(ProfileSite::kQueuedWrite)];
   // The waiter is a fresh thread, so its first acquire is the sampled
   // one: the acquire count, the failed try_lock, and the timed wait are
   // all recorded at population weight.
@@ -96,7 +96,7 @@ TEST(LockProfilerTest, SharedAndExclusiveGuardsHitTheirSites) {
             kProfileSamplePeriod);
   EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kExclusive)].acquires,
             kProfileSamplePeriod);
-  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kShard)].acquires, 0u);
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kQueuedWrite)].acquires, 0u);
 }
 
 TEST(LockProfilerTest, ProfileTimerAlwaysRecordsWait) {
@@ -123,6 +123,24 @@ TEST(LockProfilerTest, FastPathNotesAccumulate) {
   EXPECT_EQ(snap.release_bails, 1u);
 }
 
+TEST(LockProfilerTest, OptReadNotesAreExact) {
+  SKIP_UNLESS_PROFILING();
+  ResetProfileForTesting();
+  ProfileNoteOptRead();
+  ProfileNoteOptRead();
+  ProfileNoteOptRead();
+  ProfileNoteOptValidationFail();
+  ProfileNoteOptValidationFail();
+  ProfileNoteOptPessimize();
+  const ProfileSnapshot snap = CaptureProfile();
+  // Notes are exact (weight 1), unlike the sampled guard sites: a probe is
+  // one kOptRead acquire; a validation failure is a contended kOptRead.
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kOptRead)].acquires, 3u);
+  EXPECT_EQ(snap.sites[SiteIdx(ProfileSite::kOptRead)].contended, 2u);
+  EXPECT_EQ(snap.opt_validation_fails, 2u);
+  EXPECT_EQ(snap.opt_pessimizes, 1u);
+}
+
 TEST(LockProfilerTest, HoldTimingIsSampled) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
@@ -144,7 +162,7 @@ TEST(LockProfilerTest, ResetClearsEverything) {
   SKIP_UNLESS_PROFILING();
   std::mutex mu;
   for (uint64_t i = 0; i < kProfileSamplePeriod; ++i) {
-    ProfiledMutexGuard guard(mu, ProfileSite::kShard, 1);
+    ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, 1);
   }
   ProfileNoteFastGrant();
   ResetProfileForTesting();
@@ -159,7 +177,8 @@ TEST(LockProfilerTest, ResetClearsEverything) {
 
 TEST(LockProfilerTest, SiteNamesAreStable) {
   EXPECT_STREQ(ProfileSiteName(ProfileSite::kFastShared), "fast_shared");
-  EXPECT_STREQ(ProfileSiteName(ProfileSite::kShard), "shard");
+  EXPECT_STREQ(ProfileSiteName(ProfileSite::kOptRead), "opt_read");
+  EXPECT_STREQ(ProfileSiteName(ProfileSite::kQueuedWrite), "queued_write");
   EXPECT_STREQ(ProfileSiteName(ProfileSite::kExclusive), "exclusive");
   EXPECT_STREQ(ProfileSiteName(ProfileSite::kAlloc), "alloc");
   EXPECT_STREQ(ProfileSiteName(ProfileSite::kAppsMap), "apps_map");
@@ -230,7 +249,7 @@ TEST(LockProfilerTest, RegisterProfileMetricsExportsFamilies) {
   std::mutex mu;
   std::thread worker([&] {
     for (uint64_t i = 0; i < kProfileSamplePeriod; ++i) {
-      ProfiledMutexGuard guard(mu, ProfileSite::kShard, 0);
+      ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, 0);
     }
   });
   worker.join();
@@ -238,11 +257,11 @@ TEST(LockProfilerTest, RegisterProfileMetricsExportsFamilies) {
   RegisterProfileMetrics(&registry, /*shards=*/16);
   bool saw_site_counter = false, saw_wait_hist = false, saw_shard = false;
   for (const MetricSample& s : registry.Collect()) {
-    if (s.name == "locktune_profile_acquires_total{site=\"shard\"}") {
+    if (s.name == "locktune_profile_acquires_total{site=\"queued_write\"}") {
       saw_site_counter = true;
       EXPECT_EQ(s.value, static_cast<double>(kProfileSamplePeriod));
     }
-    if (s.name == "locktune_profile_wait_ms{site=\"shard\"}") {
+    if (s.name == "locktune_profile_wait_ms{site=\"queued_write\"}") {
       saw_wait_hist = true;
       EXPECT_EQ(s.kind, MetricKind::kHistogram);
     }

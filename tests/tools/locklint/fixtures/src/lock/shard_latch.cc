@@ -1,0 +1,25 @@
+// LL010 fixture: raw mutex acquisition on shard state. The sanctioned
+// OptLatch forms and a reasoned suppression must stay clean.
+#include <mutex>
+
+struct OptLatchGuard {};  // stand-in for the real guard
+
+struct Shard {
+  std::mutex shard_mu;
+};
+
+void BadGuard(Shard& s) {
+  std::lock_guard<std::mutex> guard(s.shard_mu);
+}
+
+void BadCall(Shard& s) {
+  s.shard_mu.lock();
+  s.shard_mu.unlock();
+}
+
+void Good() {
+  OptLatchGuard shard_guard;  // capitalized API: not a raw acquisition
+}
+
+// locklint: shardlatch-ok(drain path; runs after all readers have exited)
+void Suppressed(Shard& s) { s.shard_mu.lock(); }

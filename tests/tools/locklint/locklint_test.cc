@@ -127,6 +127,19 @@ TEST(LocklintTest, ProfileTimingRule) {
       << run.output;
 }
 
+TEST(LocklintTest, ShardLatchRule) {
+  const LintRun run =
+      RunLocklint(FixtureRoot() + "/src/lock/shard_latch.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  ExpectViolation(run, "shard_latch.cc", 8, "LL010");   // raw mutex member
+  ExpectViolation(run, "shard_latch.cc", 12, "LL010");  // std::lock_guard
+  ExpectViolation(run, "shard_latch.cc", 16, "LL010");  // raw .lock() call
+  // The .unlock() on line 17, the OptLatchGuard use on line 21, and the
+  // suppressed acquisition on line 25 must not be flagged.
+  EXPECT_NE(run.output.find("3 violation(s)"), std::string::npos)
+      << run.output;
+}
+
 TEST(LocklintTest, EmptyReasonIsItsOwnViolation) {
   const LintRun run = RunLocklint(FixtureRoot() + "/bad_annotation.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -148,9 +161,9 @@ TEST(LocklintTest, WholeFixtureTreeIsDeterministicallySorted) {
   const LintRun run = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.exit_code, 1);
   // 3 wallclock + 1 unordered + 1 float + 2 alloc + 1 nodiscard + 1 assert
-  // + 2 addr + 1 faultgate + 1 profile + 1 bad-annotation = 14, and a
-  // second run must be identical.
-  EXPECT_NE(run.output.find("14 violation(s)"), std::string::npos)
+  // + 2 addr + 1 faultgate + 1 profile + 3 shardlatch + 1 bad-annotation
+  // = 17, and a second run must be identical.
+  EXPECT_NE(run.output.find("17 violation(s)"), std::string::npos)
       << run.output;
   const LintRun again = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.output, again.output);
@@ -160,7 +173,8 @@ TEST(LocklintTest, ListRules) {
   const LintRun run = RunLocklint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* id : {"LL000", "LL001", "LL002", "LL003", "LL004",
-                         "LL005", "LL006", "LL007", "LL008", "LL009"}) {
+                         "LL005", "LL006", "LL007", "LL008", "LL009",
+                         "LL010"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << run.output;
   }
 }

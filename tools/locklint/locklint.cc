@@ -29,12 +29,21 @@
 //                       a LOCKTUNE_PROFILE gate — raw clock reads belong in
 //                       telemetry/lock_profiler.h, where the OFF build
 //                       compiles them away
+//   LL010 shardlatch    raw mutex acquisition on shard state in src/lock/
+//                       (std guard or lowercase .lock() on a shard/latch
+//                       identifier, or a std::mutex member named after a
+//                       shard) — shard state is guarded by OptLatch's
+//                       version protocol; a raw mutex never bumps the
+//                       sequence, so optimistic readers would validate
+//                       stale snapshots. Use OptLatchGuard /
+//                       OptLatchWriteGuard / the OptLatch API.
 //   LL000 annotation    malformed suppression (empty reason)
 //
 // Suppressions: `// locklint: <tag>-ok(<reason>)` on the violating line or
 // the line directly above. The reason is mandatory; an empty one is itself
 // a violation. Tags: wallclock-ok, ordered-ok, float-ok, alloc-ok,
-// nodiscard-ok, assert-ok, addr-ok, faultgate-ok, profile-ok.
+// nodiscard-ok, assert-ok, addr-ok, faultgate-ok, profile-ok,
+// shardlatch-ok.
 //
 // Usage: locklint [--list-rules] <file-or-dir>...
 // Exit: 0 clean, 1 violations found, 2 usage/IO error.
@@ -106,6 +115,10 @@ constexpr RuleInfo kRules[] = {
      "wall-clock timing call (steady_clock, high_resolution_clock, rdtsc) "
      "in src/lock/ outside a LOCKTUNE_PROFILE gate; keep raw clock reads in "
      "telemetry/lock_profiler.h or annotate profile-ok(<reason>)"},
+    {"LL010", "shardlatch",
+     "raw mutex acquisition on shard state (std guard, .lock() call, or "
+     "mutex member on a shard/latch identifier) — shard state is guarded by "
+     "OptLatch; use OptLatchGuard / OptLatchWriteGuard"},
 };
 
 // Basenames of files where integral accounting is mandatory (LL003).
@@ -285,6 +298,7 @@ class Linter {
       }
       if (generic.find("src/lock/") != std::string::npos) {
         CheckProfileTiming(generic, text, i, line_no, code);
+        CheckShardLatch(generic, text, i, line_no, code);
       }
       if (is_header) CheckNodiscard(generic, text, i, line_no, code);
       CheckAssert(generic, text, i, line_no, code);
@@ -475,6 +489,40 @@ class Linter {
                         "timing call '" + m[0].str() +
                             "' in lock-path code without a LOCKTUNE_PROFILE "
                             "gate");
+  }
+
+  // Shard state is guarded by OptLatch's sequence-versioned protocol
+  // (optimistic read-validate + MCS queued write), never a raw mutex: a
+  // mutex acquisition does not bump the version, so concurrent optimistic
+  // readers would validate a stale snapshot and miss the write entirely.
+  // Flags, on any line in src/lock/ mentioning a shard/latch identifier:
+  // a std lock guard, a lowercase .lock()/.try_lock()/.lock_shared() call
+  // (OptLatch's own API is capitalized), or declaring a std::mutex member.
+  void CheckShardLatch(const std::string& file, const FileText& text,
+                       size_t idx, int line_no, const std::string& code) {
+    static const std::regex kShardState(R"([Ss]hard|[Ll]atch)");
+    if (!std::regex_search(code, kShardState)) return;
+    static const std::regex kStdGuard(
+        R"(std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+    static const std::regex kRawCall(
+        R"((?:\.|->)((?:try_)?lock(?:_shared)?)\s*\()");
+    static const std::regex kMutexMember(
+        R"(std::(?:shared_|recursive_|timed_)?mutex\b)");
+    std::smatch m;
+    std::string what;
+    if (std::regex_search(code, m, kStdGuard)) {
+      what = "std::" + m[1].str() + " guard";
+    } else if (std::regex_search(code, m, kRawCall)) {
+      what = "raw ." + m[1].str() + "() call";
+    } else if (std::regex_search(code, m, kMutexMember)) {
+      what = "raw mutex declaration";
+    } else {
+      return;
+    }
+    AddUnlessSuppressed(file, text, idx, line_no, "LL010", "shardlatch",
+                        what +
+                            " on shard state — shard state is OptLatch-"
+                            "guarded; use OptLatchGuard / OptLatchWriteGuard");
   }
 
   void CheckNodiscard(const std::string& file, const FileText& text,
