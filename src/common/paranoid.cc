@@ -12,7 +12,10 @@ Override g_override = Override::kUnset;
 
 bool EnvDefault() {
   // Environment is configuration, not simulation input: reading it does not
-  // affect determinism of a given run.
+  // affect determinism of a given run. getenv is mt-unsafe only against a
+  // concurrent setenv, and this process never writes its environment; the
+  // magic-static in ParanoidEnabled() serializes the one read anyway.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("LOCKTUNE_PARANOID");
   if (env != nullptr) {
     if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||

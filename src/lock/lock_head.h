@@ -59,6 +59,8 @@ class LockHead {
   // its latch version saw a summary consistent with the vectors. CanGrantNew
   // is exactly derivable from it: !HasWaiters && Compatible(Mode, mode).
   uint32_t opt_summary() const {
+    // order: relaxed-ok(callers read this inside a ReadBegin/ReadValidate
+    // section of the shard latch; the version protocol rejects torn reads)
     return opt_summary_.load(std::memory_order_relaxed);
   }
   static LockMode SummaryMode(uint32_t summary) {
@@ -130,6 +132,7 @@ class LockHead {
   // Drops all holders and waiters but keeps vector capacity — called when a
   // pooled head node is recycled, so a reused node re-enters service
   // allocation-free.
+  // locklint: seqlock-writer(mutator; runs under the shard latch write side or the manager exclusive lock, whose version bump publishes the store)
   void Clear() {
     holders_.clear();
     waiters_.clear();
@@ -148,6 +151,7 @@ class LockHead {
   // Recomputed after every mutation. O(holders), which stays small (the
   // compatible-mode fan-in on one resource); the mutators that call it are
   // already O(holders) probes or vector edits.
+  // locklint: seqlock-writer(every caller is a mutator under the shard latch write side or the manager exclusive lock; the latch version bump publishes)
   void RefreshSummary() {
     const uint32_t packed =
         static_cast<uint32_t>(GrantedGroupMode()) |

@@ -744,7 +744,7 @@ bool LockManager::FastReleaseAll(AppId app) {
 }
 
 Status LockManager::Release(AppId app, const ResourceId& resource) {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   AppState& state = GetApp(app);
   const uint64_t hash = ResourceIdHash{}(resource);
   LockHead* head = table_.Find(resource, hash);
@@ -780,8 +780,8 @@ Status LockManager::Release(AppId app, const ResourceId& resource) {
 bool LockManager::IsBlocked(AppId app) const {
   // Shared: wait flags only change under the exclusive lock, and apps_
   // lookups race only with fast-path insertion (guarded by apps_mu_).
-  std::shared_lock<std::shared_mutex> shared(mu_);
-  std::lock_guard<std::mutex> guard(apps_mu_);
+  ReaderLock shared(mu_);
+  MutexLock guard(apps_mu_);
   const auto it = apps_.find(app);
   return it != apps_.end() && it->second.waiting;
 }
@@ -881,7 +881,7 @@ void LockManager::OnWaitGranted(AppId app, const ResourceId& resource) {
 }
 
 std::vector<AppId> LockManager::DetectDeadlocks() {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   // Nothing waits, so no edge exists: the common idle tick costs one
   // counter read instead of an O(apps) scan.
   if (blocked_count_ == 0) return {};
@@ -980,26 +980,26 @@ std::vector<AppId> LockManager::DetectDeadlocks() {
 }
 
 void LockManager::AddBlocks(int64_t count) {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   for (int64_t i = 0; i < count; ++i) blocks_.AddBlock();
   if (count > 0) options_.policy->OnResize();
 }
 
 Status LockManager::TryRemoveBlocks(int64_t count) {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   Status s = blocks_.TryRemoveBlocks(count);
   if (s.ok() && count > 0) options_.policy->OnResize();
   return s;
 }
 
 void LockManager::set_max_lock_memory(Bytes bytes) {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   max_lock_memory_ = bytes;
   options_.policy->OnResize();
 }
 
 LockMemoryState LockManager::MemoryState() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return MemoryStateLocked();
 }
 
@@ -1027,53 +1027,53 @@ LockManagerStats LockManager::stats() const {
 
 void LockManager::SetParallelMode(bool enabled) {
   // Exclusive: flips only while no fast path can be in flight.
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   parallel_mode_.store(enabled, std::memory_order_relaxed);
 }
 
 Bytes LockManager::allocated_bytes() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return blocks_.allocated_bytes();
 }
 
 Bytes LockManager::used_bytes() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return blocks_.used_bytes();
 }
 
 int64_t LockManager::block_count() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return blocks_.block_count();
 }
 
 int64_t LockManager::entirely_free_blocks() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return blocks_.entirely_free_blocks();
 }
 
 double LockManager::CurrentMaxlocksPercent() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return options_.policy->CurrentPercent(MemoryStateLocked());
 }
 
 int64_t LockManager::HeldStructures(AppId app) const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   const auto it = apps_.find(app);
   return it == apps_.end() ? 0 : it->second.held_structures;
 }
 
 LockMode LockManager::HeldMode(AppId app, const ResourceId& resource) const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return HeldModeLockedInternal(app, resource);
 }
 
 int64_t LockManager::waiting_app_count() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return blocked_count_;
 }
 
 Status LockManager::CheckConsistency() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   if (Status s = blocks_.CheckConsistency(); !s.ok()) return s;
   if (Status s = table_.CheckConsistency(); !s.ok()) return s;
   int64_t slots = 0;
@@ -1194,7 +1194,7 @@ Status LockManager::CheckConsistency() const {
 }
 
 std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   std::vector<AppId> expired;
   if (options_.clock == nullptr || options_.lock_timeout < 0) return expired;
   if (blocked_count_ == 0) {
@@ -1239,7 +1239,7 @@ std::vector<AppId> LockManager::ExpireTimedOutWaiters() {
 }
 
 void LockManager::SetEscalationPreferred(AppId app, bool preferred) {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   if (preferred) {
     escalation_preferred_.insert(app);
   } else {
@@ -1248,7 +1248,7 @@ void LockManager::SetEscalationPreferred(AppId app, bool preferred) {
 }
 
 bool LockManager::IsEscalationPreferred(AppId app) const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return escalation_preferred_.count(app) > 0;
 }
 
@@ -1507,21 +1507,26 @@ void LockManager::RegisterMetrics(MetricsRegistry* registry) {
       "current lockPercentPerApplication",
       [this] { return CurrentMaxlocksPercent(); });
 
+  // MetricsRegistry::Collect() evaluates every callback registered here
+  // while holding the registry lock, and the callbacks take the manager
+  // mutex — the edge that forces the registry lock to be OUTERMOST
+  // (rank 0). std::function is opaque to locklint, so it is declared:
+  // locklint: lock-edge(MetricsRegistry::mu_ -> LockManager::mu_)
   registry->AddCallbackHistogram(
       "locktune_lock_wait_time_ms", "completed lock-wait durations",
       [this] {
-        std::lock_guard<std::shared_mutex> lock(mu_);
+        WriterLock lock(mu_);
         return SnapshotOf(wait_times_);
       });
 }
 
 int64_t LockManager::lock_table_size() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return table_.size();
 }
 
 int64_t LockManager::lock_table_max_shard_size() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return table_.MaxShardSize();
 }
 
@@ -1530,17 +1535,17 @@ int LockManager::lock_table_shard_count() const {
 }
 
 std::vector<int64_t> LockManager::lock_table_shard_sizes() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return table_.ShardSizes();
 }
 
 int64_t LockManager::head_pool_free_nodes() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return table_.pool_free_nodes();
 }
 
 int64_t LockManager::head_pool_slab_count() const {
-  std::lock_guard<std::shared_mutex> guard(mu_);
+  WriterLock guard(mu_);
   return table_.slab_count();
 }
 

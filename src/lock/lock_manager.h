@@ -35,14 +35,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/sim_clock.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -202,8 +202,11 @@ class LockManager {
   LockMode HeldMode(AppId app, const ResourceId& resource) const;
   int64_t waiting_app_count() const;
   // Distribution of completed lock-wait durations (ms). Only populated
-  // when a clock was supplied.
-  const Histogram& wait_time_histogram() const { return wait_times_; }
+  // when a clock was supplied. Unsynchronized view for serial regions
+  // (tests, end-of-run reporting), hence outside the capability analysis.
+  const Histogram& wait_time_histogram() const LT_NO_THREAD_SAFETY_ANALYSIS {
+    return wait_times_;
+  }
   // Verifies block list and per-app accounting invariants (for tests).
   [[nodiscard]] Status CheckConsistency() const;
 
@@ -343,7 +346,7 @@ class LockManager {
   // Classic request path; runs under an exclusive hold of mu_. `counted` is
   // true when a bailed fast path already counted the request.
   LockResult LockExclusive(AppId app, const ResourceId& resource,
-                           LockMode mode, bool counted);
+                           LockMode mode, bool counted) LT_REQUIRES(mu_);
 
   // --- parallel fast path (shared hold of mu_ + per-shard table mutexes).
   // Every function bails (nullopt / kBail) before mutating anything the
@@ -352,7 +355,7 @@ class LockManager {
   // Uncontended grant attempt. Counts the request (the exclusive retry must
   // not count again). nullopt = bail to the classic path.
   std::optional<LockResult> FastLock(AppId app, const ResourceId& resource,
-                                     LockMode mode);
+                                     LockMode mode) LT_EXCLUDES(mu_);
 
   // Grant/convert `mode` on one resource. An already-held resource resolves
   // thread-locally through held_index/HeldSlot::mode; a new request is
@@ -360,66 +363,71 @@ class LockManager {
   // the mutating grant takes the shard latch's write side. Bails on
   // anything that must queue, escalate, or grow memory.
   FastOutcome FastAcquireOne(AppId app, AppState& state,
-                             const ResourceId& resource, LockMode mode);
+                             const ResourceId& resource, LockMode mode)
+      LT_REQUIRES_SHARED(mu_);
 
   // Granted table-lock mode via the AppState cache. Pure thread-local:
   // held_index membership plus HeldSlot::mode answer it without probing the
   // shared table.
-  LockMode FastTableMode(AppState& state, TableId table);
+  LockMode FastTableMode(AppState& state, TableId table)
+      LT_REQUIRES_SHARED(mu_);
 
   // App state lookup/creation. A thread-local pointer cache (keyed by a
   // per-manager epoch) makes repeat lookups latch-free; only a thread's
   // first touch of an app takes apps_mu_. AppState pointers are stable
   // (apps_ entries are never erased).
-  AppState& FastGetApp(AppId app);
+  AppState& FastGetApp(AppId app) LT_REQUIRES_SHARED(mu_);
 
   // Commit/abort release when the app has no waiters behind any held lock
   // and no wait of its own; false = bail to the classic path. Waiters are
   // only enqueued under the exclusive lock, so the waiter sets observed
   // under the shared hold are frozen and the check-then-release is sound.
-  bool FastReleaseAll(AppId app);
+  bool FastReleaseAll(AppId app) LT_EXCLUDES(mu_);
 
   // Full acquisition chain for one request; may recurse for intent locks
   // and set wait state. `state` is GetApp(app); `escalated` reports any
   // escalation triggered.
   AcquireOutcome TryAcquire(AppId app, AppState& state,
                             const ResourceId& resource, LockMode mode,
-                            bool* escalated);
+                            bool* escalated) LT_REQUIRES(mu_);
 
   // Acquires `mode` on a single resource (no intent-chain handling).
   AcquireOutcome AcquireOne(AppId app, AppState& state,
                             const ResourceId& resource, LockMode mode,
-                            bool* escalated);
+                            bool* escalated) LT_REQUIRES(mu_);
 
   // Allocates one lock structure: from the block list, else by synchronous
   // growth, else by escalating the heaviest row-lock holders (immediately
   // when possible, otherwise by blocking the requester on its own
   // escalation).
-  AllocResult AllocateStructure(AppId requester, bool* escalated);
+  AllocResult AllocateStructure(AppId requester, bool* escalated)
+      LT_REQUIRES(mu_);
 
   // Escalates `app`: converts its intent lock on the most row-locked table
   // to S or X and releases those row locks. Returns kDone when completed,
   // kBlocked when the conversion had to wait, kNoMemory when the app has no
   // row locks to escalate. With `only_if_immediate`, never blocks: returns
   // kNoMemory instead (used for victims other than the requester).
-  AcquireOutcome EscalateApp(AppId app, bool only_if_immediate = false);
+  AcquireOutcome EscalateApp(AppId app, bool only_if_immediate = false)
+      LT_REQUIRES(mu_);
 
   // Releases all of `app`'s row locks on `table` (escalation completion).
-  void ReleaseRowLocksOnTable(AppId app, TableId table);
+  void ReleaseRowLocksOnTable(AppId app, TableId table) LT_REQUIRES(mu_);
 
   // Grants eligible waiters on `resource` (and on any resources unlocked as
   // a consequence), processing the cascade to fixpoint.
-  void ProcessQueue(const ResourceId& resource);
+  void ProcessQueue(const ResourceId& resource) LT_REQUIRES(mu_);
 
   // Called when `app`'s waiting request was granted: clears wait state,
   // completes escalation, and issues any continuation.
-  void OnWaitGranted(AppId app, const ResourceId& resource);
+  void OnWaitGranted(AppId app, const ResourceId& resource) LT_REQUIRES(mu_);
 
   // Appends `resource` (whose lock head is `head`, granted in `mode`) to
   // the held list and indexes it. `hash` is the caller's precomputed
   // ResourceIdHash of `resource`.
   void AddHeldEntry(AppState& state, const ResourceId& resource,
-                    uint64_t hash, LockHead* head, LockMode mode);
+                    uint64_t hash, LockHead* head, LockMode mode)
+      LT_REQUIRES_SHARED(mu_);
 
   // Records `mode` as the held-slot mirror of `resource`'s granted mode.
   // Must accompany every SetHolderMode on a resource the app has in its
@@ -437,18 +445,21 @@ class LockManager {
 
   void CompactHeld(AppState& state);
 
-  AppState& GetApp(AppId app);
+  AppState& GetApp(AppId app) LT_REQUIRES(mu_);
 
-  LockHead* FindHead(const ResourceId& resource);
-  const LockHead* FindHead(const ResourceId& resource) const;
+  LockHead* FindHead(const ResourceId& resource) LT_REQUIRES_SHARED(mu_);
+  const LockHead* FindHead(const ResourceId& resource) const
+      LT_REQUIRES_SHARED(mu_);
 
   // Granted mode of `app` on `resource` (kNone when not held); assumes the
   // mutex is held.
-  LockMode HeldModeLockedInternal(AppId app, const ResourceId& resource) const;
+  LockMode HeldModeLockedInternal(AppId app, const ResourceId& resource) const
+      LT_REQUIRES_SHARED(mu_);
 
   // Granted table-lock mode of `app` on `table`, served from the AppState
   // single-entry cache when possible.
-  LockMode CachedTableMode(AppId app, AppState& state, TableId table) const;
+  LockMode CachedTableMode(AppId app, AppState& state, TableId table) const
+      LT_REQUIRES(mu_);
 
   // Records `mode` as `state`'s granted table-lock mode on `table` (call at
   // every site that grants, converts, or releases a table lock).
@@ -471,38 +482,43 @@ class LockManager {
     ++state.total_row_locks;
   }
 
-  LockMemoryState MemoryStateLocked() const;
+  LockMemoryState MemoryStateLocked() const LT_REQUIRES_SHARED(mu_);
 
-  void DrainWorkList();
+  void DrainWorkList() LT_REQUIRES(mu_);
 
   LockManagerOptions options_;
   Bytes max_lock_memory_;
 
   // Stamps wait-state entry, records it with the monitor.
-  void MarkWaitStart(AppId app, AppState& state);
+  void MarkWaitStart(AppId app, AppState& state) LT_REQUIRES(mu_);
 
   // Ends `state`'s wait for timeout-queue purposes: bumps wait_epoch so any
   // queued entry is stale, and counts/compacts the staleness.
-  void NoteWaitEnded(AppState& state);
+  void NoteWaitEnded(AppState& state) LT_REQUIRES(mu_);
 
   // Rebuilds the timeout queue without stale entries once they dominate
   // (amortized O(1) per ended wait).
-  void MaybeCompactTimeouts();
+  void MaybeCompactTimeouts() LT_REQUIRES(mu_);
 
   // Delivers an event to the configured monitor (no-op without one).
   void Emit(LockEventKind kind, AppId app, const ResourceId& resource,
-            LockMode mode, int64_t value);
+            LockMode mode, int64_t value) LT_REQUIRES(mu_);
 
   // Reader-writer lock: exclusive for the classic path and every structural
-  // mutation; shared for the parallel fast path.
-  mutable std::shared_mutex mu_;
+  // mutation; shared for the parallel fast path. Rank: below the metrics
+  // registry (whose Collect callbacks take this), above everything else in
+  // the manager (common/lock_rank_table.h).
+  mutable SharedMutex mu_{kLockRankManagerOuter, "LockManager::mu_"};
   // Serializes block-list slot alloc/free on the fast path. Ordering: a
-  // shard latch may be held when taking alloc_mu_, never the reverse.
-  std::mutex alloc_mu_;
+  // shard latch may be held when taking alloc_mu_, never the reverse —
+  // which is exactly what rank kLockRankAlloc > kLockRankShardLatch says.
+  Mutex alloc_mu_{kLockRankAlloc, "LockManager::alloc_mu_"};
   // Guards apps_ map insertion/lookup between fast threads (element
   // pointers are stable; AppState itself is owner-thread-confined). Repeat
-  // lookups bypass it through FastGetApp's thread-local cache.
-  mutable std::mutex apps_mu_;
+  // lookups bypass it through FastGetApp's thread-local cache. Never nested
+  // with a shard latch (they share a rank, so nesting would abort in
+  // paranoid mode).
+  mutable Mutex apps_mu_{kLockRankAppsMap, "LockManager::apps_mu_"};
   // Unique per manager instance ever constructed; keys FastGetApp's
   // thread-local cache so a pointer cached against a destroyed manager (or
   // a new manager reusing the address) can never be served.
@@ -510,19 +526,24 @@ class LockManager {
   std::atomic<bool> parallel_mode_{false};
   BlockList blocks_;
   LockTable table_;
+  // apps_, blocks_, and table_ are OR-guarded: exclusive mu_ on the classic
+  // path, or shared mu_ plus apps_mu_ / alloc_mu_ / the shard latch on the
+  // fast path. Clang's capability analysis cannot express an either-or
+  // guard, so they stay unannotated; locklint's lock-order pass and the
+  // paranoid runtime rank checks still cover their locks.
   std::unordered_map<AppId, AppState> apps_;
-  std::unordered_set<AppId> escalation_preferred_;
-  std::deque<ResourceId> work_list_;
-  bool draining_ = false;
+  std::unordered_set<AppId> escalation_preferred_ LT_GUARDED_BY(mu_);
+  std::deque<ResourceId> work_list_ LT_GUARDED_BY(mu_);
+  bool draining_ LT_GUARDED_BY(mu_) = false;
   // Applications currently blocked on a wait. Maintained at wait start/end
   // so the per-tick deadlock/timeout checks are O(1) when nothing waits.
-  int64_t blocked_count_ = 0;
+  int64_t blocked_count_ LT_GUARDED_BY(mu_) = 0;
   // Deadline-ordered pending timeouts (lazy deletion via wait_epoch).
-  std::deque<TimeoutEntry> timeout_queue_;
+  std::deque<TimeoutEntry> timeout_queue_ LT_GUARDED_BY(mu_);
   // Queue entries invalidated by an early wait end (grant, rollback, kill).
-  int64_t timeout_stale_ = 0;
+  int64_t timeout_stale_ LT_GUARDED_BY(mu_) = 0;
   AtomicStats stats_;
-  Histogram wait_times_{{1, 10, 100, 1000, 10'000, 100'000}};
+  Histogram wait_times_ LT_GUARDED_BY(mu_){{1, 10, 100, 1000, 10'000, 100'000}};
 };
 
 }  // namespace locktune

@@ -28,6 +28,7 @@ LockTable::LockTable(int shard_count) {
   }
 }
 
+// locklint: seqlock-writer(probe helper for the write side: callers hold the shard latch; OptProbe runs its own probe inside a ReadBegin/ReadValidate section)
 size_t LockTable::ProbeFind(const Dir& dir, int shift, const ResourceId& key,
                             uint64_t hash) {
   const size_t mask = dir.mask;
@@ -41,6 +42,7 @@ size_t LockTable::ProbeFind(const Dir& dir, int shift, const ResourceId& key,
   }
 }
 
+// locklint: seqlock-writer(callers hold the shard latch write side or the manager exclusive lock; the latch version bump publishes)
 LockHead* LockTable::Find(const ResourceId& resource, uint64_t hash) {
   Shard& shard = ShardFor(hash);
   const Dir& dir = *shard.dir.load(std::memory_order_relaxed);
@@ -62,6 +64,7 @@ LockHead& LockTable::Create(const ResourceId& resource, uint64_t hash) {
   return node->head;
 }
 
+// locklint: seqlock-writer(mutator; callers hold the shard latch write side, whose version bump publishes the relaxed slot stores)
 bool LockTable::EraseIfEmpty(const ResourceId& resource, uint64_t hash) {
   Shard& shard = ShardFor(hash);
   const Dir& dir = *shard.dir.load(std::memory_order_relaxed);
@@ -101,6 +104,7 @@ LockTable::OptProbeResult LockTable::OptProbe(const ResourceId& resource,
   return out;
 }
 
+// locklint: seqlock-writer(mutator; callers hold the shard latch write side, whose version bump publishes the relaxed slot stores)
 void LockTable::DirInsert(Shard& shard, const ResourceId& key, uint64_t hash,
                           Node* node) {
   if ((shard.dir_size + shard.dir_tombstones + 1) * 4 >
@@ -132,6 +136,7 @@ void LockTable::DirInsert(Shard& shard, const ResourceId& key, uint64_t hash,
   }
 }
 
+// locklint: seqlock-writer(mutator; callers hold the shard latch write side, whose version bump publishes the relaxed slot stores)
 void LockTable::DirEraseIndex(Shard& shard, size_t index) {
   const Dir& dir = *shard.dir.load(std::memory_order_relaxed);
   const size_t mask = dir.mask;
@@ -161,6 +166,7 @@ void LockTable::DirEraseIndex(Shard& shard, size_t index) {
   }
 }
 
+// locklint: seqlock-writer(mutator; callers hold the shard latch write side, whose version bump publishes the relaxed slot stores)
 void LockTable::DirRehash(Shard& shard) {
   const Dir& old = *shard.dir.load(std::memory_order_relaxed);
   shard.dir_store.push_back(std::make_unique<Dir>(
@@ -242,6 +248,7 @@ int64_t LockTable::retired_dir_count() const {
   return total;
 }
 
+// locklint: seqlock-writer(paranoid/test validator; runs in serial regions with no concurrent writer)
 Status LockTable::CheckConsistency() const {
   for (const Shard& shard : shards_) {
     if (shard.dir_size != shard.live) {

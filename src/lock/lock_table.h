@@ -129,6 +129,7 @@ class LockTable {
 
   // Calls fn(const ResourceId&, const LockHead&) for every head. Iteration
   // order is unspecified (shard/slot order). Serial regions only.
+  // locklint: seqlock-writer(serial regions only per the contract above — no concurrent writer exists, so the relaxed loads cannot race)
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (const Shard& shard : shards_) {
@@ -193,12 +194,14 @@ class LockTable {
   }
   static constexpr uint64_t MetaState(uint64_t meta) { return meta >> 48; }
 
+  // locklint: seqlock-writer(helper called either under the shard latch write side or inside the caller's ReadBegin/ReadValidate section, which supplies the ordering)
   static bool SlotMatches(const DirSlot& slot, uint64_t meta,
                           const ResourceId& key) {
     return meta == PackMeta(kSlotFull, key) &&
            slot.row.load(std::memory_order_relaxed) == key.row;
   }
 
+  // locklint: seqlock-writer(helper called either under the shard latch write side or inside the caller's ReadBegin/ReadValidate section, which supplies the ordering)
   static ResourceId SlotKey(const DirSlot& slot) {
     const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
     ResourceId key;
@@ -223,6 +226,7 @@ class LockTable {
   // it. Slabs and free list are shard-local so every mutation is covered by
   // `latch`.
   struct Shard {
+    // locklint: seqlock-writer(construction is single-threaded; the table is published to workers only afterwards, by the thread that starts them)
     explicit Shard(int hash_shift) : shift(hash_shift) {
       dir_store.push_back(std::make_unique<Dir>(kInitialDirSlots));
       dir.store(dir_store.back().get(), std::memory_order_relaxed);

@@ -52,6 +52,7 @@ int SpinRounds() {
 
 }  // namespace
 
+// locklint: seqlock-writer(contended writer entry: the version CAS is the synchronization point; queue/park token traffic carries its own acquire-release or seq_cst pairs, and the counter bump is advisory)
 void OptLatch::LockQueued(McsNode& node) {
   enqueue_count_.fetch_add(1, std::memory_order_relaxed);
   const int spin_rounds = SpinRounds();
@@ -113,6 +114,7 @@ void OptLatch::LockQueued(McsNode& node) {
     }
   }
   std::atomic_thread_fence(std::memory_order_release);  // seqlock entry
+  LockRankOnAcquire(kLockRankShardLatch, "LockTable::shard_latch");
   // Pass queue-head status on (or retire the queue) BEFORE the critical
   // section runs: the successor overlaps its wakeup latency with our hold
   // and is already spinning when we release.
@@ -134,6 +136,7 @@ void OptLatch::LockQueued(McsNode& node) {
   FutexWakeOne(succ->ready);
 }
 
+// locklint: seqlock-writer(unlock cold path: the token claim needs no ordering — the seq_cst wake_seq_ bump below is the Dekker synchronization point)
 void OptLatch::WakeParked() {
   // Claim the token: exactly one releaser pays the wake for one parked
   // episode. Bump BEFORE waking — a contender between its version re-check

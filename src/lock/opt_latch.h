@@ -47,6 +47,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "telemetry/lock_profiler.h"
 
 namespace locktune {
@@ -61,7 +63,7 @@ struct McsNode {
   std::atomic<uint32_t> ready{0};
 };
 
-class OptLatch {
+class LT_CAPABILITY("latch") OptLatch {
  public:
   OptLatch() = default;
   OptLatch(const OptLatch&) = delete;
@@ -96,6 +98,8 @@ class OptLatch {
   // every relaxed read in between belongs to one consistent snapshot.
   bool ReadValidate(uint64_t begin_version) const {
     std::atomic_thread_fence(std::memory_order_acquire);
+    // order: relaxed-ok(the acquire fence above orders this load after
+    // every read in the section; ReadBegin's acquire load closes the pair)
     return version_.load(std::memory_order_relaxed) == begin_version;
   }
 
@@ -104,6 +108,8 @@ class OptLatch {
   // True when a writer is inside the latch right now. One relaxed load;
   // the fast path uses it to gate the optimistic pre-flight probe.
   bool Busy() const {
+    // order: relaxed-ok(advisory pre-flight hint only; any decision taken
+    // on it is re-validated by the version protocol)
     return (version_.load(std::memory_order_relaxed) & 1) != 0;
   }
 
@@ -111,7 +117,7 @@ class OptLatch {
   // wins even if waiters are queued). Taken: queue FIFO behind the current
   // waiters for the right to contend. `node` must outlive the critical
   // section (guard-owned).
-  void Lock(McsNode& node) {
+  void Lock(McsNode& node) LT_ACQUIRE() {
     if (!TryAcquire()) [[unlikely]] {
       LockQueued(node);
     }
@@ -120,13 +126,14 @@ class OptLatch {
   // Single-attempt acquisition: succeeds only when the latch is free.
   // `node` is unused (ownership lives in the version word) but kept so
   // Try/Lock/Unlock share one calling convention.
-  bool TryLock(McsNode& node) {
+  bool TryLock(McsNode& node) LT_TRY_ACQUIRE(true) {
     (void)node;
     return TryAcquire();
   }
 
-  void Unlock(McsNode& node) {
+  void Unlock(McsNode& node) LT_RELEASE() {
     (void)node;
+    LockRankOnRelease(kLockRankShardLatch);
     // Free the latch BEFORE waking anyone: whoever runs next — the woken
     // queue head or a barging running thread — can take it without a
     // handoff context switch.
@@ -147,12 +154,15 @@ class OptLatch {
   // Even while free; odd while a writer is inside. Strictly monotonic
   // across write sections.
   uint64_t version() const {
+    // order: relaxed-ok(test/bench introspection, not a synchronization
+    // point)
     return version_.load(std::memory_order_relaxed);
   }
 
   // Writers that found the latch taken and queued behind another node
   // (the contended slow path). Exact.
   uint64_t enqueue_count() const {
+    // order: relaxed-ok(monotonic statistic read after workers join)
     return enqueue_count_.load(std::memory_order_relaxed);
   }
 
@@ -170,7 +180,7 @@ class OptLatch {
   // Contended path: enqueue FIFO, wait for queue-head promotion, then
   // contend for the version CAS (spin with proportional backoff, park past
   // the bound). Out of line — it only runs when the latch is taken.
-  void LockQueued(McsNode& node);
+  void LockQueued(McsNode& node) LT_ACQUIRE();
 
   // Cold half of Unlock: claims the park token, bumps wake_seq_, and
   // futex-wakes the parked queue head. Out of line so the syscall plumbing
@@ -180,7 +190,8 @@ class OptLatch {
   // Writer entry: flip the version odd iff it is even right now. The
   // trailing release fence orders the version store before the critical
   // section's relaxed data writes, per the seqlock contract above.
-  bool TryAcquire() {
+  // locklint: seqlock-writer(the acq_rel CAS is the synchronization point; a stale relaxed pre-read only fails the CAS)
+  bool TryAcquire() LT_TRY_ACQUIRE(true) {
     uint64_t v = version_.load(std::memory_order_relaxed);
     if ((v & 1) != 0) return false;
     if (!version_.compare_exchange_strong(v, v + 1,
@@ -189,6 +200,10 @@ class OptLatch {
       return false;
     }
     std::atomic_thread_fence(std::memory_order_release);
+    // Every OptLatch is a shard latch in the documented hierarchy; the
+    // equal-rank/strict-increase rule is what enforces "never hold two
+    // shard latches" at runtime in paranoid mode.
+    LockRankOnAcquire(kLockRankShardLatch, "LockTable::shard_latch");
     return true;
   }
 
@@ -217,12 +232,12 @@ class OptLatch {
 
 // RAII write guard (unprofiled): tests, serial regions, and the bench's
 // raw-latch legs.
-class OptLatchGuard {
+class LT_SCOPED_CAPABILITY OptLatchGuard {
  public:
-  explicit OptLatchGuard(OptLatch& latch) : latch_(latch) {
+  explicit OptLatchGuard(OptLatch& latch) LT_ACQUIRE(latch) : latch_(latch) {
     latch_.Lock(node_);
   }
-  ~OptLatchGuard() { latch_.Unlock(node_); }
+  ~OptLatchGuard() LT_RELEASE() { latch_.Unlock(node_); }
   OptLatchGuard(const OptLatchGuard&) = delete;
   OptLatchGuard& operator=(const OptLatchGuard&) = delete;
 
@@ -239,7 +254,8 @@ namespace profile_internal {
 // times the queued Lock when the probe fails — the OptLatch analogue of
 // ObserveAcquire.
 void ObserveOptLatchAcquire(ProfileSlab& slab, OptLatch& latch,
-                            McsNode& node, ProfileSite site, int shard);
+                            McsNode& node, ProfileSite site, int shard)
+    LT_ACQUIRE(latch);
 }  // namespace profile_internal
 
 // Profiled queued-write acquisition; drop-in for the former
@@ -247,10 +263,10 @@ void ObserveOptLatchAcquire(ProfileSlab& slab, OptLatch& latch,
 // kQueuedWrite plus the shard id. Sampling mirrors ProfiledMutexGuard:
 // 1 in kProfileSamplePeriod acquisitions is observed, the rest pay one TLS
 // tick and exactly a plain Lock().
-class OptLatchWriteGuard {
+class LT_SCOPED_CAPABILITY OptLatchWriteGuard {
  public:
   OptLatchWriteGuard(OptLatch& latch, ProfileSite site,
-                     int shard = kProfileNoShard)
+                     int shard = kProfileNoShard) LT_ACQUIRE(latch)
       : latch_(latch), site_(site) {
     using namespace profile_internal;
     ProfileSlab& slab = Tls();
@@ -262,7 +278,7 @@ class OptLatchWriteGuard {
     }
     if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
   }
-  ~OptLatchWriteGuard() {
+  ~OptLatchWriteGuard() LT_RELEASE() {
     if (hold_t0_ != 0) [[unlikely]] {
       const uint64_t held = profile_internal::NowNs() - hold_t0_;
       latch_.Unlock(node_);
@@ -283,13 +299,14 @@ class OptLatchWriteGuard {
 
 #else  // !LOCKTUNE_PROFILE
 
-class OptLatchWriteGuard {
+class LT_SCOPED_CAPABILITY OptLatchWriteGuard {
  public:
   OptLatchWriteGuard(OptLatch& latch, ProfileSite, int = kProfileNoShard)
+      LT_ACQUIRE(latch)
       : latch_(latch) {
     latch_.Lock(node_);
   }
-  ~OptLatchWriteGuard() { latch_.Unlock(node_); }
+  ~OptLatchWriteGuard() LT_RELEASE() { latch_.Unlock(node_); }
   OptLatchWriteGuard(const OptLatchWriteGuard&) = delete;
   OptLatchWriteGuard& operator=(const OptLatchWriteGuard&) = delete;
 

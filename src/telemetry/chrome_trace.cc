@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/mutex.h"
+
 namespace locktune {
 
 namespace {
@@ -37,14 +39,14 @@ ChromeTraceCollector::ChromeTraceCollector()
 void ChromeTraceCollector::Span(const std::string& name, int pid, int tid,
                                 int64_t ts_us, int64_t dur_us,
                                 const std::string& args_json) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   events_.push_back({name, 'X', ts_us, dur_us, pid, tid, args_json});
 }
 
 void ChromeTraceCollector::Instant(const std::string& name, int pid, int tid,
                                    int64_t ts_us,
                                    const std::string& args_json) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   events_.push_back({name, 'i', ts_us, 0, pid, tid, args_json});
 }
 
@@ -55,12 +57,12 @@ int64_t ChromeTraceCollector::RealNowUs() const {
 }
 
 size_t ChromeTraceCollector::event_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return events_.size();
 }
 
 void ChromeTraceCollector::WriteJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<std::string> lines;
   lines.reserve(events_.size() + 5);
   const auto meta = [&lines](int pid, int tid, const char* which,

@@ -21,10 +21,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace locktune {
 
@@ -65,8 +67,10 @@ class ChromeTraceCollector {
   void WriteJson(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<ChromeTraceEvent> events_;
+  // Leaf rank: Span/Instant are called from tick loops and workers that
+  // may hold subsystem locks above; the collector takes nothing else.
+  mutable Mutex mu_{kLockRankLeaf, "ChromeTraceCollector::mu_"};
+  std::vector<ChromeTraceEvent> events_ LT_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point t0_;
 };
 

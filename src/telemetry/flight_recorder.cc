@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace locktune {
 
@@ -59,8 +60,10 @@ struct FlightRing {
 };
 
 struct RingRegistry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<FlightRing>> rings;
+  Mutex mu{kLockRankLeaf, "flight_recorder::mu"};
+  // Guards registration only; the abort-path dump reads it lock-free by
+  // design (see DumpFlightRecorder).
+  std::vector<std::unique_ptr<FlightRing>> rings LT_GUARDED_BY(mu);
 };
 
 RingRegistry& Registry() {
@@ -78,7 +81,7 @@ FlightRing& Ring() {
     auto owned = std::make_unique<FlightRing>();
     FlightRing* raw = owned.get();
     RingRegistry& reg = Registry();
-    std::lock_guard<std::mutex> guard(reg.mu);
+    MutexLock guard(reg.mu);
     raw->thread_index = static_cast<int>(reg.rings.size());
     reg.rings.push_back(std::move(owned));
     if (raw->thread_index == 0) AddCheckFailureHook(&DumpHook);
@@ -102,7 +105,9 @@ void FlightRecord(FlightEventKind kind, int64_t time_ms, int32_t app,
   ring.next.store(n + 1, std::memory_order_release);
 }
 
-void DumpFlightRecorder(std::FILE* out) {
+// Outside the capability analysis: the dump runs on the abort path where
+// the failing thread may already hold the registry lock.
+void DumpFlightRecorder(std::FILE* out) LT_NO_THREAD_SAFETY_ANALYSIS {
   RingRegistry& reg = Registry();
   // No registry lock: the dump runs on the abort path, where the failing
   // thread may already hold it (it only guards registration, so the worst
@@ -156,7 +161,7 @@ uint64_t FlightTotalForTesting() {
 
 void ResetFlightRecorderForTesting() {
   RingRegistry& reg = Registry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  MutexLock guard(reg.mu);
   for (const auto& ring : reg.rings) {
     ring->next.store(0, std::memory_order_relaxed);
   }

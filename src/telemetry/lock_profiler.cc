@@ -70,8 +70,8 @@ namespace {
 // survive its exit (bench reps join their pools between measurements).
 // Zero-initialized via value-init of the atomics' containing struct.
 struct SlabRegistry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ProfileSlab>> slabs;
+  Mutex mu{kLockRankLeaf, "lock_profiler::mu"};
+  std::vector<std::unique_ptr<ProfileSlab>> slabs LT_GUARDED_BY(mu);
 };
 
 SlabRegistry& Registry() {
@@ -85,7 +85,7 @@ ProfileSlab* RegisterTlsSlab() {
   auto owned = std::make_unique<ProfileSlab>();
   ProfileSlab* raw = owned.get();
   SlabRegistry& reg = Registry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  MutexLock guard(reg.mu);
   reg.slabs.push_back(std::move(owned));
   return raw;
 }
@@ -99,25 +99,24 @@ uint64_t NowNs() {
 
 // noinline: these are the cold 1-in-kProfileSamplePeriod paths; see the
 // declaration comment in lock_profiler.h.
-__attribute__((noinline)) void ObserveAcquire(ProfileSlab& slab,
-                                              std::mutex& mu,
+__attribute__((noinline)) void ObserveAcquire(ProfileSlab& slab, Mutex& mu,
                                               ProfileSite site, int shard) {
   RecordAcquire(slab, site, shard, kProfileSamplePeriod);
-  if (!mu.try_lock()) {
+  if (!mu.TryLock()) {
     const uint64_t t0 = NowNs();
-    mu.lock();
+    mu.Lock();
     RecordContended(slab, site, shard, kProfileSamplePeriod);
     RecordWait(slab, site, shard, NowNs() - t0, kProfileSamplePeriod);
   }
 }
 
 __attribute__((noinline)) void ObserveAcquireShared(ProfileSlab& slab,
-                                                    std::shared_mutex& mu,
+                                                    SharedMutex& mu,
                                                     ProfileSite site) {
   RecordAcquire(slab, site, kProfileNoShard, kProfileSamplePeriod);
-  if (!mu.try_lock_shared()) {
+  if (!mu.TryLockShared()) {
     const uint64_t t0 = NowNs();
-    mu.lock_shared();
+    mu.LockShared();
     RecordContended(slab, site, kProfileNoShard, kProfileSamplePeriod);
     RecordWait(slab, site, kProfileNoShard, NowNs() - t0,
                kProfileSamplePeriod);
@@ -125,12 +124,12 @@ __attribute__((noinline)) void ObserveAcquireShared(ProfileSlab& slab,
 }
 
 __attribute__((noinline)) void ObserveAcquireExclusive(ProfileSlab& slab,
-                                                       std::shared_mutex& mu,
+                                                       SharedMutex& mu,
                                                        ProfileSite site) {
   RecordAcquire(slab, site, kProfileNoShard, kProfileSamplePeriod);
-  if (!mu.try_lock()) {
+  if (!mu.TryLock()) {
     const uint64_t t0 = NowNs();
-    mu.lock();
+    mu.Lock();
     RecordContended(slab, site, kProfileNoShard, kProfileSamplePeriod);
     RecordWait(slab, site, kProfileNoShard, NowNs() - t0,
                kProfileSamplePeriod);
@@ -165,7 +164,7 @@ ProfileSnapshot CaptureProfile() {
   snap.compiled_in = true;
   snap.shards.resize(kMaxProfiledShards);
   auto& reg = Registry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  MutexLock guard(reg.mu);
   for (const auto& slab : reg.slabs) {
     for (int s = 0; s < kProfileSiteCount; ++s) {
       const auto& site = slab->sites[s];
@@ -197,7 +196,7 @@ ProfileSnapshot CaptureProfile() {
 
 void ResetProfileForTesting() {
   auto& reg = Registry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  MutexLock guard(reg.mu);
   for (const auto& slab : reg.slabs) {
     for (auto& site : slab->sites) {
       site.acquires.store(0, std::memory_order_relaxed);

@@ -46,9 +46,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace locktune {
 
@@ -262,23 +263,23 @@ inline void RecordAcquire(ProfileSlab& slab, ProfileSite site, int shard,
 // inline path down to a TLS load, a tick increment, and two predictable
 // branches; inlining the probe at every call site bloats the lock
 // manager's hot functions enough to show up as real overhead.
-void ObserveAcquire(ProfileSlab& slab, std::mutex& mu, ProfileSite site,
-                    int shard);
-void ObserveAcquireShared(ProfileSlab& slab, std::shared_mutex& mu,
-                          ProfileSite site);
-void ObserveAcquireExclusive(ProfileSlab& slab, std::shared_mutex& mu,
-                             ProfileSite site);
+void ObserveAcquire(ProfileSlab& slab, Mutex& mu, ProfileSite site,
+                    int shard) LT_ACQUIRE(mu);
+void ObserveAcquireShared(ProfileSlab& slab, SharedMutex& mu,
+                          ProfileSite site) LT_ACQUIRE_SHARED(mu);
+void ObserveAcquireExclusive(ProfileSlab& slab, SharedMutex& mu,
+                             ProfileSite site) LT_ACQUIRE(mu);
 void ObserveHold(ProfileSite site, uint64_t held_ns);
 
 }  // namespace profile_internal
 
-// RAII guard over std::mutex with wait/hold attribution. Drop-in for
-// std::lock_guard<std::mutex> at instrumented sites; `shard` additionally
-// routes the wait into per-shard attribution.
-class ProfiledMutexGuard {
+// RAII guard over locktune::Mutex with wait/hold attribution. Drop-in
+// for MutexLock at instrumented sites; `shard` additionally routes the
+// wait into per-shard attribution.
+class LT_SCOPED_CAPABILITY ProfiledMutexGuard {
  public:
-  ProfiledMutexGuard(std::mutex& mu, ProfileSite site,
-                     int shard = kProfileNoShard)
+  ProfiledMutexGuard(Mutex& mu, ProfileSite site,
+                     int shard = kProfileNoShard) LT_ACQUIRE(mu)
       : mu_(mu), site_(site), shard_(shard) {
     using namespace profile_internal;
     ProfileSlab& slab = Tls();
@@ -286,33 +287,33 @@ class ProfiledMutexGuard {
     if (SampleWait(tick)) [[unlikely]] {
       ObserveAcquire(slab, mu_, site_, shard_);
     } else {
-      mu_.lock();
+      mu_.Lock();
     }
     if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
   }
-  ~ProfiledMutexGuard() {
+  ~ProfiledMutexGuard() LT_RELEASE() {
     if (hold_t0_ != 0) [[unlikely]] {
       const uint64_t held = profile_internal::NowNs() - hold_t0_;
-      mu_.unlock();
+      mu_.Unlock();
       profile_internal::ObserveHold(site_, held);
     } else {
-      mu_.unlock();
+      mu_.Unlock();
     }
   }
   ProfiledMutexGuard(const ProfiledMutexGuard&) = delete;
   ProfiledMutexGuard& operator=(const ProfiledMutexGuard&) = delete;
 
  private:
-  std::mutex& mu_;
+  Mutex& mu_;
   ProfileSite site_;
   int shard_;
   uint64_t hold_t0_ = 0;
 };
 
-// Shared (reader) acquisition of a std::shared_mutex.
-class ProfiledSharedGuard {
+// Shared (reader) acquisition of a locktune::SharedMutex.
+class LT_SCOPED_CAPABILITY ProfiledSharedGuard {
  public:
-  ProfiledSharedGuard(std::shared_mutex& mu, ProfileSite site)
+  ProfiledSharedGuard(SharedMutex& mu, ProfileSite site) LT_ACQUIRE_SHARED(mu)
       : mu_(mu), site_(site) {
     using namespace profile_internal;
     ProfileSlab& slab = Tls();
@@ -320,32 +321,32 @@ class ProfiledSharedGuard {
     if (SampleWait(tick)) [[unlikely]] {
       ObserveAcquireShared(slab, mu_, site_);
     } else {
-      mu_.lock_shared();
+      mu_.LockShared();
     }
     if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
   }
-  ~ProfiledSharedGuard() {
+  ~ProfiledSharedGuard() LT_RELEASE_GENERIC() {
     if (hold_t0_ != 0) [[unlikely]] {
       const uint64_t held = profile_internal::NowNs() - hold_t0_;
-      mu_.unlock_shared();
+      mu_.UnlockShared();
       profile_internal::ObserveHold(site_, held);
     } else {
-      mu_.unlock_shared();
+      mu_.UnlockShared();
     }
   }
   ProfiledSharedGuard(const ProfiledSharedGuard&) = delete;
   ProfiledSharedGuard& operator=(const ProfiledSharedGuard&) = delete;
 
  private:
-  std::shared_mutex& mu_;
+  SharedMutex& mu_;
   ProfileSite site_;
   uint64_t hold_t0_ = 0;
 };
 
-// Exclusive (writer) acquisition of a std::shared_mutex.
-class ProfiledExclusiveGuard {
+// Exclusive (writer) acquisition of a locktune::SharedMutex.
+class LT_SCOPED_CAPABILITY ProfiledExclusiveGuard {
  public:
-  ProfiledExclusiveGuard(std::shared_mutex& mu, ProfileSite site)
+  ProfiledExclusiveGuard(SharedMutex& mu, ProfileSite site) LT_ACQUIRE(mu)
       : mu_(mu), site_(site) {
     using namespace profile_internal;
     ProfileSlab& slab = Tls();
@@ -353,24 +354,24 @@ class ProfiledExclusiveGuard {
     if (SampleWait(tick)) [[unlikely]] {
       ObserveAcquireExclusive(slab, mu_, site_);
     } else {
-      mu_.lock();
+      mu_.Lock();
     }
     if (SampleHold(tick)) [[unlikely]] hold_t0_ = NowNs();
   }
-  ~ProfiledExclusiveGuard() {
+  ~ProfiledExclusiveGuard() LT_RELEASE() {
     if (hold_t0_ != 0) [[unlikely]] {
       const uint64_t held = profile_internal::NowNs() - hold_t0_;
-      mu_.unlock();
+      mu_.Unlock();
       profile_internal::ObserveHold(site_, held);
     } else {
-      mu_.unlock();
+      mu_.Unlock();
     }
   }
   ProfiledExclusiveGuard(const ProfiledExclusiveGuard&) = delete;
   ProfiledExclusiveGuard& operator=(const ProfiledExclusiveGuard&) = delete;
 
  private:
-  std::shared_mutex& mu_;
+  SharedMutex& mu_;
   ProfileSite site_;
   uint64_t hold_t0_ = 0;
 };
@@ -428,32 +429,50 @@ inline void ProfileNoteOptPessimize() {
   profile_internal::Bump(profile_internal::Tls().opt_pessimizes);
 }
 
-#else  // !LOCKTUNE_PROFILE — every guard is the plain std guard, every
-       // counter a no-op; no clock is ever read.
+#else  // !LOCKTUNE_PROFILE — every guard is the plain lock it wraps,
+       // every counter a no-op; no clock is ever read.
 
-class ProfiledMutexGuard {
+class LT_SCOPED_CAPABILITY ProfiledMutexGuard {
  public:
-  ProfiledMutexGuard(std::mutex& mu, ProfileSite, int = kProfileNoShard)
-      : guard_(mu) {}
+  ProfiledMutexGuard(Mutex& mu, ProfileSite, int = kProfileNoShard)
+      LT_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock();
+  }
+  ~ProfiledMutexGuard() LT_RELEASE() { mu_.Unlock(); }
+  ProfiledMutexGuard(const ProfiledMutexGuard&) = delete;
+  ProfiledMutexGuard& operator=(const ProfiledMutexGuard&) = delete;
 
  private:
-  std::lock_guard<std::mutex> guard_;
+  Mutex& mu_;
 };
 
-class ProfiledSharedGuard {
+class LT_SCOPED_CAPABILITY ProfiledSharedGuard {
  public:
-  ProfiledSharedGuard(std::shared_mutex& mu, ProfileSite) : guard_(mu) {}
+  ProfiledSharedGuard(SharedMutex& mu, ProfileSite) LT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ProfiledSharedGuard() LT_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ProfiledSharedGuard(const ProfiledSharedGuard&) = delete;
+  ProfiledSharedGuard& operator=(const ProfiledSharedGuard&) = delete;
 
  private:
-  std::shared_lock<std::shared_mutex> guard_;
+  SharedMutex& mu_;
 };
 
-class ProfiledExclusiveGuard {
+class LT_SCOPED_CAPABILITY ProfiledExclusiveGuard {
  public:
-  ProfiledExclusiveGuard(std::shared_mutex& mu, ProfileSite) : guard_(mu) {}
+  ProfiledExclusiveGuard(SharedMutex& mu, ProfileSite) LT_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock();
+  }
+  ~ProfiledExclusiveGuard() LT_RELEASE() { mu_.Unlock(); }
+  ProfiledExclusiveGuard(const ProfiledExclusiveGuard&) = delete;
+  ProfiledExclusiveGuard& operator=(const ProfiledExclusiveGuard&) = delete;
 
  private:
-  std::lock_guard<std::shared_mutex> guard_;
+  SharedMutex& mu_;
 };
 
 class ProfileTimer {

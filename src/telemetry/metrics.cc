@@ -26,7 +26,7 @@ double SnapshotQuantile(const HistogramSnapshot& snapshot, double q) {
 }
 
 HistogramSnapshot HistogramMetric::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   HistogramSnapshot out;
   out.upper_bounds = hist_.upper_bounds();
   out.counts = hist_.counts();
@@ -54,7 +54,7 @@ HistogramSnapshot SnapshotOf(const Histogram& hist) {
 
 Counter* MetricsRegistry::AddCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -65,7 +65,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name,
 
 Gauge* MetricsRegistry::AddGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -77,7 +77,7 @@ Gauge* MetricsRegistry::AddGauge(const std::string& name,
 HistogramMetric* MetricsRegistry::AddHistogram(
     const std::string& name, const std::string& help,
     std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -89,7 +89,7 @@ HistogramMetric* MetricsRegistry::AddHistogram(
 void MetricsRegistry::AddCallbackCounter(const std::string& name,
                                          const std::string& help,
                                          std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -100,7 +100,7 @@ void MetricsRegistry::AddCallbackCounter(const std::string& name,
 void MetricsRegistry::AddCallbackGauge(const std::string& name,
                                        const std::string& help,
                                        std::function<double()> fn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -111,7 +111,7 @@ void MetricsRegistry::AddCallbackGauge(const std::string& name,
 void MetricsRegistry::AddCallbackHistogram(
     const std::string& name, const std::string& help,
     std::function<HistogramSnapshot()> fn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Entry& e = entries_[name];
   e = Entry{};
   e.help = help;
@@ -120,12 +120,12 @@ void MetricsRegistry::AddCallbackHistogram(
 }
 
 bool MetricsRegistry::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return entries_.count(name) != 0;
 }
 
 std::vector<MetricSample> MetricsRegistry::Collect() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {

@@ -26,11 +26,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace locktune {
 
@@ -82,24 +83,30 @@ class HistogramMetric {
       : hist_(std::move(upper_bounds)) {}
 
   void Observe(double x) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     hist_.Add(x);
     sum_ += x;
   }
 
   int64_t total_count() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return hist_.total_count();
   }
   // Unsynchronized view for single-threaded readers (tests, inspector after
-  // the run); concurrent contexts must use Snapshot().
-  const Histogram& histogram() const { return hist_; }
+  // the run); concurrent contexts must use Snapshot(). Deliberately outside
+  // the capability analysis: the caller's serial phase, not mu_, is the
+  // synchronization.
+  const Histogram& histogram() const LT_NO_THREAD_SAFETY_ANALYSIS {
+    return hist_;
+  }
   HistogramSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
-  double sum_ = 0.0;
+  // Leaf rank: Observe runs under the manager lock (wait_times_) and under
+  // the registry lock (Collect callbacks); it must take nothing else.
+  mutable Mutex mu_{kLockRankLeaf, "HistogramMetric::mu_"};
+  Histogram hist_ LT_GUARDED_BY(mu_);
+  double sum_ LT_GUARDED_BY(mu_) = 0.0;
 };
 
 // Builds a HistogramSnapshot from a bare Histogram (no sum tracked: the sum
@@ -142,13 +149,17 @@ class MetricsRegistry {
 
   bool Has(const std::string& name) const;
   size_t size() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return entries_.size();
   }
 
   // Evaluates every metric (callbacks included), ordered by name. Label
-  // variants of one family (`name{...}`) sort adjacently.
-  std::vector<MetricSample> Collect() const;
+  // variants of one family (`name{...}`) sort adjacently. Callbacks run
+  // under mu_ and may take subsystem locks (the lock manager's gauges take
+  // its manager lock), which is why the registry lock is the OUTERMOST
+  // rank in the hierarchy (common/lock_rank_table.h): callers must hold
+  // nothing when collecting.
+  std::vector<MetricSample> Collect() const LT_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -166,8 +177,8 @@ class MetricsRegistry {
   // Guards the entry map itself (registration vs. Collect). The metric
   // objects are individually thread-safe, and callbacks run under this
   // mutex — they must not re-enter the registry.
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_{kLockRankMetricsRegistry, "MetricsRegistry::mu_"};
+  std::map<std::string, Entry> entries_ LT_GUARDED_BY(mu_);
 };
 
 // The metric family: the name up to a `{label}` suffix, if any.

@@ -89,12 +89,13 @@ std::string TraceRecord::ToJson() const {
 void JsonlTraceWriter::Append(const TraceRecord& record) {
   if (os_ == nullptr) return;
   const std::string line = record.ToJson();  // render outside the lock
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   *os_ << line << '\n';
   records_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void JsonlTraceWriter::Flush() {
+  MutexLock guard(mu_);
   if (os_ != nullptr) os_->flush();
 }
 

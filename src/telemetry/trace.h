@@ -12,13 +12,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sim_clock.h"
+#include "common/thread_annotations.h"
 
 namespace locktune {
 
@@ -84,8 +85,10 @@ class JsonlTraceWriter : public TraceSink {
   }
 
  private:
-  std::mutex mu_;  // keeps concurrent Append lines from interleaving
-  std::ostream* os_;
+  // Leaf rank: Append runs from under the lock manager's mutex (the trace
+  // bridge) and must take nothing underneath.
+  Mutex mu_{kLockRankLeaf, "JsonlTraceWriter::mu_"};
+  std::ostream* os_ LT_PT_GUARDED_BY(mu_);
   std::atomic<int64_t> records_{0};
 };
 
@@ -93,17 +96,21 @@ class JsonlTraceWriter : public TraceSink {
 class MemoryTraceSink : public TraceSink {
  public:
   void Append(const TraceRecord& record) override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     records_.push_back(record);
   }
 
   // Unsynchronized view: read only after producers have quiesced (end of
-  // run / end of tick).
-  const std::vector<TraceRecord>& records() const { return records_; }
+  // run / end of tick) — the serial phase, not mu_, is the
+  // synchronization, so this stays outside the capability analysis.
+  const std::vector<TraceRecord>& records() const
+      LT_NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
 
  private:
-  std::mutex mu_;
-  std::vector<TraceRecord> records_;
+  Mutex mu_{kLockRankLeaf, "MemoryTraceSink::mu_"};
+  std::vector<TraceRecord> records_ LT_GUARDED_BY(mu_);
 };
 
 }  // namespace locktune

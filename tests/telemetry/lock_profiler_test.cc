@@ -2,12 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "telemetry/metrics.h"
 
 namespace locktune {
@@ -24,7 +23,7 @@ constexpr int SiteIdx(ProfileSite site) { return static_cast<int>(site); }
 TEST(LockProfilerTest, UncontendedGuardCountsAcquireOnly) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
-  std::mutex mu;
+  Mutex mu;
   // A fresh thread's sampling wheel starts at tick 0, so one full period
   // of uncontended acquires yields exactly one observation, recorded at
   // population weight — the estimate equals the true count.
@@ -49,9 +48,9 @@ TEST(LockProfilerTest, UncontendedGuardCountsAcquireOnly) {
 TEST(LockProfilerTest, ContendedGuardRecordsWaitAndShardAttribution) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
-  std::mutex mu;
+  Mutex mu;
   std::atomic<bool> started{false};
-  mu.lock();
+  mu.Lock();
   std::thread waiter([&] {
     started.store(true);
     ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, /*shard=*/5);
@@ -60,7 +59,7 @@ TEST(LockProfilerTest, ContendedGuardRecordsWaitAndShardAttribution) {
   // Hold long enough that the waiter is past its failed try_lock and
   // blocked in lock() before we release.
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  mu.unlock();
+  mu.Unlock();
   waiter.join();
   const ProfileSnapshot snap = CaptureProfile();
   const SiteProfile& site = snap.sites[SiteIdx(ProfileSite::kQueuedWrite)];
@@ -79,7 +78,7 @@ TEST(LockProfilerTest, ContendedGuardRecordsWaitAndShardAttribution) {
 TEST(LockProfilerTest, SharedAndExclusiveGuardsHitTheirSites) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
-  std::shared_mutex mu;
+  SharedMutex mu;
   // One full wheel period per guard kind: each window holds exactly one
   // sampled tick, so each site's estimate equals its true count.
   std::thread worker([&] {
@@ -144,7 +143,7 @@ TEST(LockProfilerTest, OptReadNotesAreExact) {
 TEST(LockProfilerTest, HoldTimingIsSampled) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
-  std::mutex mu;
+  Mutex mu;
   // Two full wheel periods: wherever this thread's tick currently
   // stands, the window holds exactly two sampled acquires and two
   // sampled holds (the offset phase).
@@ -160,7 +159,7 @@ TEST(LockProfilerTest, HoldTimingIsSampled) {
 
 TEST(LockProfilerTest, ResetClearsEverything) {
   SKIP_UNLESS_PROFILING();
-  std::mutex mu;
+  Mutex mu;
   for (uint64_t i = 0; i < kProfileSamplePeriod; ++i) {
     ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, 1);
   }
@@ -246,7 +245,7 @@ TEST(LockProfilerTest, PercentilesAtBucketEdges) {
 TEST(LockProfilerTest, RegisterProfileMetricsExportsFamilies) {
   SKIP_UNLESS_PROFILING();
   ResetProfileForTesting();
-  std::mutex mu;
+  Mutex mu;
   std::thread worker([&] {
     for (uint64_t i = 0; i < kProfileSamplePeriod; ++i) {
       ProfiledMutexGuard guard(mu, ProfileSite::kQueuedWrite, 0);

@@ -1,0 +1,33 @@
+// locklint LL012 fixture: memory_order_relaxed on shard state.
+//
+//  * StrayRead      — relaxed load outside any recognized discipline: LL012.
+//  * SectionRead    — the relaxed LOAD inside the ReadBegin/ReadValidate
+//                     section is fine; the relaxed STORE on the next line is
+//                     not (writes are never excused by a read section): LL012.
+//  * ExcusedRead    — same stray load, carrying a reasoned
+//                     order: relaxed-ok annotation: clean.
+//  * Plain          — carries a suppression that gates nothing: LL000 stale.
+namespace fixture {
+
+uint64_t StrayRead(const State& s) {
+  return s.word.load(std::memory_order_relaxed);
+}
+
+bool SectionRead(State& s) {
+  const uint64_t v = s.gate.ReadBegin();
+  const uint64_t meta = s.word.load(std::memory_order_relaxed);
+  s.scratch.store(meta, std::memory_order_relaxed);
+  return s.gate.ReadValidate(v);
+}
+
+uint64_t ExcusedRead(const State& s) {
+  // order: relaxed-ok(fixture: monotonic statistic read after join)
+  return s.word.load(std::memory_order_relaxed);
+}
+
+uint64_t Plain(const State& s) {
+  // locklint: wallclock-ok(stale: the next line reads no clock)
+  return s.counter;
+}
+
+}  // namespace fixture

@@ -2,6 +2,8 @@
 // ids and line numbers — one fixture per rule plus a clean file proving
 // that comments, strings, and reasoned suppressions do not trip the linter.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -140,6 +142,70 @@ TEST(LocklintTest, ShardLatchRule) {
       << run.output;
 }
 
+TEST(LocklintTest, LockOrderRule) {
+  const LintRun run = RunLocklint(FixtureRoot() + "/src/lock/lock_cycle.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  // The forward path (a_ rank 10, then b_ rank 30) is legal on its own;
+  // the backward path's second acquisition violates the hierarchy, and the
+  // pair of edges closes a cycle, reported at the smallest edge site.
+  ExpectViolation(run, "lock_cycle.cc", 16, "LL011");  // cycle {a_, b_}
+  ExpectViolation(run, "lock_cycle.cc", 22, "LL011");  // rank 30 -> 10
+  EXPECT_NE(run.output.find("static deadlock"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("2 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(LocklintTest, RelaxedAtomicsRule) {
+  const LintRun run = RunLocklint(FixtureRoot() + "/src/lock/lock_table.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  ExpectViolation(run, "lock_table.cc", 13, "LL012");  // stray relaxed load
+  ExpectViolation(run, "lock_table.cc", 19, "LL012");  // write in section
+  // Line 18 (relaxed LOAD inside the ReadBegin/ReadValidate section) and
+  // line 25 (reasoned order: relaxed-ok) must not be flagged; the unused
+  // suppression on line 29 is stale.
+  ExpectViolation(run, "lock_table.cc", 29, "LL000");
+  EXPECT_NE(run.output.find("stale suppression"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("3 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(LocklintTest, JsonOutput) {
+  const LintRun clean = RunLocklint("--json " + FixtureRoot() + "/clean.cc");
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_NE(clean.output.find("\"violations\": []"), std::string::npos)
+      << clean.output;
+  EXPECT_NE(clean.output.find("\"files_scanned\": 1"), std::string::npos)
+      << clean.output;
+
+  const LintRun bad =
+      RunLocklint("--json " + FixtureRoot() + "/raw_assert.cc");
+  EXPECT_EQ(bad.exit_code, 1);  // exit codes match the text mode
+  EXPECT_NE(bad.output.find("\"rule\": \"LL006\""), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("\"line\": 5"), std::string::npos) << bad.output;
+}
+
+TEST(LocklintTest, LockOrderGraphMatchesGolden) {
+  const std::string src = std::string(LOCKTUNE_SOURCE_DIR);
+  const std::string out = ::testing::TempDir() + "locklint_graph.dot";
+  const LintRun run =
+      RunLocklint("--lock-graph " + out + " " + src + "/src");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::ifstream got_file(out);
+  std::ifstream want_file(src + "/tests/golden/lock_order_graph.dot");
+  ASSERT_TRUE(got_file.good());
+  ASSERT_TRUE(want_file.good());
+  std::stringstream got, want;
+  got << got_file.rdbuf();
+  want << want_file.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "the src/ lock-order graph drifted from the golden; inspect the "
+         "new edges, then regenerate with:\n  locklint --lock-graph "
+         "tests/golden/lock_order_graph.dot src";
+}
+
 TEST(LocklintTest, EmptyReasonIsItsOwnViolation) {
   const LintRun run = RunLocklint(FixtureRoot() + "/bad_annotation.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -162,8 +228,9 @@ TEST(LocklintTest, WholeFixtureTreeIsDeterministicallySorted) {
   EXPECT_EQ(run.exit_code, 1);
   // 3 wallclock + 1 unordered + 1 float + 2 alloc + 1 nodiscard + 1 assert
   // + 2 addr + 1 faultgate + 1 profile + 3 shardlatch + 1 bad-annotation
-  // = 17, and a second run must be identical.
-  EXPECT_NE(run.output.find("17 violation(s)"), std::string::npos)
+  // + 2 lockorder + 2 relaxed + 1 stale-suppression = 22, and a second run
+  // must be identical.
+  EXPECT_NE(run.output.find("22 violation(s)"), std::string::npos)
       << run.output;
   const LintRun again = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.output, again.output);
@@ -174,7 +241,7 @@ TEST(LocklintTest, ListRules) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* id : {"LL000", "LL001", "LL002", "LL003", "LL004",
                          "LL005", "LL006", "LL007", "LL008", "LL009",
-                         "LL010"}) {
+                         "LL010", "LL011", "LL012"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << run.output;
   }
 }

@@ -25,10 +25,16 @@ run() { echo "+ $*"; "$@"; }
 # 1. The fast gate, same order as CI: lint before spending compile time.
 #    locklint is standalone, so build just it straight from the source tree.
 LINT_BIN=$(mktemp -t locklint.XXXXXX)
-trap 'rm -f "$LINT_BIN"' EXIT
+GRAPH_TMP=$(mktemp -t lockgraph.XXXXXX)
+trap 'rm -f "$LINT_BIN" "$GRAPH_TMP"' EXIT
 run "${CXX:-g++}" -std=c++20 -O2 -Wall -Wextra -Werror \
   -o "$LINT_BIN" tools/locklint/locklint.cc
 run "$LINT_BIN" src tools bench
+# The lock-order graph must match the checked-in golden byte for byte;
+# regenerate it (and review the diff) when the hierarchy legitimately
+# changes: ./locklint --lock-graph tests/golden/lock_order_graph.dot src
+run "$LINT_BIN" --lock-graph "$GRAPH_TMP" src
+run cmp "$GRAPH_TMP" tests/golden/lock_order_graph.dot
 
 # 2. Default build + the full test suite (includes locklint_repo, the
 #    golden determinism suite, and paranoid_golden_run).
