@@ -1,0 +1,224 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "workload/scenario_config.h"
+#include "workload/scenario_schema.h"
+
+namespace locktune {
+
+namespace {
+
+struct Line {
+  std::string text;
+  // Schema section of the keys on this line: "" before the first header,
+  // the bracketed name after. Headers carry the section they open.
+  std::string section;
+  bool is_header = false;
+};
+
+std::vector<Line> SplitLines(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream is(text);
+  std::string raw;
+  std::string section;
+  while (std::getline(is, raw)) {
+    Line line;
+    line.text = raw;
+    // Leading whitespace is legal before a header; the parser tokenizes.
+    const size_t first = raw.find_first_not_of(" \t");
+    if (first != std::string::npos && raw[first] == '[') {
+      const size_t close = raw.find(']', first);
+      if (close != std::string::npos) {
+        line.is_header = true;
+        section = raw.substr(first + 1, close - first - 1);
+      }
+    }
+    line.section = section;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<Line>& lines) {
+  std::string out;
+  for (const Line& line : lines) out += line.text + "\n";
+  return out;
+}
+
+bool Parses(const std::string& text) {
+  return ParseScenario(text, "minimize").ok();
+}
+
+// Tries `candidate`; on reproduction commits it to `current` and returns
+// true.
+bool TryCandidate(const std::string& candidate, std::string* current,
+                  const StillFailsFn& still_fails, MinimizeStats* stats) {
+  if (candidate == *current) return false;
+  if (!Parses(candidate)) return false;
+  ++stats->candidates_tried;
+  if (!still_fails(candidate)) return false;
+  ++stats->candidates_failed;
+  *current = candidate;
+  return true;
+}
+
+// Pass 1: drop whole sections (header + body), last to first so index
+// arithmetic stays valid across removals.
+bool DropSections(std::string* current, const StillFailsFn& still_fails,
+                  MinimizeStats* stats) {
+  bool changed = false;
+  for (;;) {
+    const std::vector<Line> lines = SplitLines(*current);
+    // Collect [start, end) ranges of each section block.
+    std::vector<std::pair<size_t, size_t>> blocks;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (!lines[i].is_header) continue;
+      size_t end = i + 1;
+      while (end < lines.size() && !lines[end].is_header) ++end;
+      blocks.emplace_back(i, end);
+    }
+    bool dropped = false;
+    for (size_t b = blocks.size(); b-- > 0;) {
+      std::vector<Line> candidate(lines.begin(),
+                                  lines.begin() +
+                                      static_cast<long>(blocks[b].first));
+      candidate.insert(candidate.end(),
+                       lines.begin() + static_cast<long>(blocks[b].second),
+                       lines.end());
+      if (TryCandidate(JoinLines(candidate), current, still_fails, stats)) {
+        changed = true;
+        dropped = true;
+        break;  // ranges are stale; recompute
+      }
+    }
+    if (!dropped) return changed;
+  }
+}
+
+// Pass 2: drop individual non-header lines, last to first.
+bool DropLines(std::string* current, const StillFailsFn& still_fails,
+               MinimizeStats* stats) {
+  bool changed = false;
+  for (size_t i = SplitLines(*current).size(); i-- > 0;) {
+    const std::vector<Line> lines = SplitLines(*current);
+    if (i >= lines.size() || lines[i].is_header) continue;
+    std::vector<Line> candidate = lines;
+    candidate.erase(candidate.begin() + static_cast<long>(i));
+    if (TryCandidate(JoinLines(candidate), current, still_fails, stats)) {
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool IsInteger(const std::string& token, int64_t* value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') return false;
+  *value = v;
+  return true;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += " ";
+    out += t;
+  }
+  return out;
+}
+
+// Pass 3: bisect every integer value toward its schema minimum. The
+// schema tells us both where the floor is and which token positions are
+// integers at all; values on unknown keys (should not exist in a parsing
+// scenario) are left alone.
+bool ShrinkIntegers(std::string* current, const StillFailsFn& still_fails,
+                    MinimizeStats* stats) {
+  bool changed = false;
+  const size_t line_count = SplitLines(*current).size();
+  for (size_t i = 0; i < line_count; ++i) {
+    for (;;) {
+      const std::vector<Line> lines = SplitLines(*current);
+      if (i >= lines.size()) break;
+      const Line& line = lines[i];
+      if (line.is_header) break;
+      std::vector<std::string> tokens = Tokenize(line.text);
+      if (tokens.empty() || tokens[0][0] == '#') break;
+      const KeySchema* ks = FindKeySchema(line.section, tokens[0]);
+      if (ks == nullptr) break;
+
+      bool shrunk_any = false;
+      for (size_t v = 0; v + 1 < tokens.size() && v < ks->values.size();
+           ++v) {
+        const ValueSchema& vs = ks->values[v];
+        if (vs.kind != ValueKind::kInt) continue;
+        int64_t value = 0;
+        if (!IsInteger(tokens[v + 1], &value)) continue;
+        // Bisect in [floor, value): the smallest replacement that still
+        // reproduces wins. The floor is the schema minimum, clamped to 0
+        // so huge-negative ranges (seed) shrink to a readable 0.
+        int64_t lo = std::max<int64_t>(vs.int_min, 0);
+        int64_t hi = value;
+        while (lo < hi) {
+          const int64_t mid = lo + (hi - lo) / 2;
+          std::vector<std::string> candidate_tokens = tokens;
+          candidate_tokens[v + 1] = std::to_string(mid);
+          std::vector<Line> candidate = lines;
+          candidate[i].text = JoinTokens(candidate_tokens);
+          if (TryCandidate(JoinLines(candidate), current, still_fails,
+                           stats)) {
+            hi = mid;
+            shrunk_any = true;
+            changed = true;
+            // `current` changed; re-split on the next loop iteration.
+            break;
+          }
+          lo = mid + 1;
+        }
+        if (shrunk_any) break;  // lines are stale; restart this line
+      }
+      if (!shrunk_any) break;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::string MinimizeScenario(const std::string& conf_text,
+                             const StillFailsFn& still_fails,
+                             MinimizeStats* stats) {
+  MinimizeStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = MinimizeStats{};
+
+  std::string current = conf_text;
+  // Normalize trailing newline so the line round-trip is stable.
+  if (!current.empty() && current.back() != '\n') current += "\n";
+
+  constexpr int kMaxRounds = 5;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++stats->rounds;
+    bool changed = false;
+    changed |= DropSections(&current, still_fails, stats);
+    changed |= DropLines(&current, still_fails, stats);
+    changed |= ShrinkIntegers(&current, still_fails, stats);
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace locktune

@@ -1,0 +1,44 @@
+// Delta-debugging minimizer for failing scenarios.
+//
+// Given a scenario text and a predicate that re-runs the oracle stack,
+// shrinks the scenario while the failure reproduces, in three fixpointed
+// passes: drop whole sections, drop individual lines (optional keys,
+// surplus timeline steps, fault windows, comments), then bisect every
+// integer value toward its schema minimum (durations, client counts,
+// lock volumes, fault window edges).
+//
+// Deterministic by construction: the pass order is fixed, candidates are
+// derived purely from the current text, and no randomness is involved —
+// the same input and predicate behavior always produce the same minimized
+// repro (pinned by tests/fuzz/minimizer_test.cc).
+//
+// Candidates that no longer parse are discarded without consulting the
+// predicate, so `still_fails` only ever sees valid scenarios. The caller's
+// predicate must return true only for the ORIGINAL failure signature
+// (same oracle class), or minimization will happily walk to a different,
+// smaller bug.
+#ifndef LOCKTUNE_FUZZ_MINIMIZER_H_
+#define LOCKTUNE_FUZZ_MINIMIZER_H_
+
+#include <functional>
+#include <string>
+
+namespace locktune {
+
+using StillFailsFn = std::function<bool(const std::string& conf_text)>;
+
+struct MinimizeStats {
+  int candidates_tried = 0;
+  int candidates_failed = 0;  // predicate invocations that reproduced
+  int rounds = 0;
+};
+
+// Returns the minimized text; `conf_text` itself if nothing smaller still
+// fails. `stats` is optional.
+std::string MinimizeScenario(const std::string& conf_text,
+                             const StillFailsFn& still_fails,
+                             MinimizeStats* stats = nullptr);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_FUZZ_MINIMIZER_H_

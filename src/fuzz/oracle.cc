@@ -1,0 +1,335 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/scenario.h"
+#include "workload/scenario_config.h"
+
+namespace locktune {
+
+namespace {
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  out.flush();
+  return out.good();
+}
+
+// Total application slots of a parsed scenario: max clients per workload
+// group, summed. One slot total means one application ever runs, which is
+// the bit-deterministic-across-threads case (docs/CONCURRENCY.md).
+int64_t TotalClientSlots(const ScenarioSpec& spec) {
+  int64_t total = 0;
+  for (const WorkloadSpec& w : spec.workloads) {
+    int64_t max_clients = 0;
+    for (const auto& [at, count] : w.client_steps) {
+      max_clients = std::max<int64_t>(max_clients, count);
+    }
+    total += max_clients;
+  }
+  return total;
+}
+
+// True when the scenario's deny-heap pressure is all steady-state: at
+// least one window, and none beginning before the tuner's first pass
+// could have sized the locklist. The degradation contract
+// (docs/ROBUSTNESS.md) is a claim about a TUNED system absorbing
+// pressure; denial against the cold initial locklist can legitimately
+// degrade to SQL0912N-style OOM errors when an escalation convoy has
+// nothing left to reclaim (see docs/FUZZING.md — the fuzzer found
+// exactly this, which is how this gate earned its shape).
+bool HasSteadyStateDenyHeapFault(const ScenarioSpec& spec) {
+  bool any = false;
+  for (const FaultWindowSpec& w : spec.database.fault.windows) {
+    if (w.kind != FaultKind::kDenyHeapGrowth) continue;
+    if (w.from < spec.database.params.tuning_interval) return false;
+    any = true;
+  }
+  return any;
+}
+
+// Details must stay single-line: they are embedded in verdict lines and in
+// `# Detail:` header comments of regression repro files.
+std::string FirstLines(const std::string& text, int n) {
+  std::istringstream is(text);
+  std::string line;
+  std::string out;
+  for (int i = 0; i < n && std::getline(is, line); ++i) {
+    if (line.empty()) continue;
+    if (!out.empty()) out += " | ";
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> CsvColumn(const std::string& csv, size_t index) {
+  std::vector<std::string> column;
+  std::istringstream is(csv);
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    size_t start = 0;
+    for (size_t col = 0; col < index; ++col) {
+      const size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        start = std::string::npos;
+        break;
+      }
+      start = comma + 1;
+    }
+    if (start == std::string::npos) continue;
+    const size_t end = line.find(',', start);
+    column.push_back(line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start));
+  }
+  return column;
+}
+
+std::vector<std::string> MetricNames(const std::string& metrics_csv) {
+  std::vector<std::string> names;
+  std::istringstream is(metrics_csv);
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    // Name column may be RFC 4180 quoted (labels); the quoted form is
+    // itself canonical, so keep it verbatim up to the last comma — metric
+    // names can contain commas only inside quotes, values never do.
+    const size_t comma = line.rfind(',');
+    if (comma == std::string::npos) continue;
+    names.push_back(line.substr(0, comma));
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+double MetricValue(const std::string& metrics_csv, const std::string& name,
+                   double fallback) {
+  std::istringstream is(metrics_csv);
+  std::string line;
+  while (std::getline(is, line)) {
+    const size_t comma = line.rfind(',');
+    if (comma == std::string::npos) continue;
+    if (line.substr(0, comma) != name) continue;
+    return std::strtod(line.c_str() + comma + 1, nullptr);
+  }
+  return fallback;
+}
+
+std::vector<std::string> ClientsChangeRecords(const std::string& trace) {
+  std::vector<std::string> records;
+  std::istringstream is(trace);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (Contains(line, "\"kind\":\"clients_change\"")) {
+      records.push_back(line);
+    }
+  }
+  return records;
+}
+
+OracleReport ClassifyRun(const SimRunResult& run) {
+  OracleReport report;
+  if (!run.started) {
+    report.failed = true;
+    report.oracle = "crash";
+    report.detail = "simulator failed to start: " +
+                    FirstLines(run.stderr_text, 3);
+    return report;
+  }
+  if (run.timed_out) {
+    report.failed = true;
+    report.oracle = "livelock";
+    report.detail = "run exceeded the wall-clock kill budget";
+    return report;
+  }
+  if (Contains(run.stderr_text, "tick watchdog exceeded")) {
+    report.failed = true;
+    report.oracle = "livelock";
+    report.detail = "tick watchdog abort: " + FirstLines(run.stderr_text, 2);
+    return report;
+  }
+  if (Contains(run.stderr_text, "CHECK failed")) {
+    report.failed = true;
+    report.oracle = "invariant";
+    // Surface the CHECK line itself, not the flight-recorder dump.
+    const size_t at = run.stderr_text.find("CHECK failed");
+    const size_t eol = run.stderr_text.find('\n', at);
+    report.detail = run.stderr_text.substr(
+        at, eol == std::string::npos ? std::string::npos : eol - at);
+    return report;
+  }
+  if (run.term_signal != 0) {
+    report.failed = true;
+    report.oracle = "crash";
+    report.detail = "terminated by signal " +
+                    std::to_string(run.term_signal);
+    return report;
+  }
+  // Normal non-zero exit: a semantic config rejection (e.g. kill target
+  // beyond the population). Not an oracle failure — see header.
+  return report;
+}
+
+OracleReport EvaluateScenario(const std::string& conf_text,
+                              const OracleOptions& options) {
+  OracleReport report;
+
+  // Reject texts the parser rejects before burning a subprocess; callers
+  // (the minimizer especially) treat this as "candidate invalid".
+  const Result<ScenarioSpec> spec = ParseScenario(conf_text, "candidate");
+  if (!spec.ok()) {
+    return report;  // not a failure: invalid candidates can't repro bugs
+  }
+
+  const std::string conf_path = options.work_dir + "/candidate.conf";
+  if (!WriteFile(conf_path, conf_text)) {
+    return report;
+  }
+
+  SimRunRequest base;
+  base.sim_binary = options.sim_binary;
+  base.conf_path = conf_path;
+  base.timeout_ms = options.timeout_ms;
+  base.tick_watchdog_ms = options.tick_watchdog_ms;
+  base.paranoid = true;
+  base.extra_env = options.extra_env;
+  // The series under comparison. `clients` is last: the skeleton compare
+  // needs it, and keeping the default four first leaves the strict
+  // compare's CSV a superset of the tool's default output.
+  base.series = {ScenarioRunner::kLockAllocatedMb,
+                 ScenarioRunner::kLockUsedMb, ScenarioRunner::kThroughputTps,
+                 ScenarioRunner::kEscalations, ScenarioRunner::kClients};
+  const size_t clients_column = base.series.size();  // 0 is time_s
+
+  SimRunRequest t1 = base;
+  t1.threads = 1;
+  t1.metrics_path = options.work_dir + "/t1.metrics.csv";
+  t1.trace_path = options.work_dir + "/t1.trace.jsonl";
+  const SimRunResult r1 = RunSim(t1);
+  if (OracleReport r = ClassifyRun(r1); r.failed) {
+    r.detail = "[--threads 1] " + r.detail;
+    return r;
+  }
+
+  SimRunRequest tn = base;
+  tn.threads = options.threads;
+  tn.metrics_path = options.work_dir + "/tn.metrics.csv";
+  tn.trace_path = options.work_dir + "/tn.trace.jsonl";
+  const SimRunResult rn = RunSim(tn);
+  if (OracleReport r = ClassifyRun(rn); r.failed) {
+    r.detail = "[--threads " + std::to_string(options.threads) + "] " +
+               r.detail;
+    return r;
+  }
+
+  // Both runs either succeeded or were cleanly rejected; a rejection
+  // must at least be the SAME rejection (a thread-count-dependent config
+  // error would be its own bug).
+  if (r1.exit_code != 0 || rn.exit_code != 0) {
+    if (r1.exit_code != rn.exit_code ||
+        r1.stderr_text != rn.stderr_text) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "thread-count-dependent rejection: exit " +
+                      std::to_string(r1.exit_code) + " vs " +
+                      std::to_string(rn.exit_code);
+    }
+    return report;
+  }
+
+  // Differential oracle.
+  if (TotalClientSlots(spec.value()) <= 1) {
+    // Single application: full bit-determinism across thread counts.
+    if (r1.stdout_text != rn.stdout_text) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "single-app series CSV differs between --threads 1 "
+                      "and --threads " + std::to_string(options.threads);
+      return report;
+    }
+    if (r1.metrics_text != rn.metrics_text) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "single-app metrics export differs between thread "
+                      "counts";
+      return report;
+    }
+  } else {
+    // Contended: compare the invariant skeleton.
+    if (CsvColumn(r1.stdout_text, 0) != CsvColumn(rn.stdout_text, 0)) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "sample-time column differs between thread counts";
+      return report;
+    }
+    // The clients series is pure timeline replay — virtual-time scripted,
+    // thread-count-independent by contract.
+    if (CsvColumn(r1.stdout_text, clients_column) !=
+        CsvColumn(rn.stdout_text, clients_column)) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "clients series differs between thread counts";
+      return report;
+    }
+    if (MetricNames(r1.metrics_text) != MetricNames(rn.metrics_text)) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "exported metric name set differs between thread "
+                      "counts";
+      return report;
+    }
+    if (ClientsChangeRecords(r1.trace_text) !=
+        ClientsChangeRecords(rn.trace_text)) {
+      report.failed = true;
+      report.oracle = "differential";
+      report.detail = "clients_change trace records differ between thread "
+                      "counts";
+      return report;
+    }
+  }
+
+  // Degradation-ledger contract (docs/ROBUSTNESS.md): under selftuning,
+  // absorbed deny-heap denials must never surface as OOM aborts.
+  if (spec.value().database.mode == TuningMode::kSelfTuning &&
+      HasSteadyStateDenyHeapFault(spec.value())) {
+    const double absorbed =
+        MetricValue(r1.metrics_text, "locktune_fault_absorbed_total", 0);
+    const double oom = MetricValue(
+        r1.metrics_text, "locktune_workload_oom_aborts_total", 0);
+    if (absorbed > 0 && oom > 0) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "ledger absorbed %.0f denials yet %.0f transactions "
+                    "OOM-aborted (contract: absorbed => oom_aborts == 0)",
+                    absorbed, oom);
+      report.failed = true;
+      report.oracle = "degradation";
+      report.detail = detail;
+      return report;
+    }
+  }
+
+  return report;
+}
+
+}  // namespace locktune

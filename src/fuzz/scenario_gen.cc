@@ -1,0 +1,293 @@
+#include "fuzz/scenario_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "workload/scenario_schema.h"
+
+namespace locktune {
+
+namespace {
+
+// Sampling bounds come from the schema (so a re-ranged key re-ranges the
+// generator), intersected with a per-key runtime budget below.
+int64_t SampleInt(Rng& rng, const char* section, const char* key,
+                  size_t value_index, int64_t budget_lo, int64_t budget_hi) {
+  const KeySchema* ks = FindKeySchema(section, key);
+  LOCKTUNE_CHECK(ks != nullptr && value_index < ks->values.size());
+  const ValueSchema& vs = ks->values[value_index];
+  LOCKTUNE_CHECK(vs.kind == ValueKind::kInt);
+  const int64_t lo = std::max(vs.int_min, budget_lo);
+  const int64_t hi = std::min(vs.int_max, budget_hi);
+  LOCKTUNE_CHECK(lo <= hi);
+  return rng.NextInRange(lo, hi);
+}
+
+const std::vector<std::string>& Choices(const char* section,
+                                        const char* key,
+                                        size_t value_index = 0) {
+  const KeySchema* ks = FindKeySchema(section, key);
+  LOCKTUNE_CHECK(ks != nullptr && value_index < ks->values.size());
+  return ks->values[value_index].choices;
+}
+
+std::string Pick(Rng& rng, const std::vector<std::string>& choices) {
+  LOCKTUNE_CHECK(!choices.empty());
+  return choices[rng.NextBelow(choices.size())];
+}
+
+// Fixed-precision doubles so the emitted text is locale- and
+// formatting-stable.
+std::string Frac(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+struct Emitter {
+  std::string text;
+
+  void Line(const std::string& s) { text += s + "\n"; }
+  void KV(const std::string& key, int64_t v) {
+    Line(key + " " + std::to_string(v));
+  }
+  void KV(const std::string& key, const std::string& v) {
+    Line(key + " " + v);
+  }
+};
+
+// One workload section. Returns the section's maximum client count so the
+// fault generator can aim kill_app at a real application slot.
+int64_t EmitWorkloadSection(Rng& rng, int64_t duration_s, Emitter& out) {
+  const char* kSections[] = {"oltp", "oltp", "dss", "batch", "hostile"};
+  const char* section = kSections[rng.NextBelow(5)];  // oltp-biased
+  out.Line(std::string("[") + section + "]");
+
+  // Client timeline: 1–3 steps, first at t=0 with at least one client so
+  // the section is never dead weight; later steps may surge or drop to 0.
+  const int steps = static_cast<int>(1 + rng.NextBelow(3));
+  int64_t max_clients = 0;
+  int64_t prev_t = 0;
+  for (int s = 0; s < steps; ++s) {
+    const int64_t at =
+        s == 0 ? 0 : rng.NextInRange(prev_t + 1, std::max<int64_t>(
+                                                     prev_t + 1, duration_s));
+    const int64_t lo = s == 0 ? 1 : 0;
+    const int64_t count = SampleInt(rng, section, "clients", 1, lo, 8);
+    out.Line("clients " + std::to_string(at) + " " + std::to_string(count));
+    max_clients = std::max(max_clients, count);
+    prev_t = at;
+  }
+
+  const auto section_is = [section](const char* s) {
+    return std::string(section) == s;
+  };
+  if (section_is("oltp")) {
+    if (rng.NextBool(0.8)) {
+      out.KV("mean_locks_per_txn",
+             SampleInt(rng, "oltp", "mean_locks_per_txn", 0, 2, 120));
+    }
+    if (rng.NextBool(0.6)) {
+      out.KV("locks_per_tick",
+             SampleInt(rng, "oltp", "locks_per_tick", 0, 1, 50));
+    }
+    if (rng.NextBool(0.6)) {
+      out.KV("write_fraction", Frac(rng.NextDouble()));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("think_time_ms",
+             SampleInt(rng, "oltp", "think_time_ms", 0, 0, 500));
+    }
+    if (rng.NextBool(0.7)) {
+      // Hot-spot bias: Thomasian's high-contention regimes live at large
+      // skew, so most draws land in [0.5, 0.95).
+      const double zipf =
+          rng.NextBool(0.8) ? 0.5 + 0.45 * rng.NextDouble()
+                            : rng.NextDouble() * 0.5;
+      out.KV("zipf", Frac(std::min(zipf, 0.999)));
+    }
+  } else if (section_is("dss")) {
+    if (rng.NextBool(0.8)) {
+      out.KV("scan_locks", SampleInt(rng, "dss", "scan_locks", 0, 50, 2000));
+    }
+    if (rng.NextBool(0.6)) {
+      out.KV("locks_per_tick",
+             SampleInt(rng, "dss", "locks_per_tick", 0, 10, 200));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("hold_time_s", SampleInt(rng, "dss", "hold_time_s", 0, 0, 5));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("think_time_s", SampleInt(rng, "dss", "think_time_s", 0, 0, 5));
+    }
+  } else if (section_is("batch")) {
+    if (rng.NextBool(0.8)) {
+      out.KV("rows_per_batch",
+             SampleInt(rng, "batch", "rows_per_batch", 0, 100, 5000));
+    }
+    if (rng.NextBool(0.6)) {
+      out.KV("locks_per_tick",
+             SampleInt(rng, "batch", "locks_per_tick", 0, 20, 200));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("hold_time_s", SampleInt(rng, "batch", "hold_time_s", 0, 0, 5));
+    }
+    if (rng.NextBool(0.4)) {
+      out.KV("think_time_s",
+             SampleInt(rng, "batch", "think_time_s", 0, 0, 5));
+    }
+    if (rng.NextBool(0.7)) {
+      out.KV("table", Pick(rng, Choices("batch", "table")));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("mode", Pick(rng, Choices("batch", "mode")));
+    }
+  } else {  // hostile
+    out.KV("archetype", Pick(rng, Choices("hostile", "archetype")));
+    if (rng.NextBool(0.6)) {
+      out.KV("table", Pick(rng, Choices("hostile", "table")));
+    }
+    if (rng.NextBool(0.7)) {
+      out.KV("locks_per_txn",
+             SampleInt(rng, "hostile", "locks_per_txn", 0, 10, 500));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("locks_per_tick",
+             SampleInt(rng, "hostile", "locks_per_tick", 0, 10, 100));
+    }
+    if (rng.NextBool(0.5)) {
+      out.KV("hold_time_s",
+             SampleInt(rng, "hostile", "hold_time_s", 0, 0, 10));
+    }
+    if (rng.NextBool(0.4)) {
+      out.KV("think_time_s",
+             SampleInt(rng, "hostile", "think_time_s", 0, 0, 5));
+    }
+    if (rng.NextBool(0.4)) {
+      out.KV("mode", Pick(rng, Choices("hostile", "mode")));
+    }
+  }
+  return max_clients;
+}
+
+void EmitFaultSection(Rng& rng, int64_t duration_s, int64_t total_clients,
+                      Emitter& out) {
+  out.Line("[fault]");
+  if (rng.NextBool(0.5)) {
+    out.KV("fault_seed", static_cast<int64_t>(rng.Next() >> 1));
+  }
+  const int windows = static_cast<int>(1 + rng.NextBelow(3));
+  for (int w = 0; w < windows; ++w) {
+    const int64_t from = rng.NextInRange(0, duration_s - 1);
+    const int64_t until = rng.NextInRange(from + 1, duration_s);
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        // Locklist-biased: denying the tuned heap is the contract under
+        // test (docs/ROBUSTNESS.md's degradation ledger).
+        const std::vector<std::string>& heaps =
+            Choices("fault", "deny_heap");
+        const std::string heap =
+            rng.NextBool(0.5) ? "locklist" : Pick(rng, heaps);
+        std::string line = "deny_heap " + heap + " " +
+                           std::to_string(from) + " " +
+                           std::to_string(until);
+        if (rng.NextBool(0.6)) {
+          line += " " + Frac(0.3 + 0.7 * rng.NextDouble());
+        }
+        out.Line(line);
+        break;
+      }
+      case 1: {
+        const int64_t mb =
+            SampleInt(rng, "fault", "squeeze_overflow_mb", 0, 8, 64);
+        out.Line("squeeze_overflow_mb " + std::to_string(mb) + " " +
+                 std::to_string(from) + " " + std::to_string(until));
+        break;
+      }
+      default: {
+        const int64_t app = rng.NextInRange(1, total_clients);
+        const int64_t at = rng.NextInRange(0, duration_s);
+        out.Line("kill_app " + std::to_string(app) + " " +
+                 std::to_string(at));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string GenerateScenario(uint64_t seed, uint64_t index) {
+  // Independent stream per (seed, index): splitmix-style mix so adjacent
+  // indices do not produce correlated scenarios.
+  Rng rng(seed ^ (index * 0x9e3779b97f4a7c15ULL) ^ 0x6c62272e07bb0142ULL);
+  Emitter out;
+
+  out.Line("# generated by locktune_fuzz (seed=" + std::to_string(seed) +
+           " index=" + std::to_string(index) + ")");
+
+  // Small memory + short tuning intervals: maximum tuning decisions per
+  // simulated second.
+  const int64_t duration_s = rng.NextInRange(8, 24);
+  out.KV("database_memory_mb",
+         SampleInt(rng, "", "database_memory_mb", 0, 32, 256));
+  const uint64_t mode_draw = rng.NextBelow(10);
+  const bool selftuning = mode_draw < 6;
+  if (selftuning) {
+    out.KV("mode", "selftuning");
+  } else if (mode_draw < 8) {
+    out.KV("mode", "static");
+    out.KV("static_locklist_pages",
+           SampleInt(rng, "", "static_locklist_pages", 0, 100, 2000));
+    out.KV("static_maxlocks_percent", Frac(5 + 55 * rng.NextDouble()));
+  } else {
+    out.KV("mode", "sqlserver");
+  }
+  if (rng.NextBool(0.4)) {
+    out.KV("initial_locklist_pages",
+           SampleInt(rng, "", "initial_locklist_pages", 0, 32, 1000));
+  }
+  // The adaptive controller (TuningParams::Validate) requires the base
+  // interval inside [tuning_interval_min, tuning_interval_max] = [30s,
+  // 600s] when adaptive_interval is on; short intervals are only legal
+  // with it off. Decide adaptivity first so the interval draw can respect
+  // the cross-key constraint.
+  std::string adaptive;
+  if (rng.NextBool(0.3)) {
+    adaptive = Pick(rng, Choices("", "adaptive_interval"));
+  }
+  if (rng.NextBool(0.6)) {
+    out.KV("tuning_interval_s",
+           adaptive == "on"
+               ? SampleInt(rng, "", "tuning_interval_s", 0, 30, 600)
+               : SampleInt(rng, "", "tuning_interval_s", 0, 2, 6));
+  }
+  if (!adaptive.empty()) out.KV("adaptive_interval", adaptive);
+  if (rng.NextBool(0.4)) {
+    out.KV("lock_timeout_ms",
+           rng.NextBool(0.2)
+               ? static_cast<int64_t>(-1)
+               : SampleInt(rng, "", "lock_timeout_ms", 0, 200, 5000));
+  }
+  out.KV("duration_s", duration_s);
+  out.KV("sample_period_s", 1);
+  out.KV("seed", static_cast<int64_t>(rng.Next() >> 1));
+  if (rng.NextBool(0.3)) {
+    out.KV("delta_reduce_percent", Frac(5 + 90 * rng.NextDouble()));
+  }
+
+  const int sections = static_cast<int>(1 + rng.NextBelow(3));
+  int64_t total_clients = 0;
+  for (int s = 0; s < sections; ++s) {
+    total_clients += EmitWorkloadSection(rng, duration_s, out);
+  }
+  if (rng.NextBool(0.5)) {
+    EmitFaultSection(rng, duration_s, total_clients, out);
+  }
+  return out.text;
+}
+
+}  // namespace locktune

@@ -1,0 +1,39 @@
+// Seed-deterministic scenario generator for the fuzzer.
+//
+// Emits complete, parser-valid `.conf` texts by sampling the scenario
+// input language from the machine-readable schema
+// (workload/scenario_schema.h): global tuning keys, 1–3 workload sections
+// across all four archetypes (with Zipf-skewed OLTP access and hostile
+// archetypes), client step timelines, and — roughly half the time — a
+// [fault] section mixing deny-heap windows, overflow squeezes, and
+// kill/restart timelines.
+//
+// Determinism contract: GenerateScenario(seed, i) is a pure function of
+// its arguments. All randomness flows through common/random.h's Rng, never
+// the wall clock, so `locktune_fuzz --seed S --count N` reproduces the
+// exact corpus byte-for-byte on every run (an acceptance criterion pinned
+// by tests/fuzz/scenario_gen_test.cc).
+//
+// Values are sampled inside the schema's legal ranges but biased toward
+// the paper's interesting regimes — small memory, short tuning intervals,
+// hot-spot skew, contended tables — and capped so one scenario stays a
+// sub-second simulation; the point is contention density per CPU-second,
+// not range coverage for its own sake (the schema round-trip tests cover
+// the ranges).
+#ifndef LOCKTUNE_FUZZ_SCENARIO_GEN_H_
+#define LOCKTUNE_FUZZ_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace locktune {
+
+// Generates the `index`-th scenario of the corpus identified by `seed`.
+// The result always parses (ParseScenario) and always instantiates
+// (LoadedScenario::Create); generator bugs that break either are caught by
+// tests/fuzz/scenario_gen_test.cc over a large sample.
+std::string GenerateScenario(uint64_t seed, uint64_t index);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_FUZZ_SCENARIO_GEN_H_

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/paranoid.h"
 #include "telemetry/chrome_trace.h"
 #include "telemetry/lock_profiler.h"
 #include "telemetry/metrics.h"
@@ -27,8 +31,19 @@ const char ScenarioRunner::kClients[] = "clients";
 const char ScenarioRunner::kBlockedApps[] = "blocked_apps";
 
 namespace {
+
 constexpr double kBytesPerMb = 1024.0 * 1024.0;
+
+// Wall-clock nanoseconds for the tick watchdog. steady_clock, never the
+// wall calendar: immune to NTP steps, and legal under locklint LL001
+// (virtual time still comes exclusively from SimClock).
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
+
+}  // namespace
 
 int ClientTimeline::ActiveAt(TimeMs t) const {
   int active = 0;
@@ -53,6 +68,22 @@ ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
   LOCKTUNE_CHECK(db != nullptr);
   LOCKTUNE_CHECK(options.tick > 0);
   LOCKTUNE_CHECK(options.threads >= 1);
+  LOCKTUNE_CHECK(options.tick_watchdog_ms >= 0);
+  // Deliberate-defect plants for oracle self-tests (docs/FUZZING.md). The
+  // variable is unset outside tests/fuzz_e2e, so this is a no-op in
+  // production runs.
+  if (const char* plant = std::getenv("LOCKTUNE_TEST_PLANT");
+      plant != nullptr && *plant != '\0') {
+    if (std::strcmp(plant, "thread_skew") == 0) {
+      planted_ = PlantedBug::kThreadSkew;
+    } else if (std::strcmp(plant, "invariant") == 0) {
+      planted_ = PlantedBug::kInvariant;
+    } else if (std::strcmp(plant, "livelock") == 0) {
+      planted_ = PlantedBug::kLivelock;
+    } else {
+      LOCKTUNE_CHECK(false && "unknown LOCKTUNE_TEST_PLANT value");
+    }
+  }
   // First sample lands one full period in, so every sample window covers
   // the same span.
   next_sample_ = db->clock().now() + options_.sample_period;
@@ -206,6 +237,7 @@ void ScenarioRunner::RunUntilParallel(TimeMs until) {
 }
 
 void ScenarioRunner::BeginTick(TimeMs now) {
+  if (options_.tick_watchdog_ms > 0) tick_start_ns_ = WallNowNs();
   ApplyTimelines(now);
 
   // Fault-plan connection kills. A killed application rolls back and
@@ -254,6 +286,31 @@ void ScenarioRunner::FinishTick(TimeMs now) {
   if (db_->clock().now() >= next_sample_) {
     next_sample_ += options_.sample_period;
     Sample(db_->clock().now());
+  }
+
+  // Planted defects for the fuzzer's oracle self-tests; `planted_` is
+  // kNone unless LOCKTUNE_TEST_PLANT is set.
+  if (planted_ == PlantedBug::kInvariant && ParanoidEnabled() &&
+      now >= 5 * kSecond) {
+    LOCKTUNE_CHECK(false && "planted invariant violation");
+  }
+  if (planted_ == PlantedBug::kLivelock && now >= 2 * kSecond) {
+    // Finite but grossly over-budget ticks: the watchdog (not the outer
+    // kill timeout) is what should catch this shape of livelock.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+
+  if (options_.tick_watchdog_ms > 0) {
+    const int64_t elapsed_ms = (WallNowNs() - tick_start_ns_) / 1'000'000;
+    if (elapsed_ms > options_.tick_watchdog_ms) {
+      std::fprintf(stderr,
+                   "locktune: tick at t=%lld ms took %lld ms of wall time "
+                   "(watchdog budget %lld ms)\n",
+                   static_cast<long long>(now),
+                   static_cast<long long>(elapsed_ms),
+                   static_cast<long long>(options_.tick_watchdog_ms));
+      LOCKTUNE_CHECK(false && "tick watchdog exceeded (livelock?)");
+    }
   }
 }
 
@@ -315,8 +372,14 @@ void ScenarioRunner::Sample(TimeMs now) {
   series_.Record(kOverflowMb, now,
                  static_cast<double>(db_->memory().overflow_bytes()) /
                      kBytesPerMb);
+  // The thread_skew plant is the canonical thread-count-dependent bug the
+  // differential oracle must catch: the clients series silently gains
+  // (threads - 1) under --threads N.
+  const double skew = planted_ == PlantedBug::kThreadSkew
+                          ? static_cast<double>(options_.threads - 1)
+                          : 0.0;
   series_.Record(kClients, now,
-                 static_cast<double>(db_->connected_applications()));
+                 static_cast<double>(db_->connected_applications()) + skew);
   series_.Record(kBlockedApps, now,
                  static_cast<double>(db_->locks().waiting_app_count()));
 }

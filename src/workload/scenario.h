@@ -47,6 +47,14 @@ struct ScenarioOptions {
   // barrier so the serial phase (STMM tuning, deadlock/timeout checks,
   // sampling) observes a consistent snapshot. See docs/CONCURRENCY.md.
   int threads = 1;
+  // Livelock watchdog: wall-clock budget for one simulation tick, in real
+  // milliseconds (0 = off). A tick that exceeds it aborts via
+  // LOCKTUNE_CHECK, leaving the grep-stable "CHECK failed" marker plus
+  // flight-recorder dump. This bounds *slow* ticks (convoys, livelock with
+  // progress); a tick that never returns is the supervising harness's
+  // problem (locktune_fuzz pairs this with a kill timeout). Wall-clock by
+  // design, so it never perturbs virtual-time determinism.
+  int64_t tick_watchdog_ms = 0;
 };
 
 class ScenarioRunner {
@@ -126,6 +134,15 @@ class ScenarioRunner {
   int64_t last_sample_commits_ = 0;
   double last_sample_tps_ = 0.0;
   int last_total_active_ = -1;
+  // Wall-clock stamp of the current tick's start (steady_clock ns), valid
+  // between BeginTick and FinishTick when the watchdog is armed.
+  int64_t tick_start_ns_ = 0;
+  // Deliberate-defect hooks for the fuzzer's oracle tests, selected by the
+  // LOCKTUNE_TEST_PLANT environment variable (read once at construction;
+  // empty — the production state — disables them all). See
+  // docs/FUZZING.md.
+  enum class PlantedBug { kNone, kThreadSkew, kInvariant, kLivelock };
+  PlantedBug planted_ = PlantedBug::kNone;
 };
 
 }  // namespace locktune

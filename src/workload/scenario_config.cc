@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
+
+#include "common/check.h"
+#include "workload/scenario_schema.h"
 
 namespace locktune {
 
@@ -33,8 +37,19 @@ bool ParseRawInt(const std::string& s, int64_t* out) {
 
 bool ParseRawDouble(const std::string& s, double* out) {
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') return false;
+  // Three rejection classes beyond plain syntax errors:
+  //   * ERANGE overflow: strtod clamps to ±HUGE_VAL, silently turning a
+  //     fat-fingered exponent into infinity (underflow to 0 also sets
+  //     ERANGE — a value too small to represent is equally out of range);
+  //   * "inf"/"nan" literals: strtod accepts them, but no scenario key has
+  //     a meaningful infinite or not-a-number value, and NaN would poison
+  //     every range check below (NaN compares false against any bound).
+  if (errno == ERANGE || end == s.c_str() || *end != '\0' ||
+      !std::isfinite(v)) {
+    return false;
+  }
   *out = v;
   return true;
 }
@@ -79,14 +94,6 @@ class LineParser {
     }
     return Status::Ok();
   }
-  [[nodiscard]] Status IntAtLeast(size_t i, int64_t min, int64_t* out) const {
-    if (Status s = IntAt(i, out); !s.ok()) return s;
-    if (*out < min) {
-      return Error("key '" + key() + "' wants an integer >= " +
-                   std::to_string(min) + ", got '" + tokens_[i] + "'");
-    }
-    return Status::Ok();
-  }
   [[nodiscard]] Status DoubleAt(size_t i, double* out) const {
     if (!ParseRawDouble(tokens_[i], out)) {
       return Error("key '" + key() + "' wants a number, got '" + tokens_[i] +
@@ -107,23 +114,43 @@ class LineParser {
     return Status::Ok();
   }
 
-  // Single-value conveniences (arity check + parse + range).
-  [[nodiscard]] Status OneInt(int64_t* out) const {
-    if (Status s = WantValues(1); !s.ok()) return s;
-    return IntAt(1, out);
+  // Schema-driven value parsers: the range comes from the shared
+  // ScenarioSchema() table, so the parser cannot drift from what the
+  // generator samples. A missing or mistyped schema entry is a programmer
+  // error (scenario_schema_test pins parity), hence CHECK not Status.
+  [[nodiscard]] Status SchemaIntAt(const ValueSchema& vs, size_t i,
+                                   int64_t* out) const {
+    LOCKTUNE_CHECK(vs.kind == ValueKind::kInt);
+    if (Status s = IntAt(i, out); !s.ok()) return s;
+    if (*out < vs.int_min || *out > vs.int_max) {
+      return Error("key '" + key() + "' wants an integer in [" +
+                   std::to_string(vs.int_min) + ", " +
+                   std::to_string(vs.int_max) + "], got '" + tokens_[i] +
+                   "'");
+    }
+    return Status::Ok();
   }
-  [[nodiscard]] Status OnePositiveInt(int64_t* out) const {
-    if (Status s = WantValues(1); !s.ok()) return s;
-    return IntAtLeast(1, 1, out);
+  [[nodiscard]] Status SchemaDoubleAt(const ValueSchema& vs, size_t i,
+                                      double* out) const {
+    LOCKTUNE_CHECK(vs.kind == ValueKind::kDouble);
+    return DoubleIn(i, vs.lo, vs.lo_open, vs.hi, vs.hi_open, out);
   }
-  [[nodiscard]] Status OneNonNegativeInt(int64_t* out) const {
+
+  // Single-value conveniences (schema lookup + arity check + parse +
+  // range). `section` is the schema section ("" for global keys).
+  [[nodiscard]] Status OneSchemaInt(const char* section,
+                                    int64_t* out) const {
+    const KeySchema* ks = FindKeySchema(section, key());
+    LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 1);
     if (Status s = WantValues(1); !s.ok()) return s;
-    return IntAtLeast(1, 0, out);
+    return SchemaIntAt(ks->values[0], 1, out);
   }
-  [[nodiscard]] Status OneDoubleIn(double lo, bool lo_open, double hi,
-                                   bool hi_open, double* out) const {
+  [[nodiscard]] Status OneSchemaDouble(const char* section,
+                                       double* out) const {
+    const KeySchema* ks = FindKeySchema(section, key());
+    LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 1);
     if (Status s = WantValues(1); !s.ok()) return s;
-    return DoubleIn(1, lo, lo_open, hi, hi_open, out);
+    return SchemaDoubleAt(ks->values[0], 1, out);
   }
   [[nodiscard]] Status OneLockMode(LockMode* out) const {
     if (Status s = WantValues(1); !s.ok()) return s;
@@ -152,7 +179,7 @@ Status ParseGlobalLine(const LineParser& p, ScenarioSpec* spec) {
   double dv = 0.0;
 
   if (key == "database_memory_mb") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->database.params.database_memory = iv * kMiB;
   } else if (key == "mode") {
     if (Status s = p.WantValues(1); !s.ok()) return s;
@@ -168,16 +195,16 @@ Status ParseGlobalLine(const LineParser& p, ScenarioSpec* spec) {
           p.token(1) + "'");
     }
   } else if (key == "static_locklist_pages") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->database.static_locklist_pages = iv;
   } else if (key == "static_maxlocks_percent") {
-    if (Status s = p.OneDoubleIn(0, true, 100, false, &dv); !s.ok()) return s;
+    if (Status s = p.OneSchemaDouble("", &dv); !s.ok()) return s;
     spec->database.static_maxlocks_percent = dv;
   } else if (key == "initial_locklist_pages") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->database.params.initial_locklist_pages = iv;
   } else if (key == "tuning_interval_s") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->database.params.tuning_interval = iv * kSecond;
   } else if (key == "adaptive_interval") {
     if (Status s = p.WantValues(1); !s.ok()) return s;
@@ -187,19 +214,19 @@ Status ParseGlobalLine(const LineParser& p, ScenarioSpec* spec) {
     }
     spec->database.params.adaptive_interval = p.token(1) == "on";
   } else if (key == "lock_timeout_ms") {
-    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->database.lock_timeout = iv;
   } else if (key == "duration_s") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->runner.duration = iv * kSecond;
   } else if (key == "sample_period_s") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->runner.sample_period = iv * kSecond;
   } else if (key == "seed") {
-    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("", &iv); !s.ok()) return s;
     spec->runner.seed = static_cast<uint64_t>(iv);
   } else if (key == "delta_reduce_percent") {
-    if (Status s = p.OneDoubleIn(0, true, 100, true, &dv); !s.ok()) return s;
+    if (Status s = p.OneSchemaDouble("", &dv); !s.ok()) return s;
     spec->database.params.delta_reduce = dv / 100.0;
   } else {
     return p.UnknownKey("the global section");
@@ -213,19 +240,19 @@ Status ParseOltpLine(const LineParser& p, WorkloadSpec* section) {
   double dv = 0.0;
 
   if (key == "mean_locks_per_txn") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("oltp", &iv); !s.ok()) return s;
     section->oltp.mean_locks_per_txn = iv;
   } else if (key == "locks_per_tick") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("oltp", &iv); !s.ok()) return s;
     section->oltp.locks_per_tick = static_cast<int>(iv);
   } else if (key == "write_fraction") {
-    if (Status s = p.OneDoubleIn(0, false, 1, false, &dv); !s.ok()) return s;
+    if (Status s = p.OneSchemaDouble("oltp", &dv); !s.ok()) return s;
     section->oltp.write_fraction = dv;
   } else if (key == "think_time_ms") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("oltp", &iv); !s.ok()) return s;
     section->oltp.think_time = iv;
   } else if (key == "zipf") {
-    if (Status s = p.OneDoubleIn(0, false, 1, true, &dv); !s.ok()) return s;
+    if (Status s = p.OneSchemaDouble("oltp", &dv); !s.ok()) return s;
     section->oltp.row_zipf_theta = dv;
   } else {
     return p.UnknownKey("[oltp]");
@@ -238,16 +265,16 @@ Status ParseDssLine(const LineParser& p, WorkloadSpec* section) {
   int64_t iv = 0;
 
   if (key == "scan_locks") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("dss", &iv); !s.ok()) return s;
     section->dss.scan_locks = iv;
   } else if (key == "locks_per_tick") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("dss", &iv); !s.ok()) return s;
     section->dss.locks_per_tick = static_cast<int>(iv);
   } else if (key == "hold_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("dss", &iv); !s.ok()) return s;
     section->dss.hold_time = iv * kSecond;
   } else if (key == "think_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("dss", &iv); !s.ok()) return s;
     section->dss.think_time = iv * kSecond;
   } else {
     return p.UnknownKey("[dss]");
@@ -260,16 +287,16 @@ Status ParseBatchLine(const LineParser& p, WorkloadSpec* section) {
   int64_t iv = 0;
 
   if (key == "rows_per_batch") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("batch", &iv); !s.ok()) return s;
     section->batch.rows_per_batch = iv;
   } else if (key == "locks_per_tick") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("batch", &iv); !s.ok()) return s;
     section->batch.locks_per_tick = static_cast<int>(iv);
   } else if (key == "hold_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("batch", &iv); !s.ok()) return s;
     section->batch.hold_time = iv * kSecond;
   } else if (key == "think_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("batch", &iv); !s.ok()) return s;
     section->batch.think_time = iv * kSecond;
   } else if (key == "table") {
     if (Status s = p.WantValues(1); !s.ok()) return s;
@@ -306,16 +333,16 @@ Status ParseHostileLine(const LineParser& p, WorkloadSpec* section) {
     if (Status s = p.WantValues(1); !s.ok()) return s;
     section->hostile_table = p.token(1);
   } else if (key == "locks_per_txn") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("hostile", &iv); !s.ok()) return s;
     section->hostile.locks_per_txn = iv;
   } else if (key == "locks_per_tick") {
-    if (Status s = p.OnePositiveInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("hostile", &iv); !s.ok()) return s;
     section->hostile.locks_per_tick = static_cast<int>(iv);
   } else if (key == "hold_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("hostile", &iv); !s.ok()) return s;
     section->hostile.hold_time = iv * kSecond;
   } else if (key == "think_time_s") {
-    if (Status s = p.OneNonNegativeInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("hostile", &iv); !s.ok()) return s;
     section->hostile.think_time = iv * kSecond;
   } else if (key == "mode") {
     if (Status s = p.OneLockMode(&section->hostile.mode); !s.ok()) return s;
@@ -332,7 +359,7 @@ Status ParseFaultLine(const LineParser& p, ScenarioSpec* spec,
   int64_t iv = 0;
 
   if (key == "fault_seed") {
-    if (Status s = p.OneInt(&iv); !s.ok()) return s;
+    if (Status s = p.OneSchemaInt("fault", &iv); !s.ok()) return s;
     fault.seed = static_cast<uint64_t>(iv);
     *fault_seed_set = true;
   } else if (key == "deny_heap") {
@@ -341,12 +368,14 @@ Status ParseFaultLine(const LineParser& p, ScenarioSpec* spec,
           "key 'deny_heap' wants: deny_heap <heap> <from_s> <until_s> "
           "[probability]");
     }
+    const KeySchema* ks = FindKeySchema("fault", "deny_heap");
+    LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 4);
     FaultWindowSpec w;
     w.kind = FaultKind::kDenyHeapGrowth;
     w.heap = p.token(1);
     int64_t from = 0, until = 0;
-    if (Status s = p.IntAtLeast(2, 0, &from); !s.ok()) return s;
-    if (Status s = p.IntAtLeast(3, 0, &until); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[1], 2, &from); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[2], 3, &until); !s.ok()) return s;
     if (until <= from) {
       return p.Error("key 'deny_heap' wants until_s > from_s (the window "
                      "[from, until) is empty)");
@@ -354,18 +383,20 @@ Status ParseFaultLine(const LineParser& p, ScenarioSpec* spec,
     w.from = from * kSecond;
     w.until = until * kSecond;
     if (p.values() == 4) {
-      if (Status s = p.DoubleIn(4, 0, false, 1, false, &w.probability);
+      if (Status s = p.SchemaDoubleAt(ks->values[3], 4, &w.probability);
           !s.ok()) {
         return s;
       }
     }
     fault.windows.push_back(w);
   } else if (key == "squeeze_overflow_mb") {
+    const KeySchema* ks = FindKeySchema("fault", "squeeze_overflow_mb");
+    LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 3);
     if (Status s = p.WantValues(3); !s.ok()) return s;
     int64_t mb = 0, from = 0, until = 0;
-    if (Status s = p.IntAtLeast(1, 1, &mb); !s.ok()) return s;
-    if (Status s = p.IntAtLeast(2, 0, &from); !s.ok()) return s;
-    if (Status s = p.IntAtLeast(3, 0, &until); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[0], 1, &mb); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[1], 2, &from); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[2], 3, &until); !s.ok()) return s;
     if (until <= from) {
       return p.Error(
           "key 'squeeze_overflow_mb' wants until_s > from_s (the window "
@@ -379,10 +410,12 @@ Status ParseFaultLine(const LineParser& p, ScenarioSpec* spec,
     w.until = until * kSecond;
     fault.windows.push_back(w);
   } else if (key == "kill_app") {
+    const KeySchema* ks = FindKeySchema("fault", "kill_app");
+    LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 2);
     if (Status s = p.WantValues(2); !s.ok()) return s;
     int64_t app = 0, at = 0;
-    if (Status s = p.IntAtLeast(1, 1, &app); !s.ok()) return s;
-    if (Status s = p.IntAtLeast(2, 0, &at); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[0], 1, &app); !s.ok()) return s;
+    if (Status s = p.SchemaIntAt(ks->values[1], 2, &at); !s.ok()) return s;
     FaultKillSpec k;
     k.at = at * kSecond;
     k.app = static_cast<int32_t>(app);
@@ -480,10 +513,14 @@ Result<ScenarioSpec> ParseScenario(const std::string& text,
 
     // Keys shared by all workload sections.
     if (p.key() == "clients") {
+      const KeySchema* ks = FindKeySchema(kSharedWorkloadSection, "clients");
+      LOCKTUNE_CHECK(ks != nullptr && ks->values.size() == 2);
       if (Status s = p.WantValues(2); !s.ok()) return s;
       int64_t at = 0, count = 0;
-      if (Status s = p.IntAtLeast(1, 0, &at); !s.ok()) return s;
-      if (Status s = p.IntAtLeast(2, 0, &count); !s.ok()) return s;
+      if (Status s = p.SchemaIntAt(ks->values[0], 1, &at); !s.ok()) return s;
+      if (Status s = p.SchemaIntAt(ks->values[1], 2, &count); !s.ok()) {
+        return s;
+      }
       section->client_steps.push_back(
           {at * kSecond, static_cast<int>(count)});
       continue;

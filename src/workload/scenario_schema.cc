@@ -1,0 +1,206 @@
+#include "workload/scenario_schema.h"
+
+namespace locktune {
+
+ValueSchema ValueSchema::IntIn(int64_t min, int64_t max) {
+  ValueSchema v;
+  v.kind = ValueKind::kInt;
+  v.int_min = min;
+  v.int_max = max;
+  return v;
+}
+
+ValueSchema ValueSchema::DoubleIn(double lo, bool lo_open, double hi,
+                                  bool hi_open) {
+  ValueSchema v;
+  v.kind = ValueKind::kDouble;
+  v.lo = lo;
+  v.hi = hi;
+  v.lo_open = lo_open;
+  v.hi_open = hi_open;
+  return v;
+}
+
+ValueSchema ValueSchema::EnumOf(std::vector<std::string> choices) {
+  ValueSchema v;
+  v.kind = ValueKind::kEnum;
+  v.choices = std::move(choices);
+  return v;
+}
+
+ValueSchema ValueSchema::NameOf(std::vector<std::string> choices) {
+  ValueSchema v;
+  v.kind = ValueKind::kName;
+  v.choices = std::move(choices);
+  return v;
+}
+
+namespace {
+
+// Shorthand used only by the table below.
+ValueSchema Seconds() { return ValueSchema::IntIn(0, kMaxScenarioSeconds); }
+ValueSchema PositiveSeconds() {
+  return ValueSchema::IntIn(1, kMaxScenarioSeconds);
+}
+ValueSchema LockMode() {
+  return ValueSchema::EnumOf({"S", "U", "X"});
+}
+ValueSchema TableName() {
+  // The built-in catalog's tables (engine/catalog.cc). kName: the parser
+  // accepts any identifier and validates against the catalog at
+  // instantiation time; these spellings are for generators.
+  return ValueSchema::NameOf({"tpcc_warehouse", "tpcc_district",
+                              "tpcc_customer", "tpcc_orders",
+                              "tpcc_order_line", "tpcc_stock", "tpcc_item",
+                              "tpcc_new_order", "tpcc_history",
+                              "tpch_lineitem", "tpch_orders",
+                              "tpch_customer", "tpch_part", "tpch_partsupp",
+                              "tpch_supplier", "tpch_nation"});
+}
+
+std::vector<KeySchema> BuildSchema() {
+  const auto key = [](std::string section, std::string name,
+                      std::vector<ValueSchema> values, size_t min_values,
+                      bool repeatable) {
+    KeySchema k;
+    k.section = std::move(section);
+    k.key = std::move(name);
+    k.values = std::move(values);
+    k.min_values = min_values;
+    k.repeatable = repeatable;
+    return k;
+  };
+  const auto one = [&key](std::string section, std::string name,
+                          ValueSchema value) {
+    return key(std::move(section), std::move(name), {std::move(value)}, 1,
+               false);
+  };
+
+  std::vector<KeySchema> schema;
+
+  // Global section.
+  schema.push_back(one("", "database_memory_mb",
+                       ValueSchema::IntIn(1, kMaxScenarioMemoryMb)));
+  schema.push_back(
+      one("", "mode",
+          ValueSchema::EnumOf({"selftuning", "static", "sqlserver"})));
+  schema.push_back(one("", "static_locklist_pages",
+                       ValueSchema::IntIn(1, kMaxScenarioPages)));
+  schema.push_back(one("", "static_maxlocks_percent",
+                       ValueSchema::DoubleIn(0, true, 100, false)));
+  schema.push_back(one("", "initial_locklist_pages",
+                       ValueSchema::IntIn(1, kMaxScenarioPages)));
+  schema.push_back(one("", "tuning_interval_s", PositiveSeconds()));
+  schema.push_back(
+      one("", "adaptive_interval", ValueSchema::EnumOf({"on", "off"})));
+  schema.push_back(one("", "lock_timeout_ms",
+                       ValueSchema::IntIn(-kMaxScenarioTimeoutMs,
+                                          kMaxScenarioTimeoutMs)));
+  schema.push_back(one("", "duration_s", PositiveSeconds()));
+  schema.push_back(one("", "sample_period_s", PositiveSeconds()));
+  schema.push_back(one("", "seed",
+                       ValueSchema::IntIn(INT64_MIN, INT64_MAX)));
+  schema.push_back(one("", "delta_reduce_percent",
+                       ValueSchema::DoubleIn(0, true, 100, true)));
+
+  // Shared by every workload section.
+  schema.push_back(key(kSharedWorkloadSection, "clients",
+                       {Seconds(),
+                        ValueSchema::IntIn(0, kMaxScenarioClients)},
+                       2, true));
+
+  // [oltp]
+  schema.push_back(one("oltp", "mean_locks_per_txn",
+                       ValueSchema::IntIn(1, kMaxScenarioLocks)));
+  schema.push_back(one("oltp", "locks_per_tick",
+                       ValueSchema::IntIn(1, kMaxScenarioLocksPerTick)));
+  schema.push_back(one("oltp", "write_fraction",
+                       ValueSchema::DoubleIn(0, false, 1, false)));
+  schema.push_back(one("oltp", "think_time_ms",
+                       ValueSchema::IntIn(0, kMaxScenarioThinkMs)));
+  schema.push_back(one("oltp", "zipf",
+                       ValueSchema::DoubleIn(0, false, 1, true)));
+
+  // [dss]
+  schema.push_back(one("dss", "scan_locks",
+                       ValueSchema::IntIn(1, kMaxScenarioLocks)));
+  schema.push_back(one("dss", "locks_per_tick",
+                       ValueSchema::IntIn(1, kMaxScenarioLocksPerTick)));
+  schema.push_back(one("dss", "hold_time_s", Seconds()));
+  schema.push_back(one("dss", "think_time_s", Seconds()));
+
+  // [batch]
+  schema.push_back(one("batch", "rows_per_batch",
+                       ValueSchema::IntIn(1, kMaxScenarioLocks)));
+  schema.push_back(one("batch", "locks_per_tick",
+                       ValueSchema::IntIn(1, kMaxScenarioLocksPerTick)));
+  schema.push_back(one("batch", "hold_time_s", Seconds()));
+  schema.push_back(one("batch", "think_time_s", Seconds()));
+  schema.push_back(one("batch", "table", TableName()));
+  schema.push_back(one("batch", "mode", LockMode()));
+
+  // [hostile]
+  schema.push_back(one("hostile", "archetype",
+                       ValueSchema::EnumOf({"lock_hog", "idle_holder",
+                                            "abort_storm",
+                                            "request_storm"})));
+  schema.push_back(one("hostile", "table", TableName()));
+  schema.push_back(one("hostile", "locks_per_txn",
+                       ValueSchema::IntIn(1, kMaxScenarioLocks)));
+  schema.push_back(one("hostile", "locks_per_tick",
+                       ValueSchema::IntIn(1, kMaxScenarioLocksPerTick)));
+  schema.push_back(one("hostile", "hold_time_s", Seconds()));
+  schema.push_back(one("hostile", "think_time_s", Seconds()));
+  schema.push_back(one("hostile", "mode", LockMode()));
+
+  // [fault]
+  schema.push_back(one("fault", "fault_seed",
+                       ValueSchema::IntIn(INT64_MIN, INT64_MAX)));
+  schema.push_back(key("fault", "deny_heap",
+                       {ValueSchema::NameOf({"locklist", "buffer_pool",
+                                             "sort", "package_cache", "*"}),
+                        Seconds(), Seconds(),
+                        ValueSchema::DoubleIn(0, false, 1, false)},
+                       3, true));
+  schema.push_back(key("fault", "squeeze_overflow_mb",
+                       {ValueSchema::IntIn(1, kMaxScenarioMemoryMb),
+                        Seconds(), Seconds()},
+                       3, true));
+  schema.push_back(key("fault", "kill_app",
+                       {ValueSchema::IntIn(1, kMaxScenarioClients),
+                        Seconds()},
+                       2, true));
+
+  return schema;
+}
+
+}  // namespace
+
+const std::vector<KeySchema>& ScenarioSchema() {
+  static const std::vector<KeySchema>* schema =
+      new std::vector<KeySchema>(BuildSchema());
+  return *schema;
+}
+
+const std::vector<std::string>& ScenarioSectionNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "oltp", "dss", "batch", "hostile", "fault"};
+  return *names;
+}
+
+const KeySchema* FindKeySchema(std::string_view section,
+                               std::string_view key) {
+  const bool workload_section = section == "oltp" || section == "dss" ||
+                                section == "batch" || section == "hostile";
+  for (const KeySchema& k : ScenarioSchema()) {
+    if (k.key != key) continue;
+    if (k.section == section) return &k;
+    if (k.section == kSharedWorkloadSection &&
+        (workload_section || section == kSharedWorkloadSection)) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace locktune

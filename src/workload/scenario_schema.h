@@ -1,0 +1,91 @@
+// Machine-readable schema of the scenario-file input language.
+//
+// One table describes every section, key, arity, value type, and numeric
+// range the parser accepts. The parser (scenario_config.cc) enforces its
+// integer/double ranges *from this table*, and the scenario fuzzer
+// (src/fuzz/scenario_gen.h) samples values *from this table* — so the
+// generator cannot drift from the parser: a key renamed, removed, or
+// re-ranged in one place breaks the other's tests immediately
+// (tests/workload/scenario_schema_test.cc round-trips every entry).
+//
+// Sections use their file spelling without brackets; two pseudo-sections
+// exist: "" (the global key space before any section header) and
+// kSharedWorkloadSection (keys accepted by every workload section, today
+// just `clients`).
+#ifndef LOCKTUNE_WORKLOAD_SCENARIO_SCHEMA_H_
+#define LOCKTUNE_WORKLOAD_SCENARIO_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locktune {
+
+// Hard caps shared by the parser and the generator. Generous by design:
+// they exist to reject values that overflow downstream unit conversions
+// (e.g. `mb * kMiB`, `seconds * 1000`), not to police plausibility.
+inline constexpr int64_t kMaxScenarioMemoryMb = 1'048'576;   // 1 TiB
+inline constexpr int64_t kMaxScenarioPages = 1'000'000'000;
+inline constexpr int64_t kMaxScenarioSeconds = 10'000'000;   // ~115 days
+inline constexpr int64_t kMaxScenarioTimeoutMs = 1'000'000'000;
+inline constexpr int64_t kMaxScenarioLocks = 1'000'000'000;
+inline constexpr int64_t kMaxScenarioLocksPerTick = 10'000'000;
+inline constexpr int64_t kMaxScenarioThinkMs = 100'000'000;
+inline constexpr int64_t kMaxScenarioClients = 1'000'000;
+
+// The pseudo-section for keys every workload section shares.
+inline constexpr char kSharedWorkloadSection[] = "*workload*";
+
+enum class ValueKind {
+  kInt,     // integer in [int_min, int_max]
+  kDouble,  // double in lo..hi with per-end openness
+  kEnum,    // one of `choices`, exact spelling
+  kName,    // free identifier (table / heap name); `choices` lists
+            // known-valid spellings for generators, not a parser limit
+};
+
+// One positional value of a key.
+struct ValueSchema {
+  ValueKind kind = ValueKind::kInt;
+  int64_t int_min = 0;
+  int64_t int_max = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool lo_open = false;
+  bool hi_open = false;
+  std::vector<std::string> choices;
+
+  static ValueSchema IntIn(int64_t min, int64_t max);
+  static ValueSchema DoubleIn(double lo, bool lo_open, double hi,
+                              bool hi_open);
+  static ValueSchema EnumOf(std::vector<std::string> choices);
+  static ValueSchema NameOf(std::vector<std::string> choices);
+};
+
+// One key of the scenario language.
+struct KeySchema {
+  std::string section;  // "", kSharedWorkloadSection, or a section name
+  std::string key;
+  std::vector<ValueSchema> values;
+  // Required prefix of `values`; trailing entries are optional (e.g.
+  // deny_heap's probability).
+  size_t min_values = 0;
+  // May appear more than once per section (list-building keys).
+  bool repeatable = false;
+};
+
+// The full key table, in deterministic declaration order.
+const std::vector<KeySchema>& ScenarioSchema();
+
+// Workload section names as they appear between brackets, plus "fault".
+const std::vector<std::string>& ScenarioSectionNames();
+
+// Lookup by (section, key); shared workload keys are found under their
+// concrete section name too. Returns nullptr when the pair is unknown.
+const KeySchema* FindKeySchema(std::string_view section,
+                               std::string_view key);
+
+}  // namespace locktune
+
+#endif  // LOCKTUNE_WORKLOAD_SCENARIO_SCHEMA_H_

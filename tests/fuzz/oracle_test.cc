@@ -1,0 +1,150 @@
+// Unit tests for the oracle stack's pure parts: run classification
+// precedence and the canonicalization helpers the differential compare is
+// built from. The end-to-end legs (real simulator, planted bugs) live in
+// fuzz_e2e_test.cc.
+#include "fuzz/oracle.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace locktune {
+namespace {
+
+SimRunResult CleanRun() {
+  SimRunResult run;
+  run.started = true;
+  run.exit_code = 0;
+  return run;
+}
+
+TEST(ClassifyRunTest, CleanRunPasses) {
+  EXPECT_FALSE(ClassifyRun(CleanRun()).failed);
+}
+
+TEST(ClassifyRunTest, ExecFailureIsACrash) {
+  SimRunResult run;
+  run.started = false;
+  run.stderr_text = "exec: No such file or directory\n";
+  const OracleReport report = ClassifyRun(run);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.oracle, "crash");
+}
+
+TEST(ClassifyRunTest, WallClockTimeoutIsALivelock) {
+  SimRunResult run = CleanRun();
+  run.timed_out = true;
+  const OracleReport report = ClassifyRun(run);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.oracle, "livelock");
+}
+
+TEST(ClassifyRunTest, TickWatchdogAbortIsALivelock) {
+  SimRunResult run = CleanRun();
+  run.exit_code = 134;
+  run.term_signal = 6;
+  run.stderr_text =
+      "locktune: tick at t=2000 ms took 250 ms of wall time (watchdog "
+      "budget 100 ms)\n"
+      "locktune: CHECK failed: false && \"tick watchdog exceeded "
+      "(livelock?)\" (scenario.cc:312)\n";
+  const OracleReport report = ClassifyRun(run);
+  EXPECT_TRUE(report.failed);
+  // Watchdog aborts go through LOCKTUNE_CHECK, but classify as livelock,
+  // not invariant — the watchdog line takes precedence.
+  EXPECT_EQ(report.oracle, "livelock");
+}
+
+TEST(ClassifyRunTest, CheckFailureIsAnInvariantWithTheCheckLine) {
+  SimRunResult run = CleanRun();
+  run.term_signal = 6;
+  run.stderr_text =
+      "locktune: CHECK failed: used <= allocated (lock_table.cc:99)\n"
+      "locktune: flight recorder (3 threads):\n  ...\n";
+  const OracleReport report = ClassifyRun(run);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.oracle, "invariant");
+  EXPECT_NE(report.detail.find("used <= allocated"), std::string::npos);
+  // Only the CHECK line, not the flight-recorder dump.
+  EXPECT_EQ(report.detail.find("flight recorder"), std::string::npos);
+}
+
+TEST(ClassifyRunTest, UnexplainedSignalIsACrash) {
+  SimRunResult run = CleanRun();
+  run.exit_code = 139;
+  run.term_signal = 11;
+  const OracleReport report = ClassifyRun(run);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.oracle, "crash");
+  EXPECT_NE(report.detail.find("signal 11"), std::string::npos);
+}
+
+TEST(ClassifyRunTest, CleanConfigRejectionIsNotAFailure) {
+  // Semantic rejections (exit 1, no signal, no CHECK) are the simulator
+  // doing its job; flagging them would let the minimizer walk to a
+  // different "bug".
+  SimRunResult run = CleanRun();
+  run.exit_code = 1;
+  run.stderr_text = "locktune_sim: kill_app target 9 beyond population\n";
+  EXPECT_FALSE(ClassifyRun(run).failed);
+}
+
+TEST(CsvColumnTest, ExtractsTheRequestedColumnSkippingTheHeader) {
+  const std::string csv =
+      "time_s,a,b\n"
+      "0,1,2\n"
+      "1,3,4\n";
+  EXPECT_EQ(CsvColumn(csv, 0), (std::vector<std::string>{"0", "1"}));
+  EXPECT_EQ(CsvColumn(csv, 2), (std::vector<std::string>{"2", "4"}));
+  EXPECT_TRUE(CsvColumn(csv, 7).empty());  // out of range: no rows
+}
+
+TEST(MetricNamesTest, SortsDeduplicatesAndKeepsQuotedNames) {
+  const std::string csv =
+      "metric,value\n"
+      "zeta,1\n"
+      "alpha,2\n"
+      "\"hist{le=\"\"+Inf\"\"}\",3\n"
+      "zeta,9\n";
+  const std::vector<std::string> names = MetricNames(csv);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "\"hist{le=\"\"+Inf\"\"}\"");
+  EXPECT_EQ(names[1], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(MetricValueTest, FindsValuesAndFallsBack) {
+  const std::string csv =
+      "metric,value\n"
+      "locktune_fault_absorbed_total,12\n"
+      "locktune_workload_oom_aborts_total,0\n";
+  EXPECT_EQ(MetricValue(csv, "locktune_fault_absorbed_total", -1), 12);
+  EXPECT_EQ(MetricValue(csv, "locktune_workload_oom_aborts_total", -1), 0);
+  EXPECT_EQ(MetricValue(csv, "no_such_metric", -1), -1);
+}
+
+TEST(ClientsChangeRecordsTest, FiltersTheTraceToClientTimelineRecords) {
+  const std::string trace =
+      "{\"t_ms\":0,\"kind\":\"tuning_pass\",\"action\":\"grow\"}\n"
+      "{\"t_ms\":70000,\"kind\":\"clients_change\",\"from\":40,\"to\":41}\n"
+      "{\"t_ms\":80000,\"kind\":\"clients_change\",\"from\":41,\"to\":40}\n";
+  const std::vector<std::string> records = ClientsChangeRecords(trace);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("\"from\":40"), std::string::npos);
+  EXPECT_NE(records[1].find("\"to\":40"), std::string::npos);
+}
+
+TEST(EvaluateScenarioTest, UnparseableTextIsNotAFailure) {
+  // The minimizer's parse gate runs first, but EvaluateScenario must also
+  // hold the line on its own: invalid text cannot "reproduce" anything.
+  OracleOptions options;
+  options.sim_binary = "/nonexistent/locktune_sim";
+  options.work_dir = testing::TempDir();
+  const OracleReport report =
+      EvaluateScenario("definitely not a scenario\n", options);
+  EXPECT_FALSE(report.failed);
+}
+
+}  // namespace
+}  // namespace locktune

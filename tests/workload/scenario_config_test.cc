@@ -203,7 +203,39 @@ TEST(ScenarioConfigTest, RejectsMalformedInteger) {
 
 TEST(ScenarioConfigTest, RejectsNonPositiveInteger) {
   ExpectParseError("duration_s 0\n[oltp]\nclients 0 1\n", 1,
-                   {"duration_s", ">= 1", "'0'"});
+                   {"duration_s", "in [1, ", "'0'"});
+}
+
+TEST(ScenarioConfigTest, RejectsOverflowingInteger) {
+  // strtoll clamps to LLONG_MAX on overflow; the parser must reject, not
+  // silently saturate.
+  ExpectParseError(
+      "database_memory_mb 99999999999999999999999\n[oltp]\nclients 0 1\n", 1,
+      {"database_memory_mb", "integer"});
+}
+
+TEST(ScenarioConfigTest, RejectsIntegerAboveSchemaCap) {
+  // In-range for int64 but beyond the schema cap: overflows `mb * kMiB`
+  // downstream if accepted.
+  ExpectParseError("database_memory_mb 9999999999\n[oltp]\nclients 0 1\n", 1,
+                   {"database_memory_mb", "in [1, 1048576]", "'9999999999'"});
+}
+
+TEST(ScenarioConfigTest, RejectsNonFiniteDouble) {
+  ExpectParseError("[oltp]\nclients 0 1\nwrite_fraction inf\n", 3,
+                   {"write_fraction", "'inf'"});
+  ExpectParseError("[oltp]\nclients 0 1\nwrite_fraction nan\n", 3,
+                   {"write_fraction", "'nan'"});
+  ExpectParseError("[oltp]\nclients 0 1\nzipf -inf\n", 3, {"zipf", "'-inf'"});
+}
+
+TEST(ScenarioConfigTest, RejectsOverflowingDouble) {
+  // 1e999 clamps to +HUGE_VAL under strtod (ERANGE); must not parse as a
+  // finite fraction.
+  ExpectParseError("[oltp]\nclients 0 1\nwrite_fraction 1e999\n", 3,
+                   {"write_fraction", "'1e999'"});
+  ExpectParseError("[fault]\ndeny_heap locklist 0 10 1e-999\n", 2,
+                   {"deny_heap", "'1e-999'"});
 }
 
 TEST(ScenarioConfigTest, RejectsMalformedClients) {
@@ -371,11 +403,11 @@ TEST(ScenarioConfigTest, RejectsMalformedFaultLines) {
   ExpectParseError("[fault]\ndeny_heap locklist 10 20 1.5" + tail, 2,
                    {"deny_heap", "[0, 1]", "'1.5'"});
   ExpectParseError("[fault]\nsqueeze_overflow_mb 0 10 20" + tail, 2,
-                   {"squeeze_overflow_mb", ">= 1", "'0'"});
+                   {"squeeze_overflow_mb", "in [1, ", "'0'"});
   ExpectParseError("[fault]\nkill_app 0 10" + tail, 2,
-                   {"kill_app", ">= 1", "'0'"});
+                   {"kill_app", "in [1, ", "'0'"});
   ExpectParseError("[fault]\nkill_app 1 -5" + tail, 2,
-                   {"kill_app", ">= 0", "'-5'"});
+                   {"kill_app", "in [0, ", "'-5'"});
   ExpectParseError("[fault]\nunplug_the_server 1" + tail, 2,
                    {"unplug_the_server", "[fault]"});
 }

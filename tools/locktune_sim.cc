@@ -24,6 +24,9 @@
 //                              the registry export (implied by --inspect)
 //     [--flight-dump]          dump the flight-recorder rings at end of run
 //                              and arm the dump-on-deadlock-victim path
+//     [--tick-watchdog-ms N]   abort (with flight-recorder dump) if one
+//                              simulation tick takes more than N wall-clock
+//                              milliseconds — the fuzzer's livelock oracle
 //
 // Prints the sampled series as CSV on stdout, then a summary (commits,
 // escalations, lock memory, tuning passes) on stderr. See
@@ -43,6 +46,7 @@
 #include "core/stmm_report.h"
 #include "engine/db_snapshot.h"
 #include "telemetry/chrome_trace.h"
+#include "telemetry/crash_handler.h"
 #include "telemetry/exporters.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/lock_profiler.h"
@@ -119,17 +123,22 @@ constexpr char kUsage[] =
     "usage: locktune_sim <scenario-file> [--series a,b,...] [--stride N] "
     "[--threads N] [--metrics-out PATH|-] [--trace-out PATH|-] "
     "[--log-level LEVEL] [--stmm-report] [--snapshot] [--inspect] "
-    "[--trace-profile PATH] [--profile-metrics] [--flight-dump]";
+    "[--trace-profile PATH] [--profile-metrics] [--flight-dump] "
+    "[--tick-watchdog-ms N]";
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // First thing, before any scenario state exists: a crash anywhere after
+  // this point (including config parsing) leaves attribution on stderr.
+  InstallCrashAttribution();
   if (argc < 2) return Fail(kUsage);
   std::vector<std::string> series = {
       ScenarioRunner::kLockAllocatedMb, ScenarioRunner::kLockUsedMb,
       ScenarioRunner::kThroughputTps, ScenarioRunner::kEscalations};
   size_t stride = 10;
   int64_t threads = 1;
+  int64_t tick_watchdog_ms = 0;
   bool stmm_report = false;
   bool snapshot = false;
   bool inspect = false;
@@ -153,6 +162,13 @@ int main(int argc, char** argv) {
       if (!ParsePositiveInt(argv[++i], &threads)) {
         return Fail(std::string("--threads requires a positive integer, got "
                                 "\"") +
+                    argv[i] + "\"\n" + kUsage);
+      }
+    } else if (std::strcmp(argv[i], "--tick-watchdog-ms") == 0 &&
+               i + 1 < argc) {
+      if (!ParsePositiveInt(argv[++i], &tick_watchdog_ms)) {
+        return Fail(std::string("--tick-watchdog-ms requires a positive "
+                                "integer, got \"") +
                     argv[i] + "\"\n" + kUsage);
       }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -187,6 +203,7 @@ int main(int argc, char** argv) {
   Result<ScenarioSpec> spec = LoadScenarioFile(argv[1]);
   if (!spec.ok()) return Fail(spec.status().ToString());
   spec.value().runner.threads = static_cast<int>(threads);
+  spec.value().runner.tick_watchdog_ms = tick_watchdog_ms;
 
   // The inspector keeps a lock event flight recorder alongside whatever
   // monitor the scenario configured (the database tees them).
