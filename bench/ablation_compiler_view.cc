@@ -85,12 +85,12 @@ ViewResult RunWithView(bool stable_view) {
   so.duration = 8 * kMinute;
   ScenarioRunner runner(db.get(), {scan_tl, writer_tl}, so);
   // The compiler applies to the scan client (application index 0).
-  runner.applications()[0]->set_compiler(&compiler);
+  runner.applications()[0].set_compiler(&compiler);
   runner.Run();
 
   int64_t writer_commits = 0;
   for (size_t i = 1; i < runner.applications().size(); ++i) {
-    writer_commits += runner.applications()[i]->stats().commits;
+    writer_commits += runner.applications()[i].stats().commits;
   }
   return {compiler.table_lock_plans(), writer_commits,
           runner.series().Get(ScenarioRunner::kLockAllocatedMb).MaxValue()};

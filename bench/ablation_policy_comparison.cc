@@ -95,7 +95,7 @@ PolicyResult RunMode(const char* name, TuningMode mode) {
   runner.Run();
   int64_t writer_commits = 0;
   for (size_t i = 61; i < runner.applications().size(); ++i) {
-    writer_commits += runner.applications()[i]->stats().commits;
+    writer_commits += runner.applications()[i].stats().commits;
   }
   return {name,
           runner.total_commits(),

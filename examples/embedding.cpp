@@ -7,7 +7,7 @@
 
 #include "engine/database.h"
 #include "lock/lock_manager.h"
-#include "workload/application.h"
+#include "workload/app_store.h"
 
 using namespace locktune;
 
@@ -84,15 +84,20 @@ int main() {
   db->set_connected_applications(1);
 
   BatchUpdate batch;
-  Application app(/*id=*/1, db.get(), &batch, /*seed=*/1, /*tick=*/100);
-  app.Connect();
+  AppStore store(db.get(), /*tick=*/100);
+  const uint32_t app = store.Add(/*id=*/1, &batch, /*seed=*/1);
+  store.Connect(app);
   for (int tick = 0; tick < 3000; ++tick) {  // 5 virtual minutes
-    app.Tick();
+    // The scheduler cycle ScenarioRunner runs each tick: wake parked
+    // applications whose timers expired, tick the runnable ones, park
+    // the ones that went idle.
+    for (const uint32_t i : store.CollectRunnable()) store.Tick(i);
+    store.FinishSweep();
     db->Tick(100);
   }
   std::printf("batch job: %lld commits, lock memory tuned to %.2f MB "
               "(LMOC %.2f MB), escalations=%lld\n",
-              static_cast<long long>(app.stats().commits),
+              static_cast<long long>(store.stats(app).commits),
               static_cast<double>(db->locks().allocated_bytes()) /
                   (1024.0 * 1024.0),
               static_cast<double>(db->stmm()->lmoc()) / (1024.0 * 1024.0),

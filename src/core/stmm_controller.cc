@@ -54,6 +54,26 @@ bool StmmController::GrantSynchronousGrowth(int64_t blocks) {
     return false;
   }
   if (Status s = memory_->GrowHeap(lock_heap_, delta); !s.ok()) {
+    // Cold-start borrow: before the first tuning pass the locklist is still
+    // the raw initial_locklist_pages allocation — it has never been sized
+    // against the actual population, so an injected denial here can strand
+    // one-lock transactions behind an escalation convoy (the fuzzer's
+    // 6-line repro in docs/FUZZING.md). Until the first pass, take the LMO
+    // debt anyway, bounded by the minimum the first pass would configure;
+    // GrowHeapUnfaulted still enforces the real overflow/max bounds, so a
+    // genuine exhaustion (not an injected one) stays a denial.
+    if (history_.empty()) {
+      const Bytes borrow_cap = params_.MinLockMemory(num_applications_());
+      if (cold_borrow_ + delta <= borrow_cap &&
+          memory_->GrowHeapUnfaulted(lock_heap_, delta).ok()) {
+        cold_borrow_ += delta;
+        lmo_ += delta;
+        if (ledger_ != nullptr) {
+          ledger_->RecordAbsorbed("cold_lock_borrow", s.message());
+        }
+        return true;
+      }
+    }
     growth_constrained_ = true;
     // The lock manager falls back to escalation; record the absorbed
     // denial so the degradation ledger can pair it with the recovery.

@@ -83,6 +83,10 @@ class StmmController {
   Bytes lmoc() const { return lmoc_; }
   // Lock memory currently borrowed from overflow (transient).
   Bytes lmo() const { return lmo_; }
+  // Bytes of LMO taken through the cold-start borrow path — growth granted
+  // past an injected denial before the first tuning pass, bounded by
+  // MinLockMemory (docs/ROBUSTNESS.md). Monotone; repaid like any LMO.
+  Bytes cold_borrow_bytes() const { return cold_borrow_; }
   bool growth_was_constrained() const { return growth_constrained_; }
 
   const TuningParams& params() const { return params_; }
@@ -143,6 +147,7 @@ class StmmController {
   PeriodicTimer timer_;
   Bytes lmoc_;
   Bytes lmo_ = 0;
+  Bytes cold_borrow_ = 0;
   bool growth_constrained_ = false;
   int64_t last_escalations_ = 0;
   int quiet_passes_ = 0;

@@ -38,18 +38,12 @@ DatabaseSnapshot CaptureSnapshot(Database& db, int max_app_id, int top_n) {
   s.lock_stats = db.locks().stats();
   s.waiting_apps = db.locks().waiting_app_count();
 
-  for (AppId app = 1; app <= max_app_id; ++app) {
-    const int64_t held = db.locks().HeldStructures(app);
-    if (held > 0 || db.locks().IsBlocked(app)) {
-      s.top_lock_holders.push_back({app, held, db.locks().IsBlocked(app)});
-    }
-  }
-  std::sort(s.top_lock_holders.begin(), s.top_lock_holders.end(),
-            [](const AppLockSnapshot& a, const AppLockSnapshot& b) {
-              return a.held_structures > b.held_structures;
-            });
-  if (static_cast<int>(s.top_lock_holders.size()) > top_n) {
-    s.top_lock_holders.resize(static_cast<size_t>(top_n));
+  // One aggregate pass under one manager guard. The old probe called
+  // HeldStructures + IsBlocked per app id in [1, max_app_id], re-locking
+  // the manager two to three times per application — at 10^6 connected
+  // applications a single snapshot stalled the whole lock path.
+  for (const AppLockUsage& a : db.locks().TopLockHolders(max_app_id, top_n)) {
+    s.top_lock_holders.push_back({a.app, a.held_structures, a.blocked});
   }
   return s;
 }

@@ -9,8 +9,11 @@
 #ifndef LOCKTUNE_LOCK_LOCK_HEAD_H_
 #define LOCKTUNE_LOCK_LOCK_HEAD_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "lock/lock_mode.h"
@@ -26,12 +29,15 @@ class LockBlock;
 
 // One lock structure: an application's granted or waiting interest in a
 // resource. Consumes one 64 B slot of lock memory while it exists.
+// locklint: hot-column
 struct LockRequest {
   AppId app = 0;
   LockMode mode = LockMode::kNone;        // granted mode
   LockMode convert_to = LockMode::kNone;  // pending conversion target
   LockBlock* slot = nullptr;              // lock memory slot backing this
 };
+static_assert(std::is_trivially_copyable_v<LockRequest>,
+              "holder rows are tombstoned and compacted byte-wise");
 
 // Waiting (not yet granted) request.
 struct WaitingRequest {
@@ -74,8 +80,38 @@ class LockHead {
   }
 
   // --- granted group ---
+  //
+  // Live holders appear in arrival order, interleaved with tombstones:
+  // RemoveHolder marks the slot dead (app = kDeadHolder, mode = kNone)
+  // instead of erasing it, and the vector is compacted — stably, so
+  // arrival order is preserved — once tombstones outnumber live entries.
+  // Arrival order is observable (the deadlock detector builds waits-for
+  // edges in it, and victim selection on overlapping cycles is
+  // golden-locked to the resulting traversal), which is why removal cannot
+  // swap-erase. Iterating callers need no tombstone check in practice: a
+  // dead slot's app matches no real application and its kNone mode is
+  // compatible with everything, so conflict scans skip it naturally.
+  //
+  // Every aggregate the grant check needs is maintained incrementally —
+  // per-mode holder counts make GrantedGroupMode O(modes) instead of
+  // O(holders), and once the group outgrows kHolderIndexThreshold an
+  // app → slot index makes FindHolder / RemoveHolder O(1). Table intent
+  // heads are why: with 10^5 concurrent transactions every row lock
+  // probes its table's intent head, and a linear holder scan there made
+  // the whole lock path O(holders) per request (docs/SCALE.md).
   const std::vector<LockRequest>& holders() const { return holders_; }
-  std::vector<LockRequest>& holders() { return holders_; }
+
+  // Granted (live) holders; holders().size() also counts tombstones.
+  uint32_t live_holder_count() const { return live_holders_; }
+  bool HasHolders() const { return live_holders_ != 0; }
+
+  // `app` of a tombstoned holder slot. Never a real application id.
+  static constexpr AppId kDeadHolder = INT32_MIN;
+
+  // Live-group size at which the app → slot index is built. Row heads (a
+  // handful of holders) never pay the hash-map overhead; table intent
+  // heads cross it once and stay indexed until recycled.
+  static constexpr size_t kHolderIndexThreshold = 16;
 
   // Granted request of `app`, or nullptr.
   const LockRequest* FindHolder(AppId app) const;
@@ -95,16 +131,15 @@ class LockHead {
   bool CanGrantConversion(AppId app, LockMode mode) const;
 
   // Appends a granted request.
-  void AddHolder(const LockRequest& request) {
-    holders_.push_back(request);
-    RefreshSummary();
-  }
+  void AddHolder(const LockRequest& request);
 
   // Changes `holder`'s granted mode (conversion grant, escalation). The
   // only sanctioned way to change a granted mode — a plain `holder->mode =`
-  // through FindHolder would leave the optimistic summary stale (locklint
-  // LL010 polices the raw form on shard state).
+  // through FindHolder would leave the optimistic summary and the mode
+  // counts stale (locklint LL010 polices the raw form on shard state).
   void SetHolderMode(LockRequest* holder, LockMode mode) {
+    --mode_counts_[static_cast<size_t>(holder->mode)];
+    ++mode_counts_[static_cast<size_t>(mode)];
     holder->mode = mode;
     RefreshSummary();
   }
@@ -127,7 +162,7 @@ class LockHead {
 
   bool HasWaiter(AppId app) const;
 
-  bool empty() const { return holders_.empty() && waiters_.empty(); }
+  bool empty() const { return live_holders_ == 0 && waiters_.empty(); }
 
   // Drops all holders and waiters but keeps vector capacity — called when a
   // pooled head node is recycled, so a reused node re-enters service
@@ -136,6 +171,11 @@ class LockHead {
   void Clear() {
     holders_.clear();
     waiters_.clear();
+    mode_counts_.fill(0);
+    index_.clear();  // keeps the bucket array for the node's next life
+    indexed_ = false;
+    live_holders_ = 0;
+    dead_holders_ = 0;
     opt_summary_.store(0, std::memory_order_relaxed);
   }
 
@@ -148,20 +188,38 @@ class LockHead {
   const WaitingRequest& FrontWaiter() const { return waiters_.front(); }
 
  private:
-  // Recomputed after every mutation. O(holders), which stays small (the
-  // compatible-mode fan-in on one resource); the mutators that call it are
-  // already O(holders) probes or vector edits.
+  // Recomputed after every mutation. O(modes): the group supremum folds
+  // the per-mode counts, never the holder vector, so refreshing a table
+  // intent head with 10^4 holders costs the same as a row head with one.
   // locklint: seqlock-writer(every caller is a mutator under the shard latch write side or the manager exclusive lock; the latch version bump publishes)
   void RefreshSummary() {
-    const uint32_t packed =
-        static_cast<uint32_t>(GrantedGroupMode()) |
-        (waiters_.empty() ? 0u : 0x10u) |
-        (static_cast<uint32_t>(holders_.size()) << 5);
+    const uint32_t packed = static_cast<uint32_t>(GrantedGroupMode()) |
+                            (waiters_.empty() ? 0u : 0x10u) |
+                            (live_holders_ << 5);
     opt_summary_.store(packed, std::memory_order_relaxed);
   }
 
-  std::vector<LockRequest> holders_;
+  // Builds the app → slot index over the current live holders (crossing
+  // kHolderIndexThreshold). Once built it is maintained incrementally
+  // until Clear().
+  void BuildIndex();
+
+  // Stably removes tombstones (arrival order of live entries preserved)
+  // and rebuilds the index. Called when tombstones outnumber live
+  // holders, so its O(slots) cost amortizes to O(1) per removal.
+  void CompactHolders();
+
+  std::vector<LockRequest> holders_;     // arrival order + tombstones
   std::vector<WaitingRequest> waiters_;  // front = next to service
+  // Live holders per granted mode; GrantedGroupMode folds these.
+  std::array<uint32_t, kNumLockModes> mode_counts_{};
+  uint32_t live_holders_ = 0;
+  uint32_t dead_holders_ = 0;
+  // App → holders_ slot for live entries; valid iff indexed_. clear()
+  // keeps the bucket array, so a pooled node that crossed the threshold
+  // once re-enters service without rehashing.
+  std::unordered_map<AppId, uint32_t> index_;
+  bool indexed_ = false;
   // Relaxed atomic: read by optimistic probes without the shard latch.
   std::atomic<uint32_t> opt_summary_{0};
 };

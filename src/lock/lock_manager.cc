@@ -28,6 +28,40 @@ LockManager::LockManager(LockManagerOptions options)
   for (int64_t i = 0; i < options_.initial_blocks; ++i) blocks_.AddBlock();
 }
 
+// Holds the write latch of at most one lock-table shard at a time.
+// Acquire() for the shard already held is free — that is the batching win:
+// consecutive grants hashing to the same shard pay one latch acquisition.
+// A different shard releases the held latch first; shard latches share one
+// lock rank (common/lock_rank_table.h), so the lease never nests two.
+class LockManager::ShardLease {
+ public:
+  ShardLease(LockTable& table, ProfileSite site) : table_(table), site_(site) {}
+  ShardLease(const ShardLease&) = delete;
+  ShardLease& operator=(const ShardLease&) = delete;
+
+  // True when this lease already holds the latch of shard `shard`.
+  bool Holds(int shard) const { return guard_.has_value() && shard_ == shard; }
+
+  // Acquires (or keeps) the write latch of the shard `hash` maps to.
+  void Acquire(uint64_t hash) {
+    const int shard = table_.ShardIndex(hash);
+    if (Holds(shard)) return;
+    guard_.reset();
+    guard_.emplace(table_.ShardLatch(hash), site_, shard);
+    shard_ = shard;
+  }
+
+ private:
+  LockTable& table_;
+  const ProfileSite site_;
+  int shard_ = -1;
+  // The guard is non-movable; optional gives it deferred construction and
+  // release-then-reacquire. The capability annotations on its constructor
+  // and destructor fire inside std::optional (unanalyzed), which is fine:
+  // the lease's single-latch invariant is what the rank checks enforce.
+  std::optional<OptLatchWriteGuard> guard_;
+};
+
 LockResult LockManager::Lock(AppId app, const ResourceId& resource,
                              LockMode mode) {
   if (parallel_mode_.load(std::memory_order_relaxed)) {
@@ -77,6 +111,70 @@ LockResult LockManager::LockExclusive(AppId app, const ResourceId& resource,
   return result;
 }
 
+BatchResult LockManager::AcquireBatch(AppId app, LockRequestSource& source) {
+  BatchResult result;
+  if (!parallel_mode_.load(std::memory_order_relaxed)) {
+    // Serial: one exclusive acquire amortized over the batch; each item
+    // then runs the identical classic path a Lock() call would, in the
+    // identical order (the source draws lazily), so the deterministic
+    // golden contract is untouched.
+    ProfiledExclusiveGuard guard(mu_, ProfileSite::kExclusive);
+    while (std::optional<BatchItem> item = source.Next()) {
+      const LockResult r =
+          LockExclusive(app, item->resource, item->mode, /*counted=*/false);
+      result.escalated |= r.escalated;
+      result.outcome = r.outcome;
+      if (r.outcome != LockOutcome::kGranted) return result;
+      ++result.granted;
+    }
+    return result;
+  }
+  // Parallel: drain the source on the fast path (one shared hold, one
+  // shard lease); an item that bails is retried on the exclusive path and,
+  // when granted there, the fast section resumes with the rest.
+  std::optional<BatchItem> pending;
+  for (;;) {
+    if (FastAcquireBatch(app, source, pending, result)) return result;
+    ProfileNoteFastBail();
+    LockResult r;
+    {
+      ProfiledExclusiveGuard guard(mu_, ProfileSite::kExclusive);
+      // The fast section counted the item when it drew it.
+      r = LockExclusive(app, pending->resource, pending->mode,
+                        /*counted=*/true);
+    }
+    result.escalated |= r.escalated;
+    result.outcome = r.outcome;
+    if (r.outcome != LockOutcome::kGranted) return result;
+    ++result.granted;
+    pending.reset();
+  }
+}
+
+bool LockManager::FastAcquireBatch(AppId app, LockRequestSource& source,
+                                   std::optional<BatchItem>& pending,
+                                   BatchResult& result) {
+  ProfiledSharedGuard shared(mu_, ProfileSite::kFastShared);
+  AppState& state = FastGetApp(app);
+  LOCKTUNE_DCHECK(!state.waiting && "application issued a request while blocked");
+  ShardLease lease(table_, ProfileSite::kShardBatch);
+  for (;;) {
+    if (!pending.has_value()) {
+      pending = source.Next();
+      if (!pending.has_value()) return true;  // batch exhausted
+      Bump(stats_.lock_requests);
+      options_.policy->OnLockRequest();
+    }
+    if (FastTryOne(app, state, pending->resource, pending->mode, lease) ==
+        FastOutcome::kBail) {
+      return false;  // pending stays set for the exclusive retry
+    }
+    ProfileNoteFastGrant();
+    ++result.granted;
+    pending.reset();
+  }
+}
+
 std::optional<LockResult> LockManager::FastLock(AppId app,
                                                 const ResourceId& resource,
                                                 LockMode mode) {
@@ -86,32 +184,42 @@ std::optional<LockResult> LockManager::FastLock(AppId app,
   AppState& state = FastGetApp(app);
   LOCKTUNE_DCHECK(!state.waiting && "application issued a request while blocked");
 
-  LockResult granted;  // kGranted, escalated=false
+  // Single-request leases attribute to the classic per-shard site; only
+  // batches report under kShardBatch.
+  ShardLease lease(table_, ProfileSite::kQueuedWrite);
+  if (FastTryOne(app, state, resource, mode, lease) == FastOutcome::kBail) {
+    return std::nullopt;
+  }
+  return LockResult{};  // kGranted, escalated=false
+}
+
+LockManager::FastOutcome LockManager::FastTryOne(AppId app, AppState& state,
+                                                 const ResourceId& resource,
+                                                 LockMode mode,
+                                                 ShardLease& lease) {
   if (resource.kind == ResourceKind::kRow) {
     const LockMode table_mode = FastTableMode(state, resource.table);
     if (Covers(table_mode, mode)) {
       Bump(stats_.grants);
-      return granted;
+      return FastOutcome::kGranted;
     }
     const LockMode intent = IntentModeFor(mode);
     if (!Covers(table_mode, intent)) {
-      if (FastAcquireOne(app, state, TableResource(resource.table), intent) ==
-          FastOutcome::kBail) {
-        return std::nullopt;
+      if (FastAcquireOne(app, state, TableResource(resource.table), intent,
+                         lease) == FastOutcome::kBail) {
+        return FastOutcome::kBail;
       }
       // The intent grant refreshed the table-mode cache; a covering grant
       // cannot have appeared (only this thread changes this app's holds).
       LOCKTUNE_DCHECK(!Covers(FastTableMode(state, resource.table), mode));
     }
   }
-  if (FastAcquireOne(app, state, resource, mode) == FastOutcome::kBail) {
-    return std::nullopt;
-  }
-  return granted;
+  return FastAcquireOne(app, state, resource, mode, lease);
 }
 
 LockManager::FastOutcome LockManager::FastAcquireOne(
-    AppId app, AppState& state, const ResourceId& resource, LockMode mode) {
+    AppId app, AppState& state, const ResourceId& resource, LockMode mode,
+    ShardLease& lease) {
   const uint64_t hash = ResourceIdHash{}(resource);
   // Already held? Resolved thread-locally: held_index membership and the
   // HeldSlot mode mirror are owner-thread state, so the dominant re-request
@@ -126,9 +234,7 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
     // In-place conversion attempt: needs the latched view of the other
     // holders.
     const LockMode target = Supremum(held.mode, mode);
-    OptLatchWriteGuard shard_guard(table_.ShardLatch(hash),
-                                   ProfileSite::kQueuedWrite,
-                                   table_.ShardIndex(hash));
+    lease.Acquire(hash);
     LockHead* head = held.head;
     LockRequest* holder = head->FindHolder(app);
     LOCKTUNE_DCHECK(holder != nullptr && "held slot without holder entry");
@@ -143,34 +249,38 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
     Bump(stats_.grants);
     return FastOutcome::kGranted;
   }
-  OptLatch& latch = table_.ShardLatch(hash);
   // Optimistic pre-flight (docs/LATCHES.md): a version-validated probe of
   // the directory plus the head's summary word decides "would this new
   // request have to wait?" without the latch. A wait means queueing — the
   // classic path's business — so bailing here skips the latch acquisition
   // entirely on the contended-resource pattern that used to collapse the
   // hot shard. Validation failures retry, then pessimize to the latched
-  // path below, which decides authoritatively.
-  for (int attempt = 0;; ++attempt) {
-    if (attempt == OptLatch::kOptReadRetries) {
-      ProfileNoteOptPessimize();
-      break;
-    }
-    if (latch.Busy()) continue;  // writer in flight; burn an attempt
-    const LockTable::OptProbeResult probe = table_.OptProbe(resource, hash);
-    if (!probe.valid) {
-      ProfileNoteOptValidationFail();
-      continue;
-    }
-    ProfileNoteOptRead();
-    if (probe.found) {
-      const uint32_t s = probe.summary;
-      if (LockHead::SummaryHasWaiters(s) ||
-          !Compatible(LockHead::SummaryMode(s), mode)) {
-        return FastOutcome::kBail;  // would wait: queueing is exclusive-only
+  // path below, which decides authoritatively. Skipped when the lease
+  // already holds this shard's latch: we are the writer Busy() would flag,
+  // and the latched re-check below is authoritative and already paid for.
+  if (!lease.Holds(table_.ShardIndex(hash))) {
+    OptLatch& latch = table_.ShardLatch(hash);
+    for (int attempt = 0;; ++attempt) {
+      if (attempt == OptLatch::kOptReadRetries) {
+        ProfileNoteOptPessimize();
+        break;
       }
+      if (latch.Busy()) continue;  // writer in flight; burn an attempt
+      const LockTable::OptProbeResult probe = table_.OptProbe(resource, hash);
+      if (!probe.valid) {
+        ProfileNoteOptValidationFail();
+        continue;
+      }
+      ProfileNoteOptRead();
+      if (probe.found) {
+        const uint32_t s = probe.summary;
+        if (LockHead::SummaryHasWaiters(s) ||
+            !Compatible(LockHead::SummaryMode(s), mode)) {
+          return FastOutcome::kBail;  // would wait: queueing is exclusive-only
+        }
+      }
+      break;  // absent or grantable: fall through to the latched grant
     }
-    break;  // absent or grantable: fall through to the latched grant
   }
   // Quota and memory pressure mirror the classic path; anything that needs
   // escalation or growth is the classic path's business.
@@ -179,15 +289,18 @@ LockManager::FastOutcome LockManager::FastAcquireOne(
       options_.policy->ForcesMemoryEscalation(mem)) {
     return FastOutcome::kBail;
   }
-  OptLatchWriteGuard shard_guard(latch, ProfileSite::kQueuedWrite,
-                                 table_.ShardIndex(hash));
+  lease.Acquire(hash);
   LockHead* found = table_.Find(resource, hash);
   // The optimistic verdict is advisory; re-check under the latch before
   // mutating (the probe may have pessimized or gone stale).
   if (found != nullptr && !found->CanGrantNew(mode)) return FastOutcome::kBail;
   LockBlock* slot = nullptr;
   {
-    // Ordering: shard latch, then alloc_mu_ — never the reverse.
+    // Ordering: shard latch, then alloc_mu_ — never the reverse. The
+    // latch is held through the lease (its guard lives behind a
+    // std::optional the lexical scan cannot see), so the edge is recorded
+    // structurally:
+    // locklint: lock-edge(LockTable::shard_latch -> LockManager::alloc_mu_)
     ProfiledMutexGuard alloc_guard(alloc_mu_, ProfileSite::kAlloc);
     Result<LockBlock*> r = blocks_.AllocateSlot();
     if (!r.ok()) return FastOutcome::kBail;  // exhausted: growth/escalation
@@ -478,9 +591,19 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
   // frees up. Applications other than the requester are only escalated when
   // the table conversion can be granted immediately — we cannot block an
   // application that is not inside a lock request.
+  //
+  // Two-phase scan. Phase 1 is the legacy scan over non-waiting holders.
+  // Phase 2 widens to *waiting* holders, but only when phase 1 found
+  // nobody: in the escalation-convoy shape (docs/FUZZING.md) every heavy
+  // holder is blocked converting on the same table, and skipping them all
+  // turns a reclaimable locklist into a hard OUT_OF_LOCK_MEMORY. A waiting
+  // victim's row locks on tables *other than its wait table* are fair
+  // game — EscalateApp never touches the table its wait rides on, and
+  // only_if_immediate means no second wait is ever enqueued.
   for (int attempt = 0; attempt < 3; ++attempt) {
     AppId victim = -1;
     int64_t victim_rows = 0;
+    bool waiting_phase = false;
     // locklint: ordered-ok(max scan; ties broken by legacy hash order, which
     // the golden suite locks in)
     for (const auto& [id, st] : apps_) {
@@ -490,8 +613,28 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
         victim = id;
       }
     }
+    if (victim < 0) {
+      waiting_phase = true;
+      // Weigh a waiting victim by the row locks EscalateApp could actually
+      // reclaim — everything outside its wait table. A convoy member whose
+      // rows all sit on the table it is converting on is not a victim at
+      // all, so the probe (and its attempts counter) never fires for it.
+      // locklint: ordered-ok(max scan; ties broken by legacy hash order,
+      // which the golden suite locks in)
+      for (const auto& [id, st] : apps_) {
+        if (!st.waiting || id == requester) continue;
+        int64_t reclaimable = st.total_row_locks;
+        const auto it = st.row_locks_per_table.find(st.wait_resource.table);
+        if (it != st.row_locks_per_table.end()) reclaimable -= it->second;
+        if (reclaimable > victim_rows) {
+          victim_rows = reclaimable;
+          victim = id;
+        }
+      }
+    }
     if (victim < 0) break;
-    if (EscalateApp(victim, /*only_if_immediate=*/true) !=
+    if (EscalateApp(victim, /*only_if_immediate=*/true,
+                    /*silent_probe=*/waiting_phase) !=
         AcquireOutcome::kDone) {
       break;  // conflicting table traffic; fall through to self-escalation
     }
@@ -524,16 +667,23 @@ LockManager::AllocResult LockManager::AllocateStructure(AppId requester,
 }
 
 LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
-                                                     bool only_if_immediate) {
-  Bump(stats_.escalation_attempts);
+                                                     bool only_if_immediate,
+                                                     bool silent_probe) {
+  if (!silent_probe) Bump(stats_.escalation_attempts);
   AppState& state = GetApp(app);
 
-  // Pick the table with the most row locks held by this application.
+  // Pick the table with the most row locks held by this application. A
+  // waiting application's wait table is off limits: it has a conversion
+  // entry enqueued there (or is mid-request on one of its rows), and
+  // escalating would mutate the very holder entry that conversion is
+  // keyed on. The two-phase victim scan relies on this to safely escalate
+  // waiting victims' *other* tables.
   TableId victim_table = -1;
   int64_t most_rows = 0;
   // locklint: ordered-ok(max scan; ties broken by legacy hash order, which
   // the golden suite locks in)
   for (const auto& [tbl, n] : state.row_locks_per_table) {
+    if (state.waiting && state.wait_resource.table == tbl) continue;
     if (n > most_rows) {
       most_rows = n;
       victim_table = tbl;
@@ -569,6 +719,8 @@ LockManager::AcquireOutcome LockManager::EscalateApp(AppId app,
     head.SetHolderMode(holder, new_mode);
     NoteHeldMode(state, table_res, table_hash, new_mode);
     NoteTableMode(state, victim_table, new_mode);
+    // A probe that lands is a real attempt; only failures stay silent.
+    if (silent_probe) Bump(stats_.escalation_attempts);
     Bump(stats_.escalations);
     if (target == LockMode::kX) Bump(stats_.exclusive_escalations);
     ReleaseRowLocksOnTable(app, victim_table);
@@ -606,7 +758,7 @@ void LockManager::ReleaseRowLocksOnTable(AppId app, TableId table) {
     blocks_.FreeSlot(block);
     --state.held_structures;
     if (head->waiters().empty()) {
-      if (head->holders().empty()) table_.EraseIfEmpty(res, hash);
+      if (!head->HasHolders()) table_.EraseIfEmpty(res, hash);
     } else {
       work_list_.push_back(res);
     }
@@ -665,7 +817,7 @@ void LockManager::ReleaseAll(AppId app) {
     // ProcessQueue on a waiterless head would only re-probe and erase, so
     // do the erase here and skip the work-list round trip.
     if (head->waiters().empty()) {
-      if (head->holders().empty()) {
+      if (!head->HasHolders()) {
         table_.EraseIfEmpty(slot.res, ResourceIdHash{}(slot.res));
       }
     } else {
@@ -722,7 +874,7 @@ bool LockManager::FastReleaseAll(AppId app) {
                                      table_.ShardIndex(hash));
       block = slot.head->RemoveHolder(app);
       LOCKTUNE_DCHECK(block != nullptr);
-      if (slot.head->holders().empty()) {
+      if (!slot.head->HasHolders()) {
         table_.EraseIfEmpty(slot.res, hash);
       }
     }
@@ -769,7 +921,7 @@ Status LockManager::Release(AppId app, const ResourceId& resource) {
     NoteTableMode(state, resource.table, LockMode::kNone);
   }
   if (head->waiters().empty()) {
-    if (head->holders().empty()) table_.EraseIfEmpty(resource, hash);
+    if (!head->HasHolders()) table_.EraseIfEmpty(resource, hash);
   } else {
     work_list_.push_back(resource);
     DrainWorkList();
@@ -1060,6 +1212,40 @@ int64_t LockManager::HeldStructures(AppId app) const {
   WriterLock guard(mu_);
   const auto it = apps_.find(app);
   return it == apps_.end() ? 0 : it->second.held_structures;
+}
+
+int64_t LockManager::MaxHeldStructures() const {
+  WriterLock guard(mu_);
+  int64_t max_held = 0;
+  // locklint: ordered-ok(max over a commutative scan, no output)
+  for (const auto& [app, state] : apps_) {
+    max_held = std::max(max_held, state.held_structures);
+  }
+  return max_held;
+}
+
+std::vector<AppLockUsage> LockManager::TopLockHolders(int max_app_id,
+                                                      int top_n) const {
+  WriterLock guard(mu_);
+  std::vector<AppLockUsage> holders;
+  // locklint: ordered-ok(collected unordered, deterministically sorted below)
+  for (const auto& [app, state] : apps_) {
+    if (app < 1 || app > max_app_id) continue;
+    if (state.held_structures > 0 || state.waiting) {
+      holders.push_back({app, state.held_structures, state.waiting});
+    }
+  }
+  std::sort(holders.begin(), holders.end(),
+            [](const AppLockUsage& a, const AppLockUsage& b) {
+              if (a.held_structures != b.held_structures) {
+                return a.held_structures > b.held_structures;
+              }
+              return a.app < b.app;
+            });
+  if (static_cast<int>(holders.size()) > top_n && top_n >= 0) {
+    holders.resize(static_cast<size_t>(top_n));
+  }
+  return holders;
 }
 
 LockMode LockManager::HeldMode(AppId app, const ResourceId& resource) const {

@@ -36,6 +36,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -72,6 +73,44 @@ struct LockResult {
   // True when this request triggered a lock escalation (completed or
   // initiated) somewhere in the system.
   bool escalated = false;
+};
+
+// One request in a batch (AcquireBatch).
+// locklint: hot-column
+struct BatchItem {
+  ResourceId resource;
+  LockMode mode = LockMode::kS;
+};
+static_assert(std::is_trivially_copyable_v<BatchItem>,
+              "batch items are staged by value across the shard lease");
+
+// Pull-source of a batch's lock requests. AcquireBatch consumes it lazily:
+// Next() is called only after every previous item was granted, so a source
+// backed by a workload RNG draws exactly the requests the equivalent
+// one-Lock()-per-request loop would have drawn — a blocked or failed item
+// ends the batch with no further draws.
+class LockRequestSource {
+ public:
+  virtual ~LockRequestSource() = default;
+  // The next request, or nullopt when the batch is exhausted.
+  virtual std::optional<BatchItem> Next() = 0;
+};
+
+// Outcome of an AcquireBatch call. `outcome` describes the last item
+// attempted: kGranted means the source was exhausted with every item
+// granted; kWaiting/kOutOfMemory mean that item blocked/failed and the
+// batch stopped there (`granted` counts the items granted before it).
+struct BatchResult {
+  int64_t granted = 0;
+  LockOutcome outcome = LockOutcome::kGranted;
+  bool escalated = false;
+};
+
+// One application's lock footprint, as reported by TopLockHolders.
+struct AppLockUsage {
+  AppId app = 0;
+  int64_t held_structures = 0;
+  bool blocked = false;
 };
 
 // Monotonic counters, readable at any time (stats() returns a snapshot).
@@ -132,6 +171,15 @@ class LockManager {
   // the intent table lock first. Re-requests by a holder are no-ops or
   // conversions. An application must not issue requests while blocked.
   LockResult Lock(AppId app, const ResourceId& resource, LockMode mode);
+
+  // Requests every item `source` yields for `app`, in order, with the
+  // per-item semantics of Lock() but the synchronization amortized over
+  // the batch: the serial path takes the manager lock once for all items;
+  // the parallel fast path takes the outer shared hold once and keeps the
+  // per-shard write latch across consecutive same-shard grants (profiler
+  // site kShardBatch). An item the fast path cannot grant is retried on
+  // the exclusive path and, when granted there, the batch resumes.
+  BatchResult AcquireBatch(AppId app, LockRequestSource& source);
 
   // Releases everything `app` holds or waits for (commit/abort under strict
   // two-phase locking), granting unblocked waiters.
@@ -198,6 +246,17 @@ class LockManager {
   double CurrentMaxlocksPercent() const;
   // Lock structures held (granted + waiting) by `app`.
   int64_t HeldStructures(AppId app) const;
+  // Most lock structures held by any one application, in one pass under
+  // one guard (metric exports used to call HeldStructures per client,
+  // which re-locked the manager once per application).
+  int64_t MaxHeldStructures() const;
+  // The `top_n` applications in [1, max_app_id] holding the most lock
+  // structures (ties broken by ascending app id), including blocked
+  // zero-holders. One pass under one guard: the snapshot probe used to
+  // call HeldStructures + IsBlocked per client, which re-locked the
+  // manager two to three times per application — a full stall at 10^6
+  // connected applications (docs/SCALE.md).
+  std::vector<AppLockUsage> TopLockHolders(int max_app_id, int top_n) const;
   // Granted mode of `app` on `resource` (kNone when not held).
   LockMode HeldMode(AppId app, const ResourceId& resource) const;
   int64_t waiting_app_count() const;
@@ -352,19 +411,42 @@ class LockManager {
   // Every function bails (nullopt / kBail) before mutating anything the
   // classic path would then redo; on a bail the caller retries exclusively.
 
+  // RAII lease over at most one shard's write latch, letting a batch keep
+  // the latch across consecutive grants that hash to the same shard.
+  // Defined in lock_manager.cc.
+  class ShardLease;
+
   // Uncontended grant attempt. Counts the request (the exclusive retry must
   // not count again). nullopt = bail to the classic path.
   std::optional<LockResult> FastLock(AppId app, const ResourceId& resource,
                                      LockMode mode) LT_EXCLUDES(mu_);
 
+  // Runs the fast section of AcquireBatch under one shared hold of mu_ and
+  // one ShardLease: drains `source` (via `pending`) until exhausted (true)
+  // or an item bails (false; the item stays in `pending`, already counted,
+  // for the caller's exclusive retry). Grants are accumulated in `result`.
+  bool FastAcquireBatch(AppId app, LockRequestSource& source,
+                        std::optional<BatchItem>& pending, BatchResult& result)
+      LT_EXCLUDES(mu_);
+
+  // One full fast-path request: row coverage check, intent-lock chain, then
+  // the resource itself — FastLock and FastAcquireBatch share it. The lease
+  // carries the shard latch between the intent and row grants (and across
+  // batch items).
+  FastOutcome FastTryOne(AppId app, AppState& state,
+                         const ResourceId& resource, LockMode mode,
+                         ShardLease& lease) LT_REQUIRES_SHARED(mu_);
+
   // Grant/convert `mode` on one resource. An already-held resource resolves
   // thread-locally through held_index/HeldSlot::mode; a new request is
   // pre-flighted with an optimistic probe (retry-then-pessimize) and only
-  // the mutating grant takes the shard latch's write side. Bails on
+  // the mutating grant takes the shard latch's write side — through
+  // `lease`, so a latch already held for this shard is reused (and the
+  // probe skipped: the latched re-check is authoritative). Bails on
   // anything that must queue, escalate, or grow memory.
   FastOutcome FastAcquireOne(AppId app, AppState& state,
-                             const ResourceId& resource, LockMode mode)
-      LT_REQUIRES_SHARED(mu_);
+                             const ResourceId& resource, LockMode mode,
+                             ShardLease& lease) LT_REQUIRES_SHARED(mu_);
 
   // Granted table-lock mode via the AppState cache. Pure thread-local:
   // held_index membership plus HeldSlot::mode answer it without probing the
@@ -404,11 +486,18 @@ class LockManager {
       LT_REQUIRES(mu_);
 
   // Escalates `app`: converts its intent lock on the most row-locked table
-  // to S or X and releases those row locks. Returns kDone when completed,
-  // kBlocked when the conversion had to wait, kNoMemory when the app has no
-  // row locks to escalate. With `only_if_immediate`, never blocks: returns
-  // kNoMemory instead (used for victims other than the requester).
-  AcquireOutcome EscalateApp(AppId app, bool only_if_immediate = false)
+  // to S or X and releases those row locks (a waiting app's wait table is
+  // never selected — its conversion entry there must stay untouched).
+  // Returns kDone when completed, kBlocked when the conversion had to
+  // wait, kNoMemory when the app has no row locks to escalate. With
+  // `only_if_immediate`, never blocks: returns kNoMemory instead (used
+  // for victims other than the requester). With `silent_probe`, a failed
+  // attempt is not counted in stats — the phase-2 convoy widening probes
+  // waiting victims on every allocation failure, and charging each
+  // hopeless probe would swamp `escalation_attempts` with retries of a
+  // case the scan already knows is contended.
+  AcquireOutcome EscalateApp(AppId app, bool only_if_immediate = false,
+                             bool silent_probe = false)
       LT_REQUIRES(mu_);
 
   // Releases all of `app`'s row locks on `table` (escalation completion).

@@ -41,6 +41,10 @@ Status DatabaseMemory::GrowHeap(MemoryHeap* heap, Bytes delta) {
   return GrowHeapImpl(heap, delta, /*faultable=*/true);
 }
 
+Status DatabaseMemory::GrowHeapUnfaulted(MemoryHeap* heap, Bytes delta) {
+  return GrowHeapImpl(heap, delta, /*faultable=*/false);
+}
+
 Status DatabaseMemory::GrowHeapImpl(MemoryHeap* heap, Bytes delta,
                                     bool faultable) {
   if (Status s = CheckOwned(heap); !s.ok()) return s;

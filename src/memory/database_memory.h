@@ -43,6 +43,14 @@ class DatabaseMemory {
   // heap's max would be exceeded.
   [[nodiscard]] Status GrowHeap(MemoryHeap* heap, Bytes delta);
 
+  // Grows `heap` like GrowHeap but bypasses the chaos fault hook: real
+  // bounds (overflow reserve, heap max) are still enforced. This is the
+  // cold-start borrow path — the STMM controller may take a *bounded* LMO
+  // debt against overflow before its first tuning pass even while a fault
+  // window is refusing ordinary growth (docs/ROBUSTNESS.md). Not for
+  // general use; every steady-state grow must stay faultable.
+  [[nodiscard]] Status GrowHeapUnfaulted(MemoryHeap* heap, Bytes delta);
+
   // Shrinks `heap` by `delta` bytes, returning them to overflow. Fails with
   // OUT_OF_RANGE when the heap would fall below its min or below zero.
   [[nodiscard]] Status ShrinkHeap(MemoryHeap* heap, Bytes delta);

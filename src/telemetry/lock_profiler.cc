@@ -19,6 +19,8 @@ const char* ProfileSiteName(ProfileSite site) {
       return "opt_read";
     case ProfileSite::kQueuedWrite:
       return "queued_write";
+    case ProfileSite::kShardBatch:
+      return "shard_batch";
     case ProfileSite::kExclusive:
       return "exclusive";
     case ProfileSite::kAlloc:

@@ -62,19 +62,22 @@ struct HistogramSnapshot;
 // path, kExclusive is the same mutex taken exclusively (classic path and
 // bail-to-exclusive retries), kOptRead the optimistic version-validated
 // shard probes (acquires = probes, contended = validation failures),
-// kQueuedWrite the per-shard OptLatch write acquisitions, kAlloc the
+// kQueuedWrite the per-shard OptLatch write acquisitions, kShardBatch the
+// same latches when acquired by the batched request path (AcquireBatch's
+// shard lease, amortized over consecutive same-shard grants), kAlloc the
 // block-list slot guard, kAppsMap the app-state map guard, and
 // kTickBarrier the scenario runner's per-tick worker barriers.
 enum class ProfileSite : uint8_t {
   kFastShared = 0,
   kOptRead,
   kQueuedWrite,
+  kShardBatch,
   kExclusive,
   kAlloc,
   kAppsMap,
   kTickBarrier,
 };
-inline constexpr int kProfileSiteCount = 7;
+inline constexpr int kProfileSiteCount = 8;
 const char* ProfileSiteName(ProfileSite site);
 
 // Shards above this fold into the last slot (the default table has 16).

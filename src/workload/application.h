@@ -1,120 +1,40 @@
-// Client application state machine.
+// Client application handle.
 //
-// Each Application models one database connection running transactions from
-// a Workload: think → acquire row locks at the workload's rate → (optionally
-// hold) → commit, blocking whenever the lock manager queues a request and
-// aborting/retrying when chosen as a deadlock victim. Strict two-phase
-// locking: all locks release at commit or abort.
+// The per-connection state machine itself lives in AppStore (app_store.h)
+// as structure-of-arrays columns; Application is a value-type view of one
+// slot — an (store, index) pair — kept so tests, benches, and tools read
+// per-application state (`id()`, `phase()`, `stats()`) through the same
+// narrow surface the one-object-per-client design exposed.
 #ifndef LOCKTUNE_WORKLOAD_APPLICATION_H_
 #define LOCKTUNE_WORKLOAD_APPLICATION_H_
 
-#include <atomic>
 #include <cstdint>
 
-#include "common/random.h"
-#include "engine/database.h"
-#include "engine/query_compiler.h"
-#include "workload/workload.h"
+#include "workload/app_store.h"
 
 namespace locktune {
 
-enum class AppPhase {
-  kDisconnected,
-  kThinking,
-  kRunning,
-  kHolding,  // scan finished, locks retained until the hold timer expires
-  kBlocked,
-};
-
-// Counters are atomics because several worker threads mirror bumps into one
-// shared sink in parallel mode (reads convert implicitly, so `stats().x`
-// keeps working; relaxed ordering — these are monotonic event counts).
-struct ApplicationStats {
-  std::atomic<int64_t> commits{0};
-  std::atomic<int64_t> table_plan_txns{0};  // txns compiled to table locking
-  std::atomic<int64_t> deadlock_aborts{0};
-  std::atomic<int64_t> timeout_aborts{0};  // lock waits past LOCKTIMEOUT
-  std::atomic<int64_t> oom_aborts{0};  // txns failed for lack of lock memory
-  std::atomic<int64_t> user_aborts{0};  // client rollbacks (abort storms)
-  std::atomic<int64_t> kill_aborts{0};  // mid-txn connection kills (faults)
-  std::atomic<int64_t> locks_acquired{0};
-  std::atomic<int64_t> blocked_ticks{0};
-};
-
 class Application {
  public:
-  // `db` and `workload` are borrowed and must outlive the application.
-  // `tick` is the simulation tick length the runner drives with.
-  Application(AppId id, Database* db, Workload* workload, uint64_t seed,
-              DurationMs tick);
+  Application(AppStore* store, uint32_t index)
+      : store_(store), index_(index) {}
 
-  Application(const Application&) = delete;
-  Application& operator=(const Application&) = delete;
-
-  // Advances one simulation tick.
-  void Tick();
-
-  // Connection management (used by scenario timelines). Disconnecting
-  // mid-transaction aborts it and releases all locks.
-  void Connect();
-  void Disconnect();
-  bool connected() const { return phase_ != AppPhase::kDisconnected; }
-
-  // Deadlock victim treatment: abort the transaction and retry after the
-  // workload's think time.
-  void AbortForDeadlock();
-
-  // Lock-timeout treatment (DB2 SQL0911N RC 68): same rollback-and-retry.
-  void AbortForTimeout();
-
-  // Fault-plan treatment: the connection dies abruptly. Any in-flight
-  // transaction is forced through rollback (all locks released, counted as
-  // a kill abort); the scenario timeline reconnects the client on a later
-  // tick, modeling crash-and-restart.
-  void KillConnection();
+  AppId id() const { return store_->id(index_); }
+  AppPhase phase() const { return store_->phase(index_); }
+  bool connected() const { return store_->connected(index_); }
+  const ApplicationStats& stats() const { return store_->stats(index_); }
 
   // Optional SQL compiler (§3.6): when set, each transaction's locking
   // granularity is chosen at start from the compiler's lock memory view; a
-  // table-locking plan locks whole tables instead of rows.
-  void set_compiler(const QueryCompiler* compiler) { compiler_ = compiler; }
-
-  AppId id() const { return id_; }
-  AppPhase phase() const { return phase_; }
-  const ApplicationStats& stats() const { return stats_; }
-
-  // Optional shared aggregate: every counter bump is mirrored into `sink`
-  // (borrowed), so the owner reads totals in O(1) instead of re-summing
-  // every application at each sample point.
-  void set_stats_sink(ApplicationStats* sink) { sink_ = sink; }
-
- private:
-  // Bumps `field` in this application's stats and in the aggregate sink.
-  void Count(std::atomic<int64_t> ApplicationStats::* field) {
-    (stats_.*field).fetch_add(1, std::memory_order_relaxed);
-    if (sink_ != nullptr) {
-      (sink_->*field).fetch_add(1, std::memory_order_relaxed);
-    }
+  // table-locking plan locks whole tables instead of rows. Const because
+  // the handle is a view — the store, not the handle, holds the state.
+  void set_compiler(const QueryCompiler* compiler) const {
+    store_->set_compiler(index_, compiler);
   }
 
-  void StartTransaction();
-  void RunAcquisition();
-  void Commit();
-  void AbortToThinking();
-
-  AppId id_;
-  Database* db_;
-  Workload* workload_;
-  Rng rng_;
-  DurationMs tick_;
-
-  AppPhase phase_ = AppPhase::kDisconnected;
-  const QueryCompiler* compiler_ = nullptr;
-  bool table_plan_ = false;  // current transaction uses table locking
-  TransactionProfile profile_;
-  int64_t acquired_ = 0;
-  DurationMs timer_ = 0;  // think or hold countdown
-  ApplicationStats stats_;
-  ApplicationStats* sink_ = nullptr;  // borrowed aggregate, may be null
+ private:
+  AppStore* store_;  // borrowed
+  uint32_t index_;
 };
 
 }  // namespace locktune

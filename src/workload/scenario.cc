@@ -64,7 +64,10 @@ int ClientTimeline::MaxClients() const {
 
 ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
                                const ScenarioOptions& options)
-    : db_(db), groups_(std::move(groups)), options_(options) {
+    : db_(db),
+      groups_(std::move(groups)),
+      options_(options),
+      store_(db, options.tick) {
   LOCKTUNE_CHECK(db != nullptr);
   LOCKTUNE_CHECK(options.tick > 0);
   LOCKTUNE_CHECK(options.threads >= 1);
@@ -87,15 +90,16 @@ ScenarioRunner::ScenarioRunner(Database* db, std::vector<ClientTimeline> groups,
   // First sample lands one full period in, so every sample window covers
   // the same span.
   next_sample_ = db->clock().now() + options_.sample_period;
+  store_.set_stats_sink(&totals_);
   AppId next_id = 1;
   Rng seeder(options_.seed);
   for (const ClientTimeline& g : groups_) {
     LOCKTUNE_CHECK(g.workload != nullptr);
     group_start_.push_back(apps_.size());
     for (int i = 0; i < g.MaxClients(); ++i) {
-      apps_.push_back(std::make_unique<Application>(
-          next_id++, db_, g.workload, seeder.Next(), options_.tick));
-      apps_.back()->set_stats_sink(&totals_);
+      const uint32_t index =
+          store_.Add(next_id++, g.workload, seeder.Next());
+      apps_.emplace_back(&store_, index);
     }
   }
   group_start_.push_back(apps_.size());
@@ -149,12 +153,10 @@ void ScenarioRunner::RegisterMetrics() {
       "locktune_workload_max_held_locks",
       "most lock structures held by any one application",
       [this] {
-        int64_t max_held = 0;
-        for (const auto& app : apps_) {
-          max_held =
-              std::max(max_held, db_->locks().HeldStructures(app->id()));
-        }
-        return static_cast<double>(max_held);
+        // One aggregate pass under one manager guard; the former
+        // per-application HeldStructures loop re-locked the manager once
+        // per client, which at 10^6 applications stalled every export.
+        return static_cast<double>(db_->locks().MaxHeldStructures());
       });
 }
 
@@ -168,22 +170,27 @@ void ScenarioRunner::RunUntil(TimeMs until) {
   while (db_->clock().now() < until) {
     const TimeMs now = db_->clock().now();
     BeginTick(now);
-    for (const auto& app : apps_) {
-      if (app->connected()) app->Tick();
-    }
+    // Event-driven sweep: only this tick's runnable applications (running,
+    // blocked, or woken by the deadline wheel) are touched; parked and
+    // disconnected ones cost nothing. Ascending index order — the same
+    // cross-application request order as the legacy all-apps loop.
+    for (const uint32_t i : store_.CollectRunnable()) store_.Tick(i);
     FinishTick(now);
   }
 }
 
-// Parallel execution: every tick fans the connected applications out over
-// options_.threads persistent workers (application i belongs to worker
-// i % threads, so each application is only ever ticked by one thread), then
-// joins them at a barrier before the serial phase runs. The barrier gives
-// the serial phase — STMM tuning inside db_->Tick, deadlock/timeout
-// detection, sampling — a consistent epoch snapshot: no application
-// mutates lock state while it runs. Lock-manager internals are protected
-// separately (see docs/CONCURRENCY.md); this loop only guarantees the
-// tick-grain phasing.
+// Parallel execution: every tick the coordinator collects the runnable
+// work list serially, then fans it out over options_.threads persistent
+// workers as contiguous, near-equal chunks. Chunking the *runnable* list —
+// not striding application indices — is what balances the tick: with a
+// partly-idle population, `i % threads` assigned workers whole swaths of
+// parked applications while one worker inherited every active client of a
+// dense group. Each index is ticked by exactly one worker, and workers
+// join a barrier before the serial phase (scheduler reconciliation, STMM
+// tuning inside db_->Tick, deadlock/timeout detection, sampling) so it
+// observes a consistent epoch snapshot: no application mutates lock state
+// while it runs. Lock-manager internals are protected separately (see
+// docs/CONCURRENCY.md); this loop only guarantees the tick-grain phasing.
 void ScenarioRunner::RunUntilParallel(TimeMs until) {
   const int workers = options_.threads;
   db_->locks().SetParallelMode(true);
@@ -206,10 +213,16 @@ void ScenarioRunner::RunUntilParallel(TimeMs until) {
         if (stop.load(std::memory_order_acquire)) return;
         ChromeTraceCollector* trace = GlobalTraceCollector();
         const int64_t t0 = trace != nullptr ? trace->RealNowUs() : 0;
-        for (size_t i = static_cast<size_t>(w); i < apps_.size();
-             i += static_cast<size_t>(workers)) {
-          if (apps_[i]->connected()) apps_[i]->Tick();
-        }
+        // This tick's chunk: the work list was rebuilt by the coordinator
+        // before the start barrier (which orders it before these reads).
+        const std::vector<uint32_t>& work = store_.work();
+        const size_t chunk =
+            (work.size() + static_cast<size_t>(workers) - 1) /
+            static_cast<size_t>(workers);
+        const size_t begin =
+            std::min(static_cast<size_t>(w) * chunk, work.size());
+        const size_t end = std::min(begin + chunk, work.size());
+        for (size_t k = begin; k < end; ++k) store_.Tick(work[k]);
         if (trace != nullptr) {
           // Real-clock span on the profiler process: one slice per worker
           // per tick, so Perfetto shows the actual parallel overlap.
@@ -226,6 +239,7 @@ void ScenarioRunner::RunUntilParallel(TimeMs until) {
   while (db_->clock().now() < until) {
     const TimeMs now = db_->clock().now();
     BeginTick(now);
+    store_.CollectRunnable();
     start_barrier.arrive_and_wait();  // release workers into this tick
     done_barrier.arrive_and_wait();   // epoch barrier: all apps ticked
     FinishTick(now);
@@ -250,7 +264,7 @@ void ScenarioRunner::BeginTick(TimeMs now) {
       // victims below.
       const size_t idx = static_cast<size_t>(victim - 1);
       LOCKTUNE_CHECK(idx < apps_.size());
-      apps_[idx]->KillConnection();
+      store_.KillConnection(static_cast<uint32_t>(idx));
     }
   }
 }
@@ -265,6 +279,11 @@ void ScenarioRunner::FinishTick(TimeMs now) {
                     std::to_string(db_->connected_applications()) + "}");
   }
 
+  // Scheduler reconciliation: applications that parked during the sweep
+  // (committed, aborted, began holding) leave the runnable set and enter
+  // the deadline wheel. Serial by contract — workers have joined.
+  store_.FinishSweep();
+
   // Advance virtual time; due STMM tuning passes run inside.
   db_->Tick(options_.tick);
 
@@ -274,12 +293,12 @@ void ScenarioRunner::FinishTick(TimeMs now) {
       // Victim AppIds are 1-based application indices by construction.
       const size_t idx = static_cast<size_t>(victim - 1);
       LOCKTUNE_CHECK(idx < apps_.size());
-      apps_[idx]->AbortForDeadlock();
+      store_.AbortForDeadlock(static_cast<uint32_t>(idx));
     }
     for (AppId victim : db_->locks().ExpireTimedOutWaiters()) {
       const size_t idx = static_cast<size_t>(victim - 1);
       LOCKTUNE_CHECK(idx < apps_.size());
-      apps_[idx]->AbortForTimeout();
+      store_.AbortForTimeout(static_cast<uint32_t>(idx));
     }
   }
 
@@ -324,10 +343,11 @@ void ScenarioRunner::ApplyTimelines(TimeMs now) {
     LOCKTUNE_CHECK(static_cast<size_t>(want) <= end - start);
     for (size_t i = start; i < end; ++i) {
       const bool should_connect = i - start < static_cast<size_t>(want);
-      if (should_connect && !apps_[i]->connected()) {
-        apps_[i]->Connect();
-      } else if (!should_connect && apps_[i]->connected()) {
-        apps_[i]->Disconnect();
+      const uint32_t index = static_cast<uint32_t>(i);
+      if (should_connect && !store_.connected(index)) {
+        store_.Connect(index);
+      } else if (!should_connect && store_.connected(index)) {
+        store_.Disconnect(index);
       }
     }
   }

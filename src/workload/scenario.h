@@ -40,12 +40,14 @@ struct ScenarioOptions {
   // is present); it stays off otherwise so fault-free metric exports are
   // byte-identical to earlier versions.
   bool robustness_metrics = false;
-  // Worker threads driving connected applications each tick. 1 (default)
+  // Worker threads driving runnable applications each tick. 1 (default)
   // is the deterministic single-threaded path — the golden contract. With
-  // N > 1, applications are partitioned across N workers, the lock
-  // manager's parallel fast path is enabled, and each tick ends at a
-  // barrier so the serial phase (STMM tuning, deadlock/timeout checks,
-  // sampling) observes a consistent snapshot. See docs/CONCURRENCY.md.
+  // N > 1, each tick's runnable work list is partitioned into contiguous
+  // chunks across N workers (idle/parked applications never reach a
+  // worker), the lock manager's parallel fast path is enabled, and each
+  // tick ends at a barrier so the serial phase (STMM tuning,
+  // deadlock/timeout checks, sampling) observes a consistent snapshot.
+  // See docs/CONCURRENCY.md and docs/SCALE.md.
   int threads = 1;
   // Livelock watchdog: wall-clock budget for one simulation tick, in real
   // milliseconds (0 = off). A tick that exceeds it aborts via
@@ -87,9 +89,11 @@ class ScenarioRunner {
   int64_t total_user_aborts() const { return totals_.user_aborts; }
   int64_t total_kill_aborts() const { return totals_.kill_aborts; }
 
-  const std::vector<std::unique_ptr<Application>>& applications() const {
-    return apps_;
-  }
+  const std::vector<Application>& applications() const { return apps_; }
+
+  // The SoA store backing the applications — aggregate views (phase
+  // histogram) for diagnostic tools. Serial contexts only.
+  const AppStore& store() const { return store_; }
 
   // Series names sampled each sample_period.
   static const char kLockAllocatedMb[];
@@ -106,10 +110,11 @@ class ScenarioRunner {
 
  private:
   // Serial tick phases shared by both execution modes: BeginTick applies
-  // timelines and due connection kills; FinishTick advances virtual time
-  // (STMM passes run inside) and runs the periodic deadlock/timeout checks
-  // and sampling. Between the two, every connected application is ticked —
-  // inline for threads == 1, fanned out over workers otherwise.
+  // timelines and due connection kills; FinishTick reconciles the
+  // scheduler (FinishSweep), advances virtual time (STMM passes run
+  // inside), and runs the periodic deadlock/timeout checks and sampling.
+  // Between the two, the store's runnable work list is ticked — inline for
+  // threads == 1, contiguous chunks fanned out over workers otherwise.
   void BeginTick(TimeMs now);
   void FinishTick(TimeMs now);
   void RunUntilParallel(TimeMs until);
@@ -123,8 +128,11 @@ class ScenarioRunner {
   Database* db_;
   std::vector<ClientTimeline> groups_;
   ScenarioOptions options_;
-  std::vector<std::unique_ptr<Application>> apps_;
-  // apps_ index range [group_start_[g], group_start_[g+1]) belongs to
+  // SoA state + event-driven scheduler for every application; apps_ holds
+  // one view handle per store slot (slot i is application id i + 1).
+  AppStore store_;
+  std::vector<Application> apps_;
+  // store index range [group_start_[g], group_start_[g+1]) belongs to
   // group g.
   std::vector<size_t> group_start_;
   ApplicationStats totals_;  // shared stat sink for every application

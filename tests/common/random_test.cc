@@ -125,5 +125,28 @@ TEST(ZipfTest, SingleElementDomain) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
 }
 
+TEST(ZipfTest, BillionRowDomainIsCheapAndConsistent) {
+  // Above 2^24 ranks the zeta normalizer switches from exact summation to
+  // a midpoint-integral tail (population-scaled catalogs in scale_sweep
+  // reach billions of rows — docs/SCALE.md). The constructor must be
+  // O(threshold), the draws in range, and the skew must line up with an
+  // exactly-summed generator: the fraction of draws landing in the first
+  // 0.1 % of ranks is scale-free for fixed theta, so a billion-row
+  // generator must match a 1 M-row one closely.
+  Rng rng_big(61), rng_small(61);
+  ZipfGenerator big(3'000'000'000ull, 0.4);   // approximate tail
+  ZipfGenerator small(1'000'000, 0.4);        // exact summation
+  const int draws = 50'000;
+  int big_low = 0, small_low = 0;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t b = big.Next(rng_big);
+    ASSERT_LT(b, 3'000'000'000ull);
+    if (b < 3'000'000) ++big_low;
+    if (small.Next(rng_small) < 1'000) ++small_low;
+  }
+  EXPECT_NEAR(static_cast<double>(big_low) / draws,
+              static_cast<double>(small_low) / draws, 0.01);
+}
+
 }  // namespace
 }  // namespace locktune

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
-#include "workload/application.h"
+#include "workload/app_store.h"
 #include "workload/workload.h"
 
 namespace locktune {
@@ -68,6 +68,13 @@ class BigScanWorkload : public Workload {
   int64_t next_row_ = 0;
 };
 
+// Drives `store` through one full scheduler cycle (wheel advance, sweep,
+// reconcile) — the per-tick protocol ScenarioRunner uses.
+void TickStore(AppStore& store) {
+  for (const uint32_t i : store.CollectRunnable()) store.Tick(i);
+  store.FinishSweep();
+}
+
 class CompilerIntegrationTest : public ::testing::Test {
  protected:
   CompilerIntegrationTest() {
@@ -85,15 +92,16 @@ TEST_F(CompilerIntegrationTest, StableViewKeepsRowPlans) {
   QueryCompiler compiler(
       [this] { return db_->stmm()->CompilerLockMemoryView(); });
   BigScanWorkload scan;
-  Application app(1, db_.get(), &scan, 1, 100);
-  app.set_compiler(&compiler);
-  app.Connect();
+  AppStore store(db_.get(), 100);
+  const uint32_t app = store.Add(1, &scan, /*seed=*/1);
+  store.set_compiler(app, &compiler);
+  store.Connect(app);
   for (int i = 0; i < 100; ++i) {
-    app.Tick();
+    TickStore(store);
     db_->Tick(100);
   }
-  EXPECT_GT(app.stats().commits, 0);
-  EXPECT_EQ(app.stats().table_plan_txns, 0);
+  EXPECT_GT(store.stats(app).commits, 0);
+  EXPECT_EQ(store.stats(app).table_plan_txns, 0);
   EXPECT_EQ(compiler.table_lock_plans(), 0);
 }
 
@@ -104,15 +112,16 @@ TEST_F(CompilerIntegrationTest, InstantaneousViewBakesInTableLocks) {
   QueryCompiler compiler(
       [this] { return db_->locks().allocated_bytes(); });
   BigScanWorkload scan;
-  Application app(1, db_.get(), &scan, 1, 100);
-  app.set_compiler(&compiler);
-  app.Connect();
+  AppStore store(db_.get(), 100);
+  const uint32_t app = store.Add(1, &scan, /*seed=*/1);
+  store.set_compiler(app, &compiler);
+  store.Connect(app);
   for (int i = 0; i < 30; ++i) {
-    app.Tick();
+    TickStore(store);
     db_->Tick(100);
   }
   EXPECT_GT(compiler.table_lock_plans(), 0);
-  EXPECT_GT(app.stats().table_plan_txns, 0);
+  EXPECT_GT(store.stats(app).table_plan_txns, 0);
   // The coarse plan pre-empted growth: lock memory never expanded.
   EXPECT_EQ(db_->locks().allocated_bytes(),
             db_->options().params.InitialLockMemory());
@@ -122,14 +131,15 @@ TEST_F(CompilerIntegrationTest, TablePlanLocksTablesNotRows) {
   // Force table plans with a zero view.
   QueryCompiler compiler([] { return Bytes{0}; });
   BigScanWorkload scan;
-  Application app(1, db_.get(), &scan, 1, 100);
-  app.set_compiler(&compiler);
-  app.Connect();
-  for (int i = 0; i < 5 && app.stats().commits == 0; ++i) {
-    app.Tick();
+  AppStore store(db_.get(), 100);
+  const uint32_t app = store.Add(1, &scan, /*seed=*/1);
+  store.set_compiler(app, &compiler);
+  store.Connect(app);
+  for (int i = 0; i < 5 && store.stats(app).commits == 0; ++i) {
+    TickStore(store);
     db_->Tick(100);
   }
-  EXPECT_GT(app.stats().table_plan_txns, 0);
+  EXPECT_GT(store.stats(app).table_plan_txns, 0);
   // Table plans consume (at most) one lock structure per table, not one
   // per row: after ~1000-row transactions the lock memory shows no growth.
   EXPECT_EQ(db_->locks().allocated_bytes(),

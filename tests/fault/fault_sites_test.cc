@@ -12,7 +12,7 @@
 #include "fault/degradation_ledger.h"
 #include "fault/fault_plan.h"
 #include "telemetry/trace.h"
-#include "workload/application.h"
+#include "workload/app_store.h"
 #include "workload/workload.h"
 
 namespace locktune {
@@ -213,15 +213,58 @@ TEST_F(FaultSiteStmmTest, SyncDenialIsAbsorbedWithAccountingConserved) {
   spec.windows.push_back(DenyWindow("locklist", 0, 1000));
   Build(spec);
 
+  // Cold start (no tuning pass yet): a denied synchronous grow is covered
+  // by the bounded locklist borrow (docs/ROBUSTNESS.md) — the grant
+  // succeeds, the debt is visible as LMO, and the denial stays on the
+  // ledger as absorbed.
+  // (Calling GrantSynchronousGrowth directly bypasses the lock manager's
+  // grow callback, so the manager's own block count is not part of this
+  // test; heap and ledger consistency are.)
   const Bytes lock_before = lock_heap_->size();
-  const Bytes overflow_before = memory_->overflow_bytes();
+  EXPECT_TRUE(stmm_->GrantSynchronousGrowth(1));
+  EXPECT_FALSE(stmm_->growth_was_constrained());
+  EXPECT_EQ(lock_heap_->size(), lock_before + kLockBlockSize);
+  EXPECT_EQ(stmm_->lmo(), kLockBlockSize);
+  EXPECT_EQ(stmm_->cold_borrow_bytes(), kLockBlockSize);
+  EXPECT_GE(ledger_->absorbed(), 1);
+  EXPECT_TRUE(memory_->CheckConsistency().ok());
+  EXPECT_TRUE(ledger_->CheckConsistency().ok());
+
+  // The borrow is bounded by minLockMemory(num_applications): once the
+  // cold debt reaches the bound, denial surfaces exactly as before.
+  const Bytes cap = params_.MinLockMemory(1);
+  while (stmm_->cold_borrow_bytes() + kLockBlockSize <= cap) {
+    ASSERT_TRUE(stmm_->GrantSynchronousGrowth(1));
+  }
+  const Bytes exhausted = lock_heap_->size();
+  const Bytes overflow_exhausted = memory_->overflow_bytes();
+  EXPECT_FALSE(stmm_->GrantSynchronousGrowth(1));
+  EXPECT_TRUE(stmm_->growth_was_constrained());
+  EXPECT_EQ(lock_heap_->size(), exhausted);
+  EXPECT_EQ(memory_->overflow_bytes(), overflow_exhausted);
+  EXPECT_TRUE(memory_->CheckConsistency().ok());
+  EXPECT_TRUE(ledger_->CheckConsistency().ok());
+}
+
+TEST_F(FaultSiteStmmTest, WarmDenialIsRefusedNotBorrowed) {
+  // Deny window opens after the first tuning pass: a warm controller
+  // (non-empty tuning history) refuses in-window grows outright — the
+  // cold-start borrow never applies once real demand signals exist.
+  FaultPlanSpec spec;
+  spec.windows.push_back(DenyWindow("locklist", 100, 1000));
+  Build(spec);
+  stmm_->RunTuningPass();
+  clock_.Advance(100);
+
+  const Bytes lock_before = lock_heap_->size();
+  const Bytes lmo_before = stmm_->lmo();
   EXPECT_FALSE(stmm_->GrantSynchronousGrowth(1));
   EXPECT_TRUE(stmm_->growth_was_constrained());
   EXPECT_EQ(lock_heap_->size(), lock_before);
-  EXPECT_EQ(memory_->overflow_bytes(), overflow_before);
-  EXPECT_EQ(stmm_->lmo(), 0);
-  EXPECT_GE(ledger_->absorbed(), 1);
+  EXPECT_EQ(stmm_->lmo(), lmo_before);
+  EXPECT_EQ(stmm_->cold_borrow_bytes(), 0);
   EXPECT_TRUE(memory_->CheckConsistency().ok());
+  EXPECT_TRUE(stmm_->CheckConsistency().ok());
   EXPECT_TRUE(ledger_->CheckConsistency().ok());
 }
 
@@ -328,17 +371,25 @@ TransactionProfile LongTxn() {
   return p;
 }
 
+// Drives `store` through one full scheduler cycle (wheel advance, sweep,
+// reconcile) — the per-tick protocol ScenarioRunner uses.
+void TickStore(AppStore& store) {
+  for (const uint32_t i : store.CollectRunnable()) store.Tick(i);
+  store.FinishSweep();
+}
+
 TEST_F(FaultSiteKillTest, MidTransactionKillReleasesEverything) {
   ScriptedWorkload w(LongTxn());
-  Application app(1, db_.get(), &w, 1, 100);
-  app.Connect();
-  for (int i = 0; i < 20; ++i) app.Tick();
+  AppStore store(db_.get(), 100);
+  const uint32_t app = store.Add(1, &w, /*seed=*/1);
+  store.Connect(app);
+  for (int i = 0; i < 20; ++i) TickStore(store);
   ASSERT_GT(db_->locks().HeldStructures(1), 0);
   const Bytes used_by_others = db_->locks().used_bytes();
 
-  app.KillConnection();
-  EXPECT_FALSE(app.connected());
-  EXPECT_EQ(app.stats().kill_aborts, 1);
+  store.KillConnection(app);
+  EXPECT_FALSE(store.connected(app));
+  EXPECT_EQ(store.stats(app).kill_aborts, 1);
   // Full rollback: every lock structure is back in the free pool.
   EXPECT_EQ(db_->locks().HeldStructures(1), 0);
   EXPECT_LT(db_->locks().used_bytes(), used_by_others);
@@ -346,27 +397,30 @@ TEST_F(FaultSiteKillTest, MidTransactionKillReleasesEverything) {
   EXPECT_TRUE(db_->memory().CheckConsistency().ok());
 
   // A killed connection is inert until it reconnects...
-  app.Tick();
-  EXPECT_EQ(app.stats().commits, 0);
+  TickStore(store);
+  EXPECT_EQ(store.stats(app).commits, 0);
   // ...and commits flow again after the crash-restart reconnect.
-  app.Connect();
-  for (int i = 0; i < 300 && app.stats().commits == 0; ++i) app.Tick();
-  EXPECT_GE(app.stats().commits, 1);
+  store.Connect(app);
+  for (int i = 0; i < 300 && store.stats(app).commits == 0; ++i) {
+    TickStore(store);
+  }
+  EXPECT_GE(store.stats(app).commits, 1);
   EXPECT_TRUE(db_->ValidateInvariants().ok());
 }
 
 TEST_F(FaultSiteKillTest, KillBetweenTransactionsIsNotAnAbort) {
   ScriptedWorkload w(LongTxn());
-  Application app(1, db_.get(), &w, 1, 100);
-  app.Connect();
+  AppStore store(db_.get(), 100);
+  const uint32_t app = store.Add(1, &w, /*seed=*/1);
+  store.Connect(app);
   // Still thinking: no transaction in flight, so nothing is rolled back.
-  app.KillConnection();
-  EXPECT_FALSE(app.connected());
-  EXPECT_EQ(app.stats().kill_aborts, 0);
+  store.KillConnection(app);
+  EXPECT_FALSE(store.connected(app));
+  EXPECT_EQ(store.stats(app).kill_aborts, 0);
   EXPECT_TRUE(db_->ValidateInvariants().ok());
   // Killing an already-dead connection is a no-op.
-  app.KillConnection();
-  EXPECT_EQ(app.stats().kill_aborts, 0);
+  store.KillConnection(app);
+  EXPECT_EQ(store.stats(app).kill_aborts, 0);
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+// LL013 fixture: hot-column structs must stay trivially copyable.
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+// locklint: hot-column
+struct BadEntry {
+  int index = 0;
+  std::string label;  // flagged: owning member in a hot row
+  virtual void Tick();  // flagged: vtable pointer breaks memcpy moves
+};
+
+// locklint: hot-column
+struct GoodEntry {
+  unsigned index = 0;
+  long due = 0;
+};
+
+// Unannotated structs may own whatever they like.
+struct ColdRow {
+  std::string name;
+  std::unique_ptr<int> state;
+};
+
+// locklint: hot-column
+struct SuppressedEntry {
+  int index = 0;
+  // locklint: hotcolumn-ok(cold side pointer, excluded from the sweep)
+  std::shared_ptr<int> side;
+};
+
+// locklint: hot-column
+// (no struct follows: the marker itself is the finding)
+int orphan_marker = 0;
+
+}  // namespace fixture

@@ -171,6 +171,19 @@ TEST(LocklintTest, RelaxedAtomicsRule) {
       << run.output;
 }
 
+TEST(LocklintTest, HotColumnRule) {
+  const LintRun run = RunLocklint(FixtureRoot() + "/hot_column.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  ExpectViolation(run, "hot_column.cc", 10, "LL013");  // std::string member
+  ExpectViolation(run, "hot_column.cc", 11, "LL013");  // virtual method
+  // GoodEntry (POD) and the unannotated ColdRow must not be flagged; the
+  // reasoned hotcolumn-ok suppression holds; the orphan marker at the end
+  // is its own finding.
+  ExpectViolation(run, "hot_column.cc", 33, "LL000");
+  EXPECT_NE(run.output.find("3 violation(s)"), std::string::npos)
+      << run.output;
+}
+
 TEST(LocklintTest, JsonOutput) {
   const LintRun clean = RunLocklint("--json " + FixtureRoot() + "/clean.cc");
   EXPECT_EQ(clean.exit_code, 0);
@@ -228,9 +241,9 @@ TEST(LocklintTest, WholeFixtureTreeIsDeterministicallySorted) {
   EXPECT_EQ(run.exit_code, 1);
   // 3 wallclock + 1 unordered + 1 float + 2 alloc + 1 nodiscard + 1 assert
   // + 2 addr + 1 faultgate + 1 profile + 3 shardlatch + 1 bad-annotation
-  // + 2 lockorder + 2 relaxed + 1 stale-suppression = 22, and a second run
-  // must be identical.
-  EXPECT_NE(run.output.find("22 violation(s)"), std::string::npos)
+  // + 2 lockorder + 2 relaxed + 1 stale-suppression + 2 hotcolumn
+  // + 1 orphan hot-column marker = 25, and a second run must be identical.
+  EXPECT_NE(run.output.find("25 violation(s)"), std::string::npos)
       << run.output;
   const LintRun again = RunLocklint(FixtureRoot());
   EXPECT_EQ(run.output, again.output);
@@ -241,7 +254,7 @@ TEST(LocklintTest, ListRules) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* id : {"LL000", "LL001", "LL002", "LL003", "LL004",
                          "LL005", "LL006", "LL007", "LL008", "LL009",
-                         "LL010", "LL011", "LL012"}) {
+                         "LL010", "LL011", "LL012", "LL013"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << run.output;
   }
 }

@@ -1,0 +1,174 @@
+// Scheduler-focused AppStore tests: deadline-wheel edge cases (zero
+// offsets, timers longer than one wheel revolution, generation-guarded
+// stale entries) and the phase-histogram aggregate. The application state
+// machine itself is covered by application_test.cc.
+#include "workload/app_store.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace locktune {
+namespace {
+
+// Fixed profile, sequential private rows (same shape as the scripted
+// workload in application_test.cc).
+class ScriptedWorkload : public Workload {
+ public:
+  explicit ScriptedWorkload(TransactionProfile profile, TableId table = 0,
+                            int64_t row_base = 0)
+      : profile_(profile), table_(table), next_row_(row_base) {}
+
+  TransactionProfile NextTransaction(Rng&) override { return profile_; }
+
+  RowAccess NextAccess(Rng&) override {
+    RowAccess a;
+    a.table = table_;
+    a.row = next_row_++;
+    a.mode = LockMode::kS;
+    return a;
+  }
+
+ private:
+  TransactionProfile profile_;
+  TableId table_;
+  int64_t next_row_;
+};
+
+constexpr DurationMs kTick = 100;
+
+class AppStoreTest : public ::testing::Test {
+ protected:
+  AppStoreTest() {
+    DatabaseOptions o;
+    o.params.database_memory = 256 * kMiB;
+    db_ = Database::Open(o).value();
+    store_ = std::make_unique<AppStore>(db_.get(), kTick);
+  }
+
+  // One full schedule/sweep/reconcile cycle; returns the runnable count.
+  size_t TickAll() {
+    const std::vector<uint32_t>& work = store_->CollectRunnable();
+    const size_t n = work.size();
+    for (const uint32_t i : work) store_->Tick(i);
+    store_->FinishSweep();
+    return n;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AppStore> store_;
+};
+
+TransactionProfile SmallTxn() {
+  TransactionProfile p;
+  p.total_locks = 10;
+  p.locks_per_tick = 5;
+  p.hold_time = 0;
+  p.think_time = 200;
+  return p;
+}
+
+// A freshly connected application must wake on the very next collected
+// tick, never the current one and never "immediately": Connect draws a
+// 0..100 ms offset, and Park's max(1, ceil(timer/tick)) pins every value
+// in that range — including a zero offset — to one tick out.
+TEST_F(AppStoreTest, ConnectWakesOnNextCollectedTick) {
+  ScriptedWorkload w(SmallTxn());
+  const uint32_t i = store_->Add(1, &w, /*seed=*/1);
+  // Advance a few ticks first so the wheel is mid-revolution.
+  for (int t = 0; t < 5; ++t) EXPECT_EQ(TickAll(), 0u);
+  store_->Connect(i);
+  EXPECT_EQ(store_->phase(i), AppPhase::kThinking);
+  // Next collect wakes it exactly once; Tick starts the transaction.
+  EXPECT_EQ(TickAll(), 1u);
+  EXPECT_EQ(store_->phase(i), AppPhase::kRunning);
+}
+
+// A hold timer longer than one wheel revolution (1024 ticks) wraps: the
+// entry is re-filed into its slot once per revolution and must fire
+// exactly at its deadline — no early wake-up when the slot is first
+// visited, no lost tick from the re-file.
+TEST_F(AppStoreTest, TimerLongerThanWheelRevolutionFiresExactly) {
+  constexpr int64_t kHoldTicks = 1100;  // > kWheelSlots (1024): wraps once
+  TransactionProfile p = SmallTxn();
+  p.locks_per_tick = p.total_locks;  // whole scan in one tick
+  p.hold_time = kHoldTicks * kTick;
+  ScriptedWorkload w(p);
+  const uint32_t i = store_->Add(1, &w, /*seed=*/1);
+  store_->Connect(i);
+  EXPECT_EQ(TickAll(), 1u);  // wake: think timer expired, txn starts
+  EXPECT_EQ(TickAll(), 1u);  // scan completes, hold begins
+  ASSERT_EQ(store_->phase(i), AppPhase::kHolding);
+  // The application is parked for exactly kHoldTicks ticks: idle collects
+  // until the deadline tick, which wakes it and commits.
+  int64_t idle = 0;
+  while (store_->phase(i) == AppPhase::kHolding) {
+    const size_t ran = TickAll();
+    if (store_->phase(i) == AppPhase::kHolding) {
+      EXPECT_EQ(ran, 0u);
+      ++idle;
+      ASSERT_LT(idle, 2 * kHoldTicks) << "hold deadline never fired";
+    } else {
+      EXPECT_EQ(ran, 1u);
+    }
+  }
+  EXPECT_EQ(idle, kHoldTicks - 1);
+  EXPECT_EQ(store_->stats(i).commits, 1);
+}
+
+// Disconnect orphans any parked wheel entry via the generation column: the
+// stale entry must not wake the slot after it is reused by a reconnect,
+// and must not resurrect a disconnected application.
+TEST_F(AppStoreTest, StaleWheelEntryIsIgnoredAfterDisconnect) {
+  ScriptedWorkload w(SmallTxn());
+  const uint32_t i = store_->Add(1, &w, /*seed=*/1);
+  store_->Connect(i);  // parks a wheel entry for the next tick
+  store_->Disconnect(i);
+  // The orphaned entry's due tick passes without waking anything.
+  EXPECT_EQ(TickAll(), 0u);
+  EXPECT_EQ(store_->phase(i), AppPhase::kDisconnected);
+  // Reconnect: only the new-generation entry fires, exactly once.
+  store_->Connect(i);
+  store_->Disconnect(i);
+  store_->Connect(i);  // two live-looking entries in flight, one valid gen
+  EXPECT_EQ(TickAll(), 1u);
+  EXPECT_EQ(store_->phase(i), AppPhase::kRunning);
+}
+
+// PhaseCounts sweeps the phase column into one histogram; every
+// application lands in exactly one bucket.
+TEST_F(AppStoreTest, PhaseCountsMatchesPhaseColumn) {
+  ScriptedWorkload wa(SmallTxn(), /*table=*/0, /*row_base=*/0);
+  TransactionProfile hold = SmallTxn();
+  hold.locks_per_tick = hold.total_locks;
+  hold.hold_time = 10'000;
+  ScriptedWorkload wc(hold, /*table=*/0, /*row_base=*/1000);
+  ScriptedWorkload wd(SmallTxn(), /*table=*/0, /*row_base=*/2000);
+  const uint32_t a = store_->Add(1, &wa, 1);  // never connected
+  const uint32_t c = store_->Add(2, &wc, 2);  // driven to kHolding
+  const uint32_t d = store_->Add(3, &wd, 3);  // driven to kRunning
+  store_->Connect(c);
+  store_->Connect(d);
+  TickAll();  // both wake and start their transactions
+  TickAll();  // c finishes its scan and holds; d acquires 5 of 10
+  ScriptedWorkload wb(SmallTxn(), /*table=*/0, /*row_base=*/3000);
+  const uint32_t b = store_->Add(4, &wb, 4);
+  store_->Connect(b);  // thinking, not yet woken
+  ASSERT_EQ(store_->phase(a), AppPhase::kDisconnected);
+  ASSERT_EQ(store_->phase(b), AppPhase::kThinking);
+  ASSERT_EQ(store_->phase(c), AppPhase::kHolding);
+  ASSERT_EQ(store_->phase(d), AppPhase::kRunning);
+
+  const std::array<int64_t, kNumAppPhases> counts = store_->PhaseCounts();
+  EXPECT_EQ(counts[static_cast<int>(AppPhase::kDisconnected)], 1);
+  EXPECT_EQ(counts[static_cast<int>(AppPhase::kThinking)], 1);
+  EXPECT_EQ(counts[static_cast<int>(AppPhase::kRunning)], 1);
+  EXPECT_EQ(counts[static_cast<int>(AppPhase::kHolding)], 1);
+  EXPECT_EQ(counts[static_cast<int>(AppPhase::kBlocked)], 0);
+  int64_t total = 0;
+  for (const int64_t n : counts) total += n;
+  EXPECT_EQ(total, static_cast<int64_t>(store_->size()));
+}
+
+}  // namespace
+}  // namespace locktune

@@ -1,4 +1,4 @@
-#include "workload/application.h"
+#include "workload/app_store.h"
 
 #include <memory>
 
@@ -35,6 +35,29 @@ class ScriptedWorkload : public Workload {
   LockMode mode_ = LockMode::kS;
 };
 
+// One store per independently-driven client: each test below scripts the
+// relative tick phasing of its applications, so every application gets a
+// private store (all sharing one Database) and is driven through the full
+// scheduler cycle — wheel advance, sweep, reconcile — one tick at a time.
+struct StoreApp {
+  StoreApp(Database* db, AppId id, Workload* w, uint64_t seed)
+      : store(db, /*tick=*/100), index(store.Add(id, w, seed)) {}
+
+  void Connect() { store.Connect(index); }
+  void Disconnect() { store.Disconnect(index); }
+  void AbortForDeadlock() { store.AbortForDeadlock(index); }
+  void Tick() {
+    for (const uint32_t i : store.CollectRunnable()) store.Tick(i);
+    store.FinishSweep();
+  }
+  bool connected() const { return store.connected(index); }
+  AppPhase phase() const { return store.phase(index); }
+  const ApplicationStats& stats() const { return store.stats(index); }
+
+  AppStore store;
+  uint32_t index;
+};
+
 class ApplicationTest : public ::testing::Test {
  protected:
   ApplicationTest() {
@@ -57,7 +80,7 @@ TransactionProfile SmallTxn() {
 
 TEST_F(ApplicationTest, StartsDisconnected) {
   ScriptedWorkload w(SmallTxn());
-  Application app(1, db_.get(), &w, 1, 100);
+  StoreApp app(db_.get(), 1, &w, 1);
   EXPECT_FALSE(app.connected());
   app.Tick();  // no-op while disconnected
   EXPECT_EQ(app.stats().commits, 0);
@@ -65,7 +88,7 @@ TEST_F(ApplicationTest, StartsDisconnected) {
 
 TEST_F(ApplicationTest, RunsTransactionsAfterConnect) {
   ScriptedWorkload w(SmallTxn());
-  Application app(1, db_.get(), &w, 1, 100);
+  StoreApp app(db_.get(), 1, &w, 1);
   app.Connect();
   EXPECT_TRUE(app.connected());
   for (int i = 0; i < 100; ++i) app.Tick();
@@ -80,7 +103,7 @@ TEST_F(ApplicationTest, HoldingPhaseKeepsLocks) {
   TransactionProfile p = SmallTxn();
   p.hold_time = 10'000;  // 10 s
   ScriptedWorkload w(p);
-  Application app(1, db_.get(), &w, 1, 100);
+  StoreApp app(db_.get(), 1, &w, 1);
   app.Connect();
   for (int i = 0; i < 30; ++i) app.Tick();  // 3 s: scan done, still holding
   EXPECT_EQ(app.phase(), AppPhase::kHolding);
@@ -100,14 +123,14 @@ TEST_F(ApplicationTest, BlocksOnConflictAndResumes) {
   ScriptedWorkload w2(p2, /*table=*/0, /*row_base=*/5);
   w1.set_mode(LockMode::kX);
   w2.set_mode(LockMode::kX);
-  Application a1(1, db_.get(), &w1, 1, 100);
-  Application a2(2, db_.get(), &w2, 2, 100);
+  StoreApp a1(db_.get(), 1, &w1, 1);
+  StoreApp a2(db_.get(), 2, &w2, 2);
   // App 1 grabs rows 0..9 (overlapping app 2's 5..14) and holds them.
   TransactionProfile hold = SmallTxn();
   hold.hold_time = 5'000;
   ScriptedWorkload w1_hold(hold, 0, 0);
   w1_hold.set_mode(LockMode::kX);
-  Application holder(3, db_.get(), &w1_hold, 3, 100);
+  StoreApp holder(db_.get(), 3, &w1_hold, 3);
   holder.Connect();
   for (int i = 0; i < 10 && holder.phase() != AppPhase::kHolding; ++i) {
     holder.Tick();
@@ -132,7 +155,7 @@ TEST_F(ApplicationTest, DisconnectMidTransactionReleasesLocks) {
   p.total_locks = 1000;
   p.locks_per_tick = 10;
   ScriptedWorkload w(p);
-  Application app(1, db_.get(), &w, 1, 100);
+  StoreApp app(db_.get(), 1, &w, 1);
   app.Connect();
   for (int i = 0; i < 20; ++i) app.Tick();
   EXPECT_GT(db_->locks().HeldStructures(1), 0);
@@ -172,8 +195,8 @@ TEST_F(ApplicationTest, DeadlockAbortRetries) {
   TransactionProfile pb = p;
   pb.think_time = 300;
   OpposingWorkload wf(p, true), wb(pb, false);
-  Application a1(1, db_.get(), &wf, 1, 100);
-  Application a2(2, db_.get(), &wb, 2, 100);
+  StoreApp a1(db_.get(), 1, &wf, 1);
+  StoreApp a2(db_.get(), 2, &wb, 2);
   a1.Connect();
   a2.Connect();
   // Drive both until each holds one row and waits for the other.

@@ -98,7 +98,7 @@ TEST_F(ScenarioTest, ClientReductionDisconnects) {
   runner.Run();
   int connected = 0;
   for (const auto& app : runner.applications()) {
-    if (app->connected()) ++connected;
+    if (app.connected()) ++connected;
   }
   EXPECT_EQ(connected, 1);
 }
@@ -114,7 +114,7 @@ TEST_F(ScenarioTest, MultipleGroupsGetDistinctAppIds) {
   ScenarioRunner runner(db_.get(), {a, b}, so);
   EXPECT_EQ(runner.applications().size(), 5u);
   std::set<AppId> ids;
-  for (const auto& app : runner.applications()) ids.insert(app->id());
+  for (const auto& app : runner.applications()) ids.insert(app.id());
   EXPECT_EQ(ids.size(), 5u);
   runner.Run();
   EXPECT_EQ(db_->connected_applications(), 5);

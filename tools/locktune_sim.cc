@@ -32,6 +32,7 @@
 // escalations, lock memory, tuning passes) on stderr. See
 // src/workload/scenario_config.h for the file format and scenarios/*.conf
 // for ready-made examples.
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -354,6 +355,19 @@ int main(int argc, char** argv) {
   if (inspect) {
     std::fprintf(stderr, "\n%s",
                  RenderInspector(scenario.database(), apps, &ring).c_str());
+    // Aggregate phase histogram from the store's SoA phase column; the
+    // per-application row walk it replaces stalled the tick watchdog at
+    // 10^6 applications (the snapshot's top-holder table above stays the
+    // only per-app view, capped at its top-N).
+    const std::array<int64_t, kNumAppPhases> phases =
+        scenario.runner().store().PhaseCounts();
+    std::fprintf(stderr, "\napplication phases (%d slots):\n", apps);
+    for (int p = 0; p < kNumAppPhases; ++p) {
+      if (phases[static_cast<size_t>(p)] == 0) continue;
+      std::fprintf(stderr, "  %-13s %lld\n",
+                   AppPhaseName(static_cast<AppPhase>(p)),
+                   static_cast<long long>(phases[static_cast<size_t>(p)]));
+    }
   }
   return 0;
 }
